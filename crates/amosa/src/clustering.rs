@@ -1,0 +1,134 @@
+//! Single-linkage agglomerative clustering, used to shrink the AMOSA
+//! archive from the soft limit `SL` down to the hard limit `HL` while
+//! preserving spread along the Pareto front.
+
+/// Reduces `points` (objective vectors) to at most `target` representatives
+/// via single-linkage clustering; returns the **indices** of the chosen
+/// representatives, one per cluster.
+///
+/// The representative of each cluster is the member with the smallest mean
+/// distance to its fellow members (the cluster "medoid"), as in the AMOSA
+/// paper. Distances are Euclidean over objectives normalised by `ranges`.
+///
+/// # Panics
+///
+/// Panics if `target` is zero.
+#[must_use]
+pub fn reduce_to(points: &[Vec<f64>], ranges: &[f64], target: usize) -> Vec<usize> {
+    assert!(target >= 1, "cannot cluster to zero representatives");
+    let n = points.len();
+    if n <= target {
+        return (0..n).collect();
+    }
+
+    let norm_dist = |a: &[f64], b: &[f64]| -> f64 {
+        a.iter()
+            .zip(b)
+            .zip(ranges)
+            .map(|((&x, &y), &r)| {
+                let range = if r > 0.0 { r } else { 1.0 };
+                let d = (x - y) / range;
+                d * d
+            })
+            .sum::<f64>()
+            .sqrt()
+    };
+
+    // Start with singleton clusters; repeatedly merge the closest pair
+    // (single linkage: cluster distance = min pairwise member distance).
+    let mut clusters: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+    while clusters.len() > target {
+        let mut best: Option<(f64, usize, usize)> = None;
+        for i in 0..clusters.len() {
+            for j in i + 1..clusters.len() {
+                let d = clusters[i]
+                    .iter()
+                    .flat_map(|&a| clusters[j].iter().map(move |&b| (a, b)))
+                    .map(|(a, b)| norm_dist(&points[a], &points[b]))
+                    .fold(f64::INFINITY, f64::min);
+                if best.is_none_or(|(bd, _, _)| d < bd) {
+                    best = Some((d, i, j));
+                }
+            }
+        }
+        let (_, i, j) = best.expect("at least two clusters remain");
+        let merged = clusters.swap_remove(j);
+        clusters[i].extend(merged);
+    }
+
+    // Pick each cluster's medoid.
+    clusters
+        .iter()
+        .map(|members| {
+            *members
+                .iter()
+                .min_by(|&&a, &&b| {
+                    let mean = |x: usize| -> f64 {
+                        members
+                            .iter()
+                            .filter(|&&m| m != x)
+                            .map(|&m| norm_dist(&points[x], &points[m]))
+                            .sum::<f64>()
+                    };
+                    mean(a).total_cmp(&mean(b)).then(a.cmp(&b))
+                })
+                .expect("cluster is non-empty")
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_reduction_needed_returns_all() {
+        let pts = vec![vec![0.0, 0.0], vec![1.0, 1.0]];
+        assert_eq!(reduce_to(&pts, &[1.0, 1.0], 5), vec![0, 1]);
+    }
+
+    #[test]
+    fn merges_tight_groups_first() {
+        // Two tight pairs far apart; reducing to 2 must keep one from each.
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+        ];
+        let reps = reduce_to(&pts, &[10.0, 10.0], 2);
+        assert_eq!(reps.len(), 2);
+        let has_low = reps.iter().any(|&i| i <= 1);
+        let has_high = reps.iter().any(|&i| i >= 2);
+        assert!(has_low && has_high, "representatives {reps:?} must span both groups");
+    }
+
+    #[test]
+    fn reduction_to_one_picks_medoid() {
+        let pts = vec![vec![0.0], vec![1.0], vec![2.0]];
+        // Medoid of {0,1,2} on a line is the middle point.
+        assert_eq!(reduce_to(&pts, &[1.0], 1), vec![1]);
+    }
+
+    #[test]
+    fn normalisation_affects_clustering() {
+        // With range [1, 100], the y-spread is negligible after
+        // normalisation, so the x-close pairs cluster.
+        let pts = vec![
+            vec![0.0, 0.0],
+            vec![0.0, 50.0],
+            vec![1.0, 0.0],
+            vec![1.0, 50.0],
+        ];
+        let reps = reduce_to(&pts, &[1.0, 1000.0], 2);
+        assert_eq!(reps.len(), 2);
+        let xs: Vec<f64> = reps.iter().map(|&i| pts[i][0]).collect();
+        assert!(xs.contains(&0.0) && xs.contains(&1.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "zero representatives")]
+    fn zero_target_panics() {
+        let _ = reduce_to(&[vec![0.0]], &[1.0], 0);
+    }
+}

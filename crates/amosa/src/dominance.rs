@@ -1,0 +1,150 @@
+//! Pareto-domination algebra (minimisation convention).
+
+/// Relation between two objective vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Dominance {
+    /// The first vector dominates the second.
+    Dominates,
+    /// The second vector dominates the first.
+    DominatedBy,
+    /// Neither dominates (including exact ties).
+    NonDominated,
+}
+
+/// Compares objective vectors `a` and `b` under minimisation.
+///
+/// `a` dominates `b` iff `a[i] <= b[i]` for all `i` and `a[i] < b[i]` for
+/// at least one `i`.
+///
+/// # Panics
+///
+/// Panics if the vectors have different lengths.
+#[must_use]
+pub fn compare(a: &[f64], b: &[f64]) -> Dominance {
+    assert_eq!(a.len(), b.len(), "objective vectors must have equal length");
+    let (mut a_better, mut b_better) = (false, false);
+    for (&ai, &bi) in a.iter().zip(b) {
+        if ai < bi {
+            a_better = true;
+        } else if bi < ai {
+            b_better = true;
+        }
+    }
+    match (a_better, b_better) {
+        (true, false) => Dominance::Dominates,
+        (false, true) => Dominance::DominatedBy,
+        _ => Dominance::NonDominated,
+    }
+}
+
+/// `true` iff `a` dominates `b`.
+#[must_use]
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    compare(a, b) == Dominance::Dominates
+}
+
+/// *Amount of domination* Δdom between two objective vectors
+/// (AMOSA Eq. 2): the product over differing objectives of
+/// `|a_i - b_i| / R_i`, where `R_i` is the per-objective range used for
+/// normalisation.
+///
+/// Ranges of zero (degenerate objective) are treated as 1 so the product
+/// stays finite.
+#[must_use]
+pub fn amount_of_domination(a: &[f64], b: &[f64], ranges: &[f64]) -> f64 {
+    debug_assert_eq!(a.len(), b.len());
+    debug_assert_eq!(a.len(), ranges.len());
+    let mut product = 1.0;
+    for i in 0..a.len() {
+        let diff = (a[i] - b[i]).abs();
+        if diff > 0.0 {
+            let range = if ranges[i] > 0.0 { ranges[i] } else { 1.0 };
+            product *= diff / range;
+        }
+    }
+    product
+}
+
+/// Filters `points` (objective vectors with payload indices) down to the
+/// non-dominated subset, preserving order. Exact duplicates are all kept
+/// (they do not dominate each other).
+#[must_use]
+pub fn non_dominated_indices(objectives: &[Vec<f64>]) -> Vec<usize> {
+    (0..objectives.len())
+        .filter(|&i| {
+            objectives
+                .iter()
+                .enumerate()
+                .all(|(j, other)| j == i || !dominates(other, &objectives[i]))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strict_domination() {
+        assert_eq!(compare(&[1.0, 1.0], &[2.0, 2.0]), Dominance::Dominates);
+        assert_eq!(compare(&[2.0, 2.0], &[1.0, 1.0]), Dominance::DominatedBy);
+    }
+
+    #[test]
+    fn weak_domination_counts() {
+        assert_eq!(compare(&[1.0, 2.0], &[1.0, 3.0]), Dominance::Dominates);
+    }
+
+    #[test]
+    fn trade_off_is_non_dominated() {
+        assert_eq!(compare(&[1.0, 3.0], &[3.0, 1.0]), Dominance::NonDominated);
+        assert_eq!(compare(&[1.0, 1.0], &[1.0, 1.0]), Dominance::NonDominated);
+    }
+
+    #[test]
+    fn comparison_is_antisymmetric() {
+        let a = [0.3, 0.9, 2.0];
+        let b = [0.4, 1.0, 2.5];
+        assert_eq!(compare(&a, &b), Dominance::Dominates);
+        assert_eq!(compare(&b, &a), Dominance::DominatedBy);
+    }
+
+    #[test]
+    fn amount_of_domination_normalises_by_range() {
+        let a = [0.0, 0.0];
+        let b = [1.0, 2.0];
+        let delta = amount_of_domination(&a, &b, &[2.0, 4.0]);
+        assert!((delta - 0.25).abs() < 1e-12); // (1/2) * (2/4)
+    }
+
+    #[test]
+    fn amount_of_domination_skips_equal_objectives() {
+        let a = [1.0, 5.0];
+        let b = [1.0, 7.0];
+        let delta = amount_of_domination(&a, &b, &[10.0, 10.0]);
+        assert!((delta - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_range_is_safe() {
+        let delta = amount_of_domination(&[0.0], &[3.0], &[0.0]);
+        assert!((delta - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn non_dominated_filter_keeps_front() {
+        let pts = vec![
+            vec![1.0, 4.0], // front
+            vec![2.0, 2.0], // front
+            vec![3.0, 3.0], // dominated by [2,2]
+            vec![4.0, 1.0], // front
+        ];
+        assert_eq!(non_dominated_indices(&pts), vec![0, 1, 3]);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn compare_rejects_mismatched_lengths() {
+        let _ = compare(&[1.0], &[1.0, 2.0]);
+    }
+}

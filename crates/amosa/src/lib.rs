@@ -1,0 +1,64 @@
+//! AMOSA — **A**rchived **M**ulti-**O**bjective **S**imulated
+//! **A**nnealing (Bandyopadhyay, Saha, Maulik & Deb, IEEE Transactions on
+//! Evolutionary Computation, 2008).
+//!
+//! AMOSA is the offline search engine of the AdEle paper: it explores the
+//! space of per-router elevator subsets and returns an archive of
+//! Pareto-optimal trade-offs between elevator-utilisation variance and
+//! average inter-layer distance. This crate implements the algorithm
+//! generically over any [`Problem`] with any number of minimised
+//! objectives:
+//!
+//! * domination algebra with *amount of domination* (Δdom) acceptance
+//!   ([`dominance`]),
+//! * a size-limited non-dominated [`archive::Archive`] with soft (`SL`)
+//!   and hard (`HL`) limits,
+//! * single-linkage agglomerative [`clustering`] to shrink the archive,
+//! * the annealing loop itself ([`Amosa`]), with an observer hook used by
+//!   the paper-reproduction harness to record explored solutions (Fig. 3).
+//!
+//! # Example
+//!
+//! ```
+//! use amosa::{Amosa, AmosaParams, Problem};
+//! use rand::Rng;
+//!
+//! /// Minimise (x², (x-2)²) over x ∈ [-5, 5] — the Schaffer problem.
+//! struct Schaffer;
+//! impl Problem for Schaffer {
+//!     type Solution = f64;
+//!     fn objectives(&self) -> usize { 2 }
+//!     fn random_solution(&self, rng: &mut dyn rand::RngCore) -> f64 {
+//!         rng.gen_range(-5.0..5.0)
+//!     }
+//!     fn neighbour(&self, x: &f64, rng: &mut dyn rand::RngCore) -> f64 {
+//!         (x + rng.gen_range(-0.3..0.3)).clamp(-5.0, 5.0)
+//!     }
+//!     fn evaluate(&self, x: &f64) -> Vec<f64> {
+//!         vec![x * x, (x - 2.0) * (x - 2.0)]
+//!     }
+//! }
+//!
+//! let result = Amosa::new(Schaffer, AmosaParams::fast(7)).run();
+//! assert!(!result.archive.is_empty());
+//! // Every archived x lies near the true Pareto set [0, 2].
+//! for point in &result.archive {
+//!     assert!((-0.5..2.5).contains(&point.solution));
+//! }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod archive;
+pub mod clustering;
+pub mod dominance;
+
+mod annealer;
+mod params;
+mod problem;
+
+pub use annealer::{Amosa, AmosaResult, Explored};
+pub use archive::ParetoPoint;
+pub use params::AmosaParams;
+pub use problem::Problem;

@@ -1,0 +1,118 @@
+/// Tuning parameters of an AMOSA run.
+///
+/// Defaults follow the AMOSA paper's recommended settings, scaled to the
+/// elevator-subset problem sizes of the AdEle reproduction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AmosaParams {
+    /// Archive hard limit `HL`: the number of solutions returned.
+    pub hard_limit: usize,
+    /// Archive soft limit `SL ≥ HL`: clustering triggers past this size.
+    pub soft_limit: usize,
+    /// Initial temperature.
+    pub t_max: f64,
+    /// Final temperature (the run stops when `temp < t_min`).
+    pub t_min: f64,
+    /// Geometric cooling factor `α ∈ (0, 1)`.
+    pub alpha: f64,
+    /// Perturbations evaluated at each temperature.
+    pub iterations_per_temperature: usize,
+    /// Random solutions used to seed the archive (`γ·SL` in the paper,
+    /// with `γ = 2` by default).
+    pub initial_solutions: usize,
+    /// RNG seed; identical seeds reproduce runs exactly.
+    pub seed: u64,
+}
+
+impl AmosaParams {
+    /// Paper-faithful defaults: `HL=100`, `SL=200`, geometric cooling from
+    /// 100 to 1e-4 with α=0.9 and 100 iterations per temperature.
+    #[must_use]
+    pub fn paper_default(seed: u64) -> Self {
+        Self {
+            hard_limit: 100,
+            soft_limit: 200,
+            t_max: 100.0,
+            t_min: 1e-4,
+            alpha: 0.9,
+            iterations_per_temperature: 100,
+            initial_solutions: 400,
+            seed,
+        }
+    }
+
+    /// A small, fast configuration for tests and doc examples.
+    #[must_use]
+    pub fn fast(seed: u64) -> Self {
+        Self {
+            hard_limit: 20,
+            soft_limit: 40,
+            t_max: 10.0,
+            t_min: 1e-2,
+            alpha: 0.8,
+            iterations_per_temperature: 30,
+            initial_solutions: 40,
+            seed,
+        }
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid limits, temperatures, or cooling factor. Called by
+    /// [`crate::Amosa::new`]; exposed for builders that assemble parameters
+    /// programmatically.
+    pub fn validate(&self) {
+        assert!(
+            (1..=self.soft_limit).contains(&self.hard_limit),
+            "1 <= HL <= SL violated"
+        );
+        assert!(self.t_max > self.t_min && self.t_min > 0.0, "need t_max > t_min > 0");
+        assert!((0.0..1.0).contains(&self.alpha) && self.alpha > 0.0, "alpha in (0,1)");
+        assert!(self.iterations_per_temperature >= 1);
+        assert!(self.initial_solutions >= 1);
+    }
+
+    /// Total number of annealing perturbations this configuration performs.
+    #[must_use]
+    pub fn total_iterations(&self) -> usize {
+        let steps = ((self.t_min / self.t_max).ln() / self.alpha.ln()).ceil() as usize;
+        steps * self.iterations_per_temperature
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        AmosaParams::paper_default(1).validate();
+        AmosaParams::fast(1).validate();
+    }
+
+    #[test]
+    fn total_iterations_counts_cooling_steps() {
+        let p = AmosaParams {
+            hard_limit: 1,
+            soft_limit: 1,
+            t_max: 100.0,
+            t_min: 1.0,
+            alpha: 0.1,
+            iterations_per_temperature: 10,
+            initial_solutions: 1,
+            seed: 0,
+        };
+        // 100 -> 10 -> 1(still >= t_min? loop runs while temp >= t_min):
+        // ceil(ln(0.01)/ln(0.1)) = 2 steps.
+        assert_eq!(p.total_iterations(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha in (0,1)")]
+    fn rejects_bad_alpha() {
+        let mut p = AmosaParams::fast(0);
+        p.alpha = 1.0;
+        p.validate();
+    }
+}

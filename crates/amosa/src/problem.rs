@@ -1,0 +1,25 @@
+/// A multi-objective minimisation problem searchable by AMOSA.
+///
+/// All objectives are **minimised**; negate any objective you want
+/// maximised.
+pub trait Problem {
+    /// Candidate solution representation.
+    type Solution: Clone;
+
+    /// Number of objectives (must stay constant and be at least 2 for the
+    /// search to be meaningfully multi-objective; 1 is accepted and
+    /// degenerates to plain simulated annealing).
+    fn objectives(&self) -> usize;
+
+    /// Draws a fresh random solution (archive initialisation).
+    fn random_solution(&self, rng: &mut dyn rand::RngCore) -> Self::Solution;
+
+    /// Perturbs `current` into a neighbouring solution.
+    fn neighbour(&self, current: &Self::Solution, rng: &mut dyn rand::RngCore)
+        -> Self::Solution;
+
+    /// Evaluates all objectives for `solution`.
+    ///
+    /// The returned vector's length must equal [`Problem::objectives`].
+    fn evaluate(&self, solution: &Self::Solution) -> Vec<f64>;
+}

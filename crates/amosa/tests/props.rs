@@ -1,0 +1,101 @@
+//! Property tests for the AMOSA crate: domination algebra, archive
+//! invariants, and clustering bounds.
+
+use amosa::archive::{Archive, ParetoPoint};
+use amosa::clustering::reduce_to;
+use amosa::dominance::{self, Dominance};
+use proptest::prelude::*;
+
+fn arb_objs(len: usize) -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.0f64..100.0, len)
+}
+
+proptest! {
+    #[test]
+    fn dominance_is_antisymmetric(a in arb_objs(3), b in arb_objs(3)) {
+        match dominance::compare(&a, &b) {
+            Dominance::Dominates => {
+                prop_assert_eq!(dominance::compare(&b, &a), Dominance::DominatedBy);
+            }
+            Dominance::DominatedBy => {
+                prop_assert_eq!(dominance::compare(&b, &a), Dominance::Dominates);
+            }
+            Dominance::NonDominated => {
+                prop_assert_eq!(dominance::compare(&b, &a), Dominance::NonDominated);
+            }
+        }
+    }
+
+    #[test]
+    fn dominance_is_irreflexive(a in arb_objs(4)) {
+        prop_assert_eq!(dominance::compare(&a, &a), Dominance::NonDominated);
+    }
+
+    #[test]
+    fn dominance_is_transitive(a in arb_objs(2), b in arb_objs(2), c in arb_objs(2)) {
+        if dominance::dominates(&a, &b) && dominance::dominates(&b, &c) {
+            prop_assert!(dominance::dominates(&a, &c));
+        }
+    }
+
+    #[test]
+    fn amount_of_domination_is_symmetric_and_nonnegative(
+        a in arb_objs(3),
+        b in arb_objs(3),
+        ranges in prop::collection::vec(0.1f64..50.0, 3),
+    ) {
+        let ab = dominance::amount_of_domination(&a, &b, &ranges);
+        let ba = dominance::amount_of_domination(&b, &a, &ranges);
+        prop_assert!(ab >= 0.0);
+        prop_assert!((ab - ba).abs() < 1e-9);
+    }
+
+    /// The non-dominated filter returns exactly the points no other point
+    /// dominates.
+    #[test]
+    fn non_dominated_filter_is_exact(points in prop::collection::vec(arb_objs(2), 1..30)) {
+        let front = dominance::non_dominated_indices(&points);
+        for (i, p) in points.iter().enumerate() {
+            let dominated = points
+                .iter()
+                .enumerate()
+                .any(|(j, q)| j != i && dominance::dominates(q, p));
+            prop_assert_eq!(front.contains(&i), !dominated);
+        }
+    }
+
+    /// Random insertion sequences never leave a dominated pair in the
+    /// archive and never exceed the soft limit after insertion handling.
+    #[test]
+    fn archive_invariants_hold_under_random_insertions(
+        points in prop::collection::vec(arb_objs(2), 1..60),
+    ) {
+        let mut archive: Archive<usize> = Archive::new(12, 6);
+        for (i, objectives) in points.into_iter().enumerate() {
+            if archive.dominators_of(&objectives).is_empty() {
+                archive.insert(ParetoPoint { solution: i, objectives });
+            }
+            prop_assert!(archive.invariant_holds());
+            prop_assert!(archive.len() <= 12);
+        }
+        archive.shrink_to_hard_limit();
+        prop_assert!(archive.len() <= 6);
+        prop_assert!(archive.invariant_holds());
+    }
+
+    /// Clustering returns the requested count of distinct indices.
+    #[test]
+    fn clustering_returns_distinct_representatives(
+        points in prop::collection::vec(arb_objs(2), 1..25),
+        target in 1usize..10,
+    ) {
+        let ranges = vec![100.0, 100.0];
+        let reps = reduce_to(&points, &ranges, target);
+        prop_assert_eq!(reps.len(), target.min(points.len()));
+        let mut sorted = reps.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), reps.len(), "representatives must be distinct");
+        prop_assert!(reps.iter().all(|&i| i < points.len()));
+    }
+}

@@ -1,0 +1,55 @@
+//! Micro-benchmarks of the offline stage: objective evaluation throughput
+//! (the inner loop of AMOSA) and a complete small annealing run.
+
+use adele::offline::{ElevatorSubsetProblem, ObjectiveEvaluator, SubsetAssignment};
+use amosa::{Amosa, AmosaParams, Problem};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_topology::placement::Placement;
+use std::hint::black_box;
+
+fn bench_objectives(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amosa_objectives");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    for placement in [Placement::Ps1, Placement::Pm] {
+        let (mesh, elevators) = placement.instantiate();
+        let evaluator = ObjectiveEvaluator::uniform(&mesh, &elevators);
+        let assignment = SubsetAssignment::nearest(&mesh, &elevators);
+        group.bench_with_input(
+            BenchmarkId::new("evaluate", placement.name()),
+            &(),
+            |b, ()| b.iter(|| black_box(evaluator.evaluate(black_box(&assignment)))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_full_search(c: &mut Criterion) {
+    let mut group = c.benchmark_group("amosa_search");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("fast_schedule_ps1", |b| {
+        let (mesh, elevators) = Placement::Ps1.instantiate();
+        b.iter(|| {
+            let problem = ElevatorSubsetProblem::new(&mesh, &elevators);
+            let result = Amosa::new(problem, AmosaParams::fast(7)).run();
+            black_box(result.archive.len())
+        });
+    });
+    group.finish();
+}
+
+fn bench_neighbour_moves(c: &mut Criterion) {
+    use rand::{rngs::StdRng, SeedableRng};
+    let (mesh, elevators) = Placement::Pm.instantiate();
+    let problem = ElevatorSubsetProblem::new(&mesh, &elevators);
+    let mut rng = StdRng::seed_from_u64(1);
+    let solution = problem.random_solution(&mut rng);
+    c.bench_function("amosa_neighbour_pm", |b| {
+        b.iter(|| black_box(problem.neighbour(black_box(&solution), &mut rng)))
+    });
+}
+
+criterion_group!(benches, bench_objectives, bench_full_search, bench_neighbour_moves);
+criterion_main!(benches);

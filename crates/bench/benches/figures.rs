@@ -1,0 +1,124 @@
+//! One Criterion bench per paper artefact: miniature versions of every
+//! figure/table pipeline, so `cargo bench` exercises each experiment's
+//! code path end to end. The full-size harnesses (with the paper's
+//! parameters and printed tables) are the `fig*`/`table*` binaries in
+//! `src/bin/`.
+
+use adele::offline::{OfflineOptimizer, SelectionStrategy};
+use adele_bench::{make_selector, Policy, Workload};
+use amosa::AmosaParams;
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_area::table3;
+use noc_sim::harness::run_once;
+use noc_sim::SimConfig;
+use noc_topology::placement::Placement;
+use noc_traffic::apps::{AppKind, AppTraffic};
+use std::hint::black_box;
+
+/// A small shared config: PS1 with abbreviated phases.
+fn mini_config(seed: u64) -> SimConfig {
+    let (mesh, elevators) = Placement::Ps1.instantiate();
+    SimConfig::new(mesh, elevators)
+        .with_phases(100, 400, 3_000)
+        .with_seed(seed)
+}
+
+fn mini_run(policy: Policy, workload: Workload, rate: f64) -> noc_sim::RunSummary {
+    let (mesh, elevators) = Placement::Ps1.instantiate();
+    let assignment = adele::offline::SubsetAssignment::full(&mesh, &elevators);
+    run_once(
+        mini_config(3),
+        workload.build(&mesh, rate, 5),
+        make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
+    )
+}
+
+fn bench_fig2b(c: &mut Criterion) {
+    c.bench_function("fig2b_router_loads", |b| {
+        b.iter(|| black_box(mini_run(Policy::ElevFirst, Workload::Uniform, 0.003).router_flits))
+    });
+}
+
+fn bench_fig3_table2(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3_table2");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("offline_front", |b| {
+        let (mesh, elevators) = Placement::Ps1.instantiate();
+        b.iter(|| {
+            let result = OfflineOptimizer::new(mesh, elevators.clone())
+                .with_params(AmosaParams::fast(3))
+                .optimize();
+            black_box(result.select(SelectionStrategy::LatencyLeaning).utilization_variance)
+        })
+    });
+    group.finish();
+}
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for policy in Policy::MAIN {
+        group.bench_function(format!("sweep_point_{}", policy.name()), |b| {
+            b.iter(|| black_box(mini_run(policy, Workload::Uniform, 0.004).avg_latency))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_elevator_loads", |b| {
+        b.iter(|| {
+            let summary = mini_run(Policy::Adele, Workload::Uniform, 0.004);
+            black_box(summary.elevator_packets)
+        })
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    c.bench_function("fig6_energy_point", |b| {
+        b.iter(|| black_box(mini_run(Policy::Adele, Workload::Uniform, 0.001).energy_per_flit_nj))
+    });
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    group.bench_function("app_point_canneal", |b| {
+        let (mesh, elevators) = Placement::Ps1.instantiate();
+        let assignment = adele::offline::SubsetAssignment::full(&mesh, &elevators);
+        b.iter(|| {
+            let traffic = AppTraffic::new(AppKind::Canneal, &mesh, 0.0035, 9);
+            let summary = run_once(
+                mini_config(9),
+                Box::new(traffic),
+                make_selector(Policy::Adele, &mesh, &elevators, Some(&assignment), 7),
+            );
+            black_box(summary.avg_latency)
+        })
+    });
+    group.finish();
+}
+
+fn bench_table3(c: &mut Criterion) {
+    c.bench_function("table3_area_model", |b| {
+        b.iter(|| black_box(table3(black_box(64), black_box(4))))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_fig2b,
+    bench_fig3_table2,
+    bench_fig4,
+    bench_fig5,
+    bench_fig6,
+    bench_fig7,
+    bench_table3
+);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! Micro-benchmarks of the per-packet elevator-selection decision for all
+//! policies — the operation a router performs on every inter-layer packet
+//! (relevant to Table III's pipeline-cycle comparison).
+
+use adele::offline::SubsetAssignment;
+use adele::online::{
+    AdeleSelector, CdaSelector, ElevatorFirstSelector, ElevatorSelector, SelectionContext,
+    ZeroProbe,
+};
+use adele::AdeleConfig;
+use criterion::{criterion_group, criterion_main, Criterion};
+use noc_topology::placement::Placement;
+use noc_topology::Coord;
+use std::hint::black_box;
+
+fn bench_selectors(c: &mut Criterion) {
+    let placement = Placement::Pm;
+    let (mesh, elevators) = placement.instantiate();
+    let assignment = SubsetAssignment::full(&mesh, &elevators);
+    let probe = ZeroProbe::new(mesh);
+    let src = Coord::new(1, 2, 0);
+    let dst = Coord::new(6, 5, 3);
+    let ctx = SelectionContext {
+        src_id: mesh.node_id(src).unwrap(),
+        src,
+        dst_id: mesh.node_id(dst).unwrap(),
+        dst,
+        elevators: &elevators,
+        probe: &probe,
+        cycle: 0,
+    };
+
+    let mut group = c.benchmark_group("selector_decision_pm");
+    let mut ef = ElevatorFirstSelector::new(&mesh, &elevators);
+    group.bench_function("elev_first", |b| b.iter(|| black_box(ef.select(&ctx))));
+
+    let mut cda = CdaSelector::new();
+    group.bench_function("cda", |b| b.iter(|| black_box(cda.select(&ctx))));
+
+    let mut adele = AdeleSelector::from_assignment(
+        &mesh,
+        &elevators,
+        &assignment,
+        AdeleConfig::paper_default(),
+        1,
+    )
+    .unwrap();
+    group.bench_function("adele", |b| b.iter(|| black_box(adele.select(&ctx))));
+
+    let mut rr = AdeleSelector::from_assignment(
+        &mesh,
+        &elevators,
+        &assignment,
+        AdeleConfig::rr_only(),
+        1,
+    )
+    .unwrap();
+    group.bench_function("adele_rr", |b| b.iter(|| black_box(rr.select(&ctx))));
+    group.finish();
+}
+
+criterion_group!(benches, bench_selectors);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the cycle-level simulator core: cycles/second on
+//! the paper's two network sizes at moderate load.
+
+use adele::online::ElevatorFirstSelector;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_sim::{SimConfig, Simulator};
+use noc_topology::placement::Placement;
+use noc_traffic::SyntheticTraffic;
+
+fn bench_network_step(c: &mut Criterion) {
+    let mut group = c.benchmark_group("sim_cycle");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_secs(1));
+    group.sample_size(10);
+    for placement in [Placement::Ps1, Placement::Pm] {
+        group.bench_with_input(
+            BenchmarkId::new("steps_1000", placement.name()),
+            &placement,
+            |b, &placement| {
+                b.iter_batched(
+                    || {
+                        let (mesh, elevators) = placement.instantiate();
+                        let traffic = SyntheticTraffic::uniform(&mesh, 0.003, 1);
+                        let selector = ElevatorFirstSelector::new(&mesh, &elevators);
+                        let config = SimConfig::new(mesh, elevators).with_seed(1);
+                        let mut sim =
+                            Simulator::new(config, Box::new(traffic), Box::new(selector));
+                        // Pre-warm so buffers carry realistic occupancy.
+                        for _ in 0..500 {
+                            sim.step();
+                        }
+                        sim
+                    },
+                    |mut sim| {
+                        for _ in 0..1_000 {
+                            sim.step();
+                        }
+                        sim.cycle()
+                    },
+                    criterion::BatchSize::LargeInput,
+                );
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_network_step);
+criterion_main!(benches);

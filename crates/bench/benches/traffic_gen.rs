@@ -1,0 +1,60 @@
+//! Micro-benchmarks of traffic generation: synthetic patterns and the
+//! application models, measured as whole-network cycles of injection
+//! decisions.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use noc_topology::Mesh3d;
+use noc_traffic::apps::{AppKind, AppTraffic};
+use noc_traffic::{SyntheticTraffic, TrafficSource};
+use std::hint::black_box;
+
+fn whole_network_cycle(source: &mut dyn TrafficSource, mesh: &Mesh3d, cycle: u64) -> usize {
+    let mut injected = 0;
+    for node in mesh.node_ids() {
+        if source.maybe_inject(node, cycle).is_some() {
+            injected += 1;
+        }
+    }
+    injected
+}
+
+fn bench_synthetic(c: &mut Criterion) {
+    let mesh = Mesh3d::new(8, 8, 4).unwrap();
+    let mut group = c.benchmark_group("traffic_gen");
+    for (name, mut source) in [
+        ("uniform", SyntheticTraffic::uniform(&mesh, 0.01, 1)),
+        ("shuffle", SyntheticTraffic::shuffle(&mesh, 0.01, 1)),
+    ] {
+        let mut cycle = 0u64;
+        group.bench_with_input(BenchmarkId::new("network_cycle", name), &(), |b, ()| {
+            b.iter(|| {
+                cycle += 1;
+                black_box(whole_network_cycle(&mut source, &mesh, cycle))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let mesh = Mesh3d::new(4, 4, 4).unwrap();
+    let mut group = c.benchmark_group("traffic_gen_apps");
+    for kind in [AppKind::Canneal, AppKind::Fft, AppKind::Fluidanimate] {
+        let mut source = AppTraffic::new(kind, &mesh, 0.01, 1);
+        let mut cycle = 0u64;
+        group.bench_with_input(
+            BenchmarkId::new("network_cycle", kind.name()),
+            &(),
+            |b, ()| {
+                b.iter(|| {
+                    cycle += 1;
+                    black_box(whole_network_cycle(&mut source, &mesh, cycle))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_synthetic, bench_apps);
+criterion_main!(benches);

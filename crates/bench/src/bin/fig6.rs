@@ -1,0 +1,65 @@
+//! Fig. 6 — energy per flit for Elevator-First, CDA and AdEle, normalised
+//! to Elevator-First, at low (1e-3) and high (near-saturation) injection
+//! rates for each elevator placement.
+//!
+//! The paper's takeaways: at low rates AdEle is the *most* energy
+//! efficient (minimal-path override); at high rates it pays a small
+//! (<10 %) premium over CDA for taking non-minimal paths that relieve
+//! congestion.
+
+use adele_bench::{
+    dump_json, f2, f4, fig6_rates, make_selector, offline_assignment, print_table, sim_config,
+    Policy, Workload,
+};
+use noc_sim::harness::run_once;
+use noc_topology::placement::Placement;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Cell {
+    placement: String,
+    rate: f64,
+    policy: String,
+    energy_per_flit_nj: f64,
+    normalized: f64,
+}
+
+fn main() {
+    let mut cells = Vec::new();
+    for (regime, pick_rate) in [("Low injection rate", 0usize), ("High injection rate", 1)] {
+        println!("\n# Fig. 6({}): energy/flit normalised to ElevFirst — {regime}",
+            if pick_rate == 0 { "a" } else { "b" });
+        let mut rows = Vec::new();
+        for placement in Placement::ALL {
+            let (mesh, elevators) = placement.instantiate();
+            let assignment = offline_assignment(placement);
+            let rates = fig6_rates(placement);
+            let rate = if pick_rate == 0 { rates.0 } else { rates.1 };
+            let mut energies = Vec::new();
+            for policy in Policy::MAIN {
+                let summary = run_once(
+                    sim_config(placement, 51),
+                    Workload::Uniform.build(&mesh, rate, 999),
+                    make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
+                );
+                energies.push((policy.name().to_string(), summary.energy_per_flit_nj));
+            }
+            let base = energies[0].1.max(1e-12);
+            let mut row = vec![placement.name().to_string(), f4(rate)];
+            for (policy, e) in &energies {
+                row.push(f2(e / base));
+                cells.push(Cell {
+                    placement: placement.name().to_string(),
+                    rate,
+                    policy: policy.clone(),
+                    energy_per_flit_nj: *e,
+                    normalized: e / base,
+                });
+            }
+            rows.push(row);
+        }
+        print_table(&["placement", "rate", "ElevFirst", "CDA", "AdEle"], &rows);
+    }
+    println!("\npaper: AdEle lowest at low rates (minimal-path override); ≤9.7% over CDA at high rates.");
+    dump_json("fig6", &cells);
+}

@@ -1,0 +1,102 @@
+//! Fig. 7 — real-application traffic: per-application network latency
+//! ((a)–(c), normalised to Elevator-First) and energy averaged over all
+//! applications ((d)), for PS1–PS3.
+//!
+//! The paper extracts SPLASH-2/PARSEC traces with Gem5 (64-core limit,
+//! hence no PM); we drive the same experiment with the synthetic
+//! application models of `noc-traffic::apps` (substitution documented in
+//! DESIGN.md).
+
+use adele_bench::{
+    app_traffic, dump_json, f2, make_selector, offline_assignment, print_table, sim_config,
+    Policy,
+};
+use noc_sim::harness::run_once;
+use noc_topology::placement::Placement;
+use noc_traffic::apps::AppKind;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct AppCell {
+    placement: String,
+    app: String,
+    policy: String,
+    latency: f64,
+    normalized_latency: f64,
+    energy_per_flit_nj: f64,
+}
+
+fn main() {
+    let placements = [Placement::Ps1, Placement::Ps2, Placement::Ps3];
+    let mut cells: Vec<AppCell> = Vec::new();
+
+    for placement in placements {
+        let (mesh, elevators) = placement.instantiate();
+        let assignment = offline_assignment(placement);
+        println!("\n# Fig. 7: {} — latency normalised to ElevFirst (absolute cycles in parentheses)", placement.name());
+        let mut rows = Vec::new();
+        let mut improvements = Vec::new();
+        for app in AppKind::ALL {
+            let mut latencies = Vec::new();
+            for policy in Policy::MAIN {
+                let summary = run_once(
+                    sim_config(placement, 61),
+                    app_traffic(app, placement, &mesh, 4321),
+                    make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
+                );
+                latencies.push((policy.name().to_string(), summary.avg_latency, summary.energy_per_flit_nj));
+            }
+            let base = latencies[0].1.max(1e-12);
+            let mut row = vec![app.name().to_string()];
+            for (policy, lat, energy) in &latencies {
+                row.push(format!("{} ({})", f2(lat / base), f2(*lat)));
+                cells.push(AppCell {
+                    placement: placement.name().to_string(),
+                    app: app.name().to_string(),
+                    policy: policy.clone(),
+                    latency: *lat,
+                    normalized_latency: lat / base,
+                    energy_per_flit_nj: *energy,
+                });
+            }
+            // AdEle improvement vs CDA for the average row.
+            let cda = latencies[1].1;
+            let adele = latencies[2].1;
+            improvements.push(1.0 - adele / cda.max(1e-12));
+            rows.push(row);
+        }
+        let avg: f64 = improvements.iter().sum::<f64>() / improvements.len() as f64;
+        print_table(&["app", "ElevFirst", "CDA", "AdEle"], &rows);
+        println!(
+            "AdEle vs CDA average latency improvement on {}: {:.1}% (paper: 10.9% avg over PS1–PS3, up to 14.6%)",
+            placement.name(),
+            avg * 100.0
+        );
+    }
+
+    // ---- Fig. 7(d): energy averaged over apps, normalised to ElevFirst. ----
+    println!("\n# Fig. 7(d): energy/flit averaged over all applications, normalised to ElevFirst");
+    let mut rows = Vec::new();
+    for placement in placements {
+        let name = placement.name().to_string();
+        let mean = |policy: &str| -> f64 {
+            let vals: Vec<f64> = cells
+                .iter()
+                .filter(|c| c.placement == name && c.policy == policy)
+                .map(|c| c.energy_per_flit_nj)
+                .collect();
+            vals.iter().sum::<f64>() / vals.len().max(1) as f64
+        };
+        let base = mean("ElevFirst").max(1e-12);
+        rows.push(vec![
+            name.clone(),
+            f2(1.0),
+            f2(mean("CDA") / base),
+            f2(mean("AdEle") / base),
+        ]);
+    }
+    print_table(&["placement", "ElevFirst", "CDA", "AdEle"], &rows);
+    println!("paper: AdEle has 6.9%/6.2%/4.8% energy overhead vs CDA on PS1/PS2/PS3.");
+
+    dump_json("fig7", &cells);
+}

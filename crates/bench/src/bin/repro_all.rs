@@ -1,0 +1,45 @@
+//! Runs every paper-reproduction harness in sequence (Fig. 2b, Fig. 3 +
+//! Table II, Fig. 4, Fig. 5, Fig. 6, Fig. 7, Table III), streaming their
+//! stdout and leaving JSON results in `results/`.
+//!
+//! Respects `ADELE_QUICK=1` like the individual binaries.
+
+use std::process::Command;
+
+fn main() {
+    let exe = std::env::current_exe().expect("own path");
+    let dir = exe.parent().expect("bin dir");
+    let experiments = [
+        "fig2b",
+        "fig3_table2",
+        "fig4",
+        "fig5",
+        "fig6",
+        "fig7",
+        "table3",
+        "ablation",
+    ];
+    let mut failed = Vec::new();
+    for name in experiments {
+        println!("\n================= {name} =================");
+        let path = dir.join(name);
+        let status = Command::new(&path).status();
+        match status {
+            Ok(s) if s.success() => {}
+            Ok(s) => {
+                eprintln!("{name} exited with {s}");
+                failed.push(name);
+            }
+            Err(e) => {
+                eprintln!("failed to launch {name} ({e}); build it with `cargo build --release -p adele-bench --bins`");
+                failed.push(name);
+            }
+        }
+    }
+    if failed.is_empty() {
+        println!("\nAll experiments completed. JSON results in results/.");
+    } else {
+        eprintln!("\nFailed experiments: {failed:?}");
+        std::process::exit(1);
+    }
+}

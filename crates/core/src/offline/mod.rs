@@ -1,0 +1,15 @@
+//! AdEle's offline stage (paper Section III.B): search for one elevator
+//! subset per router that minimises elevator-utilisation variance (Eq. 1–3)
+//! and average inter-layer distance (Eq. 4–5) simultaneously, using AMOSA.
+
+mod objectives;
+mod optimizer;
+mod problem;
+mod subsets;
+
+pub use objectives::ObjectiveEvaluator;
+pub use optimizer::{
+    ExploredPoint, OfflineOptimizer, OfflineResult, SelectionStrategy, SolutionPoint,
+};
+pub use problem::ElevatorSubsetProblem;
+pub use subsets::SubsetAssignment;

@@ -1,0 +1,479 @@
+use crate::offline::{SolutionPoint, SubsetAssignment};
+use crate::online::{ElevatorSelector, SelectionContext, SourceFeedback};
+use crate::{AdeleConfig, AdeleError};
+use noc_topology::{ElevatorId, ElevatorSet, Mesh3d, NodeId};
+use rand::{rngs::StdRng, Rng, SeedableRng};
+
+/// Eq. 9: probability of skipping elevator `k` in the enhanced round-robin,
+/// given its smoothed cost `cost`, the subset's total cost `total_cost`,
+/// the subset size `|A_i|`, and the exploration floor `ξ`.
+///
+/// A zero total cost means no congestion information yet, in which case
+/// nothing is skipped. The returned probability always lies in
+/// `[0, 1 − ξ]`, guaranteeing every elevator keeps a chance to refresh its
+/// cost (the update-failure safeguard the paper motivates `ξ` with).
+#[must_use]
+pub fn skip_probability(cost: f64, total_cost: f64, subset_size: usize, xi: f64) -> f64 {
+    debug_assert!(subset_size >= 1);
+    if total_cost <= 0.0 {
+        return 0.0;
+    }
+    let n = subset_size as f64;
+    let relative = cost / total_cost; // Eq. 8
+    if relative >= 2.0 / n {
+        1.0 - xi
+    } else if relative >= 1.0 / n {
+        n * (relative - 1.0 / n) * (1.0 - xi)
+    } else {
+        0.0
+    }
+}
+
+/// Per-router online state: the offline subset, smoothed costs `C_k`
+/// (Eq. 7, indexed by elevator id so the minimal-path override can track
+/// out-of-subset elevators too) and the round-robin pointer.
+#[derive(Debug, Clone)]
+struct NodeState {
+    subset: Vec<ElevatorId>,
+    /// One cost per elevator of the full set; only entries for elevators
+    /// this router actually uses ever move away from zero.
+    costs: Vec<f64>,
+    rr: usize,
+    /// Whether the router is currently in minimal-path override mode
+    /// (subject to the re-entry hysteresis).
+    override_active: bool,
+}
+
+/// AdEle's online elevator selector (paper Section III.C).
+///
+/// Selection is an enhanced round-robin over the router's offline subset:
+/// the next elevator in sequence is *skipped* with probability
+/// [`skip_probability`] derived from its locally measured blocking cost.
+/// When every subset cost is below the low-traffic threshold, the selector
+/// switches to the elevator on the **minimal path** between source and
+/// destination (the Section III.A notion — chosen from the full elevator
+/// set) to save energy, falling back to the minimal-path elevator *within
+/// the subset* if the global one is itself congested.
+///
+/// With [`AdeleConfig::rr_only`] the same object degenerates to the
+/// "AdEle-RR" ablation of Fig. 4(d)/(h).
+#[derive(Debug, Clone)]
+pub struct AdeleSelector {
+    config: AdeleConfig,
+    nodes: Vec<NodeState>,
+    /// Bitmask of failed elevators (fault-tolerance extension; none fail
+    /// by default).
+    failed: u64,
+    rng: StdRng,
+}
+
+impl AdeleSelector {
+    /// Builds a selector from an explicit subset assignment.
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AdeleError`] if the assignment does not match the mesh
+    /// or elevator set.
+    pub fn from_assignment(
+        mesh: &Mesh3d,
+        elevators: &ElevatorSet,
+        assignment: &SubsetAssignment,
+        config: AdeleConfig,
+        seed: u64,
+    ) -> Result<Self, AdeleError> {
+        assignment.check_compatible(mesh, elevators)?;
+        config.validate();
+        let nodes = mesh
+            .node_ids()
+            .map(|id| {
+                let subset: Vec<ElevatorId> = assignment.subset(id).collect();
+                let costs = vec![0.0; elevators.len()];
+                NodeState { subset, costs, rr: 0, override_active: true }
+            })
+            .collect();
+        Ok(Self {
+            config,
+            nodes,
+            failed: 0,
+            rng: StdRng::seed_from_u64(seed),
+        })
+    }
+
+    /// Builds a selector from an offline Pareto pick with paper-default
+    /// configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solution's assignment does not match the mesh/elevator
+    /// set it was optimised for (a logic error in the calling pipeline).
+    #[must_use]
+    pub fn from_solution(
+        mesh: &Mesh3d,
+        elevators: &ElevatorSet,
+        solution: &SolutionPoint,
+        seed: u64,
+    ) -> Self {
+        Self::from_assignment(
+            mesh,
+            elevators,
+            &solution.assignment,
+            AdeleConfig::paper_default(),
+            seed,
+        )
+        .expect("offline solution matches its own topology")
+    }
+
+    /// Current smoothed cost `C_k` of `elevator` at `node`, if the elevator
+    /// exists in the set the selector was built for.
+    #[must_use]
+    pub fn cost(&self, node: NodeId, elevator: ElevatorId) -> Option<f64> {
+        self.nodes[node.index()].costs.get(elevator.index()).copied()
+    }
+
+    /// Marks an elevator failed/repaired (fault-tolerance extension noted
+    /// in the paper's conclusion). Failed elevators are excluded from every
+    /// subset; a router whose whole subset failed falls back to the nearest
+    /// surviving elevator.
+    pub fn set_elevator_failed(&mut self, elevator: ElevatorId, failed: bool) {
+        if failed {
+            self.failed |= 1 << elevator.index();
+        } else {
+            self.failed &= !(1 << elevator.index());
+        }
+    }
+
+    /// `true` if `elevator` is currently marked failed.
+    #[must_use]
+    pub fn is_failed(&self, elevator: ElevatorId) -> bool {
+        self.failed & (1 << elevator.index()) != 0
+    }
+
+    fn alive(&self, e: ElevatorId) -> bool {
+        self.failed & (1 << e.index()) == 0
+    }
+}
+
+impl ElevatorSelector for AdeleSelector {
+    fn select(&mut self, ctx: &SelectionContext<'_>) -> ElevatorId {
+        let failed = self.failed;
+        let state = &mut self.nodes[ctx.src_id.index()];
+        let alive_subset: Vec<ElevatorId> = state
+            .subset
+            .iter()
+            .copied()
+            .filter(|e| failed & (1 << e.index()) == 0)
+            .collect();
+
+        // Whole subset failed: fall back to the nearest surviving elevator
+        // in the full set (fault-tolerance extension).
+        if alive_subset.is_empty() {
+            return ctx
+                .elevators
+                .nearest_among(ctx.src, ctx.elevators.ids().filter(|&e| self.alive(e)))
+                .unwrap_or_else(|| ctx.elevators.nearest(ctx.src));
+        }
+
+        // Low-traffic override: all subset costs below θ → the elevator on
+        // the minimal source→destination path (Section III.A), drawn from
+        // the full elevator set. If that global pick is itself congested
+        // (or failed), stay energy-minimal within the subset. Re-entry
+        // after a congestion episode requires costs below θ×hysteresis.
+        let theta = self.config.low_traffic_threshold;
+        let gate = if state.override_active {
+            theta
+        } else {
+            theta * self.config.override_reentry_factor
+        };
+        state.override_active = alive_subset
+            .iter()
+            .all(|e| state.costs[e.index()] < gate);
+        if self.config.low_traffic_override && state.override_active {
+            let global = ctx
+                .elevators
+                .minimal_path_among(
+                    ctx.src,
+                    ctx.dst,
+                    ctx.elevators.ids().filter(|&e| failed & (1 << e.index()) == 0),
+                )
+                .unwrap_or(alive_subset[0]);
+            if state.costs[global.index()] < gate {
+                return global;
+            }
+            return ctx
+                .elevators
+                .minimal_path_among(ctx.src, ctx.dst, alive_subset.iter().copied())
+                .expect("alive_subset is non-empty");
+        }
+
+        // Plain round-robin (AdEle-RR ablation).
+        if !self.config.skipping_enabled {
+            let pick = alive_subset[state.rr % alive_subset.len()];
+            state.rr = state.rr.wrapping_add(1);
+            return pick;
+        }
+
+        // Enhanced round-robin with congestion skipping (Eq. 8–9).
+        let total_cost: f64 = alive_subset.iter().map(|e| state.costs[e.index()]).sum();
+        let n = alive_subset.len();
+        let start = state.rr % n;
+        for offset in 0..n {
+            let candidate = alive_subset[(start + offset) % n];
+            let ps = skip_probability(
+                state.costs[candidate.index()],
+                total_cost,
+                n,
+                self.config.exploration,
+            );
+            if ps == 0.0 || !self.rng.gen_bool(ps) {
+                state.rr = state.rr.wrapping_add(offset + 1);
+                return candidate;
+            }
+        }
+        // Every candidate was skipped this round (possible since each skip
+        // is an independent draw): take the cheapest to keep making
+        // progress, and advance the pointer one slot.
+        state.rr = state.rr.wrapping_add(1);
+        alive_subset
+            .iter()
+            .copied()
+            .min_by(|a, b| state.costs[a.index()].total_cmp(&state.costs[b.index()]))
+            .expect("non-empty")
+    }
+
+    fn on_source_departure(&mut self, feedback: &SourceFeedback) {
+        let state = &mut self.nodes[feedback.src.index()];
+        let idx = feedback.elevator.index();
+        if idx < state.costs.len() {
+            // Eq. 7: C_k ← a·T_ek + (1−a)·C_k. Tracked for any elevator
+            // this router uses, subset or minimal-path override.
+            let a = self.config.ewma_alpha;
+            state.costs[idx] = a * feedback.blocking_cost() + (1.0 - a) * state.costs[idx];
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        if self.config.skipping_enabled {
+            "AdEle"
+        } else {
+            "AdEle-RR"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::online::ZeroProbe;
+    use noc_topology::Coord;
+
+    fn fixture() -> (Mesh3d, ElevatorSet) {
+        let mesh = Mesh3d::new(4, 4, 2).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 0), (0, 3)]).unwrap();
+        (mesh, elevators)
+    }
+
+    fn ctx<'a>(
+        mesh: &Mesh3d,
+        elevators: &'a ElevatorSet,
+        probe: &'a ZeroProbe,
+        src: Coord,
+        dst: Coord,
+    ) -> SelectionContext<'a> {
+        SelectionContext {
+            src_id: mesh.node_id(src).unwrap(),
+            src,
+            dst_id: mesh.node_id(dst).unwrap(),
+            dst,
+            elevators,
+            probe,
+            cycle: 0,
+        }
+    }
+
+    fn full_selector(config: AdeleConfig) -> (Mesh3d, ElevatorSet, AdeleSelector) {
+        let (mesh, elevators) = fixture();
+        let assignment = SubsetAssignment::full(&mesh, &elevators);
+        let sel =
+            AdeleSelector::from_assignment(&mesh, &elevators, &assignment, config, 42).unwrap();
+        (mesh, elevators, sel)
+    }
+
+    #[test]
+    fn skip_probability_matches_eq9() {
+        let xi = 0.05;
+        // |A| = 4: thresholds at 1/4 and 2/4.
+        assert_eq!(skip_probability(0.0, 1.0, 4, xi), 0.0);
+        assert_eq!(skip_probability(0.2, 1.0, 4, xi), 0.0); // 0.2 < 0.25
+        let mid = skip_probability(0.375, 1.0, 4, xi); // halfway between
+        assert!((mid - 4.0 * 0.125 * 0.95).abs() < 1e-12);
+        assert_eq!(skip_probability(0.5, 1.0, 4, xi), 0.95);
+        assert_eq!(skip_probability(0.9, 1.0, 4, xi), 0.95);
+        // No information: never skip.
+        assert_eq!(skip_probability(0.0, 0.0, 4, xi), 0.0);
+        // Singleton subsets never skip (relative cost is exactly 1 < 2).
+        assert_eq!(skip_probability(0.7, 0.7, 1, xi), 0.0);
+    }
+
+    #[test]
+    fn fresh_selector_uses_minimal_path_override() {
+        let (mesh, elevators, mut sel) = full_selector(AdeleConfig::paper_default());
+        let probe = ZeroProbe::new(mesh);
+        // src (3,1,0) → dst (3,2,1): e1 at (3,0) is on the minimal path.
+        let c = ctx(&mesh, &elevators, &probe, Coord::new(3, 1, 0), Coord::new(3, 2, 1));
+        assert_eq!(sel.select(&c), ElevatorId(1));
+        // Deterministic: repeats identically while costs stay below θ.
+        assert_eq!(sel.select(&c), ElevatorId(1));
+    }
+
+    #[test]
+    fn rr_only_cycles_in_order() {
+        let mut config = AdeleConfig::rr_only();
+        config.low_traffic_override = false;
+        let (mesh, elevators, mut sel) = full_selector(config);
+        let probe = ZeroProbe::new(mesh);
+        let c = ctx(&mesh, &elevators, &probe, Coord::new(1, 1, 0), Coord::new(1, 1, 1));
+        let picks: Vec<_> = (0..6).map(|_| sel.select(&c)).collect();
+        assert_eq!(
+            picks,
+            vec![
+                ElevatorId(0),
+                ElevatorId(1),
+                ElevatorId(2),
+                ElevatorId(0),
+                ElevatorId(1),
+                ElevatorId(2)
+            ]
+        );
+        assert_eq!(sel.name(), "AdEle-RR");
+    }
+
+    #[test]
+    fn feedback_updates_cost_per_eq7() {
+        let (mesh, elevators, mut sel) = full_selector(AdeleConfig::paper_default());
+        let _ = elevators;
+        let node = mesh.node_id(Coord::new(0, 0, 0)).unwrap();
+        let fb = SourceFeedback {
+            src: node,
+            elevator: ElevatorId(1),
+            head_departure: 0,
+            tail_departure: 40, // T = (40 - 20)/20 = 1.0
+            packet_flits: 20,
+        };
+        sel.on_source_departure(&fb);
+        let c1 = sel.cost(node, ElevatorId(1)).unwrap();
+        assert!((c1 - 0.2).abs() < 1e-12, "C = 0.2*1.0 + 0.8*0");
+        sel.on_source_departure(&fb);
+        let c2 = sel.cost(node, ElevatorId(1)).unwrap();
+        assert!((c2 - 0.36).abs() < 1e-12, "C = 0.2*1.0 + 0.8*0.2");
+        // Other elevators untouched.
+        assert_eq!(sel.cost(node, ElevatorId(0)), Some(0.0));
+    }
+
+    #[test]
+    fn congested_elevator_is_skipped_more_often() {
+        let (mesh, elevators, mut sel) = full_selector(AdeleConfig::paper_default());
+        let probe = ZeroProbe::new(mesh);
+        let src = Coord::new(1, 1, 0);
+        let node = mesh.node_id(src).unwrap();
+        // Make e0 look very congested, e1/e2 cheap but above threshold.
+        for (e, t_tail) in [(ElevatorId(0), 80u64), (ElevatorId(1), 22), (ElevatorId(2), 22)] {
+            for _ in 0..50 {
+                sel.on_source_departure(&SourceFeedback {
+                    src: node,
+                    elevator: e,
+                    head_departure: 0,
+                    tail_departure: t_tail,
+                    packet_flits: 20,
+                });
+            }
+        }
+        let c = ctx(&mesh, &elevators, &probe, src, Coord::new(1, 1, 1));
+        let mut counts = [0usize; 3];
+        for _ in 0..3000 {
+            counts[sel.select(&c).index()] += 1;
+        }
+        assert!(
+            counts[0] * 3 < counts[1] && counts[0] * 3 < counts[2],
+            "congested e0 ({counts:?}) must be picked far less often"
+        );
+        // ξ guarantees e0 still gets occasional picks to refresh its cost.
+        assert!(counts[0] > 0, "exploration must keep selecting e0 sometimes");
+    }
+
+    #[test]
+    fn fault_masking_excludes_failed_elevators() {
+        let mut config = AdeleConfig::paper_default();
+        config.low_traffic_override = false;
+        let (mesh, elevators, mut sel) = full_selector(config);
+        let probe = ZeroProbe::new(mesh);
+        let c = ctx(&mesh, &elevators, &probe, Coord::new(1, 1, 0), Coord::new(1, 1, 1));
+        sel.set_elevator_failed(ElevatorId(0), true);
+        assert!(sel.is_failed(ElevatorId(0)));
+        for _ in 0..100 {
+            assert_ne!(sel.select(&c), ElevatorId(0));
+        }
+        sel.set_elevator_failed(ElevatorId(0), false);
+        let mut saw_e0 = false;
+        for _ in 0..100 {
+            saw_e0 |= sel.select(&c) == ElevatorId(0);
+        }
+        assert!(saw_e0, "repaired elevator must re-enter rotation");
+    }
+
+    #[test]
+    fn all_failed_subset_falls_back_to_surviving_elevator() {
+        let (mesh, elevators) = fixture();
+        // Every router's subset is only e0.
+        let assignment =
+            SubsetAssignment::from_masks(vec![0b001; mesh.node_count()], 3).unwrap();
+        let mut sel = AdeleSelector::from_assignment(
+            &mesh,
+            &elevators,
+            &assignment,
+            AdeleConfig::paper_default(),
+            1,
+        )
+        .unwrap();
+        sel.set_elevator_failed(ElevatorId(0), true);
+        let probe = ZeroProbe::new(mesh);
+        let c = ctx(&mesh, &elevators, &probe, Coord::new(0, 1, 0), Coord::new(0, 1, 1));
+        let pick = sel.select(&c);
+        assert_ne!(pick, ElevatorId(0));
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let run = || {
+            let (mesh, elevators, mut sel) = full_selector(AdeleConfig::paper_default());
+            let node = mesh.node_id(Coord::new(2, 2, 0)).unwrap();
+            // Push costs above threshold so the stochastic path is taken.
+            for e in 0..3u8 {
+                sel.on_source_departure(&SourceFeedback {
+                    src: node,
+                    elevator: ElevatorId(e),
+                    head_departure: 0,
+                    tail_departure: 60,
+                    packet_flits: 20,
+                });
+            }
+            let probe = ZeroProbe::new(mesh);
+            let c = ctx(&mesh, &elevators, &probe, Coord::new(2, 2, 0), Coord::new(2, 2, 1));
+            (0..50).map(|_| sel.select(&c)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn mismatched_assignment_is_rejected() {
+        let (mesh, elevators) = fixture();
+        let bad = SubsetAssignment::from_masks(vec![1; 5], 3).unwrap();
+        assert!(AdeleSelector::from_assignment(
+            &mesh,
+            &elevators,
+            &bad,
+            AdeleConfig::paper_default(),
+            0
+        )
+        .is_err());
+    }
+}

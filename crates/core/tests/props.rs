@@ -1,0 +1,137 @@
+//! Property tests for the AdEle core: Eq. 8–9 skip-probability bounds,
+//! EWMA cost behaviour, objective sanity, and subset validity under the
+//! AMOSA search moves.
+
+use adele::offline::{ElevatorSubsetProblem, ObjectiveEvaluator, SubsetAssignment};
+use adele::online::{skip_probability, AdeleSelector, ElevatorSelector, SourceFeedback};
+use amosa::Problem;
+use noc_topology::{ElevatorId, ElevatorSet, Mesh3d, NodeId};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+fn arb_topology() -> impl Strategy<Value = (Mesh3d, ElevatorSet)> {
+    (2usize..=5, 2usize..=5, 2usize..=4).prop_flat_map(|(x, y, z)| {
+        let mesh = Mesh3d::new(x, y, z).unwrap();
+        prop::collection::hash_set((0..x as u8, 0..y as u8), 1..=4).prop_map(move |cols| {
+            let set = ElevatorSet::new(&mesh, cols).unwrap();
+            (mesh, set)
+        })
+    })
+}
+
+proptest! {
+    /// Eq. 9 output is always a probability in [0, 1-ξ].
+    #[test]
+    fn skip_probability_is_bounded(
+        cost in 0.0f64..100.0,
+        total in 0.0f64..400.0,
+        size in 1usize..16,
+        xi in 0.0f64..0.5,
+    ) {
+        let ps = skip_probability(cost, total, size, xi);
+        prop_assert!(ps >= 0.0, "PS {ps} negative");
+        prop_assert!(ps <= 1.0 - xi + 1e-12, "PS {ps} exceeds 1-xi");
+    }
+
+    /// Eq. 9 is monotone in the relative cost.
+    #[test]
+    fn skip_probability_is_monotone(
+        total in 0.1f64..100.0,
+        size in 1usize..10,
+        xi in 0.0f64..0.4,
+        a in 0.0f64..1.0,
+        b in 0.0f64..1.0,
+    ) {
+        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+        let ps_lo = skip_probability(lo * total, total, size, xi);
+        let ps_hi = skip_probability(hi * total, total, size, xi);
+        prop_assert!(ps_lo <= ps_hi + 1e-12);
+    }
+
+    /// Objectives are finite and non-negative for arbitrary valid
+    /// assignments; full subsets always have zero variance under uniform
+    /// traffic.
+    #[test]
+    fn objectives_are_sane((mesh, elevators) in arb_topology(), seed in 0u64..100) {
+        let evaluator = ObjectiveEvaluator::uniform(&mesh, &elevators);
+        let problem = ElevatorSubsetProblem::new(&mesh, &elevators);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let assignment = problem.random_solution(&mut rng);
+        let (variance, distance) = evaluator.evaluate(&assignment);
+        prop_assert!(variance.is_finite() && variance >= 0.0);
+        prop_assert!(distance.is_finite() && distance >= 0.0);
+        if mesh.layers() > 1 {
+            prop_assert!(distance >= 1.0, "inter-layer routes need >= 1 hop");
+        }
+
+        let full = SubsetAssignment::full(&mesh, &elevators);
+        prop_assert!(evaluator.utilization_variance(&full) < 1e-15);
+    }
+
+    /// The AMOSA neighbourhood never produces an invalid assignment, even
+    /// over long random walks.
+    #[test]
+    fn search_moves_preserve_validity(
+        (mesh, elevators) in arb_topology(),
+        seed in 0u64..100,
+        steps in 1usize..300,
+    ) {
+        let problem = ElevatorSubsetProblem::new(&mesh, &elevators);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut s = problem.random_solution(&mut rng);
+        for _ in 0..steps {
+            s = problem.neighbour(&s, &mut rng);
+        }
+        prop_assert!(s.check_compatible(&mesh, &elevators).is_ok());
+        for node in mesh.node_ids() {
+            prop_assert!(s.subset_size(node) >= 1);
+        }
+    }
+
+    /// Cost EWMA stays within the convex hull of observed samples:
+    /// clamped blocking costs are non-negative and bounded by the largest
+    /// observed T, so costs are too.
+    #[test]
+    fn feedback_costs_stay_bounded(
+        (mesh, elevators) in arb_topology(),
+        spreads in prop::collection::vec(0u64..500, 1..40),
+        seed in 0u64..50,
+    ) {
+        let assignment = SubsetAssignment::full(&mesh, &elevators);
+        let mut selector = AdeleSelector::from_assignment(
+            &mesh,
+            &elevators,
+            &assignment,
+            adele::AdeleConfig::paper_default(),
+            seed,
+        ).unwrap();
+        let node = NodeId(0);
+        let elevator = ElevatorId(0);
+        let flits = 20u16;
+        let mut max_t: f64 = 0.0;
+        for spread in spreads {
+            let fb = SourceFeedback {
+                src: node,
+                elevator,
+                head_departure: 100,
+                tail_departure: 100 + spread,
+                packet_flits: flits,
+            };
+            max_t = max_t.max(fb.blocking_cost());
+            selector.on_source_departure(&fb);
+            let cost = selector.cost(node, elevator).unwrap();
+            prop_assert!(cost >= 0.0);
+            prop_assert!(cost <= max_t + 1e-12, "cost {cost} exceeds max sample {max_t}");
+        }
+    }
+
+    /// Text serialisation round-trips arbitrary valid assignments.
+    #[test]
+    fn assignment_text_round_trip((mesh, elevators) in arb_topology(), seed in 0u64..100) {
+        let problem = ElevatorSubsetProblem::new(&mesh, &elevators);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let assignment = problem.random_solution(&mut rng);
+        let parsed = SubsetAssignment::from_text(&assignment.to_text()).unwrap();
+        prop_assert_eq!(parsed, assignment);
+    }
+}

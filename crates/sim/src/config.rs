@@ -1,0 +1,112 @@
+use crate::energy::EnergyModel;
+use noc_topology::{ElevatorSet, Mesh3d};
+
+/// Simulation configuration (paper Table I defaults).
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The 3D mesh.
+    pub mesh: Mesh3d,
+    /// Elevator columns.
+    pub elevators: ElevatorSet,
+    /// Input-FIFO depth in flits (Table I: 4).
+    pub buffer_depth: u8,
+    /// Cycles simulated before measurement starts.
+    pub warmup: u64,
+    /// Cycles in the measurement window.
+    pub measure: u64,
+    /// Maximum extra cycles to let measured packets drain.
+    pub drain_max: u64,
+    /// Seed for the simulator's own stochastic components.
+    pub seed: u64,
+    /// Energy model.
+    pub energy: EnergyModel,
+    /// Cycles without progress (while flits are in flight) before the
+    /// simulator declares a deadlock and panics. Deadlocks indicate routing
+    /// bugs; Elevator-First is provably deadlock-free.
+    pub watchdog: u64,
+}
+
+impl SimConfig {
+    /// Paper-default configuration for a given topology.
+    #[must_use]
+    pub fn new(mesh: Mesh3d, elevators: ElevatorSet) -> Self {
+        Self {
+            mesh,
+            elevators,
+            buffer_depth: 4,
+            warmup: 5_000,
+            measure: 20_000,
+            drain_max: 50_000,
+            seed: 1,
+            energy: EnergyModel::default_45nm(),
+            watchdog: 20_000,
+        }
+    }
+
+    /// Sets warm-up, measurement, and drain windows (cycles).
+    #[must_use]
+    pub fn with_phases(mut self, warmup: u64, measure: u64, drain_max: u64) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self.drain_max = drain_max;
+        self
+    }
+
+    /// Sets the simulator seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the buffer depth in flits.
+    #[must_use]
+    pub fn with_buffer_depth(mut self, depth: u8) -> Self {
+        self.buffer_depth = depth;
+        self
+    }
+
+    /// Sets the energy model.
+    #[must_use]
+    pub fn with_energy(mut self, model: EnergyModel) -> Self {
+        self.energy = model;
+        self
+    }
+
+    /// Validates the configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the buffer depth is zero or the measurement window empty.
+    pub fn validate(&self) {
+        assert!(self.buffer_depth >= 1, "buffer depth must be >= 1");
+        assert!(self.measure >= 1, "measurement window must be non-empty");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let mesh = Mesh3d::new(2, 2, 2).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(0, 0)]).unwrap();
+        let c = SimConfig::new(mesh, elevators)
+            .with_phases(1, 2, 3)
+            .with_seed(9)
+            .with_buffer_depth(8);
+        assert_eq!((c.warmup, c.measure, c.drain_max), (1, 2, 3));
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.buffer_depth, 8);
+        c.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer depth")]
+    fn validate_rejects_zero_depth() {
+        let mesh = Mesh3d::new(2, 2, 2).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(0, 0)]).unwrap();
+        SimConfig::new(mesh, elevators).with_buffer_depth(0).validate();
+    }
+}

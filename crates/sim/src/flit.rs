@@ -1,0 +1,142 @@
+//! Flits and packet bookkeeping.
+
+use adele::online::Cycle;
+use noc_topology::route::{ElevatorCoord, VirtualNet};
+use noc_topology::NodeId;
+
+/// Position of a flit within its packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FlitKind {
+    /// First flit; carries routing information.
+    Head,
+    /// Intermediate flit.
+    Body,
+    /// Last flit; releases wormhole resources.
+    Tail,
+    /// A single-flit packet (head and tail at once).
+    Single,
+}
+
+impl FlitKind {
+    /// `true` for flits that open a wormhole (Head, Single).
+    #[must_use]
+    pub fn is_head(self) -> bool {
+        matches!(self, FlitKind::Head | FlitKind::Single)
+    }
+
+    /// `true` for flits that close a wormhole (Tail, Single).
+    #[must_use]
+    pub fn is_tail(self) -> bool {
+        matches!(self, FlitKind::Tail | FlitKind::Single)
+    }
+
+    /// The kind of flit number `seq` in a packet of `total` flits.
+    #[must_use]
+    pub fn for_position(seq: u16, total: u16) -> FlitKind {
+        debug_assert!(total >= 1 && seq < total);
+        match (seq, total) {
+            (_, 1) => FlitKind::Single,
+            (0, _) => FlitKind::Head,
+            (s, t) if s + 1 == t => FlitKind::Tail,
+            _ => FlitKind::Body,
+        }
+    }
+}
+
+/// Dense packet index into the simulator's packet table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PacketId(pub u32);
+
+impl PacketId {
+    /// The index as `usize`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One flit in a buffer or on a link. Deliberately tiny (8 bytes): all
+/// per-packet state lives in the packet table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Flit {
+    /// Owning packet.
+    pub packet: PacketId,
+    /// Head/Body/Tail/Single.
+    pub kind: FlitKind,
+}
+
+/// Full per-packet bookkeeping.
+#[derive(Debug, Clone)]
+pub struct Packet {
+    /// Source router.
+    pub src: NodeId,
+    /// Destination router.
+    pub dst: NodeId,
+    /// Length in flits.
+    pub flits: u16,
+    /// Virtual network (fixed at creation by vertical direction).
+    pub vnet: VirtualNet,
+    /// Elevator choice (``None`` for same-layer packets).
+    pub elevator: Option<ElevatorCoord>,
+    /// Cycle the packet entered its source queue.
+    pub created: Cycle,
+    /// Cycle the head flit left the source router, once it has.
+    pub head_out_src: Option<Cycle>,
+    /// Cycle the tail flit left the source router, once it has.
+    pub tail_out_src: Option<Cycle>,
+    /// Cycle the tail flit was ejected at the destination, once delivered.
+    pub delivered: Option<Cycle>,
+    /// Flits ejected so far.
+    pub flits_delivered: u16,
+    /// Whether the packet was created inside the measurement window.
+    pub measured: bool,
+}
+
+impl Packet {
+    /// End-to-end packet latency (creation → tail ejection), if delivered.
+    #[must_use]
+    pub fn latency(&self) -> Option<u64> {
+        self.delivered.map(|d| d.saturating_sub(self.created))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds_by_position() {
+        assert_eq!(FlitKind::for_position(0, 1), FlitKind::Single);
+        assert_eq!(FlitKind::for_position(0, 10), FlitKind::Head);
+        assert_eq!(FlitKind::for_position(5, 10), FlitKind::Body);
+        assert_eq!(FlitKind::for_position(9, 10), FlitKind::Tail);
+    }
+
+    #[test]
+    fn head_tail_predicates() {
+        assert!(FlitKind::Head.is_head() && !FlitKind::Head.is_tail());
+        assert!(FlitKind::Tail.is_tail() && !FlitKind::Tail.is_head());
+        assert!(FlitKind::Single.is_head() && FlitKind::Single.is_tail());
+        assert!(!FlitKind::Body.is_head() && !FlitKind::Body.is_tail());
+    }
+
+    #[test]
+    fn latency_requires_delivery() {
+        let mut p = Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            flits: 10,
+            vnet: VirtualNet::Ascend,
+            elevator: None,
+            created: 100,
+            head_out_src: None,
+            tail_out_src: None,
+            delivered: None,
+            flits_delivered: 0,
+            measured: true,
+        };
+        assert_eq!(p.latency(), None);
+        p.delivered = Some(150);
+        assert_eq!(p.latency(), Some(50));
+    }
+}

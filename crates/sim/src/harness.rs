@@ -1,0 +1,121 @@
+//! Experiment helpers: injection-rate sweeps, zero-load latency and
+//! saturation detection — the building blocks every figure harness uses.
+
+use crate::config::SimConfig;
+use crate::sim::Simulator;
+use crate::stats::RunSummary;
+use adele::online::ElevatorSelector;
+use noc_traffic::TrafficSource;
+
+/// A factory producing a fresh workload for a given injection rate.
+pub type TrafficFactory<'a> = dyn Fn(f64) -> Box<dyn TrafficSource> + 'a;
+/// A factory producing a fresh selector for each run.
+pub type SelectorFactory<'a> = dyn Fn() -> Box<dyn ElevatorSelector> + 'a;
+
+/// One point of an injection sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Offered packet injection rate (packets/node/cycle).
+    pub rate: f64,
+    /// Run result at that rate.
+    pub summary: RunSummary,
+}
+
+/// Runs one simulation (convenience wrapper).
+#[must_use]
+pub fn run_once(
+    config: SimConfig,
+    traffic: Box<dyn TrafficSource>,
+    selector: Box<dyn ElevatorSelector>,
+) -> RunSummary {
+    Simulator::new(config, traffic, selector).run()
+}
+
+/// Sweeps packet-injection rates, building fresh traffic and selector
+/// state per point (state must not leak between offered loads).
+#[must_use]
+pub fn injection_sweep(
+    config: &SimConfig,
+    rates: &[f64],
+    make_traffic: &TrafficFactory<'_>,
+    make_selector: &SelectorFactory<'_>,
+) -> Vec<SweepPoint> {
+    rates
+        .iter()
+        .map(|&rate| SweepPoint {
+            rate,
+            summary: run_once(config.clone(), make_traffic(rate), make_selector()),
+        })
+        .collect()
+}
+
+/// Measures the zero-load latency: the average latency at a token
+/// injection rate (1e-4), the baseline of the paper's saturation
+/// definition.
+#[must_use]
+pub fn zero_load_latency(
+    config: &SimConfig,
+    make_traffic: &TrafficFactory<'_>,
+    make_selector: &SelectorFactory<'_>,
+) -> f64 {
+    run_once(config.clone(), make_traffic(1e-4), make_selector()).avg_latency
+}
+
+/// The paper's saturation criterion: the first swept rate whose latency
+/// exceeds `10 × zero_load` (or whose run failed to drain). `None` if the
+/// sweep never saturates.
+#[must_use]
+pub fn saturation_rate(points: &[SweepPoint], zero_load: f64) -> Option<f64> {
+    points
+        .iter()
+        .find(|p| !p.summary.completed || p.summary.avg_latency > 10.0 * zero_load)
+        .map(|p| p.rate)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adele::online::ElevatorFirstSelector;
+    use noc_topology::{ElevatorSet, Mesh3d};
+    use noc_traffic::SyntheticTraffic;
+
+    fn fixture() -> SimConfig {
+        let mesh = Mesh3d::new(4, 4, 2).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(1, 1)]).unwrap();
+        SimConfig::new(mesh, elevators).with_phases(200, 600, 3000)
+    }
+
+    #[test]
+    fn sweep_produces_monotone_ish_latency() {
+        let config = fixture();
+        let mesh = config.mesh;
+        let elevators = config.elevators.clone();
+        let points = injection_sweep(
+            &config,
+            &[0.0005, 0.004],
+            &|rate| Box::new(SyntheticTraffic::uniform(&mesh, rate, 3)),
+            &|| Box::new(ElevatorFirstSelector::new(&mesh, &elevators)),
+        );
+        assert_eq!(points.len(), 2);
+        assert!(points[1].summary.avg_latency >= points[0].summary.avg_latency * 0.8);
+    }
+
+    #[test]
+    fn saturation_detects_overload() {
+        let config = fixture();
+        let mesh = config.mesh;
+        let elevators = config.elevators.clone();
+        let traffic = |rate: f64| -> Box<dyn noc_traffic::TrafficSource> {
+            Box::new(SyntheticTraffic::uniform(&mesh, rate, 9))
+        };
+        let selector = || -> Box<dyn adele::online::ElevatorSelector> {
+            Box::new(ElevatorFirstSelector::new(&mesh, &elevators))
+        };
+        let zero = zero_load_latency(&config, &traffic, &selector);
+        assert!(zero > 0.0);
+        // One elevator for 32 nodes saturates quickly under uniform load.
+        let points = injection_sweep(&config, &[0.0005, 0.05], &traffic, &selector);
+        let sat = saturation_rate(&points, zero);
+        assert_eq!(sat, Some(0.05));
+    }
+}

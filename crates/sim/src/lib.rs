@@ -1,0 +1,51 @@
+//! Cycle-level wormhole simulator for partially connected 3D NoCs.
+//!
+//! This crate is the workspace's stand-in for Access Noxim, the simulator
+//! the AdEle paper evaluates on. It models, per cycle:
+//!
+//! * input-buffered 7-port routers (Local, E, W, N, S, Up, Down) with the
+//!   paper's 4-flit FIFOs and the two Elevator-First virtual networks,
+//! * wormhole switching with per-output-VC packet ownership,
+//! * credit-based flow control on every link (including the NI),
+//! * Elevator-First routing with a pluggable
+//!   [`adele::online::ElevatorSelector`],
+//! * Noxim-style energy accounting ([`EnergyModel`]) and latency / load /
+//!   elevator-usage statistics ([`RunSummary`]).
+//!
+//! # Example
+//!
+//! ```
+//! use noc_sim::{SimConfig, Simulator};
+//! use noc_topology::placement::Placement;
+//! use noc_traffic::SyntheticTraffic;
+//! use adele::online::ElevatorFirstSelector;
+//!
+//! let (mesh, elevators) = Placement::Ps1.instantiate();
+//! let config = SimConfig::new(mesh, elevators.clone())
+//!     .with_phases(500, 1000, 4000)
+//!     .with_seed(7);
+//! let traffic = SyntheticTraffic::uniform(&mesh, 0.002, 7);
+//! let selector = ElevatorFirstSelector::new(&mesh, &elevators);
+//! let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run();
+//! assert!(summary.delivered_packets > 0);
+//! assert!(summary.avg_latency > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod config;
+mod energy;
+mod flit;
+mod network;
+mod sim;
+mod stats;
+
+pub mod harness;
+
+pub use config::SimConfig;
+pub use energy::{EnergyLedger, EnergyModel};
+pub use flit::{Flit, FlitKind, Packet, PacketId};
+pub use network::Network;
+pub use sim::Simulator;
+pub use stats::{RunSummary, StatsCollector};

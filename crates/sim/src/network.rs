@@ -1,0 +1,714 @@
+//! The cycle-level network: routers, buffers, credits, wormhole switching.
+//!
+//! # Model
+//!
+//! Each router has 7 ports ([`Direction`]) with one FIFO per virtual
+//! network per input port. An *output channel* `(port, vc)` is owned by at
+//! most one packet at a time (wormhole): a head flit acquires the channel,
+//! the tail releases it, so flits of different packets never interleave
+//! within a downstream FIFO. Each output **port** moves at most one flit
+//! per cycle (the physical link), arbitrating round-robin across its
+//! virtual channels and, for new grants, across requesting input ports.
+//!
+//! Credits count free slots of the downstream FIFO; they are decremented
+//! at send time and returned (with one cycle of latency) when the
+//! downstream router forwards the flit. The network interface participates
+//! with the same mechanism on the `Local` port.
+//!
+//! A cycle is computed in two phases — *route & send* (reads current
+//! state, stages flit arrivals and credit returns) then *commit* — so
+//! results do not depend on router iteration order.
+
+use crate::energy::EnergyLedger;
+use crate::flit::{Flit, FlitKind, Packet, PacketId};
+use crate::stats::StatsCollector;
+use adele::online::{Cycle, NetworkProbe, SourceFeedback};
+use noc_topology::route::{self, VirtualNet};
+use noc_topology::{Coord, Direction, ElevatorSet, Mesh3d, NodeId};
+use std::collections::VecDeque;
+
+const PORTS: usize = Direction::COUNT;
+const VCS: usize = VirtualNet::COUNT;
+const LOCAL: usize = 0; // Direction::Local.index()
+
+/// Per-router switching state.
+#[derive(Debug, Clone)]
+struct RouterState {
+    /// Input FIFOs, indexed `port * VCS + vc`.
+    fifos: Vec<VecDeque<Flit>>,
+    /// Owner of each output channel `(port, vc)`: the input `(port, vc)`
+    /// whose packet currently holds the wormhole.
+    owner: [[Option<(u8, u8)>; VCS]; PORTS],
+    /// Credits towards the downstream FIFO of each output channel.
+    credits: [[u8; VCS]; PORTS],
+    /// Round-robin pointer over input ports for new grants, per channel.
+    rr_grant: [[u8; VCS]; PORTS],
+    /// Round-robin pointer over VCs, per output port.
+    rr_vc: [u8; PORTS],
+    /// Total buffered flits (for probe queries and fast idle skip).
+    buffered: u32,
+}
+
+impl RouterState {
+    fn new(buffer_depth: u8, credit_mask: [bool; PORTS]) -> Self {
+        let mut credits = [[0u8; VCS]; PORTS];
+        for p in 0..PORTS {
+            if credit_mask[p] {
+                credits[p] = [buffer_depth; VCS];
+            }
+        }
+        Self {
+            fifos: (0..PORTS * VCS).map(|_| VecDeque::with_capacity(buffer_depth as usize)).collect(),
+            owner: [[None; VCS]; PORTS],
+            credits,
+            rr_grant: [[0; VCS]; PORTS],
+            rr_vc: [0; PORTS],
+            buffered: 0,
+        }
+    }
+
+    fn fifo(&self, port: usize, vc: usize) -> &VecDeque<Flit> {
+        &self.fifos[port * VCS + vc]
+    }
+
+    fn fifo_mut(&mut self, port: usize, vc: usize) -> &mut VecDeque<Flit> {
+        &mut self.fifos[port * VCS + vc]
+    }
+}
+
+/// Per-node injection queue (unbounded source queue behind the NI).
+#[derive(Debug, Clone, Default)]
+struct SourceQueue {
+    queue: VecDeque<PacketId>,
+    /// Flits of the front packet already pushed into the local port.
+    sent: u16,
+}
+
+/// The network fabric: routers, links, credits and NI queues.
+#[derive(Debug, Clone)]
+pub struct Network {
+    mesh: Mesh3d,
+    elevators: ElevatorSet,
+    buffer_depth: u8,
+    coords: Vec<Coord>,
+    /// `neighbours[node][port]` — the router reached through that port.
+    neighbours: Vec<[Option<NodeId>; PORTS]>,
+    routers: Vec<RouterState>,
+    sources: Vec<SourceQueue>,
+    /// NI credits towards the local input port, per VC.
+    ni_credits: Vec<[u8; VCS]>,
+    // Staging buffers, reused each cycle.
+    staged_arrivals: Vec<(NodeId, u8, u8, Flit)>,
+    staged_credits: Vec<(NodeId, u8, u8)>,
+    staged_ni_credits: Vec<(NodeId, u8)>,
+}
+
+impl Network {
+    /// Builds an idle network.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_depth` is zero.
+    #[must_use]
+    pub fn new(mesh: Mesh3d, elevators: ElevatorSet, buffer_depth: u8) -> Self {
+        assert!(buffer_depth >= 1, "buffers need at least one slot");
+        let n = mesh.node_count();
+        let coords: Vec<Coord> = mesh.coords().collect();
+        let neighbours: Vec<[Option<NodeId>; PORTS]> = coords
+            .iter()
+            .map(|&c| {
+                let mut row = [None; PORTS];
+                for dir in Direction::ALL {
+                    if dir == Direction::Local {
+                        continue;
+                    }
+                    // Vertical links exist only on elevator pillars.
+                    if dir.is_vertical() && !elevators.is_elevator_router(c) {
+                        continue;
+                    }
+                    if let Some(next) = mesh.neighbour(c, dir) {
+                        row[dir.index()] = Some(mesh.node_id(next).expect("in mesh"));
+                    }
+                }
+                row
+            })
+            .collect();
+        let routers = (0..n)
+            .map(|i| {
+                let mut credit_mask = [false; PORTS];
+                for p in 0..PORTS {
+                    credit_mask[p] = neighbours[i][p].is_some();
+                }
+                RouterState::new(buffer_depth, credit_mask)
+            })
+            .collect();
+        Self {
+            mesh,
+            elevators,
+            buffer_depth,
+            coords,
+            neighbours,
+            routers,
+            sources: vec![SourceQueue::default(); n],
+            ni_credits: vec![[buffer_depth; VCS]; n],
+            staged_arrivals: Vec::new(),
+            staged_credits: Vec::new(),
+            staged_ni_credits: Vec::new(),
+        }
+    }
+
+    /// The mesh this network is built on.
+    #[must_use]
+    pub fn mesh(&self) -> &Mesh3d {
+        &self.mesh
+    }
+
+    /// The elevator set.
+    #[must_use]
+    pub fn elevators(&self) -> &ElevatorSet {
+        &self.elevators
+    }
+
+    /// Queues a freshly created packet at its source NI.
+    pub fn enqueue_packet(&mut self, src: NodeId, id: PacketId) {
+        self.sources[src.index()].queue.push_back(id);
+    }
+
+    /// Flits currently buffered in router FIFOs.
+    #[must_use]
+    pub fn buffered_flits(&self) -> u64 {
+        self.routers.iter().map(|r| u64::from(r.buffered)).sum()
+    }
+
+    /// Packets still waiting (fully or partially) in source queues.
+    #[must_use]
+    pub fn queued_packets(&self) -> u64 {
+        self.sources.iter().map(|s| s.queue.len() as u64).sum()
+    }
+
+    /// Advances the network by one cycle.
+    ///
+    /// Returns `true` if any flit moved (progress indicator for the
+    /// deadlock watchdog). Source-departure feedback events are appended to
+    /// `feedbacks` for the simulator to forward to the selector.
+    pub fn step(
+        &mut self,
+        packets: &mut [Packet],
+        cycle: Cycle,
+        stats: &mut StatsCollector,
+        ledger: &mut EnergyLedger,
+        feedbacks: &mut Vec<SourceFeedback>,
+    ) -> bool {
+        let armed = stats.armed();
+        let mut progress = false;
+
+        // ---- Phase 1a: route & send, per router. ----
+        for r in 0..self.routers.len() {
+            if self.routers[r].buffered == 0 {
+                continue; // nothing to forward
+            }
+            let mut input_used = [[false; VCS]; PORTS];
+            for o in 0..PORTS {
+                progress |= self.process_output(
+                    r,
+                    o,
+                    &mut input_used,
+                    packets,
+                    cycle,
+                    armed,
+                    stats,
+                    ledger,
+                    feedbacks,
+                );
+            }
+        }
+
+        // ---- Phase 1b: NI injection. ----
+        for node in 0..self.sources.len() {
+            let Some(&pid) = self.sources[node].queue.front() else {
+                continue;
+            };
+            let pkt = &packets[pid.index()];
+            let vc = pkt.vnet.index();
+            if self.ni_credits[node][vc] == 0 {
+                continue;
+            }
+            let sent = self.sources[node].sent;
+            let kind = FlitKind::for_position(sent, pkt.flits);
+            self.ni_credits[node][vc] -= 1;
+            self.staged_arrivals.push((
+                NodeId(node as u16),
+                LOCAL as u8,
+                vc as u8,
+                Flit { packet: pid, kind },
+            ));
+            if armed {
+                ledger.ni_events += 1;
+            }
+            let sq = &mut self.sources[node];
+            sq.sent += 1;
+            if sq.sent == pkt.flits {
+                sq.queue.pop_front();
+                sq.sent = 0;
+            }
+            progress = true;
+        }
+
+        // ---- Phase 2: commit. ----
+        for (node, port, vc, flit) in self.staged_arrivals.drain(..) {
+            let router = &mut self.routers[node.index()];
+            let fifo = router.fifo_mut(port as usize, vc as usize);
+            debug_assert!(
+                fifo.len() < self.buffer_depth as usize,
+                "credit protocol violated: FIFO overflow at {node}"
+            );
+            fifo.push_back(flit);
+            router.buffered += 1;
+            stats.on_router_flit(node);
+            if armed {
+                ledger.buffer_writes += 1;
+            }
+        }
+        for (node, oport, vc) in self.staged_credits.drain(..) {
+            let c = &mut self.routers[node.index()].credits[oport as usize][vc as usize];
+            *c += 1;
+            debug_assert!(*c <= self.buffer_depth, "credit overflow at {node}");
+        }
+        for (node, vc) in self.staged_ni_credits.drain(..) {
+            let c = &mut self.ni_credits[node.index()][vc as usize];
+            *c += 1;
+            debug_assert!(*c <= self.buffer_depth, "NI credit overflow at {node}");
+        }
+
+        if armed {
+            ledger.router_cycles += self.routers.len() as u64;
+        }
+        stats.on_cycle();
+        progress
+    }
+
+    /// Processes one output port of one router: picks (at most) one flit to
+    /// send this cycle and stages its movement. Returns `true` on a send.
+    #[allow(clippy::too_many_arguments)]
+    fn process_output(
+        &mut self,
+        r: usize,
+        o: usize,
+        input_used: &mut [[bool; VCS]; PORTS],
+        packets: &mut [Packet],
+        cycle: Cycle,
+        armed: bool,
+        stats: &mut StatsCollector,
+        ledger: &mut EnergyLedger,
+        feedbacks: &mut Vec<SourceFeedback>,
+    ) -> bool {
+        let o_dir = Direction::from_index(o).expect("valid port");
+        // Gather, per VC, the input (port, vc) able to send on (o, vc).
+        let mut candidates: [Option<(u8, u8, bool)>; VCS] = [None; VCS]; // (ip, iv, is_new_grant)
+        for v in 0..VCS {
+            let has_credit = o == LOCAL || self.routers[r].credits[o][v] > 0;
+            if !has_credit {
+                continue;
+            }
+            if let Some((ip, iv)) = self.routers[r].owner[o][v] {
+                let (ipu, ivu) = (ip as usize, iv as usize);
+                if input_used[ipu][ivu] {
+                    continue;
+                }
+                if !self.routers[r].fifo(ipu, ivu).is_empty() {
+                    candidates[v] = Some((ip, iv, false));
+                }
+            } else {
+                // New grant: round-robin over input ports with a routed head.
+                let start = self.routers[r].rr_grant[o][v] as usize;
+                for t in 0..PORTS {
+                    let p = (start + t) % PORTS;
+                    if input_used[p][v] {
+                        continue;
+                    }
+                    let Some(&head) = self.routers[r].fifo(p, v).front() else {
+                        continue;
+                    };
+                    if !head.kind.is_head() {
+                        continue;
+                    }
+                    let pkt = &packets[head.packet.index()];
+                    if pkt.vnet.index() != v {
+                        continue;
+                    }
+                    let dir = route::route_step(
+                        self.coords[r],
+                        self.coords[pkt.dst.index()],
+                        pkt.elevator,
+                    );
+                    if dir == o_dir {
+                        candidates[v] = Some((p as u8, v as u8, true));
+                        break;
+                    }
+                }
+            }
+        }
+
+        // Port-level VC arbitration: one flit per output port per cycle.
+        let start_vc = self.routers[r].rr_vc[o] as usize;
+        let Some(v) = (0..VCS)
+            .map(|t| (start_vc + t) % VCS)
+            .find(|&v| candidates[v].is_some())
+        else {
+            return false;
+        };
+        let (ip, iv, is_new) = candidates[v].expect("just found");
+        let (ipu, ivu) = (ip as usize, iv as usize);
+
+        // Dequeue and update switching state.
+        let flit = self.routers[r].fifo_mut(ipu, ivu).pop_front().expect("candidate exists");
+        self.routers[r].buffered -= 1;
+        input_used[ipu][ivu] = true;
+        if is_new {
+            self.routers[r].owner[o][v] = Some((ip, iv));
+            self.routers[r].rr_grant[o][v] = (ip + 1) % PORTS as u8;
+        }
+        if flit.kind.is_tail() {
+            self.routers[r].owner[o][v] = None;
+        }
+        self.routers[r].rr_vc[o] = ((v + 1) % VCS) as u8;
+        if o != LOCAL {
+            self.routers[r].credits[o][v] -= 1;
+        }
+
+        // Credit return to the upstream of the freed input slot.
+        if ipu == LOCAL {
+            self.staged_ni_credits.push((NodeId(r as u16), iv));
+        } else {
+            let upstream = self.neighbours[r][ipu].expect("input port implies neighbour");
+            let up_out = Direction::from_index(ipu).expect("valid").opposite().index() as u8;
+            self.staged_credits.push((upstream, up_out, iv));
+        }
+
+        if armed {
+            ledger.buffer_reads += 1;
+            ledger.crossbar_traversals += 1;
+        }
+
+        let node_id = NodeId(r as u16);
+        if o == LOCAL {
+            // Ejection into the NI sink.
+            if armed {
+                ledger.ni_events += 1;
+            }
+            stats.on_flit_delivered();
+            let pkt = &mut packets[flit.packet.index()];
+            pkt.flits_delivered += 1;
+            if flit.kind.is_tail() {
+                pkt.delivered = Some(cycle);
+                stats.on_packet_delivered(pkt, cycle);
+            }
+        } else {
+            if armed {
+                if o_dir.is_vertical() {
+                    ledger.vertical_hops += 1;
+                } else {
+                    ledger.horizontal_hops += 1;
+                }
+            }
+            let downstream = self.neighbours[r][o].expect("credit implies neighbour");
+            let down_in = o_dir.opposite().index() as u8;
+            self.staged_arrivals.push((downstream, down_in, v as u8, flit));
+
+            // Source-router departure feedback (Eq. 6 inputs).
+            let pkt = &mut packets[flit.packet.index()];
+            if pkt.src == node_id {
+                if flit.kind.is_head() {
+                    pkt.head_out_src = Some(cycle);
+                }
+                if flit.kind.is_tail() {
+                    pkt.tail_out_src = Some(cycle);
+                    if let Some(elevator) = pkt.elevator {
+                        feedbacks.push(SourceFeedback {
+                            src: pkt.src,
+                            elevator: elevator.id,
+                            head_departure: pkt.head_out_src.unwrap_or(cycle),
+                            tail_departure: cycle,
+                            packet_flits: pkt.flits,
+                        });
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+impl NetworkProbe for Network {
+    fn buffer_occupancy(&self, node: NodeId) -> u32 {
+        self.routers[node.index()].buffered
+    }
+
+    fn buffer_capacity_per_router(&self) -> u32 {
+        (PORTS * VCS) as u32 * u32::from(self.buffer_depth)
+    }
+
+    fn node_at(&self, coord: Coord) -> NodeId {
+        self.mesh.node_id(coord).expect("coordinate within mesh")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::route::ElevatorCoord;
+    use noc_topology::ElevatorId;
+
+    fn fixture() -> (Mesh3d, ElevatorSet) {
+        let mesh = Mesh3d::new(3, 3, 2).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(1, 1)]).unwrap();
+        (mesh, elevators)
+    }
+
+    fn make_packet(
+        mesh: &Mesh3d,
+        elevators: &ElevatorSet,
+        src: Coord,
+        dst: Coord,
+        flits: u16,
+        created: Cycle,
+    ) -> Packet {
+        let elevator = (src.z != dst.z)
+            .then(|| ElevatorCoord::from_set(elevators, ElevatorId(0)));
+        Packet {
+            src: mesh.node_id(src).unwrap(),
+            dst: mesh.node_id(dst).unwrap(),
+            flits,
+            vnet: VirtualNet::for_layers(src.z, dst.z),
+            elevator,
+            created,
+            head_out_src: None,
+            tail_out_src: None,
+            delivered: None,
+            flits_delivered: 0,
+            measured: true,
+        }
+    }
+
+    /// Drives the network until all packets deliver or `max` cycles pass.
+    fn drain(
+        net: &mut Network,
+        packets: &mut [Packet],
+        stats: &mut StatsCollector,
+        max: u64,
+    ) -> u64 {
+        let mut ledger = EnergyLedger::default();
+        let mut feedbacks = Vec::new();
+        for cycle in 0..max {
+            net.step(packets, cycle, stats, &mut ledger, &mut feedbacks);
+            if packets.iter().all(|p| p.delivered.is_some()) {
+                return cycle + 1;
+            }
+        }
+        panic!(
+            "packets not drained after {max} cycles: {} undelivered",
+            packets.iter().filter(|p| p.delivered.is_none()).count()
+        );
+    }
+
+    #[test]
+    fn single_packet_same_layer_delivers_with_expected_latency() {
+        let (mesh, elevators) = fixture();
+        let mut net = Network::new(mesh, elevators.clone(), 4);
+        let mut stats = StatsCollector::new(18, 1);
+        stats.set_armed(true);
+        let mut packets = vec![make_packet(
+            &mesh,
+            &elevators,
+            Coord::new(0, 0, 0),
+            Coord::new(2, 1, 0),
+            5,
+            0,
+        )];
+        net.enqueue_packet(packets[0].src, PacketId(0));
+        let cycles = drain(&mut net, &mut packets, &mut stats, 200);
+        // 3 hops + ejection + serialisation of 5 flits: latency well under 30.
+        assert!(cycles < 30, "took {cycles} cycles");
+        assert_eq!(packets[0].flits_delivered, 5);
+        assert!(packets[0].latency().unwrap() >= 5);
+    }
+
+    #[test]
+    fn inter_layer_packet_rides_the_elevator() {
+        let (mesh, elevators) = fixture();
+        let mut net = Network::new(mesh, elevators.clone(), 4);
+        let mut stats = StatsCollector::new(18, 1);
+        stats.set_armed(true);
+        let mut packets = vec![make_packet(
+            &mesh,
+            &elevators,
+            Coord::new(0, 0, 0),
+            Coord::new(2, 2, 1),
+            10,
+            0,
+        )];
+        net.enqueue_packet(packets[0].src, PacketId(0));
+        drain(&mut net, &mut packets, &mut stats, 300);
+        // The pillar router on each layer must have seen the packet's flits.
+        let pillar0 = mesh.node_id(Coord::new(1, 1, 0)).unwrap();
+        let pillar1 = mesh.node_id(Coord::new(1, 1, 1)).unwrap();
+        assert!(stats.router_flits[pillar0.index()] >= 10);
+        assert!(stats.router_flits[pillar1.index()] >= 10);
+    }
+
+    #[test]
+    fn source_feedback_fires_for_inter_layer_packets() {
+        let (mesh, elevators) = fixture();
+        let mut net = Network::new(mesh, elevators.clone(), 4);
+        let mut stats = StatsCollector::new(18, 1);
+        let mut ledger = EnergyLedger::default();
+        let mut feedbacks = Vec::new();
+        let mut packets = vec![make_packet(
+            &mesh,
+            &elevators,
+            Coord::new(0, 0, 0),
+            Coord::new(0, 0, 1),
+            8,
+            0,
+        )];
+        net.enqueue_packet(packets[0].src, PacketId(0));
+        for cycle in 0..100 {
+            net.step(&mut packets, cycle, &mut stats, &mut ledger, &mut feedbacks);
+        }
+        assert_eq!(feedbacks.len(), 1);
+        let fb = feedbacks[0];
+        assert_eq!(fb.src, packets[0].src);
+        assert_eq!(fb.elevator, ElevatorId(0));
+        assert_eq!(fb.packet_flits, 8);
+        assert!(fb.tail_departure > fb.head_departure);
+        // Uncongested: head-to-tail spread is exactly flits-1 → cost 0.
+        assert_eq!(fb.blocking_cost(), 0.0);
+    }
+
+    #[test]
+    fn many_packets_conserve_flits() {
+        let (mesh, elevators) = fixture();
+        let mut net = Network::new(mesh, elevators.clone(), 4);
+        let mut stats = StatsCollector::new(18, 1);
+        stats.set_armed(true);
+        let mut packets = Vec::new();
+        // All-to-one hotspot: heavy contention on the pillar.
+        for (i, src) in mesh.coords().enumerate() {
+            let dst = Coord::new(2, 2, 1);
+            if src == dst {
+                continue;
+            }
+            let _ = i;
+            packets.push(make_packet(&mesh, &elevators, src, dst, 6, 0));
+            let src_id = mesh.node_id(src).unwrap();
+            net.enqueue_packet(src_id, PacketId((packets.len() - 1) as u32));
+        }
+        drain(&mut net, &mut packets, &mut stats, 5000);
+        let total_flits: u64 = packets.iter().map(|p| u64::from(p.flits)).sum();
+        assert_eq!(stats.delivered_flits, total_flits);
+        assert_eq!(net.buffered_flits(), 0);
+        assert_eq!(net.queued_packets(), 0);
+    }
+
+    #[test]
+    fn probe_reports_live_occupancy() {
+        let (mesh, elevators) = fixture();
+        let mut net = Network::new(mesh, elevators.clone(), 4);
+        let mut stats = StatsCollector::new(18, 1);
+        let mut ledger = EnergyLedger::default();
+        let mut feedbacks = Vec::new();
+        let src = Coord::new(0, 0, 0);
+        let mut packets = vec![make_packet(&mesh, &elevators, src, Coord::new(2, 0, 0), 10, 0)];
+        net.enqueue_packet(packets[0].src, PacketId(0));
+        assert_eq!(net.buffer_occupancy(NodeId(0)), 0);
+        net.step(&mut packets, 0, &mut stats, &mut ledger, &mut feedbacks);
+        net.step(&mut packets, 1, &mut stats, &mut ledger, &mut feedbacks);
+        assert!(net.buffer_occupancy(net.node_at(src)) > 0);
+        assert_eq!(net.buffer_capacity_per_router(), 56);
+    }
+
+    /// Wormhole correctness: within any input FIFO, the flits of a packet
+    /// are contiguous and well-formed (Head, Body*, Tail) — no two packets
+    /// ever interleave on a virtual channel. Checked every cycle of a
+    /// heavily congested run.
+    #[test]
+    fn wormhole_flits_never_interleave() {
+        let mesh = Mesh3d::new(3, 3, 3).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(1, 1)]).unwrap();
+        let mut net = Network::new(mesh, elevators.clone(), 4);
+        let mut stats = StatsCollector::new(27, 1);
+        let mut ledger = EnergyLedger::default();
+        let mut feedbacks = Vec::new();
+
+        // All-to-one inter-layer hotspot through the single pillar.
+        let dst = Coord::new(2, 2, 2);
+        let mut packets = Vec::new();
+        for src in mesh.coords() {
+            if src == dst {
+                continue;
+            }
+            packets.push(make_packet(&mesh, &elevators, src, dst, 8, 0));
+            let src_id = mesh.node_id(src).unwrap();
+            net.enqueue_packet(src_id, PacketId((packets.len() - 1) as u32));
+        }
+
+        for cycle in 0..2000 {
+            net.step(&mut packets, cycle, &mut stats, &mut ledger, &mut feedbacks);
+            // Invariant check over every FIFO.
+            for router in &net.routers {
+                for port in 0..PORTS {
+                    for vc in 0..VCS {
+                        let fifo = router.fifo(port, vc);
+                        let mut current: Option<PacketId> = None;
+                        for (i, flit) in fifo.iter().enumerate() {
+                            match current {
+                                None => {
+                                    // A fresh packet must start with a head,
+                                    // unless the FIFO holds the middle of a
+                                    // packet whose head already left (only
+                                    // legal at position 0).
+                                    if flit.kind.is_head() {
+                                        current = Some(flit.packet);
+                                    } else {
+                                        assert_eq!(
+                                            i, 0,
+                                            "mid-packet flit beyond slot 0 without a head"
+                                        );
+                                        current = Some(flit.packet);
+                                    }
+                                }
+                                Some(p) => {
+                                    assert_eq!(
+                                        flit.packet, p,
+                                        "packets interleaved within one FIFO"
+                                    );
+                                }
+                            }
+                            if flit.kind.is_tail() {
+                                current = None;
+                            }
+                        }
+                        // Credits never exceed buffer depth.
+                        assert!(router.credits[port][vc] <= 4);
+                    }
+                }
+            }
+            if packets.iter().all(|p| p.delivered.is_some()) {
+                return;
+            }
+        }
+        panic!("hotspot run did not drain in 2000 cycles");
+    }
+
+    #[test]
+    fn vertical_ports_absent_off_pillar() {
+        let (mesh, elevators) = fixture();
+        let net = Network::new(mesh, elevators, 4);
+        let corner = mesh.node_id(Coord::new(0, 0, 0)).unwrap();
+        let pillar = mesh.node_id(Coord::new(1, 1, 0)).unwrap();
+        assert!(net.neighbours[corner.index()][Direction::Up.index()].is_none());
+        assert!(net.neighbours[pillar.index()][Direction::Up.index()].is_some());
+        // Layer 0 has no Down anywhere.
+        assert!(net.neighbours[pillar.index()][Direction::Down.index()].is_none());
+    }
+}

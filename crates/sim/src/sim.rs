@@ -1,0 +1,267 @@
+//! The simulation driver: traffic → selection → network → statistics.
+
+use crate::config::SimConfig;
+use crate::energy::EnergyLedger;
+use crate::flit::{Packet, PacketId};
+use crate::network::Network;
+use crate::stats::{RunSummary, StatsCollector};
+use adele::online::{ElevatorSelector, SelectionContext, SourceFeedback};
+use noc_topology::route::{ElevatorCoord, VirtualNet};
+use noc_traffic::TrafficSource;
+
+/// A configured simulation run.
+///
+/// Owns the network, the workload and the elevator-selection policy;
+/// [`Simulator::run`] executes warm-up → measurement → drain and returns a
+/// [`RunSummary`].
+pub struct Simulator {
+    config: SimConfig,
+    net: Network,
+    packets: Vec<Packet>,
+    traffic: Box<dyn TrafficSource>,
+    selector: Box<dyn ElevatorSelector>,
+    stats: StatsCollector,
+    ledger: EnergyLedger,
+    feedbacks: Vec<SourceFeedback>,
+    cycle: u64,
+    last_progress: u64,
+}
+
+impl std::fmt::Debug for Simulator {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulator")
+            .field("cycle", &self.cycle)
+            .field("packets", &self.packets.len())
+            .field("policy", &self.selector.name())
+            .field("workload", &self.traffic.name())
+            .finish()
+    }
+}
+
+impl Simulator {
+    /// Assembles a simulator.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`SimConfig::validate`]).
+    #[must_use]
+    pub fn new(
+        config: SimConfig,
+        traffic: Box<dyn TrafficSource>,
+        selector: Box<dyn ElevatorSelector>,
+    ) -> Self {
+        config.validate();
+        let net = Network::new(config.mesh, config.elevators.clone(), config.buffer_depth);
+        let stats = StatsCollector::new(config.mesh.node_count(), config.elevators.len());
+        Self {
+            config,
+            net,
+            packets: Vec::new(),
+            traffic,
+            selector,
+            stats,
+            ledger: EnergyLedger::default(),
+            feedbacks: Vec::new(),
+            cycle: 0,
+            last_progress: 0,
+        }
+    }
+
+    /// Current cycle.
+    #[must_use]
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Immutable access to the network (probing, tests).
+    #[must_use]
+    pub fn network(&self) -> &Network {
+        &self.net
+    }
+
+    /// Creates this cycle's packets: asks the workload, runs elevator
+    /// selection for inter-layer packets, and queues them at their NIs.
+    fn generate_traffic(&mut self) {
+        for node in self.config.mesh.node_ids() {
+            let Some(req) = self.traffic.maybe_inject(node, self.cycle) else {
+                continue;
+            };
+            if req.dst == node || req.flits == 0 {
+                continue; // self-addressed or empty packets are dropped
+            }
+            let src = self.config.mesh.coord(node);
+            let dst = self.config.mesh.coord(req.dst);
+            let elevator = if src.z != dst.z {
+                let ctx = SelectionContext {
+                    src_id: node,
+                    src,
+                    dst_id: req.dst,
+                    dst,
+                    elevators: self.net.elevators(),
+                    probe: &self.net,
+                    cycle: self.cycle,
+                };
+                let choice = self.selector.select(&ctx);
+                Some(ElevatorCoord::from_set(self.net.elevators(), choice))
+            } else {
+                None
+            };
+            self.stats
+                .on_packet_created(req.flits, elevator.map(|e| e.id));
+            let id = PacketId(self.packets.len() as u32);
+            self.packets.push(Packet {
+                src: node,
+                dst: req.dst,
+                flits: req.flits,
+                vnet: VirtualNet::for_layers(src.z, dst.z),
+                elevator,
+                created: self.cycle,
+                head_out_src: None,
+                tail_out_src: None,
+                delivered: None,
+                flits_delivered: 0,
+                measured: self.stats.armed(),
+            });
+            self.net.enqueue_packet(node, id);
+        }
+    }
+
+    /// Advances one cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deadlock watchdog fires (flits in flight but no
+    /// progress for `config.watchdog` cycles) — Elevator-First routing is
+    /// deadlock-free, so this indicates a simulator or routing bug.
+    pub fn step(&mut self) {
+        self.generate_traffic();
+        let progress = self.net.step(
+            &mut self.packets,
+            self.cycle,
+            &mut self.stats,
+            &mut self.ledger,
+            &mut self.feedbacks,
+        );
+        for i in 0..self.feedbacks.len() {
+            let fb = self.feedbacks[i];
+            self.selector.on_source_departure(&fb);
+        }
+        self.feedbacks.clear();
+
+        if progress || self.net.buffered_flits() == 0 {
+            self.last_progress = self.cycle;
+        } else {
+            assert!(
+                self.cycle - self.last_progress <= self.config.watchdog,
+                "deadlock: no progress for {} cycles with {} flits in flight",
+                self.config.watchdog,
+                self.net.buffered_flits()
+            );
+        }
+        self.cycle += 1;
+    }
+
+    /// Number of measured packets not yet fully delivered.
+    fn measured_outstanding(&self) -> usize {
+        self.packets
+            .iter()
+            .filter(|p| p.measured && p.delivered.is_none())
+            .count()
+    }
+
+    /// Executes warm-up → measurement → drain and summarises.
+    #[must_use]
+    pub fn run(mut self) -> RunSummary {
+        for _ in 0..self.config.warmup {
+            self.step();
+        }
+        self.stats.set_armed(true);
+        for _ in 0..self.config.measure {
+            self.step();
+        }
+        self.stats.set_armed(false);
+
+        // Drain with traffic still flowing (background congestion stays
+        // realistic); stop once every measured packet has been delivered.
+        let mut drained = 0;
+        let mut completed = self.measured_outstanding() == 0;
+        while !completed && drained < self.config.drain_max {
+            // Check outstanding only periodically: the scan is O(packets).
+            for _ in 0..64 {
+                self.step();
+                drained += 1;
+            }
+            completed = self.measured_outstanding() == 0;
+        }
+
+        RunSummary::from_parts(
+            self.selector.name(),
+            self.traffic.name(),
+            self.traffic.mean_rate(),
+            &self.stats,
+            &self.ledger,
+            &self.config.energy,
+            self.config.mesh.node_count(),
+            completed,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adele::online::ElevatorFirstSelector;
+    use noc_topology::{ElevatorSet, Mesh3d};
+    use noc_traffic::SyntheticTraffic;
+
+    fn quick_config() -> SimConfig {
+        let mesh = Mesh3d::new(4, 4, 2).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
+        SimConfig::new(mesh, elevators).with_phases(200, 800, 4000)
+    }
+
+    fn run_uniform(rate: f64, seed: u64) -> RunSummary {
+        let config = quick_config().with_seed(seed);
+        let traffic = SyntheticTraffic::uniform(&config.mesh, rate, seed);
+        let selector = ElevatorFirstSelector::new(&config.mesh, &config.elevators);
+        Simulator::new(config, Box::new(traffic), Box::new(selector)).run()
+    }
+
+    #[test]
+    fn light_load_delivers_everything() {
+        let summary = run_uniform(0.002, 3);
+        assert!(summary.completed, "light load must drain");
+        assert!(summary.delivered_packets >= summary.injected_packets * 9 / 10);
+        assert!(summary.avg_latency > 0.0);
+        assert!(summary.energy_per_flit_nj > 0.0);
+        assert_eq!(summary.policy, "ElevFirst");
+        assert_eq!(summary.workload, "uniform");
+    }
+
+    #[test]
+    fn latency_grows_with_load() {
+        let low = run_uniform(0.001, 5);
+        let high = run_uniform(0.008, 5);
+        assert!(
+            high.avg_latency > low.avg_latency,
+            "latency must grow with load: {} vs {}",
+            high.avg_latency,
+            low.avg_latency
+        );
+    }
+
+    #[test]
+    fn same_seed_reproduces_summary() {
+        let a = run_uniform(0.004, 11);
+        let b = run_uniform(0.004, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn zero_rate_injects_nothing() {
+        let summary = run_uniform(0.0, 1);
+        assert_eq!(summary.injected_packets, 0);
+        assert_eq!(summary.delivered_packets, 0);
+        assert!(summary.completed);
+    }
+}

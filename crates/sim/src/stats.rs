@@ -1,0 +1,266 @@
+//! Latency, throughput, load and elevator-usage statistics.
+
+use crate::energy::{EnergyLedger, EnergyModel};
+use crate::flit::Packet;
+use noc_topology::{ElevatorId, NodeId};
+
+/// Collects statistics during a run. Only events inside the measurement
+/// window count (the collector is armed/disarmed by the simulator).
+#[derive(Debug, Clone)]
+pub struct StatsCollector {
+    armed: bool,
+    /// Flits that entered each router (link arrivals + injections).
+    pub(crate) router_flits: Vec<u64>,
+    /// Packets assigned to each elevator at selection time.
+    pub(crate) elevator_packets: Vec<u64>,
+    pub(crate) injected_packets: u64,
+    pub(crate) injected_flits: u64,
+    pub(crate) delivered_flits: u64,
+    /// Measured packets delivered, with total latency accumulators.
+    pub(crate) delivered_packets: u64,
+    pub(crate) total_latency: u64,
+    /// Network-only latency (source-router head departure → delivery).
+    pub(crate) total_network_latency: u64,
+    pub(crate) measured_cycles: u64,
+}
+
+impl StatsCollector {
+    /// Creates a collector for `nodes` routers and `elevators` elevators.
+    #[must_use]
+    pub fn new(nodes: usize, elevators: usize) -> Self {
+        Self {
+            armed: false,
+            router_flits: vec![0; nodes],
+            elevator_packets: vec![0; elevators],
+            injected_packets: 0,
+            injected_flits: 0,
+            delivered_flits: 0,
+            delivered_packets: 0,
+            total_latency: 0,
+            total_network_latency: 0,
+            measured_cycles: 0,
+        }
+    }
+
+    /// Starts/stops counting.
+    pub fn set_armed(&mut self, armed: bool) {
+        self.armed = armed;
+    }
+
+    /// `true` while inside the measurement window.
+    #[must_use]
+    pub fn armed(&self) -> bool {
+        self.armed
+    }
+
+    pub(crate) fn on_cycle(&mut self) {
+        if self.armed {
+            self.measured_cycles += 1;
+        }
+    }
+
+    pub(crate) fn on_router_flit(&mut self, node: NodeId) {
+        if self.armed {
+            self.router_flits[node.index()] += 1;
+        }
+    }
+
+    pub(crate) fn on_packet_created(&mut self, flits: u16, elevator: Option<ElevatorId>) {
+        if self.armed {
+            self.injected_packets += 1;
+            self.injected_flits += u64::from(flits);
+            if let Some(e) = elevator {
+                self.elevator_packets[e.index()] += 1;
+            }
+        }
+    }
+
+    pub(crate) fn on_flit_delivered(&mut self) {
+        if self.armed {
+            self.delivered_flits += 1;
+        }
+    }
+
+    pub(crate) fn on_packet_delivered(&mut self, packet: &Packet, now: u64) {
+        if !packet.measured {
+            return;
+        }
+        self.delivered_packets += 1;
+        self.total_latency += now.saturating_sub(packet.created);
+        let net_start = packet.head_out_src.unwrap_or(packet.created);
+        self.total_network_latency += now.saturating_sub(net_start);
+    }
+}
+
+/// Final summary of one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Policy name ("ElevFirst", "CDA", "AdEle", "AdEle-RR").
+    pub policy: String,
+    /// Workload name ("uniform", "shuffle", app name…).
+    pub workload: String,
+    /// Offered packet injection rate per node per cycle (if known).
+    pub offered_rate: Option<f64>,
+    /// Average end-to-end packet latency in cycles (creation → tail
+    /// ejection) over measured, delivered packets.
+    pub avg_latency: f64,
+    /// Average network latency (source-router head departure → delivery).
+    pub avg_network_latency: f64,
+    /// Measured packets delivered.
+    pub delivered_packets: u64,
+    /// Measured packets injected.
+    pub injected_packets: u64,
+    /// Delivered flits per node per measured cycle (throughput).
+    pub throughput_flits: f64,
+    /// Energy per delivered flit, nanojoules.
+    pub energy_per_flit_nj: f64,
+    /// Flits through each router during the window (Fig. 2b / Fig. 5).
+    pub router_flits: Vec<u64>,
+    /// Packets assigned to each elevator (load balance view).
+    pub elevator_packets: Vec<u64>,
+    /// Cycles in the measurement window.
+    pub measured_cycles: u64,
+    /// `true` if every measured packet drained before the cap; `false`
+    /// indicates the network was saturated.
+    pub completed: bool,
+}
+
+impl RunSummary {
+    #[allow(clippy::too_many_arguments)] // internal constructor mirroring the summary fields
+    pub(crate) fn from_parts(
+        policy: &str,
+        workload: &str,
+        offered_rate: Option<f64>,
+        stats: &StatsCollector,
+        ledger: &EnergyLedger,
+        model: &EnergyModel,
+        nodes: usize,
+        completed: bool,
+    ) -> Self {
+        let delivered = stats.delivered_packets.max(1) as f64;
+        Self {
+            policy: policy.to_string(),
+            workload: workload.to_string(),
+            offered_rate,
+            avg_latency: stats.total_latency as f64 / delivered,
+            avg_network_latency: stats.total_network_latency as f64 / delivered,
+            delivered_packets: stats.delivered_packets,
+            injected_packets: stats.injected_packets,
+            throughput_flits: if stats.measured_cycles == 0 {
+                0.0
+            } else {
+                stats.delivered_flits as f64 / (stats.measured_cycles as f64 * nodes as f64)
+            },
+            energy_per_flit_nj: ledger.per_flit_nj(model, stats.delivered_flits),
+            router_flits: stats.router_flits.clone(),
+            elevator_packets: stats.elevator_packets.clone(),
+            measured_cycles: stats.measured_cycles,
+            completed,
+        }
+    }
+
+    /// Mean load over routers *with* an elevator divided by the mean load
+    /// over routers *without*, the normalisation of the paper's Fig. 5.
+    ///
+    /// `is_elevator[i]` flags elevator routers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `is_elevator` length mismatches the router count.
+    #[must_use]
+    pub fn normalized_elevator_loads(&self, is_elevator: &[bool]) -> Vec<f64> {
+        assert_eq!(is_elevator.len(), self.router_flits.len());
+        let (mut base_sum, mut base_n) = (0.0, 0u64);
+        for (i, &flag) in is_elevator.iter().enumerate() {
+            if !flag {
+                base_sum += self.router_flits[i] as f64;
+                base_n += 1;
+            }
+        }
+        let base = if base_n == 0 { 1.0 } else { base_sum / base_n as f64 };
+        let base = if base == 0.0 { 1.0 } else { base };
+        is_elevator
+            .iter()
+            .enumerate()
+            .filter(|&(_, &flag)| flag)
+            .map(|(i, _)| self.router_flits[i] as f64 / base)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::route::VirtualNet;
+
+    #[test]
+    fn collector_ignores_events_while_disarmed() {
+        let mut c = StatsCollector::new(4, 2);
+        c.on_router_flit(NodeId(0));
+        c.on_packet_created(10, Some(ElevatorId(0)));
+        c.on_flit_delivered();
+        c.on_cycle();
+        assert_eq!(c.router_flits[0], 0);
+        assert_eq!(c.injected_packets, 0);
+        assert_eq!(c.delivered_flits, 0);
+        assert_eq!(c.measured_cycles, 0);
+
+        c.set_armed(true);
+        c.on_router_flit(NodeId(0));
+        c.on_packet_created(10, Some(ElevatorId(0)));
+        c.on_cycle();
+        assert_eq!(c.router_flits[0], 1);
+        assert_eq!(c.injected_packets, 1);
+        assert_eq!(c.elevator_packets[0], 1);
+        assert_eq!(c.measured_cycles, 1);
+    }
+
+    #[test]
+    fn packet_delivery_counts_only_measured_packets() {
+        let mut c = StatsCollector::new(2, 1);
+        c.set_armed(true);
+        let make = |measured: bool| Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            flits: 10,
+            vnet: VirtualNet::Ascend,
+            elevator: None,
+            created: 100,
+            head_out_src: Some(105),
+            tail_out_src: None,
+            delivered: None,
+            flits_delivered: 0,
+            measured,
+        };
+        c.on_packet_delivered(&make(false), 150);
+        assert_eq!(c.delivered_packets, 0);
+        c.on_packet_delivered(&make(true), 150);
+        assert_eq!(c.delivered_packets, 1);
+        assert_eq!(c.total_latency, 50);
+        assert_eq!(c.total_network_latency, 45);
+    }
+
+    #[test]
+    fn normalized_loads_divide_by_elevatorless_mean() {
+        let summary = RunSummary {
+            policy: "x".into(),
+            workload: "y".into(),
+            offered_rate: None,
+            avg_latency: 0.0,
+            avg_network_latency: 0.0,
+            delivered_packets: 0,
+            injected_packets: 0,
+            throughput_flits: 0.0,
+            energy_per_flit_nj: 0.0,
+            router_flits: vec![100, 10, 20, 300],
+            elevator_packets: vec![],
+            measured_cycles: 0,
+            completed: true,
+        };
+        let loads = summary.normalized_elevator_loads(&[true, false, false, true]);
+        // Base = (10 + 20) / 2 = 15.
+        assert_eq!(loads.len(), 2);
+        assert!((loads[0] - 100.0 / 15.0).abs() < 1e-12);
+        assert!((loads[1] - 20.0).abs() < 1e-12);
+    }
+}

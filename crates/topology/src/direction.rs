@@ -1,0 +1,157 @@
+use std::fmt;
+
+/// The seven router ports of a 3D-mesh router.
+///
+/// `Local` connects the router to its network interface; the four compass
+/// directions are the in-layer links; `Up`/`Down` are the TSV links that
+/// exist only at elevator columns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Direction {
+    /// Ejection/injection port to the attached core.
+    Local,
+    /// +X neighbour.
+    East,
+    /// -X neighbour.
+    West,
+    /// +Y neighbour.
+    North,
+    /// -Y neighbour.
+    South,
+    /// +Z neighbour (next layer up); elevator columns only.
+    Up,
+    /// -Z neighbour (next layer down); elevator columns only.
+    Down,
+}
+
+impl Direction {
+    /// All seven directions, in port-index order.
+    pub const ALL: [Direction; 7] = [
+        Direction::Local,
+        Direction::East,
+        Direction::West,
+        Direction::North,
+        Direction::South,
+        Direction::Up,
+        Direction::Down,
+    ];
+
+    /// Number of ports on a 3D-mesh router.
+    pub const COUNT: usize = 7;
+
+    /// Stable port index in `0..Direction::COUNT`.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        match self {
+            Direction::Local => 0,
+            Direction::East => 1,
+            Direction::West => 2,
+            Direction::North => 3,
+            Direction::South => 4,
+            Direction::Up => 5,
+            Direction::Down => 6,
+        }
+    }
+
+    /// Builds a direction back from [`Direction::index`].
+    ///
+    /// Returns `None` for indices `>= Direction::COUNT`.
+    #[must_use]
+    pub const fn from_index(index: usize) -> Option<Direction> {
+        match index {
+            0 => Some(Direction::Local),
+            1 => Some(Direction::East),
+            2 => Some(Direction::West),
+            3 => Some(Direction::North),
+            4 => Some(Direction::South),
+            5 => Some(Direction::Up),
+            6 => Some(Direction::Down),
+            _ => None,
+        }
+    }
+
+    /// The direction a neighbouring router sees this link from.
+    ///
+    /// `Local` is its own opposite.
+    ///
+    /// ```
+    /// use noc_topology::Direction;
+    /// assert_eq!(Direction::East.opposite(), Direction::West);
+    /// assert_eq!(Direction::Up.opposite(), Direction::Down);
+    /// assert_eq!(Direction::Local.opposite(), Direction::Local);
+    /// ```
+    #[must_use]
+    pub const fn opposite(self) -> Direction {
+        match self {
+            Direction::Local => Direction::Local,
+            Direction::East => Direction::West,
+            Direction::West => Direction::East,
+            Direction::North => Direction::South,
+            Direction::South => Direction::North,
+            Direction::Up => Direction::Down,
+            Direction::Down => Direction::Up,
+        }
+    }
+
+    /// `true` for the two TSV directions.
+    #[must_use]
+    pub const fn is_vertical(self) -> bool {
+        matches!(self, Direction::Up | Direction::Down)
+    }
+
+    /// `true` for the four in-layer mesh directions.
+    #[must_use]
+    pub const fn is_horizontal(self) -> bool {
+        matches!(
+            self,
+            Direction::East | Direction::West | Direction::North | Direction::South
+        )
+    }
+}
+
+impl fmt::Display for Direction {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Direction::Local => "local",
+            Direction::East => "east",
+            Direction::West => "west",
+            Direction::North => "north",
+            Direction::South => "south",
+            Direction::Up => "up",
+            Direction::Down => "down",
+        };
+        f.write_str(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trips() {
+        for dir in Direction::ALL {
+            assert_eq!(Direction::from_index(dir.index()), Some(dir));
+        }
+        assert_eq!(Direction::from_index(7), None);
+    }
+
+    #[test]
+    fn opposite_is_involutive() {
+        for dir in Direction::ALL {
+            assert_eq!(dir.opposite().opposite(), dir);
+        }
+    }
+
+    #[test]
+    fn classification_partitions_non_local_ports() {
+        for dir in Direction::ALL {
+            let classes =
+                usize::from(dir.is_vertical()) + usize::from(dir.is_horizontal());
+            if dir == Direction::Local {
+                assert_eq!(classes, 0);
+            } else {
+                assert_eq!(classes, 1, "{dir} must be exactly one class");
+            }
+        }
+    }
+}

@@ -1,0 +1,59 @@
+use std::fmt;
+
+/// Errors produced while constructing or querying a topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopologyError {
+    /// A mesh dimension was zero or too large for the dense index space.
+    InvalidDimensions {
+        /// Requested X extent.
+        x: usize,
+        /// Requested Y extent.
+        y: usize,
+        /// Requested Z extent (number of layers).
+        z: usize,
+    },
+    /// A coordinate lies outside the mesh.
+    CoordOutOfBounds {
+        /// The offending coordinate.
+        coord: crate::Coord,
+    },
+    /// An elevator column was specified more than once.
+    DuplicateElevator {
+        /// X position of the duplicate column.
+        x: u8,
+        /// Y position of the duplicate column.
+        y: u8,
+    },
+    /// An elevator set must contain at least one elevator.
+    EmptyElevatorSet,
+    /// A placement asked for more elevators than there are columns.
+    TooManyElevators {
+        /// Requested number of elevator columns.
+        requested: usize,
+        /// Number of `(x, y)` columns available.
+        available: usize,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::InvalidDimensions { x, y, z } => {
+                write!(f, "invalid mesh dimensions {x}x{y}x{z}: each must be in 1..=64")
+            }
+            TopologyError::CoordOutOfBounds { coord } => {
+                write!(f, "coordinate {coord} is outside the mesh")
+            }
+            TopologyError::DuplicateElevator { x, y } => {
+                write!(f, "elevator column ({x}, {y}) listed more than once")
+            }
+            TopologyError::EmptyElevatorSet => write!(f, "elevator set must not be empty"),
+            TopologyError::TooManyElevators { requested, available } => {
+                write!(f, "requested {requested} elevators but only {available} columns exist")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}

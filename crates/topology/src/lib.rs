@@ -1,0 +1,42 @@
+//! 3D-mesh topology primitives for partially connected 3D NoCs (PC-3DNoCs).
+//!
+//! A PC-3DNoC is a stack of `L` identical 2D meshes ("layers") in which only
+//! a few `(x, y)` columns — the **elevators** — carry vertical TSV links.
+//! Every crate in this workspace builds on the types defined here:
+//!
+//! * [`Coord`] / [`NodeId`] — 3D coordinates and dense router indices.
+//! * [`Mesh3d`] — the mesh geometry (dimensions, neighbours, distances).
+//! * [`ElevatorSet`] / [`ElevatorId`] — the vertical-link columns.
+//! * [`placement`] — the paper's elevator-placement patterns (`PS1`–`PS3`,
+//!   `PM`) and an average-distance placement optimiser.
+//! * [`route`] — Elevator-First routing geometry (phase logic, next-hop
+//!   computation, path enumeration).
+//!
+//! # Example
+//!
+//! ```
+//! use noc_topology::{Mesh3d, placement::Placement};
+//!
+//! let mesh = Mesh3d::new(4, 4, 4)?;
+//! let elevators = Placement::Ps1.build(&mesh)?;
+//! assert_eq!(mesh.node_count(), 64);
+//! assert_eq!(elevators.len(), 3);
+//! # Ok::<(), noc_topology::TopologyError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coord;
+mod direction;
+mod elevator;
+mod error;
+mod mesh;
+pub mod placement;
+pub mod route;
+
+pub use coord::{Coord, NodeId};
+pub use direction::Direction;
+pub use elevator::{ElevatorId, ElevatorSet};
+pub use error::TopologyError;
+pub use mesh::Mesh3d;

@@ -1,0 +1,246 @@
+use crate::{Coord, Direction, NodeId, TopologyError};
+
+/// Geometry of an `X × Y × Z` 3D mesh.
+///
+/// The mesh knows nothing about elevators; pair it with an
+/// [`ElevatorSet`](crate::ElevatorSet) to describe a PC-3DNoC.
+///
+/// ```
+/// use noc_topology::{Coord, Mesh3d};
+/// let mesh = Mesh3d::new(4, 4, 2)?;
+/// let id = mesh.node_id(Coord::new(3, 2, 1))?;
+/// assert_eq!(mesh.coord(id), Coord::new(3, 2, 1));
+/// # Ok::<(), noc_topology::TopologyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Mesh3d {
+    x: u8,
+    y: u8,
+    z: u8,
+}
+
+impl Mesh3d {
+    /// Maximum extent of any dimension (keeps `NodeId` within `u16`).
+    pub const MAX_DIM: usize = 64;
+
+    /// Creates a mesh with the given extents.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::InvalidDimensions`] if any extent is zero,
+    /// any extent exceeds [`Mesh3d::MAX_DIM`], or the total node count
+    /// overflows `u16`.
+    pub fn new(x: usize, y: usize, z: usize) -> Result<Self, TopologyError> {
+        let invalid = |_| TopologyError::InvalidDimensions { x, y, z };
+        if x == 0 || y == 0 || z == 0 || x > Self::MAX_DIM || y > Self::MAX_DIM || z > Self::MAX_DIM
+        {
+            return Err(TopologyError::InvalidDimensions { x, y, z });
+        }
+        if x * y * z > u16::MAX as usize {
+            return Err(TopologyError::InvalidDimensions { x, y, z });
+        }
+        Ok(Self {
+            x: u8::try_from(x).map_err(invalid)?,
+            y: u8::try_from(y).map_err(invalid)?,
+            z: u8::try_from(z).map_err(invalid)?,
+        })
+    }
+
+    /// X extent.
+    #[must_use]
+    pub fn x(&self) -> usize {
+        self.x as usize
+    }
+
+    /// Y extent.
+    #[must_use]
+    pub fn y(&self) -> usize {
+        self.y as usize
+    }
+
+    /// Number of layers (Z extent).
+    #[must_use]
+    pub fn layers(&self) -> usize {
+        self.z as usize
+    }
+
+    /// Routers per layer (`X × Y`).
+    #[must_use]
+    pub fn nodes_per_layer(&self) -> usize {
+        self.x() * self.y()
+    }
+
+    /// Total number of routers.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes_per_layer() * self.layers()
+    }
+
+    /// Returns `true` if `coord` lies inside the mesh.
+    #[must_use]
+    pub fn contains(&self, coord: Coord) -> bool {
+        coord.x < self.x && coord.y < self.y && coord.z < self.z
+    }
+
+    /// Dense id of the router at `coord`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::CoordOutOfBounds`] if `coord` lies outside
+    /// the mesh.
+    pub fn node_id(&self, coord: Coord) -> Result<NodeId, TopologyError> {
+        if !self.contains(coord) {
+            return Err(TopologyError::CoordOutOfBounds { coord });
+        }
+        let raw = coord.x as usize
+            + coord.y as usize * self.x()
+            + coord.z as usize * self.nodes_per_layer();
+        Ok(NodeId(raw as u16))
+    }
+
+    /// Coordinate of router `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this mesh (ids are produced by
+    /// [`Mesh3d::node_id`] and the iterators, so this indicates a logic
+    /// error, not bad input).
+    #[must_use]
+    pub fn coord(&self, id: NodeId) -> Coord {
+        let idx = id.index();
+        assert!(idx < self.node_count(), "node id {id} out of range");
+        let per_layer = self.nodes_per_layer();
+        let z = idx / per_layer;
+        let rem = idx % per_layer;
+        Coord::new((rem % self.x()) as u8, (rem / self.x()) as u8, z as u8)
+    }
+
+    /// Neighbour of `coord` in direction `dir`, if the link exists
+    /// geometrically.
+    ///
+    /// This is purely the mesh adjacency: vertical neighbours are reported
+    /// for *every* column. Whether a TSV actually exists there is decided by
+    /// the [`ElevatorSet`](crate::ElevatorSet).
+    #[must_use]
+    pub fn neighbour(&self, coord: Coord, dir: Direction) -> Option<Coord> {
+        let candidate = match dir {
+            Direction::Local => return None,
+            Direction::East => Coord::new(coord.x.checked_add(1)?, coord.y, coord.z),
+            Direction::West => Coord::new(coord.x.checked_sub(1)?, coord.y, coord.z),
+            Direction::North => Coord::new(coord.x, coord.y.checked_add(1)?, coord.z),
+            Direction::South => Coord::new(coord.x, coord.y.checked_sub(1)?, coord.z),
+            Direction::Up => Coord::new(coord.x, coord.y, coord.z.checked_add(1)?),
+            Direction::Down => Coord::new(coord.x, coord.y, coord.z.checked_sub(1)?),
+        };
+        self.contains(candidate).then_some(candidate)
+    }
+
+    /// Iterates over every router id in dense order.
+    pub fn node_ids(&self) -> impl Iterator<Item = NodeId> + '_ {
+        (0..self.node_count() as u16).map(NodeId)
+    }
+
+    /// Iterates over every coordinate in dense-id order.
+    pub fn coords(&self) -> impl Iterator<Item = Coord> + '_ {
+        self.node_ids().map(|id| self.coord(id))
+    }
+
+    /// Iterates over the coordinates of a single layer in dense order.
+    pub fn layer_coords(&self, z: u8) -> impl Iterator<Item = Coord> + '_ {
+        let (xs, ys) = (self.x as u16, self.y as u16);
+        (0..ys).flat_map(move |y| (0..xs).map(move |x| Coord::new(x as u8, y as u8, z)))
+    }
+
+    /// Manhattan distance between two routers identified by id.
+    #[must_use]
+    pub fn distance(&self, a: NodeId, b: NodeId) -> u32 {
+        self.coord(a).manhattan(self.coord(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_bad_dimensions() {
+        assert!(Mesh3d::new(0, 4, 4).is_err());
+        assert!(Mesh3d::new(4, 0, 4).is_err());
+        assert!(Mesh3d::new(4, 4, 0).is_err());
+        assert!(Mesh3d::new(65, 4, 4).is_err());
+        // 64*64*16 = 65536 > u16::MAX
+        assert!(Mesh3d::new(64, 64, 16).is_err());
+        assert!(Mesh3d::new(64, 64, 15).is_ok());
+    }
+
+    #[test]
+    fn id_coord_round_trip_covers_all_nodes() {
+        let mesh = Mesh3d::new(3, 4, 5).unwrap();
+        assert_eq!(mesh.node_count(), 60);
+        for id in mesh.node_ids() {
+            let coord = mesh.coord(id);
+            assert!(mesh.contains(coord));
+            assert_eq!(mesh.node_id(coord).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn node_id_rejects_out_of_bounds() {
+        let mesh = Mesh3d::new(2, 2, 2).unwrap();
+        assert!(matches!(
+            mesh.node_id(Coord::new(2, 0, 0)),
+            Err(TopologyError::CoordOutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn neighbours_respect_boundaries() {
+        let mesh = Mesh3d::new(2, 2, 2).unwrap();
+        let origin = Coord::new(0, 0, 0);
+        assert_eq!(mesh.neighbour(origin, Direction::West), None);
+        assert_eq!(mesh.neighbour(origin, Direction::South), None);
+        assert_eq!(mesh.neighbour(origin, Direction::Down), None);
+        assert_eq!(mesh.neighbour(origin, Direction::Local), None);
+        assert_eq!(
+            mesh.neighbour(origin, Direction::East),
+            Some(Coord::new(1, 0, 0))
+        );
+        assert_eq!(
+            mesh.neighbour(origin, Direction::Up),
+            Some(Coord::new(0, 0, 1))
+        );
+    }
+
+    #[test]
+    fn neighbour_relation_is_symmetric() {
+        let mesh = Mesh3d::new(3, 3, 3).unwrap();
+        for coord in mesh.coords() {
+            for dir in Direction::ALL {
+                if let Some(next) = mesh.neighbour(coord, dir) {
+                    assert_eq!(mesh.neighbour(next, dir.opposite()), Some(coord));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn layer_coords_enumerates_one_layer() {
+        let mesh = Mesh3d::new(4, 4, 4).unwrap();
+        let layer: Vec<_> = mesh.layer_coords(2).collect();
+        assert_eq!(layer.len(), 16);
+        assert!(layer.iter().all(|c| c.z == 2));
+        // Dense order matches node-id order within the layer.
+        let ids: Vec<_> = layer.iter().map(|&c| mesh.node_id(c).unwrap().0).collect();
+        let mut sorted = ids.clone();
+        sorted.sort_unstable();
+        assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn distance_matches_manhattan() {
+        let mesh = Mesh3d::new(4, 4, 4).unwrap();
+        let a = mesh.node_id(Coord::new(0, 0, 0)).unwrap();
+        let b = mesh.node_id(Coord::new(3, 3, 3)).unwrap();
+        assert_eq!(mesh.distance(a, b), 9);
+    }
+}

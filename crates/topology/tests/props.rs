@@ -1,0 +1,151 @@
+//! Property tests for the topology crate: geometry and routing invariants
+//! over arbitrary meshes and elevator placements.
+
+use noc_topology::placement::optimize_columns;
+use noc_topology::route::{self, ElevatorCoord};
+use noc_topology::{Coord, Direction, ElevatorSet, Mesh3d};
+use proptest::prelude::*;
+
+fn arb_mesh() -> impl Strategy<Value = Mesh3d> {
+    (1usize..=8, 1usize..=8, 1usize..=4).prop_map(|(x, y, z)| Mesh3d::new(x, y, z).unwrap())
+}
+
+fn arb_mesh_with_elevators() -> impl Strategy<Value = (Mesh3d, ElevatorSet)> {
+    arb_mesh().prop_flat_map(|mesh| {
+        let columns = prop::collection::hash_set(
+            (0..mesh.x() as u8, 0..mesh.y() as u8),
+            1..=mesh.nodes_per_layer().min(5),
+        );
+        columns.prop_map(move |cols| {
+            let set = ElevatorSet::new(&mesh, cols).unwrap();
+            (mesh, set)
+        })
+    })
+}
+
+proptest! {
+    #[test]
+    fn node_id_round_trips(mesh in arb_mesh()) {
+        for id in mesh.node_ids() {
+            let coord = mesh.coord(id);
+            prop_assert_eq!(mesh.node_id(coord).unwrap(), id);
+        }
+    }
+
+    #[test]
+    fn neighbour_symmetry_everywhere(mesh in arb_mesh()) {
+        for coord in mesh.coords() {
+            for dir in Direction::ALL {
+                if let Some(next) = mesh.neighbour(coord, dir) {
+                    prop_assert_eq!(mesh.neighbour(next, dir.opposite()), Some(coord));
+                    prop_assert_eq!(coord.manhattan(next), 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn manhattan_triangle_inequality(
+        a in (0u8..8, 0u8..8, 0u8..4),
+        b in (0u8..8, 0u8..8, 0u8..4),
+        c in (0u8..8, 0u8..8, 0u8..4),
+    ) {
+        let (a, b, c) = (
+            Coord::new(a.0, a.1, a.2),
+            Coord::new(b.0, b.1, b.2),
+            Coord::new(c.0, c.1, c.2),
+        );
+        prop_assert!(a.manhattan(c) <= a.manhattan(b) + b.manhattan(c));
+        prop_assert_eq!(a.manhattan(b), b.manhattan(a));
+    }
+
+    /// Elevator-First routes terminate, stay in-mesh, and have exactly the
+    /// Eq. 4 length for every (src, dst, elevator) triple.
+    #[test]
+    fn routes_have_eq4_length((mesh, elevators) in arb_mesh_with_elevators()) {
+        let mut checked = 0;
+        for src in mesh.coords() {
+            for dst in mesh.coords() {
+                if src == dst {
+                    continue;
+                }
+                for (id, _) in elevators.iter() {
+                    let choice = (src.z != dst.z)
+                        .then(|| ElevatorCoord::from_set(&elevators, id));
+                    let path = route::route_coords(src, dst, choice);
+                    prop_assert!(path.iter().all(|&c| mesh.contains(c)));
+                    prop_assert_eq!(path.last(), Some(&dst));
+                    prop_assert_eq!(
+                        path.len() as u32,
+                        route::route_length(src, dst, choice) + 1
+                    );
+                    checked += 1;
+                    if checked > 500 {
+                        return Ok(()); // cap work per case
+                    }
+                }
+            }
+        }
+    }
+
+    /// The minimal-path elevator never yields a longer route than any
+    /// other elevator.
+    #[test]
+    fn minimal_path_elevator_is_minimal((mesh, elevators) in arb_mesh_with_elevators()) {
+        let mut checked = 0;
+        for src in mesh.coords() {
+            for dst in mesh.coords() {
+                if src.z == dst.z {
+                    continue;
+                }
+                let best = elevators
+                    .minimal_path_among(src, dst, elevators.ids())
+                    .unwrap();
+                let best_len = elevators.route_xy_length(src, dst, best);
+                for (id, _) in elevators.iter() {
+                    prop_assert!(best_len <= elevators.route_xy_length(src, dst, id));
+                }
+                checked += 1;
+                if checked > 300 {
+                    return Ok(());
+                }
+            }
+        }
+    }
+
+    /// The placement optimiser returns the requested number of distinct,
+    /// in-bounds columns.
+    #[test]
+    fn optimizer_output_is_valid(
+        x in 2usize..=6,
+        y in 2usize..=6,
+        count in 1usize..=4,
+    ) {
+        let mesh = Mesh3d::new(x, y, 2).unwrap();
+        let count = count.min(x * y);
+        let columns = optimize_columns(&mesh, count);
+        prop_assert_eq!(columns.len(), count);
+        let mut unique = columns.clone();
+        unique.sort_unstable();
+        unique.dedup();
+        prop_assert_eq!(unique.len(), count, "columns must be distinct");
+        for (cx, cy) in columns {
+            prop_assert!((cx as usize) < x && (cy as usize) < y);
+        }
+    }
+
+    /// `nearest` agrees with a brute-force scan.
+    #[test]
+    fn nearest_matches_brute_force((mesh, elevators) in arb_mesh_with_elevators()) {
+        for coord in mesh.coords() {
+            let fast = elevators.nearest(coord);
+            let brute = elevators
+                .iter()
+                .map(|(id, _)| (elevators.xy_distance(coord, id), id))
+                .min()
+                .unwrap()
+                .1;
+            prop_assert_eq!(fast, brute);
+        }
+    }
+}

@@ -1,0 +1,232 @@
+//! Temporal injection processes and packet sizing.
+
+use rand::Rng;
+
+/// The paper's packet-size distribution: uniform over 10–30 flits
+/// (Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PacketSizeRange {
+    min: u16,
+    max: u16,
+}
+
+impl PacketSizeRange {
+    /// Builds an inclusive flit-count range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min` is zero or greater than `max`.
+    #[must_use]
+    pub fn new(min: u16, max: u16) -> Self {
+        assert!(min >= 1 && min <= max, "invalid packet size range {min}..={max}");
+        Self { min, max }
+    }
+
+    /// The paper's default: 10–30 flits.
+    #[must_use]
+    pub fn paper_default() -> Self {
+        Self::new(10, 30)
+    }
+
+    /// Smallest packet size in flits.
+    #[must_use]
+    pub fn min(&self) -> u16 {
+        self.min
+    }
+
+    /// Largest packet size in flits.
+    #[must_use]
+    pub fn max(&self) -> u16 {
+        self.max
+    }
+
+    /// Mean packet size in flits.
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        f64::from(self.min + self.max) / 2.0
+    }
+
+    /// Samples a packet size.
+    pub fn sample(&self, rng: &mut dyn rand::RngCore) -> u16 {
+        rng.gen_range(self.min..=self.max)
+    }
+}
+
+impl Default for PacketSizeRange {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// Parameters of a two-state (on/off) Markov burst modulator.
+///
+/// The stationary mean of the modulation factor is exactly 1, so wrapping a
+/// Bernoulli process in an [`OnOff`] modulator preserves the average
+/// injection rate while adding temporal burstiness.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OnOffParams {
+    /// Per-cycle probability of leaving the ON state.
+    pub on_to_off: f64,
+    /// Per-cycle probability of leaving the OFF state.
+    pub off_to_on: f64,
+    /// Rate multiplier while OFF (must be `< 1`; ON compensates).
+    pub off_scale: f64,
+}
+
+impl OnOffParams {
+    /// Validates and builds burst parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any probability is outside `(0, 1]` or `off_scale` is not
+    /// in `[0, 1)`.
+    #[must_use]
+    pub fn new(on_to_off: f64, off_to_on: f64, off_scale: f64) -> Self {
+        assert!((0.0..=1.0).contains(&on_to_off) && on_to_off > 0.0);
+        assert!((0.0..=1.0).contains(&off_to_on) && off_to_on > 0.0);
+        assert!((0.0..1.0).contains(&off_scale));
+        Self { on_to_off, off_to_on, off_scale }
+    }
+
+    /// Stationary probability of the ON state.
+    #[must_use]
+    pub fn stationary_on(&self) -> f64 {
+        self.off_to_on / (self.on_to_off + self.off_to_on)
+    }
+
+    /// Rate multiplier while ON, chosen so the stationary mean factor is 1.
+    #[must_use]
+    pub fn on_scale(&self) -> f64 {
+        let s_on = self.stationary_on();
+        (1.0 - (1.0 - s_on) * self.off_scale) / s_on
+    }
+}
+
+/// Per-node injection process: decides, each cycle, whether to inject a
+/// packet.
+#[derive(Debug, Clone)]
+pub enum InjectionProcess {
+    /// Memoryless injection at a fixed packets/cycle/node rate.
+    Bernoulli {
+        /// Packet injection probability per cycle.
+        rate: f64,
+    },
+    /// Bernoulli modulated by a two-state Markov burst process.
+    OnOff {
+        /// Base (average) packet injection probability per cycle.
+        rate: f64,
+        /// Burst parameters.
+        params: OnOffParams,
+        /// Current state (true = ON).
+        on: bool,
+    },
+}
+
+impl InjectionProcess {
+    /// Memoryless injection at `rate` packets/cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    #[must_use]
+    pub fn bernoulli(rate: f64) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} must be a probability");
+        InjectionProcess::Bernoulli { rate }
+    }
+
+    /// Bursty injection averaging `rate` packets/cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rate` is not in `[0, 1]`.
+    #[must_use]
+    pub fn on_off(rate: f64, params: OnOffParams) -> Self {
+        assert!((0.0..=1.0).contains(&rate), "rate {rate} must be a probability");
+        InjectionProcess::OnOff { rate, params, on: true }
+    }
+
+    /// The long-run average injection rate.
+    #[must_use]
+    pub fn mean_rate(&self) -> f64 {
+        match self {
+            InjectionProcess::Bernoulli { rate } | InjectionProcess::OnOff { rate, .. } => *rate,
+        }
+    }
+
+    /// Advances one cycle and reports whether a packet is injected.
+    pub fn step(&mut self, rng: &mut dyn rand::RngCore) -> bool {
+        match self {
+            InjectionProcess::Bernoulli { rate } => *rate > 0.0 && rng.gen_bool(*rate),
+            InjectionProcess::OnOff { rate, params, on } => {
+                // State transition first, then emission from the new state.
+                let flip = if *on { params.on_to_off } else { params.off_to_on };
+                if rng.gen_bool(flip) {
+                    *on = !*on;
+                }
+                let scale = if *on { params.on_scale() } else { params.off_scale };
+                let p = (*rate * scale).clamp(0.0, 1.0);
+                p > 0.0 && rng.gen_bool(p)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::{rngs::StdRng, SeedableRng};
+
+    #[test]
+    fn packet_sizes_stay_in_range() {
+        let range = PacketSizeRange::paper_default();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let s = range.sample(&mut rng);
+            assert!((10..=30).contains(&s));
+        }
+        assert_eq!(range.mean(), 20.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid packet size range")]
+    fn packet_size_range_rejects_inverted_bounds() {
+        let _ = PacketSizeRange::new(5, 4);
+    }
+
+    #[test]
+    fn bernoulli_rate_is_respected() {
+        let mut p = InjectionProcess::bernoulli(0.1);
+        let mut rng = StdRng::seed_from_u64(2);
+        let n = 100_000;
+        let injected = (0..n).filter(|_| p.step(&mut rng)).count();
+        let rate = injected as f64 / n as f64;
+        assert!((0.09..0.11).contains(&rate), "measured {rate}");
+    }
+
+    #[test]
+    fn on_off_preserves_mean_rate() {
+        let params = OnOffParams::new(0.02, 0.005, 0.1);
+        let mut p = InjectionProcess::on_off(0.05, params);
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 400_000;
+        let injected = (0..n).filter(|_| p.step(&mut rng)).count();
+        let rate = injected as f64 / n as f64;
+        assert!((0.045..0.055).contains(&rate), "measured {rate}");
+    }
+
+    #[test]
+    fn on_off_scale_math_is_consistent() {
+        let params = OnOffParams::new(0.01, 0.01, 0.2);
+        let s_on = params.stationary_on();
+        assert!((s_on - 0.5).abs() < 1e-12);
+        let mean = s_on * params.on_scale() + (1.0 - s_on) * params.off_scale;
+        assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_rate_never_injects() {
+        let mut p = InjectionProcess::bernoulli(0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        assert!((0..1000).all(|_| !p.step(&mut rng)));
+    }
+}

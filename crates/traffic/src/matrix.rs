@@ -1,0 +1,155 @@
+//! Long-run traffic frequency matrices.
+//!
+//! AdEle's offline objectives (paper Eq. 1) consume `f_ij`, the relative
+//! frequency of traffic from router `i` to router `j`. [`TrafficMatrix`]
+//! stores a row-normalised `N × N` matrix and can be derived analytically
+//! from patterns that admit an exact row, or by sampling otherwise.
+
+use crate::pattern::Pattern;
+use noc_topology::NodeId;
+use rand::{rngs::StdRng, SeedableRng};
+
+/// A row-normalised `N × N` traffic frequency matrix.
+///
+/// Row `i` sums to 1 (or to 0 when node `i` never transmits, e.g. a
+/// permutation fixed point), so `f_ij` is the probability that a packet
+/// injected at `i` targets `j`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrafficMatrix {
+    n: usize,
+    freq: Vec<f64>,
+}
+
+impl TrafficMatrix {
+    /// Builds a matrix from raw (unnormalised) rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `raw.len() != n * n` or any entry is negative.
+    #[must_use]
+    pub fn from_raw(n: usize, mut raw: Vec<f64>) -> Self {
+        assert_eq!(raw.len(), n * n, "matrix must be n*n");
+        assert!(raw.iter().all(|&f| f >= 0.0), "frequencies must be non-negative");
+        for i in 0..n {
+            let row = &mut raw[i * n..(i + 1) * n];
+            row[i] = 0.0; // no self-traffic
+            let sum: f64 = row.iter().sum();
+            if sum > 0.0 {
+                row.iter_mut().for_each(|f| *f /= sum);
+            }
+        }
+        Self { n, freq: raw }
+    }
+
+    /// The uniform matrix over `n` nodes (the paper's offline assumption).
+    #[must_use]
+    pub fn uniform(n: usize) -> Self {
+        Self::from_raw(n, vec![1.0; n * n])
+    }
+
+    /// Derives the matrix for `pattern`: exactly when the pattern provides
+    /// closed-form rows, otherwise by drawing `samples_per_node`
+    /// destinations per source with a deterministic seed.
+    #[must_use]
+    pub fn from_pattern(pattern: &dyn Pattern, n: usize, samples_per_node: usize, seed: u64) -> Self {
+        let mut raw = vec![0.0; n * n];
+        let mut rng = StdRng::seed_from_u64(seed);
+        for src in 0..n {
+            let row = &mut raw[src * n..(src + 1) * n];
+            if let Some(exact) = pattern.exact_row(NodeId(src as u16), n) {
+                row.copy_from_slice(&exact);
+            } else {
+                for _ in 0..samples_per_node {
+                    if let Some(dst) = pattern.destination(NodeId(src as u16), &mut rng) {
+                        row[dst.index()] += 1.0;
+                    }
+                }
+            }
+        }
+        Self::from_raw(n, raw)
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// `true` when the matrix is empty (never for a constructed matrix).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Relative frequency of traffic `src → dst`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either id is out of range.
+    #[must_use]
+    pub fn frequency(&self, src: NodeId, dst: NodeId) -> f64 {
+        assert!(src.index() < self.n && dst.index() < self.n);
+        self.freq[src.index() * self.n + dst.index()]
+    }
+
+    /// Row `src` as a slice.
+    #[must_use]
+    pub fn row(&self, src: NodeId) -> &[f64] {
+        &self.freq[src.index() * self.n..(src.index() + 1) * self.n]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pattern::{BitPermutation, Permutation, Uniform};
+
+    #[test]
+    fn uniform_matrix_rows_normalise() {
+        let m = TrafficMatrix::uniform(8);
+        for i in 0..8u16 {
+            let sum: f64 = m.row(NodeId(i)).iter().sum();
+            assert!((sum - 1.0).abs() < 1e-12);
+            assert_eq!(m.frequency(NodeId(i), NodeId(i)), 0.0);
+        }
+        assert!((m.frequency(NodeId(0), NodeId(1)) - 1.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn permutation_matrix_is_exact() {
+        let p = Permutation::new(BitPermutation::Complement, 16);
+        let m = TrafficMatrix::from_pattern(&p, 16, 0, 1);
+        assert_eq!(m.frequency(NodeId(0), NodeId(15)), 1.0);
+        assert_eq!(m.frequency(NodeId(0), NodeId(1)), 0.0);
+    }
+
+    #[test]
+    fn sampled_matrix_approximates_uniform() {
+        // Force the sampling path by hiding the exact row behind a wrapper.
+        struct NoExact(Uniform);
+        impl Pattern for NoExact {
+            fn destination(
+                &self,
+                src: NodeId,
+                rng: &mut dyn rand::RngCore,
+            ) -> Option<NodeId> {
+                self.0.destination(src, rng)
+            }
+            fn name(&self) -> &'static str {
+                "uniform-sampled"
+            }
+        }
+        let m = TrafficMatrix::from_pattern(&NoExact(Uniform::new(8)), 8, 20_000, 3);
+        let expected = 1.0 / 7.0;
+        for j in 1..8u16 {
+            let f = m.frequency(NodeId(0), NodeId(j));
+            assert!((f - expected).abs() < 0.01, "f={f}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "matrix must be n*n")]
+    fn from_raw_validates_shape() {
+        let _ = TrafficMatrix::from_raw(3, vec![0.0; 8]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Property tests for traffic generation: destinations always valid,
+//! rates honoured, matrices normalised.
+
+use noc_topology::{Mesh3d, NodeId};
+use noc_traffic::apps::{AppKind, AppTraffic};
+use noc_traffic::injection::{InjectionProcess, OnOffParams, PacketSizeRange};
+use noc_traffic::pattern::{BitPermutation, Hotspot, Pattern, Permutation, Uniform};
+use noc_traffic::{SyntheticTraffic, TrafficMatrix, TrafficSource};
+use proptest::prelude::*;
+use rand::{rngs::StdRng, SeedableRng};
+
+proptest! {
+    #[test]
+    fn uniform_pattern_always_valid(n in 2usize..200, seed in 0u64..500, src in 0u16..100) {
+        let src = NodeId(src % n as u16);
+        let pattern = Uniform::new(n);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..50 {
+            let dst = pattern.destination(src, &mut rng).unwrap();
+            prop_assert!(dst.index() < n);
+            prop_assert_ne!(dst, src);
+        }
+    }
+
+    #[test]
+    fn permutations_stay_in_range(bits in 1u32..10, index in 0usize..1024) {
+        let n = 1usize << bits;
+        let index = index % n;
+        for kind in [
+            BitPermutation::Shuffle,
+            BitPermutation::Transpose,
+            BitPermutation::Complement,
+            BitPermutation::Reverse,
+        ] {
+            prop_assert!(kind.apply(index, bits) < n);
+        }
+    }
+
+    #[test]
+    fn shuffle_applied_n_times_is_identity(bits in 1u32..10, index in 0usize..1024) {
+        let n = 1usize << bits;
+        let mut value = index % n;
+        for _ in 0..bits {
+            value = BitPermutation::Shuffle.apply(value, bits);
+        }
+        prop_assert_eq!(value, index % n);
+    }
+
+    #[test]
+    fn hotspot_fraction_bounds_hold(frac in 0.0f64..1.0, seed in 0u64..100) {
+        let pattern = Hotspot::new(32, vec![NodeId(5), NodeId(9)], frac);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..100 {
+            let dst = pattern.destination(NodeId(0), &mut rng).unwrap();
+            prop_assert!(dst.index() < 32);
+            prop_assert_ne!(dst, NodeId(0));
+        }
+    }
+
+    #[test]
+    fn matrix_rows_are_normalised(n in 2usize..40) {
+        let m = TrafficMatrix::uniform(n);
+        for i in 0..n as u16 {
+            let sum: f64 = m.row(NodeId(i)).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9);
+            prop_assert_eq!(m.frequency(NodeId(i), NodeId(i)), 0.0);
+        }
+    }
+
+    #[test]
+    fn bernoulli_rate_tracks_parameter(rate in 0.0f64..0.3, seed in 0u64..100) {
+        let mut p = InjectionProcess::bernoulli(rate);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 40_000;
+        let hits = (0..n).filter(|_| p.step(&mut rng)).count();
+        let measured = hits as f64 / n as f64;
+        prop_assert!((measured - rate).abs() < 0.02, "rate {rate} measured {measured}");
+    }
+
+    #[test]
+    fn on_off_params_keep_unit_mean(
+        on_to_off in 0.001f64..0.5,
+        off_to_on in 0.001f64..0.5,
+        off_scale in 0.0f64..0.9,
+    ) {
+        let p = OnOffParams::new(on_to_off, off_to_on, off_scale);
+        let s = p.stationary_on();
+        let mean = s * p.on_scale() + (1.0 - s) * p.off_scale;
+        prop_assert!((mean - 1.0).abs() < 1e-9);
+        prop_assert!(p.on_scale() >= 1.0, "ON must compensate the OFF deficit");
+    }
+
+    #[test]
+    fn packet_sizes_always_within_bounds(min in 1u16..20, extra in 0u16..30, seed in 0u64..50) {
+        let range = PacketSizeRange::new(min, min + extra);
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let s = range.sample(&mut rng);
+            prop_assert!(s >= min && s <= min + extra);
+        }
+    }
+
+    #[test]
+    fn app_traffic_never_self_addresses(seed in 0u64..30) {
+        let mesh = Mesh3d::new(4, 4, 4).unwrap();
+        for kind in AppKind::ALL {
+            let mut app = AppTraffic::new(kind, &mesh, 0.1, seed);
+            for cycle in 0..100 {
+                for node in mesh.node_ids() {
+                    if let Some(req) = app.maybe_inject(node, cycle) {
+                        prop_assert_ne!(req.dst, node);
+                        prop_assert!(req.dst.index() < mesh.node_count());
+                        prop_assert!((10..=30).contains(&req.flits));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn synthetic_traffic_is_seed_deterministic(rate in 0.01f64..0.2, seed in 0u64..50) {
+        let mesh = Mesh3d::new(3, 3, 2).unwrap();
+        let collect = |seed: u64| {
+            let mut t = SyntheticTraffic::uniform(&mesh, rate, seed);
+            let mut events = Vec::new();
+            for cycle in 0..100 {
+                for node in mesh.node_ids() {
+                    if let Some(req) = t.maybe_inject(node, cycle) {
+                        events.push((cycle, node, req));
+                    }
+                }
+            }
+            events
+        };
+        prop_assert_eq!(collect(seed), collect(seed));
+    }
+
+    #[test]
+    fn sampled_matrix_from_permutation_matches_exact(bits in 2u32..6) {
+        let n = 1usize << bits;
+        let p = Permutation::new(BitPermutation::Reverse, n);
+        let m = TrafficMatrix::from_pattern(&p, n, 10, 3);
+        for i in 0..n {
+            let src = NodeId(i as u16);
+            let dst = p.map(src);
+            if dst != src {
+                prop_assert_eq!(m.frequency(src, dst), 1.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,39 @@
+//! Compare all four elevator-selection policies (Elevator-First, CDA,
+//! AdEle, AdEle-RR) on one congested scenario — a miniature version of the
+//! paper's Fig. 4 experiment.
+//!
+//! Run with: `cargo run --release -p adele-bench --example policy_comparison`
+
+use adele_bench::{make_selector, offline_assignment, sim_config, Policy, Workload};
+use noc_sim::harness::run_once;
+use noc_topology::placement::Placement;
+
+fn main() {
+    let placement = Placement::Ps1;
+    let (mesh, elevators) = placement.instantiate();
+    let assignment = offline_assignment(placement);
+    let rate = 0.004; // near PS1's saturation knee under uniform traffic
+
+    println!("PS1 (4x4x4, 3 elevators), uniform traffic @ {rate} packets/node/cycle\n");
+    println!(
+        "{:<10} {:>12} {:>12} {:>14} {:>10}",
+        "policy", "latency", "network lat", "energy/flit", "drained"
+    );
+    for policy in [Policy::ElevFirst, Policy::Cda, Policy::Adele, Policy::AdeleRr] {
+        let summary = run_once(
+            sim_config(placement, 5),
+            Workload::Uniform.build(&mesh, rate, 99),
+            make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
+        );
+        println!(
+            "{:<10} {:>10.1}cy {:>10.1}cy {:>11.1}nJ {:>10}",
+            summary.policy,
+            summary.avg_latency,
+            summary.avg_network_latency,
+            summary.energy_per_flit_nj,
+            summary.completed
+        );
+    }
+    println!("\nExpected ordering (paper Fig. 4): AdEle lowest latency, ElevFirst highest,");
+    println!("CDA in between, AdEle-RR between CDA and AdEle.");
+}

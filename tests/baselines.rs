@@ -1,0 +1,138 @@
+//! Cross-policy ordering tests: the qualitative results the paper's
+//! evaluation rests on must hold in this reproduction.
+
+use adele_bench::{make_selector, Policy, Workload};
+use adele::offline::SubsetAssignment;
+use noc_sim::harness::run_once;
+use noc_sim::SimConfig;
+use noc_topology::placement::Placement;
+
+/// Shared quick configuration: PS1 is the paper's most contended pattern.
+fn config(seed: u64) -> SimConfig {
+    let (mesh, elevators) = Placement::Ps1.instantiate();
+    SimConfig::new(mesh, elevators)
+        .with_phases(500, 3_000, 20_000)
+        .with_seed(seed)
+}
+
+/// A balanced two-elevator-subset assignment for AdEle in tests (avoids
+/// depending on an AMOSA run; the offline pipeline has its own test).
+fn test_assignment() -> SubsetAssignment {
+    let (mesh, elevators) = Placement::Ps1.instantiate();
+    // Round-robin the three two-elevator subsets across routers: exactly
+    // balanced in expectation, with redundancy for the online stage.
+    let masks = (0..mesh.node_count())
+        .map(|i| match i % 3 {
+            0 => 0b011u64,
+            1 => 0b101,
+            _ => 0b110,
+        })
+        .collect();
+    SubsetAssignment::from_masks(masks, elevators.len()).unwrap()
+}
+
+#[test]
+fn adaptive_policies_beat_elevator_first_under_congestion() {
+    let (mesh, elevators) = Placement::Ps1.instantiate();
+    let assignment = test_assignment();
+    let rate = 0.0045; // beyond ElevFirst's saturation, inside CDA/AdEle's
+    let run = |policy: Policy| {
+        run_once(
+            config(17),
+            Workload::Uniform.build(&mesh, rate, 31),
+            make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
+        )
+    };
+    let ef = run(Policy::ElevFirst);
+    let cda = run(Policy::Cda);
+    let adele = run(Policy::Adele);
+
+    assert!(
+        cda.avg_latency < ef.avg_latency * 0.75,
+        "CDA ({:.1}) must clearly beat ElevFirst ({:.1})",
+        cda.avg_latency,
+        ef.avg_latency
+    );
+    assert!(
+        adele.avg_latency < ef.avg_latency * 0.75,
+        "AdEle ({:.1}) must clearly beat ElevFirst ({:.1})",
+        adele.avg_latency,
+        ef.avg_latency
+    );
+    assert!(
+        adele.avg_latency < cda.avg_latency * 1.15,
+        "AdEle ({:.1}) must at least stay in CDA's ({:.1}) ballpark",
+        adele.avg_latency,
+        cda.avg_latency
+    );
+}
+
+#[test]
+fn adele_balances_elevator_load_better_than_elevator_first() {
+    let (mesh, elevators) = Placement::Ps1.instantiate();
+    let assignment = test_assignment();
+    let rate = 0.004;
+    let spread = |policy: Policy| -> f64 {
+        let summary = run_once(
+            config(19),
+            Workload::Uniform.build(&mesh, rate, 37),
+            make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
+        );
+        let total: u64 = summary.elevator_packets.iter().sum();
+        let max = *summary.elevator_packets.iter().max().unwrap();
+        max as f64 / total.max(1) as f64
+    };
+    let ef = spread(Policy::ElevFirst);
+    let adele = spread(Policy::Adele);
+    assert!(
+        adele < ef,
+        "AdEle's max elevator share ({adele:.3}) must undercut ElevFirst's ({ef:.3})"
+    );
+    // With 3 elevators, AdEle should be near the ideal 1/3 share.
+    assert!(adele < 0.45, "AdEle share {adele:.3} is too concentrated");
+}
+
+#[test]
+fn low_load_energy_ranking_favours_adele() {
+    let (mesh, elevators) = Placement::Ps1.instantiate();
+    let assignment = test_assignment();
+    let rate = 0.001; // the paper's Fig. 6 low-injection regime
+    let energy = |policy: Policy| {
+        run_once(
+            config(23),
+            Workload::Uniform.build(&mesh, rate, 41),
+            make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
+        )
+        .energy_per_flit_nj
+    };
+    let ef = energy(Policy::ElevFirst);
+    let adele = energy(Policy::Adele);
+    // The minimal-path override makes AdEle the energy winner at low load.
+    assert!(
+        adele <= ef * 1.01,
+        "AdEle energy ({adele:.1} nJ) must not exceed ElevFirst ({ef:.1} nJ) at low load"
+    );
+}
+
+#[test]
+fn adele_rr_is_a_valid_midpoint() {
+    let (mesh, elevators) = Placement::Ps1.instantiate();
+    let assignment = test_assignment();
+    let rate = 0.0045;
+    let run = |policy: Policy| {
+        run_once(
+            config(29),
+            Workload::Uniform.build(&mesh, rate, 43),
+            make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
+        )
+    };
+    let ef = run(Policy::ElevFirst);
+    let rr = run(Policy::AdeleRr);
+    assert!(
+        rr.avg_latency < ef.avg_latency * 0.75,
+        "even plain RR over subsets ({:.1}) must beat ElevFirst ({:.1})",
+        rr.avg_latency,
+        ef.avg_latency
+    );
+    assert_eq!(rr.policy, "AdEle-RR");
+}
