@@ -83,7 +83,10 @@ impl<P: Problem> Amosa<P> {
                 let s = self.problem.random_solution(&mut rng);
                 let objectives = self.problem.evaluate(&s);
                 evaluations += 1;
-                ParetoPoint { solution: s, objectives }
+                ParetoPoint {
+                    solution: s,
+                    objectives,
+                }
             })
             .collect();
         let objective_vectors: Vec<Vec<f64>> =
@@ -111,13 +114,8 @@ impl<P: Problem> Amosa<P> {
                     objectives: candidate_obj,
                 };
 
-                let was_accepted = self.consider(
-                    &mut archive,
-                    &mut current,
-                    candidate,
-                    temperature,
-                    &mut rng,
-                );
+                let was_accepted =
+                    self.consider(&mut archive, &mut current, candidate, temperature, &mut rng);
                 accepted += u64::from(was_accepted);
                 observer(&Explored {
                     iteration,
@@ -162,7 +160,10 @@ impl<P: Problem> Amosa<P> {
             for pt in archive.points() {
                 consider_vec(&pt.objectives, &mut lo, &mut hi);
             }
-            lo.iter().zip(&hi).map(|(&l, &h)| h - l).collect::<Vec<f64>>()
+            lo.iter()
+                .zip(&hi)
+                .map(|(&l, &h)| h - l)
+                .collect::<Vec<f64>>()
         };
         let delta = |a: &[f64], b: &[f64]| dominance::amount_of_domination(a, b, &ranges);
         let sa_accept = |avg_delta: f64, rng: &mut StdRng| {
@@ -226,7 +227,10 @@ impl<P: Problem> Amosa<P> {
                     let (best_idx, min_delta) = dominators
                         .iter()
                         .map(|&i| {
-                            (i, delta(&archive.points()[i].objectives, &candidate.objectives))
+                            (
+                                i,
+                                delta(&archive.points()[i].objectives, &candidate.objectives),
+                            )
                         })
                         .min_by(|a, b| a.1.total_cmp(&b.1))
                         .expect("dominators is non-empty");

@@ -133,8 +133,7 @@ impl<S: Clone> Archive<S> {
         if self.points.len() <= self.hard_limit {
             return;
         }
-        let objectives: Vec<Vec<f64>> =
-            self.points.iter().map(|p| p.objectives.clone()).collect();
+        let objectives: Vec<Vec<f64>> = self.points.iter().map(|p| p.objectives.clone()).collect();
         let ranges = self.ranges();
         let mut keep = clustering::reduce_to(&objectives, &ranges, self.hard_limit);
         keep.sort_unstable();
@@ -158,7 +157,10 @@ mod tests {
     use super::*;
 
     fn pt(objs: &[f64]) -> ParetoPoint<&'static str> {
-        ParetoPoint { solution: "s", objectives: objs.to_vec() }
+        ParetoPoint {
+            solution: "s",
+            objectives: objs.to_vec(),
+        }
     }
 
     #[test]

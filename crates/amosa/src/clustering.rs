@@ -100,7 +100,10 @@ mod tests {
         assert_eq!(reps.len(), 2);
         let has_low = reps.iter().any(|&i| i <= 1);
         let has_high = reps.iter().any(|&i| i >= 2);
-        assert!(has_low && has_high, "representatives {reps:?} must span both groups");
+        assert!(
+            has_low && has_high,
+            "representatives {reps:?} must span both groups"
+        );
     }
 
     #[test]

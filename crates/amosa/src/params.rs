@@ -67,8 +67,14 @@ impl AmosaParams {
             (1..=self.soft_limit).contains(&self.hard_limit),
             "1 <= HL <= SL violated"
         );
-        assert!(self.t_max > self.t_min && self.t_min > 0.0, "need t_max > t_min > 0");
-        assert!((0.0..1.0).contains(&self.alpha) && self.alpha > 0.0, "alpha in (0,1)");
+        assert!(
+            self.t_max > self.t_min && self.t_min > 0.0,
+            "need t_max > t_min > 0"
+        );
+        assert!(
+            (0.0..1.0).contains(&self.alpha) && self.alpha > 0.0,
+            "alpha in (0,1)"
+        );
         assert!(self.iterations_per_temperature >= 1);
         assert!(self.initial_solutions >= 1);
     }

@@ -15,8 +15,7 @@ pub trait Problem {
     fn random_solution(&self, rng: &mut dyn rand::RngCore) -> Self::Solution;
 
     /// Perturbs `current` into a neighbouring solution.
-    fn neighbour(&self, current: &Self::Solution, rng: &mut dyn rand::RngCore)
-        -> Self::Solution;
+    fn neighbour(&self, current: &Self::Solution, rng: &mut dyn rand::RngCore) -> Self::Solution;
 
     /// Evaluates all objectives for `solution`.
     ///

@@ -158,8 +158,8 @@ pub fn router_area(scheme: Scheme, params: AreaParams) -> RouterArea {
     let buffer_bits =
         params.ports * params.virtual_channels * params.buffer_depth * params.flit_width_bits;
     let buffers_um2 = buffer_bits as f64 * BUFFER_BIT_UM2;
-    let crossbar_um2 = (params.ports * params.ports * params.flit_width_bits) as f64
-        * CROSSBAR_BIT_UM2;
+    let crossbar_um2 =
+        (params.ports * params.ports * params.flit_width_bits) as f64 * CROSSBAR_BIT_UM2;
     let allocators_um2 =
         (params.ports * params.ports * params.virtual_channels) as f64 * ALLOCATOR_UNIT_UM2;
     let selection_um2 = match scheme {
@@ -203,8 +203,12 @@ pub fn table3(node_count: usize, adele_subset_entries: usize) -> Vec<Table3Row> 
     let base = router_area(Scheme::ElevatorFirst, params);
     [
         Scheme::ElevatorFirst,
-        Scheme::Cda { table_entries: node_count },
-        Scheme::Adele { subset_entries: adele_subset_entries },
+        Scheme::Cda {
+            table_entries: node_count,
+        },
+        Scheme::Adele {
+            subset_entries: adele_subset_entries,
+        },
     ]
     .into_iter()
     .map(|scheme| {
@@ -260,7 +264,10 @@ mod tests {
             (0.12..0.17).contains(&overhead64),
             "CDA overhead {overhead64} should be ≈14.4 %"
         );
-        assert!(cda256.total_um2() > cda64.total_um2(), "CDA must grow with N");
+        assert!(
+            cda256.total_um2() > cda64.total_um2(),
+            "CDA must grow with N"
+        );
         assert_eq!(cda64.pipeline_cycles, 2);
     }
 

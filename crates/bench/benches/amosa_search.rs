@@ -51,5 +51,10 @@ fn bench_neighbour_moves(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_objectives, bench_full_search, bench_neighbour_moves);
+criterion_group!(
+    benches,
+    bench_objectives,
+    bench_full_search,
+    bench_neighbour_moves
+);
 criterion_main!(benches);

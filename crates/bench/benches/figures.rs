@@ -50,7 +50,11 @@ fn bench_fig3_table2(c: &mut Criterion) {
             let result = OfflineOptimizer::new(mesh, elevators.clone())
                 .with_params(AmosaParams::fast(3))
                 .optimize();
-            black_box(result.select(SelectionStrategy::LatencyLeaning).utilization_variance)
+            black_box(
+                result
+                    .select(SelectionStrategy::LatencyLeaning)
+                    .utilization_variance,
+            )
         })
     });
     group.finish();

@@ -47,14 +47,9 @@ fn bench_selectors(c: &mut Criterion) {
     .unwrap();
     group.bench_function("adele", |b| b.iter(|| black_box(adele.select(&ctx))));
 
-    let mut rr = AdeleSelector::from_assignment(
-        &mesh,
-        &elevators,
-        &assignment,
-        AdeleConfig::rr_only(),
-        1,
-    )
-    .unwrap();
+    let mut rr =
+        AdeleSelector::from_assignment(&mesh, &elevators, &assignment, AdeleConfig::rr_only(), 1)
+            .unwrap();
     group.bench_function("adele_rr", |b| b.iter(|| black_box(rr.select(&ctx))));
     group.finish();
 }

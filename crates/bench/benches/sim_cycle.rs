@@ -23,8 +23,7 @@ fn bench_network_step(c: &mut Criterion) {
                         let traffic = SyntheticTraffic::uniform(&mesh, 0.003, 1);
                         let selector = ElevatorFirstSelector::new(&mesh, &elevators);
                         let config = SimConfig::new(mesh, elevators).with_seed(1);
-                        let mut sim =
-                            Simulator::new(config, Box::new(traffic), Box::new(selector));
+                        let mut sim = Simulator::new(config, Box::new(traffic), Box::new(selector));
                         // Pre-warm so buffers carry realistic occupancy.
                         for _ in 0..500 {
                             sim.step();

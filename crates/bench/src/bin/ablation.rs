@@ -55,36 +55,75 @@ fn main() {
     let paper = AdeleConfig::paper_default();
     let mut variants: Vec<(String, &SubsetAssignment, AdeleConfig)> = vec![
         ("AdEle (paper defaults)".into(), &amosa, paper),
-        ("- skipping (Eq. 8-9) off".into(), &amosa, AdeleConfig {
-            skipping_enabled: false,
-            ..paper
-        }),
-        ("- override off".into(), &amosa, AdeleConfig {
-            low_traffic_override: false,
-            ..paper
-        }),
-        ("- both off (plain RR)".into(), &amosa, AdeleConfig::rr_only()),
-        ("xi = 0 (no exploration)".into(), &amosa, AdeleConfig {
-            exploration: 0.0,
-            ..paper
-        }),
-        ("xi = 0.2".into(), &amosa, AdeleConfig { exploration: 0.2, ..paper }),
-        ("a = 0.05 (slow EWMA)".into(), &amosa, AdeleConfig {
-            ewma_alpha: 0.05,
-            ..paper
-        }),
-        ("a = 0.8 (fast EWMA)".into(), &amosa, AdeleConfig {
-            ewma_alpha: 0.8,
-            ..paper
-        }),
-        ("theta = 0.3".into(), &amosa, AdeleConfig {
-            low_traffic_threshold: 0.3,
-            ..paper
-        }),
-        ("no re-entry hysteresis".into(), &amosa, AdeleConfig {
-            override_reentry_factor: 1.0,
-            ..paper
-        }),
+        (
+            "- skipping (Eq. 8-9) off".into(),
+            &amosa,
+            AdeleConfig {
+                skipping_enabled: false,
+                ..paper
+            },
+        ),
+        (
+            "- override off".into(),
+            &amosa,
+            AdeleConfig {
+                low_traffic_override: false,
+                ..paper
+            },
+        ),
+        (
+            "- both off (plain RR)".into(),
+            &amosa,
+            AdeleConfig::rr_only(),
+        ),
+        (
+            "xi = 0 (no exploration)".into(),
+            &amosa,
+            AdeleConfig {
+                exploration: 0.0,
+                ..paper
+            },
+        ),
+        (
+            "xi = 0.2".into(),
+            &amosa,
+            AdeleConfig {
+                exploration: 0.2,
+                ..paper
+            },
+        ),
+        (
+            "a = 0.05 (slow EWMA)".into(),
+            &amosa,
+            AdeleConfig {
+                ewma_alpha: 0.05,
+                ..paper
+            },
+        ),
+        (
+            "a = 0.8 (fast EWMA)".into(),
+            &amosa,
+            AdeleConfig {
+                ewma_alpha: 0.8,
+                ..paper
+            },
+        ),
+        (
+            "theta = 0.3".into(),
+            &amosa,
+            AdeleConfig {
+                low_traffic_threshold: 0.3,
+                ..paper
+            },
+        ),
+        (
+            "no re-entry hysteresis".into(),
+            &amosa,
+            AdeleConfig {
+                override_reentry_factor: 1.0,
+                ..paper
+            },
+        ),
         ("nearest-only subsets".into(), &nearest, paper),
         ("full subsets".into(), &full, paper),
     ];
@@ -99,7 +138,11 @@ fn main() {
         let low = run(placement, assignment, config, low_rate);
         rows.push(vec![
             label.clone(),
-            format!("{}{}", f1(high.avg_latency), if high.completed { "" } else { "*" }),
+            format!(
+                "{}{}",
+                f1(high.avg_latency),
+                if high.completed { "" } else { "*" }
+            ),
             f2(low.energy_per_flit_nj),
         ]);
         json.push(AblationRow {
@@ -110,7 +153,11 @@ fn main() {
         });
     }
     print_table(
-        &["variant", "latency @0.0045 (cyc)", "energy @0.001 (nJ/flit)"],
+        &[
+            "variant",
+            "latency @0.0045 (cyc)",
+            "energy @0.001 (nJ/flit)",
+        ],
         &rows,
     );
     println!("\nReading guide: the offline subsets carry most of the latency win (compare");

@@ -2,7 +2,7 @@
 //! Elevator-First selection policy and uniform traffic, demonstrating the
 //! uneven elevator utilisation that motivates AdEle.
 
-use adele_bench::{dump_json, f2, print_table, sim_config, Policy, Workload, make_selector};
+use adele_bench::{dump_json, f2, make_selector, print_table, sim_config, Policy, Workload};
 use noc_sim::harness::run_once;
 use noc_topology::placement::Placement;
 use noc_topology::Coord;
@@ -43,9 +43,7 @@ fn main() {
         }
     }
 
-    println!(
-        "# Fig. 2(b): per-router traffic load, layer {layer} of PS1 (4x4x4, 3 elevators),"
-    );
+    println!("# Fig. 2(b): per-router traffic load, layer {layer} of PS1 (4x4x4, 3 elevators),");
     println!("# Elevator-First selection, uniform traffic @ rate {rate}. Loads normalised to the layer mean;");
     println!("# elevator-column routers marked with 'E'.");
     let headers: Vec<String> = (0..mesh.x()).map(|x| format!("x={x}")).collect();
@@ -54,7 +52,9 @@ fn main() {
     for (y, row) in loads.iter().enumerate() {
         let mut cells = Vec::new();
         for (x, &v) in row.iter().enumerate() {
-            let is_elev = elevators.column_at(Coord::new(x as u8, y as u8, layer)).is_some();
+            let is_elev = elevators
+                .column_at(Coord::new(x as u8, y as u8, layer))
+                .is_some();
             cells.push(format!("{}{}", f2(v), if is_elev { " E" } else { "" }));
         }
         rows.push(cells);

@@ -5,8 +5,8 @@
 
 use adele::online::AdeleSelector;
 use adele_bench::{
-    dump_json, f1, f2, make_selector, offline_result, print_table, sim_config, table2_rate,
-    Policy, Workload,
+    dump_json, f1, f2, make_selector, offline_result, print_table, sim_config, table2_rate, Policy,
+    Workload,
 };
 use noc_sim::harness::run_once;
 use noc_topology::placement::Placement;
@@ -56,7 +56,11 @@ fn main() {
             .iter()
             .enumerate()
             .map(|(i, p)| {
-                vec![format!("p{i}"), f2(p.utilization_variance), f2(p.average_distance)]
+                vec![
+                    format!("p{i}"),
+                    f2(p.utilization_variance),
+                    f2(p.average_distance),
+                ]
             })
             .collect::<Vec<_>>(),
     );
@@ -120,7 +124,13 @@ fn main() {
 
     println!("\n# Table II: performance of selected solutions (PM, uniform @ rate {rate})");
     print_table(
-        &["solution", "variance", "distance", "latency (cyc)", "energy/flit (nJ)"],
+        &[
+            "solution",
+            "variance",
+            "distance",
+            "latency (cyc)",
+            "energy/flit (nJ)",
+        ],
         &rows,
     );
     println!("paper Table II: ElevFirst 161.4 cyc / 94.4 nJ; S0 396 / 93.1; S5 56.6 / 98.3 —");

@@ -7,7 +7,7 @@
 //! `ADELE_QUICK=1` shrinks windows for a fast smoke run.
 
 use adele_bench::{
-    f1, f4, fig4_rates, make_selector, offline_assignment, print_table, sim_config, dump_json,
+    dump_json, f1, f4, fig4_rates, make_selector, offline_assignment, print_table, sim_config,
     Policy, Workload,
 };
 use noc_sim::harness::{injection_sweep, saturation_rate, zero_load_latency};
@@ -48,8 +48,7 @@ fn panel(placement: Placement, workload: Workload) -> Panel {
             let seed = 1000 + (rate * 1e6) as u64;
             workload.build(&mesh, rate, seed)
         };
-        let selector =
-            || make_selector(*policy, &mesh, &elevators, Some(&assignment), 77);
+        let selector = || make_selector(*policy, &mesh, &elevators, Some(&assignment), 77);
         let zero = zero_load_latency(&config, &traffic, &selector);
         let points = injection_sweep(&config, &rates, &traffic, &selector);
         series.push(Series {

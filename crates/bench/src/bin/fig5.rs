@@ -6,8 +6,7 @@
 //! elevator (the blue bar) by spreading traffic across the set.
 
 use adele_bench::{
-    dump_json, f2, f4, make_selector, offline_assignment, print_table, sim_config, Policy,
-    Workload,
+    dump_json, f2, f4, make_selector, offline_assignment, print_table, sim_config, Policy, Workload,
 };
 use noc_sim::harness::run_once;
 use noc_topology::placement::Placement;
@@ -47,7 +46,10 @@ fn main() {
         let layers = mesh.layers();
         let pillar_means: Vec<f64> = (0..e_count)
             .map(|e| {
-                (0..layers).map(|l| per_router[l * e_count + e]).sum::<f64>() / layers as f64
+                (0..layers)
+                    .map(|l| per_router[l * e_count + e])
+                    .sum::<f64>()
+                    / layers as f64
             })
             .collect();
         let max = pillar_means.iter().copied().fold(0.0, f64::max);
@@ -59,7 +61,10 @@ fn main() {
     }
 
     println!("# Fig. 5: elevator-router load normalised to the mean elevator-less router load");
-    println!("# (PS1, uniform @ rate {}; bar per elevator pillar)", f4(rate));
+    println!(
+        "# (PS1, uniform @ rate {}; bar per elevator pillar)",
+        f4(rate)
+    );
     let mut headers = vec!["policy".to_string()];
     headers.extend(elevators.ids().map(|e| format!("{e}")));
     headers.push("max".to_string());

@@ -27,8 +27,10 @@ struct Cell {
 fn main() {
     let mut cells = Vec::new();
     for (regime, pick_rate) in [("Low injection rate", 0usize), ("High injection rate", 1)] {
-        println!("\n# Fig. 6({}): energy/flit normalised to ElevFirst — {regime}",
-            if pick_rate == 0 { "a" } else { "b" });
+        println!(
+            "\n# Fig. 6({}): energy/flit normalised to ElevFirst — {regime}",
+            if pick_rate == 0 { "a" } else { "b" }
+        );
         let mut rows = Vec::new();
         for placement in Placement::ALL {
             let (mesh, elevators) = placement.instantiate();
@@ -60,6 +62,8 @@ fn main() {
         }
         print_table(&["placement", "rate", "ElevFirst", "CDA", "AdEle"], &rows);
     }
-    println!("\npaper: AdEle lowest at low rates (minimal-path override); ≤9.7% over CDA at high rates.");
+    println!(
+        "\npaper: AdEle lowest at low rates (minimal-path override); ≤9.7% over CDA at high rates."
+    );
     dump_json("fig6", &cells);
 }

@@ -8,8 +8,7 @@
 //! DESIGN.md).
 
 use adele_bench::{
-    app_traffic, dump_json, f2, make_selector, offline_assignment, print_table, sim_config,
-    Policy,
+    app_traffic, dump_json, f2, make_selector, offline_assignment, print_table, sim_config, Policy,
 };
 use noc_sim::harness::run_once;
 use noc_topology::placement::Placement;
@@ -33,7 +32,10 @@ fn main() {
     for placement in placements {
         let (mesh, elevators) = placement.instantiate();
         let assignment = offline_assignment(placement);
-        println!("\n# Fig. 7: {} — latency normalised to ElevFirst (absolute cycles in parentheses)", placement.name());
+        println!(
+            "\n# Fig. 7: {} — latency normalised to ElevFirst (absolute cycles in parentheses)",
+            placement.name()
+        );
         let mut rows = Vec::new();
         let mut improvements = Vec::new();
         for app in AppKind::ALL {
@@ -44,7 +46,11 @@ fn main() {
                     app_traffic(app, placement, &mesh, 4321),
                     make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
                 );
-                latencies.push((policy.name().to_string(), summary.avg_latency, summary.energy_per_flit_nj));
+                latencies.push((
+                    policy.name().to_string(),
+                    summary.avg_latency,
+                    summary.energy_per_flit_nj,
+                ));
             }
             let base = latencies[0].1.max(1e-12);
             let mut row = vec![app.name().to_string()];

@@ -25,7 +25,9 @@ use std::path::PathBuf;
 /// `true` when `ADELE_QUICK=1` — shorter windows everywhere.
 #[must_use]
 pub fn quick_mode() -> bool {
-    std::env::var("ADELE_QUICK").map(|v| v == "1").unwrap_or(false)
+    std::env::var("ADELE_QUICK")
+        .map(|v| v == "1")
+        .unwrap_or(false)
 }
 
 /// Simulation windows `(warmup, measure, drain_max)` for a placement,
@@ -208,7 +210,12 @@ impl Workload {
 /// placement's saturation — mirroring the heavy Gem5 traces the paper
 /// feeds to every placement.
 #[must_use]
-pub fn app_traffic(kind: AppKind, placement: Placement, mesh: &Mesh3d, seed: u64) -> Box<dyn TrafficSource> {
+pub fn app_traffic(
+    kind: AppKind,
+    placement: Placement,
+    mesh: &Mesh3d,
+    seed: u64,
+) -> Box<dyn TrafficSource> {
     Box::new(AppTraffic::new(kind, mesh, fig7_base_rate(placement), seed))
 }
 
@@ -226,7 +233,9 @@ pub fn fig4_rates(placement: Placement, workload: Workload) -> Vec<f64> {
         (Placement::Pm, Workload::Shuffle) => 0.006,
     };
     let points = if quick_mode() { 4 } else { 6 };
-    (1..=points).map(|i| max * i as f64 / points as f64).collect()
+    (1..=points)
+        .map(|i| max * i as f64 / points as f64)
+        .collect()
 }
 
 /// Fig. 6's (low, high) injection rates per placement. Low is the paper's
@@ -345,7 +354,12 @@ mod tests {
         let placement = Placement::Ps1;
         let (mesh, elevators) = placement.instantiate();
         let assignment = SubsetAssignment::full(&mesh, &elevators);
-        for policy in [Policy::ElevFirst, Policy::Cda, Policy::Adele, Policy::AdeleRr] {
+        for policy in [
+            Policy::ElevFirst,
+            Policy::Cda,
+            Policy::Adele,
+            Policy::AdeleRr,
+        ] {
             let sel = make_selector(policy, &mesh, &elevators, Some(&assignment), 1);
             assert_eq!(sel.name(), policy.name());
         }

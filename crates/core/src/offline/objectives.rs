@@ -79,8 +79,7 @@ impl ObjectiveEvaluator {
             }
             inter_layer_weight[i.index()] = w_i;
             total_weight += w_i;
-            distance_sum[i.index() * e_count..(i.index() + 1) * e_count]
-                .copy_from_slice(&dist);
+            distance_sum[i.index() * e_count..(i.index() + 1) * e_count].copy_from_slice(&dist);
         }
 
         Self {
@@ -113,7 +112,11 @@ impl ObjectiveEvaluator {
     /// Panics if the assignment's shape disagrees with the evaluator.
     #[must_use]
     pub fn elevator_utilizations(&self, assignment: &SubsetAssignment) -> Vec<f64> {
-        assert_eq!(assignment.len(), self.node_count, "assignment/mesh mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.node_count,
+            "assignment/mesh mismatch"
+        );
         assert_eq!(
             assignment.elevator_count(),
             self.elevator_count,
@@ -143,7 +146,11 @@ impl ObjectiveEvaluator {
     /// matrix this is exactly the paper's unweighted average distance.
     #[must_use]
     pub fn average_distance(&self, assignment: &SubsetAssignment) -> f64 {
-        assert_eq!(assignment.len(), self.node_count, "assignment/mesh mismatch");
+        assert_eq!(
+            assignment.len(),
+            self.node_count,
+            "assignment/mesh mismatch"
+        );
         if self.total_weight == 0.0 {
             return 0.0;
         }
@@ -151,8 +158,8 @@ impl ObjectiveEvaluator {
         for node in 0..self.node_count {
             let id = NodeId(node as u16);
             let inv = 1.0 / assignment.subset_size(id) as f64;
-            let row = &self.distance_sum
-                [node * self.elevator_count..(node + 1) * self.elevator_count];
+            let row =
+                &self.distance_sum[node * self.elevator_count..(node + 1) * self.elevator_count];
             for e in assignment.subset(id) {
                 total += inv * row[e.index()];
             }
@@ -236,10 +243,8 @@ mod tests {
         let mesh = Mesh3d::new(4, 4, 2).unwrap();
         let elevators = ElevatorSet::new(&mesh, [(0, 0), (1, 2)]).unwrap();
         let eval = ObjectiveEvaluator::uniform(&mesh, &elevators);
-        let corner_only =
-            SubsetAssignment::from_masks(vec![0b01; mesh.node_count()], 2).unwrap();
-        let central_only =
-            SubsetAssignment::from_masks(vec![0b10; mesh.node_count()], 2).unwrap();
+        let corner_only = SubsetAssignment::from_masks(vec![0b01; mesh.node_count()], 2).unwrap();
+        let central_only = SubsetAssignment::from_masks(vec![0b10; mesh.node_count()], 2).unwrap();
         assert!(
             eval.average_distance(&central_only) < eval.average_distance(&corner_only),
             "a central elevator must yield shorter average routes"

@@ -53,7 +53,9 @@ impl SelectionStrategy {
     /// The balanced pick with the default 5 % distance slack.
     #[must_use]
     pub fn balanced() -> Self {
-        SelectionStrategy::Balanced { distance_slack: 0.05 }
+        SelectionStrategy::Balanced {
+            distance_slack: 0.05,
+        }
     }
 }
 
@@ -310,10 +312,7 @@ mod tests {
         assert!(picks.len() <= 6);
         // S0 has the highest variance, the last pick the lowest.
         if picks.len() >= 2 {
-            assert!(
-                picks[0].utilization_variance
-                    >= picks[picks.len() - 1].utilization_variance
-            );
+            assert!(picks[0].utilization_variance >= picks[picks.len() - 1].utilization_variance);
         }
     }
 

@@ -27,7 +27,11 @@ impl ElevatorSubsetProblem {
     /// Builds the problem under the uniform-traffic assumption.
     #[must_use]
     pub fn new(mesh: &Mesh3d, elevators: &ElevatorSet) -> Self {
-        Self::with_evaluator(mesh, elevators, ObjectiveEvaluator::uniform(mesh, elevators))
+        Self::with_evaluator(
+            mesh,
+            elevators,
+            ObjectiveEvaluator::uniform(mesh, elevators),
+        )
     }
 
     /// Default locality bound: an elevator may join a router's subset only
@@ -55,8 +59,7 @@ impl ElevatorSubsetProblem {
             extra_probability: 0.3,
             moves_per_neighbour: (mesh.node_count() / 32).max(1),
         };
-        problem.allowed_masks =
-            Self::locality_masks(mesh, elevators, Self::DEFAULT_MAX_DETOUR);
+        problem.allowed_masks = Self::locality_masks(mesh, elevators, Self::DEFAULT_MAX_DETOUR);
         problem
     }
 

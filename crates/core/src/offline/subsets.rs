@@ -65,7 +65,10 @@ impl SubsetAssignment {
                 });
             }
         }
-        Ok(Self { masks, elevator_count })
+        Ok(Self {
+            masks,
+            elevator_count,
+        })
     }
 
     /// Number of routers covered.
@@ -160,7 +163,11 @@ impl SubsetAssignment {
         if self.masks.is_empty() {
             return 0.0;
         }
-        self.masks.iter().map(|m| m.count_ones() as f64).sum::<f64>() / self.masks.len() as f64
+        self.masks
+            .iter()
+            .map(|m| m.count_ones() as f64)
+            .sum::<f64>()
+            / self.masks.len() as f64
     }
 
     /// Serialises as one hex mask per line (human-diffable; used by the
@@ -182,7 +189,9 @@ impl SubsetAssignment {
     /// same validation as [`SubsetAssignment::from_masks`].
     pub fn from_text(text: &str) -> Result<Self, AdeleError> {
         let mut lines = text.lines().enumerate();
-        let (_, header) = lines.next().ok_or(AdeleError::ParseAssignment { line: 1 })?;
+        let (_, header) = lines
+            .next()
+            .ok_or(AdeleError::ParseAssignment { line: 1 })?;
         let elevator_count: usize = header
             .strip_prefix("elevators ")
             .and_then(|s| s.trim().parse().ok())

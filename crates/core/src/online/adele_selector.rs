@@ -88,7 +88,12 @@ impl AdeleSelector {
             .map(|id| {
                 let subset: Vec<ElevatorId> = assignment.subset(id).collect();
                 let costs = vec![0.0; elevators.len()];
-                NodeState { subset, costs, rr: 0, override_active: true }
+                NodeState {
+                    subset,
+                    costs,
+                    rr: 0,
+                    override_active: true,
+                }
             })
             .collect();
         Ok(Self {
@@ -127,7 +132,10 @@ impl AdeleSelector {
     /// exists in the set the selector was built for.
     #[must_use]
     pub fn cost(&self, node: NodeId, elevator: ElevatorId) -> Option<f64> {
-        self.nodes[node.index()].costs.get(elevator.index()).copied()
+        self.nodes[node.index()]
+            .costs
+            .get(elevator.index())
+            .copied()
     }
 
     /// Marks an elevator failed/repaired (fault-tolerance extension noted
@@ -184,16 +192,16 @@ impl ElevatorSelector for AdeleSelector {
         } else {
             theta * self.config.override_reentry_factor
         };
-        state.override_active = alive_subset
-            .iter()
-            .all(|e| state.costs[e.index()] < gate);
+        state.override_active = alive_subset.iter().all(|e| state.costs[e.index()] < gate);
         if self.config.low_traffic_override && state.override_active {
             let global = ctx
                 .elevators
                 .minimal_path_among(
                     ctx.src,
                     ctx.dst,
-                    ctx.elevators.ids().filter(|&e| failed & (1 << e.index()) == 0),
+                    ctx.elevators
+                        .ids()
+                        .filter(|&e| failed & (1 << e.index()) == 0),
                 )
                 .unwrap_or(alive_subset[0]);
             if state.costs[global.index()] < gate {
@@ -319,7 +327,13 @@ mod tests {
         let (mesh, elevators, mut sel) = full_selector(AdeleConfig::paper_default());
         let probe = ZeroProbe::new(mesh);
         // src (3,1,0) → dst (3,2,1): e1 at (3,0) is on the minimal path.
-        let c = ctx(&mesh, &elevators, &probe, Coord::new(3, 1, 0), Coord::new(3, 2, 1));
+        let c = ctx(
+            &mesh,
+            &elevators,
+            &probe,
+            Coord::new(3, 1, 0),
+            Coord::new(3, 2, 1),
+        );
         assert_eq!(sel.select(&c), ElevatorId(1));
         // Deterministic: repeats identically while costs stay below θ.
         assert_eq!(sel.select(&c), ElevatorId(1));
@@ -331,7 +345,13 @@ mod tests {
         config.low_traffic_override = false;
         let (mesh, elevators, mut sel) = full_selector(config);
         let probe = ZeroProbe::new(mesh);
-        let c = ctx(&mesh, &elevators, &probe, Coord::new(1, 1, 0), Coord::new(1, 1, 1));
+        let c = ctx(
+            &mesh,
+            &elevators,
+            &probe,
+            Coord::new(1, 1, 0),
+            Coord::new(1, 1, 1),
+        );
         let picks: Vec<_> = (0..6).map(|_| sel.select(&c)).collect();
         assert_eq!(
             picks,
@@ -376,7 +396,11 @@ mod tests {
         let src = Coord::new(1, 1, 0);
         let node = mesh.node_id(src).unwrap();
         // Make e0 look very congested, e1/e2 cheap but above threshold.
-        for (e, t_tail) in [(ElevatorId(0), 80u64), (ElevatorId(1), 22), (ElevatorId(2), 22)] {
+        for (e, t_tail) in [
+            (ElevatorId(0), 80u64),
+            (ElevatorId(1), 22),
+            (ElevatorId(2), 22),
+        ] {
             for _ in 0..50 {
                 sel.on_source_departure(&SourceFeedback {
                     src: node,
@@ -397,7 +421,10 @@ mod tests {
             "congested e0 ({counts:?}) must be picked far less often"
         );
         // ξ guarantees e0 still gets occasional picks to refresh its cost.
-        assert!(counts[0] > 0, "exploration must keep selecting e0 sometimes");
+        assert!(
+            counts[0] > 0,
+            "exploration must keep selecting e0 sometimes"
+        );
     }
 
     #[test]
@@ -406,7 +433,13 @@ mod tests {
         config.low_traffic_override = false;
         let (mesh, elevators, mut sel) = full_selector(config);
         let probe = ZeroProbe::new(mesh);
-        let c = ctx(&mesh, &elevators, &probe, Coord::new(1, 1, 0), Coord::new(1, 1, 1));
+        let c = ctx(
+            &mesh,
+            &elevators,
+            &probe,
+            Coord::new(1, 1, 0),
+            Coord::new(1, 1, 1),
+        );
         sel.set_elevator_failed(ElevatorId(0), true);
         assert!(sel.is_failed(ElevatorId(0)));
         for _ in 0..100 {
@@ -424,8 +457,7 @@ mod tests {
     fn all_failed_subset_falls_back_to_surviving_elevator() {
         let (mesh, elevators) = fixture();
         // Every router's subset is only e0.
-        let assignment =
-            SubsetAssignment::from_masks(vec![0b001; mesh.node_count()], 3).unwrap();
+        let assignment = SubsetAssignment::from_masks(vec![0b001; mesh.node_count()], 3).unwrap();
         let mut sel = AdeleSelector::from_assignment(
             &mesh,
             &elevators,
@@ -436,7 +468,13 @@ mod tests {
         .unwrap();
         sel.set_elevator_failed(ElevatorId(0), true);
         let probe = ZeroProbe::new(mesh);
-        let c = ctx(&mesh, &elevators, &probe, Coord::new(0, 1, 0), Coord::new(0, 1, 1));
+        let c = ctx(
+            &mesh,
+            &elevators,
+            &probe,
+            Coord::new(0, 1, 0),
+            Coord::new(0, 1, 1),
+        );
         let pick = sel.select(&c);
         assert_ne!(pick, ElevatorId(0));
     }
@@ -457,7 +495,13 @@ mod tests {
                 });
             }
             let probe = ZeroProbe::new(mesh);
-            let c = ctx(&mesh, &elevators, &probe, Coord::new(2, 2, 0), Coord::new(2, 2, 1));
+            let c = ctx(
+                &mesh,
+                &elevators,
+                &probe,
+                Coord::new(2, 2, 0),
+                Coord::new(2, 2, 1),
+            );
             (0..50).map(|_| sel.select(&c)).collect::<Vec<_>>()
         };
         assert_eq!(run(), run());

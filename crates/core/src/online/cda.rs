@@ -125,9 +125,7 @@ impl ElevatorSelector for CdaSelector {
                 + self.config.distance_weight * (d_se as f64 / max_len);
             // Ties: closer elevator, then lower id — deterministic.
             let key = (score, d_se, id);
-            if best.is_none_or(|(s, l, i)| {
-                key.0 < s || (key.0 == s && (key.1, key.2) < (l, i))
-            }) {
+            if best.is_none_or(|(s, l, i)| key.0 < s || (key.0 == s && (key.1, key.2) < (l, i))) {
                 best = Some(key);
             }
         }
@@ -172,7 +170,10 @@ mod tests {
     #[test]
     fn idle_network_picks_nearest_to_source_ignoring_destination() {
         let (mesh, elevators) = fixture();
-        let probe = MapProbe { mesh, occupancy: vec![0; 32] };
+        let probe = MapProbe {
+            mesh,
+            occupancy: vec![0; 32],
+        };
         let mut cda = CdaSelector::new();
         let src = Coord::new(1, 0, 0);
         let dst = Coord::new(3, 0, 1);

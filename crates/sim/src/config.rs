@@ -107,6 +107,8 @@ mod tests {
     fn validate_rejects_zero_depth() {
         let mesh = Mesh3d::new(2, 2, 2).unwrap();
         let elevators = ElevatorSet::new(&mesh, [(0, 0)]).unwrap();
-        SimConfig::new(mesh, elevators).with_buffer_depth(0).validate();
+        SimConfig::new(mesh, elevators)
+            .with_buffer_depth(0)
+            .validate();
     }
 }

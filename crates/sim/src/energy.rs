@@ -142,8 +142,15 @@ mod tests {
 
     #[test]
     fn merge_adds_counters() {
-        let mut a = EnergyLedger { buffer_writes: 1, ..Default::default() };
-        let b = EnergyLedger { buffer_writes: 2, vertical_hops: 3, ..Default::default() };
+        let mut a = EnergyLedger {
+            buffer_writes: 1,
+            ..Default::default()
+        };
+        let b = EnergyLedger {
+            buffer_writes: 2,
+            vertical_hops: 3,
+            ..Default::default()
+        };
         a.merge(&b);
         assert_eq!(a.buffer_writes, 3);
         assert_eq!(a.vertical_hops, 3);

@@ -58,7 +58,9 @@ impl RouterState {
             }
         }
         Self {
-            fifos: (0..PORTS * VCS).map(|_| VecDeque::with_capacity(buffer_depth as usize)).collect(),
+            fifos: (0..PORTS * VCS)
+                .map(|_| VecDeque::with_capacity(buffer_depth as usize))
+                .collect(),
             owner: [[None; VCS]; PORTS],
             credits,
             rr_grant: [[0; VCS]; PORTS],
@@ -361,7 +363,10 @@ impl Network {
         let (ipu, ivu) = (ip as usize, iv as usize);
 
         // Dequeue and update switching state.
-        let flit = self.routers[r].fifo_mut(ipu, ivu).pop_front().expect("candidate exists");
+        let flit = self.routers[r]
+            .fifo_mut(ipu, ivu)
+            .pop_front()
+            .expect("candidate exists");
         self.routers[r].buffered -= 1;
         input_used[ipu][ivu] = true;
         if is_new {
@@ -381,7 +386,10 @@ impl Network {
             self.staged_ni_credits.push((NodeId(r as u16), iv));
         } else {
             let upstream = self.neighbours[r][ipu].expect("input port implies neighbour");
-            let up_out = Direction::from_index(ipu).expect("valid").opposite().index() as u8;
+            let up_out = Direction::from_index(ipu)
+                .expect("valid")
+                .opposite()
+                .index() as u8;
             self.staged_credits.push((upstream, up_out, iv));
         }
 
@@ -413,7 +421,8 @@ impl Network {
             }
             let downstream = self.neighbours[r][o].expect("credit implies neighbour");
             let down_in = o_dir.opposite().index() as u8;
-            self.staged_arrivals.push((downstream, down_in, v as u8, flit));
+            self.staged_arrivals
+                .push((downstream, down_in, v as u8, flit));
 
             // Source-router departure feedback (Eq. 6 inputs).
             let pkt = &mut packets[flit.packet.index()];
@@ -473,8 +482,7 @@ mod tests {
         flits: u16,
         created: Cycle,
     ) -> Packet {
-        let elevator = (src.z != dst.z)
-            .then(|| ElevatorCoord::from_set(elevators, ElevatorId(0)));
+        let elevator = (src.z != dst.z).then(|| ElevatorCoord::from_set(elevators, ElevatorId(0)));
         Packet {
             src: mesh.node_id(src).unwrap(),
             dst: mesh.node_id(dst).unwrap(),
@@ -618,7 +626,14 @@ mod tests {
         let mut ledger = EnergyLedger::default();
         let mut feedbacks = Vec::new();
         let src = Coord::new(0, 0, 0);
-        let mut packets = vec![make_packet(&mesh, &elevators, src, Coord::new(2, 0, 0), 10, 0)];
+        let mut packets = vec![make_packet(
+            &mesh,
+            &elevators,
+            src,
+            Coord::new(2, 0, 0),
+            10,
+            0,
+        )];
         net.enqueue_packet(packets[0].src, PacketId(0));
         assert_eq!(net.buffer_occupancy(NodeId(0)), 0);
         net.step(&mut packets, 0, &mut stats, &mut ledger, &mut feedbacks);

@@ -177,7 +177,11 @@ impl RunSummary {
                 base_n += 1;
             }
         }
-        let base = if base_n == 0 { 1.0 } else { base_sum / base_n as f64 };
+        let base = if base_n == 0 {
+            1.0
+        } else {
+            base_sum / base_n as f64
+        };
         let base = if base == 0.0 { 1.0 } else { base };
         is_elevator
             .iter()

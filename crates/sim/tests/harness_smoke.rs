@@ -1,0 +1,77 @@
+//! Fast smoke test of the sweep harness on a tiny 4×4×2 mesh: zero-load
+//! latency is finite and positive, an overload sweep terminates (the
+//! drain cap bounds every run), and the saturation criterion fires on the
+//! overloaded point but not on the light one.
+
+use adele::online::{ElevatorFirstSelector, ElevatorSelector};
+use noc_sim::harness::{injection_sweep, saturation_rate, zero_load_latency};
+use noc_sim::SimConfig;
+use noc_topology::{ElevatorSet, Mesh3d};
+use noc_traffic::{SyntheticTraffic, TrafficSource};
+
+/// Tiny topology + short windows: the whole file runs in well under a
+/// second even in debug builds.
+fn tiny_config() -> SimConfig {
+    let mesh = Mesh3d::new(4, 4, 2).unwrap();
+    let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
+    SimConfig::new(mesh, elevators)
+        .with_phases(100, 400, 2_000)
+        .with_seed(11)
+}
+
+#[test]
+fn zero_load_latency_is_finite_and_saturation_detection_terminates() {
+    let config = tiny_config();
+    let mesh = config.mesh;
+    let elevators = config.elevators.clone();
+    let traffic = |rate: f64| -> Box<dyn TrafficSource> {
+        Box::new(SyntheticTraffic::uniform(&mesh, rate, 5))
+    };
+    let selector =
+        || -> Box<dyn ElevatorSelector> { Box::new(ElevatorFirstSelector::new(&mesh, &elevators)) };
+
+    let zero = zero_load_latency(&config, &traffic, &selector);
+    assert!(
+        zero.is_finite(),
+        "zero-load latency must be finite, got {zero}"
+    );
+    assert!(zero > 0.0, "zero-load latency must be positive, got {zero}");
+    // Zero-load latency is a handful of cycles on a 4×4×2 mesh; far below
+    // the drain cap means the token packets really drained.
+    assert!(zero < 200.0, "zero-load latency {zero} is implausibly high");
+
+    // The second rate (0.5 packets/node/cycle) is far past saturation for
+    // two elevator columns; the drain cap guarantees the sweep returns.
+    let points = injection_sweep(&config, &[0.001, 0.5], &traffic, &selector);
+    assert_eq!(points.len(), 2);
+    assert!(
+        points[0].summary.completed,
+        "the light point must drain completely"
+    );
+
+    let sat = saturation_rate(&points, zero);
+    assert_eq!(
+        sat,
+        Some(0.5),
+        "saturation must be detected exactly at the overloaded point \
+         (latencies: {:.1} / {:.1}, zero-load {zero:.1})",
+        points[0].summary.avg_latency,
+        points[1].summary.avg_latency,
+    );
+}
+
+#[test]
+fn sweep_is_deterministic_for_fixed_seeds() {
+    let config = tiny_config();
+    let mesh = config.mesh;
+    let elevators = config.elevators.clone();
+    let sweep = || {
+        injection_sweep(
+            &config,
+            &[0.002, 0.01],
+            &|rate| Box::new(SyntheticTraffic::uniform(&mesh, rate, 5)),
+            &|| Box::new(ElevatorFirstSelector::new(&mesh, &elevators)),
+        )
+    };
+    assert_eq!(sweep(), sweep());
+}

@@ -145,8 +145,7 @@ mod tests {
     #[test]
     fn classification_partitions_non_local_ports() {
         for dir in Direction::ALL {
-            let classes =
-                usize::from(dir.is_vertical()) + usize::from(dir.is_horizontal());
+            let classes = usize::from(dir.is_vertical()) + usize::from(dir.is_horizontal());
             if dir == Direction::Local {
                 assert_eq!(classes, 0);
             } else {

@@ -267,10 +267,7 @@ mod tests {
         assert_eq!(s.route_xy_length(src, dst, ElevatorId(0)), 3);
         // Minimal-path elevator among all three is e2 at (1,3): 3+2=5? No:
         // e1 at (3,1): 3 + 4 = 7; e2 at (1,3): 3 + 2 = 5. e0 wins.
-        assert_eq!(
-            s.minimal_path_among(src, dst, s.ids()),
-            Some(ElevatorId(0))
-        );
+        assert_eq!(s.minimal_path_among(src, dst, s.ids()), Some(ElevatorId(0)));
     }
 
     #[test]

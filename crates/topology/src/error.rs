@@ -40,7 +40,10 @@ impl fmt::Display for TopologyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             TopologyError::InvalidDimensions { x, y, z } => {
-                write!(f, "invalid mesh dimensions {x}x{y}x{z}: each must be in 1..=64")
+                write!(
+                    f,
+                    "invalid mesh dimensions {x}x{y}x{z}: each must be in 1..=64"
+                )
             }
             TopologyError::CoordOutOfBounds { coord } => {
                 write!(f, "coordinate {coord} is outside the mesh")
@@ -49,8 +52,14 @@ impl fmt::Display for TopologyError {
                 write!(f, "elevator column ({x}, {y}) listed more than once")
             }
             TopologyError::EmptyElevatorSet => write!(f, "elevator set must not be empty"),
-            TopologyError::TooManyElevators { requested, available } => {
-                write!(f, "requested {requested} elevators but only {available} columns exist")
+            TopologyError::TooManyElevators {
+                requested,
+                available,
+            } => {
+                write!(
+                    f,
+                    "requested {requested} elevators but only {available} columns exist"
+                )
             }
         }
     }

@@ -216,7 +216,11 @@ mod tests {
     use crate::Mesh3d;
 
     fn elevator(x: u8, y: u8) -> ElevatorCoord {
-        ElevatorCoord { x, y, id: ElevatorId(0) }
+        ElevatorCoord {
+            x,
+            y,
+            id: ElevatorId(0),
+        }
     }
 
     #[test]
@@ -249,12 +253,12 @@ mod tests {
         let dst = Coord::new(3, 3, 2);
         let e = elevator(1, 2);
         let path = route_coords(src, dst, Some(e));
-        assert_eq!(
-            path.len() as u32,
-            route_length(src, dst, Some(e)) + 1
-        );
+        assert_eq!(path.len() as u32, route_length(src, dst, Some(e)) + 1);
         assert!(path.contains(&Coord::new(1, 2, 0)), "visits pillar base");
-        assert!(path.contains(&Coord::new(1, 2, 2)), "exits pillar on dst layer");
+        assert!(
+            path.contains(&Coord::new(1, 2, 2)),
+            "exits pillar on dst layer"
+        );
         assert_eq!(path.last(), Some(&dst));
     }
 
@@ -302,16 +306,14 @@ mod tests {
     #[test]
     fn every_step_stays_in_mesh_and_terminates() {
         let mesh = Mesh3d::new(4, 4, 4).unwrap();
-        let elevators =
-            crate::ElevatorSet::new(&mesh, [(0, 0), (3, 1), (1, 3)]).unwrap();
+        let elevators = crate::ElevatorSet::new(&mesh, [(0, 0), (3, 1), (1, 3)]).unwrap();
         for src in mesh.coords() {
             for dst in mesh.coords() {
                 if src == dst {
                     continue;
                 }
-                let choice = (src.z != dst.z).then(|| {
-                    ElevatorCoord::from_set(&elevators, elevators.nearest(src))
-                });
+                let choice = (src.z != dst.z)
+                    .then(|| ElevatorCoord::from_set(&elevators, elevators.nearest(src)));
                 let path = route_coords(src, dst, choice);
                 assert!(path.iter().all(|&c| mesh.contains(c)));
                 assert_eq!(path.last(), Some(&dst));

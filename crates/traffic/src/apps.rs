@@ -76,32 +76,62 @@ impl AppKind {
         match self {
             AppKind::Canneal => AppProfile {
                 intensity: 1.00,
-                mix: LocalityMix { neighbour: 0.10, uniform: 0.55, permutation: 0.0, hotspot: 0.35 },
+                mix: LocalityMix {
+                    neighbour: 0.10,
+                    uniform: 0.55,
+                    permutation: 0.0,
+                    hotspot: 0.35,
+                },
                 burst: Some(OnOffParams::new(0.02, 0.01, 0.2)),
             },
             AppKind::Fft => AppProfile {
                 intensity: 0.95,
-                mix: LocalityMix { neighbour: 0.05, uniform: 0.15, permutation: 0.75, hotspot: 0.05 },
+                mix: LocalityMix {
+                    neighbour: 0.05,
+                    uniform: 0.15,
+                    permutation: 0.75,
+                    hotspot: 0.05,
+                },
                 burst: Some(OnOffParams::new(0.01, 0.02, 0.4)),
             },
             AppKind::Fluidanimate => AppProfile {
                 intensity: 0.22,
-                mix: LocalityMix { neighbour: 0.80, uniform: 0.15, permutation: 0.0, hotspot: 0.05 },
+                mix: LocalityMix {
+                    neighbour: 0.80,
+                    uniform: 0.15,
+                    permutation: 0.0,
+                    hotspot: 0.05,
+                },
                 burst: None,
             },
             AppKind::Lu => AppProfile {
                 intensity: 0.30,
-                mix: LocalityMix { neighbour: 0.35, uniform: 0.30, permutation: 0.0, hotspot: 0.35 },
+                mix: LocalityMix {
+                    neighbour: 0.35,
+                    uniform: 0.30,
+                    permutation: 0.0,
+                    hotspot: 0.35,
+                },
                 burst: None,
             },
             AppKind::Radix => AppProfile {
                 intensity: 1.00,
-                mix: LocalityMix { neighbour: 0.05, uniform: 0.50, permutation: 0.35, hotspot: 0.10 },
+                mix: LocalityMix {
+                    neighbour: 0.05,
+                    uniform: 0.50,
+                    permutation: 0.35,
+                    hotspot: 0.10,
+                },
                 burst: Some(OnOffParams::new(0.05, 0.01, 0.1)),
             },
             AppKind::Water => AppProfile {
                 intensity: 0.85,
-                mix: LocalityMix { neighbour: 0.30, uniform: 0.60, permutation: 0.0, hotspot: 0.10 },
+                mix: LocalityMix {
+                    neighbour: 0.30,
+                    uniform: 0.60,
+                    permutation: 0.0,
+                    hotspot: 0.10,
+                },
                 burst: Some(OnOffParams::new(0.01, 0.03, 0.5)),
             },
         }
@@ -314,7 +344,12 @@ mod tests {
 
     #[test]
     fn intensity_ranking_matches_paper() {
-        let high = [AppKind::Canneal, AppKind::Fft, AppKind::Radix, AppKind::Water];
+        let high = [
+            AppKind::Canneal,
+            AppKind::Fft,
+            AppKind::Radix,
+            AppKind::Water,
+        ];
         let low = [AppKind::Fluidanimate, AppKind::Lu];
         for h in high {
             for l in low {
@@ -388,14 +423,20 @@ mod tests {
         }
         assert!(total > 100);
         let frac = local as f64 / total as f64;
-        assert!(frac > 0.6, "local fraction {frac} too low for a stencil app");
+        assert!(
+            frac > 0.6,
+            "local fraction {frac} too low for a stencil app"
+        );
     }
 
     #[test]
     fn profiles_mixtures_are_positive() {
         for kind in AppKind::ALL {
             let p = kind.profile();
-            assert!(p.mix.total() > 0.99 && p.mix.total() < 1.01, "{kind} mixture sums to 1");
+            assert!(
+                p.mix.total() > 0.99 && p.mix.total() < 1.01,
+                "{kind} mixture sums to 1"
+            );
             assert!(p.intensity > 0.0 && p.intensity <= 1.0);
         }
     }

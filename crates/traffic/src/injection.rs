@@ -18,7 +18,10 @@ impl PacketSizeRange {
     /// Panics if `min` is zero or greater than `max`.
     #[must_use]
     pub fn new(min: u16, max: u16) -> Self {
-        assert!(min >= 1 && min <= max, "invalid packet size range {min}..={max}");
+        assert!(
+            min >= 1 && min <= max,
+            "invalid packet size range {min}..={max}"
+        );
         Self { min, max }
     }
 
@@ -85,7 +88,11 @@ impl OnOffParams {
         assert!((0.0..=1.0).contains(&on_to_off) && on_to_off > 0.0);
         assert!((0.0..=1.0).contains(&off_to_on) && off_to_on > 0.0);
         assert!((0.0..1.0).contains(&off_scale));
-        Self { on_to_off, off_to_on, off_scale }
+        Self {
+            on_to_off,
+            off_to_on,
+            off_scale,
+        }
     }
 
     /// Stationary probability of the ON state.
@@ -130,7 +137,10 @@ impl InjectionProcess {
     /// Panics if `rate` is not in `[0, 1]`.
     #[must_use]
     pub fn bernoulli(rate: f64) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "rate {rate} must be a probability");
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "rate {rate} must be a probability"
+        );
         InjectionProcess::Bernoulli { rate }
     }
 
@@ -141,8 +151,15 @@ impl InjectionProcess {
     /// Panics if `rate` is not in `[0, 1]`.
     #[must_use]
     pub fn on_off(rate: f64, params: OnOffParams) -> Self {
-        assert!((0.0..=1.0).contains(&rate), "rate {rate} must be a probability");
-        InjectionProcess::OnOff { rate, params, on: true }
+        assert!(
+            (0.0..=1.0).contains(&rate),
+            "rate {rate} must be a probability"
+        );
+        InjectionProcess::OnOff {
+            rate,
+            params,
+            on: true,
+        }
     }
 
     /// The long-run average injection rate.
@@ -159,11 +176,19 @@ impl InjectionProcess {
             InjectionProcess::Bernoulli { rate } => *rate > 0.0 && rng.gen_bool(*rate),
             InjectionProcess::OnOff { rate, params, on } => {
                 // State transition first, then emission from the new state.
-                let flip = if *on { params.on_to_off } else { params.off_to_on };
+                let flip = if *on {
+                    params.on_to_off
+                } else {
+                    params.off_to_on
+                };
                 if rng.gen_bool(flip) {
                     *on = !*on;
                 }
-                let scale = if *on { params.on_scale() } else { params.off_scale };
+                let scale = if *on {
+                    params.on_scale()
+                } else {
+                    params.off_scale
+                };
                 let p = (*rate * scale).clamp(0.0, 1.0);
                 p > 0.0 && rng.gen_bool(p)
             }

@@ -29,7 +29,10 @@ impl TrafficMatrix {
     #[must_use]
     pub fn from_raw(n: usize, mut raw: Vec<f64>) -> Self {
         assert_eq!(raw.len(), n * n, "matrix must be n*n");
-        assert!(raw.iter().all(|&f| f >= 0.0), "frequencies must be non-negative");
+        assert!(
+            raw.iter().all(|&f| f >= 0.0),
+            "frequencies must be non-negative"
+        );
         for i in 0..n {
             let row = &mut raw[i * n..(i + 1) * n];
             row[i] = 0.0; // no self-traffic
@@ -51,7 +54,12 @@ impl TrafficMatrix {
     /// closed-form rows, otherwise by drawing `samples_per_node`
     /// destinations per source with a deterministic seed.
     #[must_use]
-    pub fn from_pattern(pattern: &dyn Pattern, n: usize, samples_per_node: usize, seed: u64) -> Self {
+    pub fn from_pattern(
+        pattern: &dyn Pattern,
+        n: usize,
+        samples_per_node: usize,
+        seed: u64,
+    ) -> Self {
         let mut raw = vec![0.0; n * n];
         let mut rng = StdRng::seed_from_u64(seed);
         for src in 0..n {
@@ -128,11 +136,7 @@ mod tests {
         // Force the sampling path by hiding the exact row behind a wrapper.
         struct NoExact(Uniform);
         impl Pattern for NoExact {
-            fn destination(
-                &self,
-                src: NodeId,
-                rng: &mut dyn rand::RngCore,
-            ) -> Option<NodeId> {
+            fn destination(&self, src: NodeId, rng: &mut dyn rand::RngCore) -> Option<NodeId> {
                 self.0.destination(src, rng)
             }
             fn name(&self) -> &'static str {

@@ -189,12 +189,18 @@ impl Hotspot {
     /// Panics if `hotspots` is empty or `hot_fraction` is outside `[0, 1]`.
     #[must_use]
     pub fn new(n: usize, hotspots: Vec<NodeId>, hot_fraction: f64) -> Self {
-        assert!(!hotspots.is_empty(), "hotspot pattern needs at least one hotspot");
+        assert!(
+            !hotspots.is_empty(),
+            "hotspot pattern needs at least one hotspot"
+        );
         assert!(
             (0.0..=1.0).contains(&hot_fraction),
             "hot_fraction must be a probability"
         );
-        assert!(hotspots.iter().all(|h| h.index() < n), "hotspot out of range");
+        assert!(
+            hotspots.iter().all(|h| h.index() < n),
+            "hotspot out of range"
+        );
         Self {
             uniform: Uniform::new(n),
             hotspots,
@@ -255,7 +261,10 @@ mod tests {
 
     #[test]
     fn complement_and_reverse() {
-        assert_eq!(BitPermutation::Complement.apply(0b0000_0001, 8), 0b1111_1110);
+        assert_eq!(
+            BitPermutation::Complement.apply(0b0000_0001, 8),
+            0b1111_1110
+        );
         assert_eq!(BitPermutation::Reverse.apply(0b0000_0001, 8), 0b1000_0000);
     }
 

@@ -70,10 +70,19 @@ impl Trace {
     ) -> Self {
         for e in &events {
             assert!(e.src.index() < node_count && e.dst.index() < node_count);
-            assert!(e.cycle < duration, "event at {} beyond duration {duration}", e.cycle);
+            assert!(
+                e.cycle < duration,
+                "event at {} beyond duration {duration}",
+                e.cycle
+            );
         }
         events.sort_by_key(|e| (e.cycle, e.src));
-        Self { name, events, node_count, duration }
+        Self {
+            name,
+            events,
+            node_count,
+            duration,
+        }
     }
 
     /// The recorded events, sorted by `(cycle, src)`.
@@ -113,7 +122,10 @@ impl Trace {
     /// duration so simulations may run longer than the recording.
     #[must_use]
     pub fn replayer(&self) -> TraceReplayer<'_> {
-        TraceReplayer { trace: self, cursor: 0 }
+        TraceReplayer {
+            trace: self,
+            cursor: 0,
+        }
     }
 }
 
@@ -145,7 +157,10 @@ impl TrafficSource for TraceReplayer<'_> {
             let e = events[self.cursor];
             if e.cycle == wrapped && e.src == node {
                 self.cursor += 1;
-                return Some(InjectionRequest { dst: e.dst, flits: e.flits });
+                return Some(InjectionRequest {
+                    dst: e.dst,
+                    flits: e.flits,
+                });
             }
         }
         None
@@ -177,7 +192,12 @@ mod tests {
         for cycle in 0..500 {
             for node in mesh.node_ids() {
                 if let Some(req) = replay.maybe_inject(node, cycle) {
-                    replayed.push(TraceEvent { cycle, src: node, dst: req.dst, flits: req.flits });
+                    replayed.push(TraceEvent {
+                        cycle,
+                        src: node,
+                        dst: req.dst,
+                        flits: req.flits,
+                    });
                 }
             }
         }
@@ -209,8 +229,18 @@ mod tests {
     #[test]
     fn mean_rate_counts_events() {
         let events = vec![
-            TraceEvent { cycle: 0, src: NodeId(0), dst: NodeId(1), flits: 10 },
-            TraceEvent { cycle: 5, src: NodeId(1), dst: NodeId(0), flits: 10 },
+            TraceEvent {
+                cycle: 0,
+                src: NodeId(0),
+                dst: NodeId(1),
+                flits: 10,
+            },
+            TraceEvent {
+                cycle: 5,
+                src: NodeId(1),
+                dst: NodeId(0),
+                flits: 10,
+            },
         ];
         let trace = Trace::from_events("unit", events, 2, 10);
         assert!((trace.mean_rate() - 0.1).abs() < 1e-12);
@@ -219,7 +249,12 @@ mod tests {
     #[test]
     #[should_panic(expected = "beyond duration")]
     fn from_events_validates_duration() {
-        let events = vec![TraceEvent { cycle: 10, src: NodeId(0), dst: NodeId(1), flits: 10 }];
+        let events = vec![TraceEvent {
+            cycle: 10,
+            src: NodeId(0),
+            dst: NodeId(1),
+            flits: 10,
+        }];
         let _ = Trace::from_events("bad", events, 2, 10);
     }
 }

@@ -53,11 +53,18 @@ fn main() {
     let victim = ElevatorId(2);
     selector.set_elevator_failed(victim, true);
     let counts = tally(&mut selector, "e2 failed");
-    assert_eq!(counts[victim.index()], 0, "failed elevator must never be picked");
+    assert_eq!(
+        counts[victim.index()],
+        0,
+        "failed elevator must never be picked"
+    );
 
     selector.set_elevator_failed(victim, false);
     let counts = tally(&mut selector, "e2 repaired");
-    assert!(counts[victim.index()] > 0, "repaired elevator rejoins rotation");
+    assert!(
+        counts[victim.index()] > 0,
+        "repaired elevator rejoins rotation"
+    );
 
     println!("\nAdEle's subset redundancy makes elevator fail-over a one-bit mask update —");
     println!("no re-optimisation required (the paper's conclusion calls this out).");

@@ -19,7 +19,12 @@ fn main() {
         "{:<10} {:>12} {:>12} {:>14} {:>10}",
         "policy", "latency", "network lat", "energy/flit", "drained"
     );
-    for policy in [Policy::ElevFirst, Policy::Cda, Policy::Adele, Policy::AdeleRr] {
+    for policy in [
+        Policy::ElevFirst,
+        Policy::Cda,
+        Policy::Adele,
+        Policy::AdeleRr,
+    ] {
         let summary = run_once(
             sim_config(placement, 5),
             Workload::Uniform.build(&mesh, rate, 99),

@@ -69,7 +69,11 @@ fn amosa_seed_changes_offline_search_but_stays_valid() {
             .map(|p| (p.utilization_variance, p.average_distance))
             .collect()
     };
-    assert_ne!(objs(&a), objs(&b), "different seeds should explore differently");
+    assert_ne!(
+        objs(&a),
+        objs(&b),
+        "different seeds should explore differently"
+    );
 }
 
 #[test]
@@ -93,6 +97,11 @@ fn baseline_policies_are_seed_independent() {
             Workload::Uniform.build(&mesh, 0.003, 8),
             make_selector(policy, &mesh, &elevators, None, 222),
         );
-        assert_eq!(a, b, "{} must not depend on the selector seed", policy.name());
+        assert_eq!(
+            a,
+            b,
+            "{} must not depend on the selector seed",
+            policy.name()
+        );
     }
 }

@@ -93,8 +93,8 @@ proptest! {
 #[test]
 fn saturating_hotspot_does_not_deadlock() {
     use noc_topology::NodeId;
-    use noc_traffic::pattern::Hotspot;
     use noc_traffic::injection::{InjectionProcess, PacketSizeRange};
+    use noc_traffic::pattern::Hotspot;
 
     let mesh = Mesh3d::new(4, 4, 2).unwrap();
     let elevators = ElevatorSet::new(&mesh, [(0, 0)]).unwrap();

@@ -18,7 +18,10 @@ fn offline_to_online_pipeline_delivers_packets() {
     let result = OfflineOptimizer::new(mesh, elevators.clone())
         .with_params(AmosaParams::fast(3))
         .optimize();
-    assert!(!result.pareto.is_empty(), "offline stage must produce solutions");
+    assert!(
+        !result.pareto.is_empty(),
+        "offline stage must produce solutions"
+    );
 
     let solution = result.select(SelectionStrategy::LatencyLeaning);
     solution
@@ -93,6 +96,11 @@ fn offline_traffic_awareness_shifts_subsets() {
     // Not a strict guarantee point-by-point, but the fronts should differ:
     // the optimiser reacts to the traffic matrix.
     let a = &uniform.select(SelectionStrategy::LatencyLeaning).assignment;
-    let b = &shuffled.select(SelectionStrategy::LatencyLeaning).assignment;
-    assert_ne!(a, b, "traffic-aware optimisation should change the assignment");
+    let b = &shuffled
+        .select(SelectionStrategy::LatencyLeaning)
+        .assignment;
+    assert_ne!(
+        a, b,
+        "traffic-aware optimisation should change the assignment"
+    );
 }

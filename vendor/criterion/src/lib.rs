@@ -1,0 +1,310 @@
+//! Workspace-vendored, dependency-free benchmark harness exposing the
+//! subset of the `criterion` API this repository's five bench targets use.
+//!
+//! It is a *timing* harness, not a *statistics* harness: each benchmark is
+//! warmed up briefly, then timed over enough iterations to fill the
+//! configured measurement window, and the mean time per iteration is
+//! printed. There are no HTML reports, outlier analyses, or comparisons —
+//! but the `criterion_group!` / `criterion_main!` surface is identical, so
+//! swapping the real crate in (when a registry is available) is a
+//! manifest-only change.
+//!
+//! Under `cargo test` (the target is compiled with `--test`-style args or
+//! run by the libtest-less `harness = false` protocol) each benchmark body
+//! executes exactly once, so bench targets double as smoke tests without
+//! blowing up CI time.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, one per bench target.
+pub struct Criterion {
+    smoke: bool,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench` invokes the target with `--bench`; `cargo test`
+        // invokes it with no arguments. Only measure for real under
+        // `cargo bench` — anything else (including CRITERION_SMOKE=1) runs
+        // every benchmark body exactly once as a smoke test.
+        let smoke = !std::env::args().any(|a| a == "--bench")
+            || std::env::var("CRITERION_SMOKE")
+                .map(|v| v == "1")
+                .unwrap_or(false);
+        Criterion { smoke }
+    }
+}
+
+impl Criterion {
+    /// Compatibility shim: the real criterion parses CLI filters here.
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            measurement: Duration::from_secs(1),
+            warm_up: Duration::from_millis(300),
+        }
+    }
+
+    /// Benchmarks `f` under `id`.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let smoke = self.smoke;
+        run_benchmark(
+            &id.into(),
+            f,
+            Duration::from_millis(300),
+            Duration::from_secs(1),
+            smoke,
+        );
+        self
+    }
+}
+
+/// A group of benchmarks sharing timing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    measurement: Duration,
+    warm_up: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the measurement window.
+    pub fn measurement_time(&mut self, duration: Duration) -> &mut Self {
+        self.measurement = duration;
+        self
+    }
+
+    /// Sets the warm-up window.
+    pub fn warm_up_time(&mut self, duration: Duration) -> &mut Self {
+        self.warm_up = duration;
+        self
+    }
+
+    /// Compatibility shim: sample count is implied by the windows here.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let label = format!("{}/{}", self.name, id.into());
+        run_benchmark(
+            &label,
+            f,
+            self.warm_up,
+            self.measurement,
+            self.criterion.smoke,
+        );
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_benchmark(
+            &label,
+            |b| f(b, input),
+            self.warm_up,
+            self.measurement,
+            self.criterion.smoke,
+        );
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// A two-part benchmark identifier (`function/parameter`).
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display.
+    pub fn new(function: impl std::fmt::Display, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+/// How per-iteration inputs are batched in [`Bencher::iter_batched`].
+/// Only a hint in this harness.
+#[derive(Clone, Copy, Debug)]
+pub enum BatchSize {
+    /// Small inputs: many per batch.
+    SmallInput,
+    /// Large inputs: one per batch.
+    LargeInput,
+    /// Explicit batch count.
+    NumBatches(u64),
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Passed to every benchmark closure; runs and times the measured routine.
+pub struct Bencher {
+    iterations: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine` over this sample's iterations.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iterations {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time is
+    /// excluded from the measurement.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut elapsed = Duration::ZERO;
+        for _ in 0..self.iterations {
+            let input = setup();
+            let start = Instant::now();
+            black_box(routine(input));
+            elapsed += start.elapsed();
+        }
+        self.elapsed = elapsed;
+    }
+}
+
+fn run_benchmark<F>(label: &str, mut f: F, warm_up: Duration, measurement: Duration, smoke: bool)
+where
+    F: FnMut(&mut Bencher),
+{
+    if smoke {
+        let mut bencher = Bencher {
+            iterations: 1,
+            elapsed: Duration::ZERO,
+        };
+        f(&mut bencher);
+        println!("bench {label:<40} ... smoke ok");
+        return;
+    }
+
+    // Calibrate: run single iterations until the warm-up window is spent,
+    // deriving the per-iteration cost.
+    let mut bencher = Bencher {
+        iterations: 1,
+        elapsed: Duration::ZERO,
+    };
+    let warm_start = Instant::now();
+    let mut calibration_runs = 0u64;
+    while warm_start.elapsed() < warm_up || calibration_runs == 0 {
+        f(&mut bencher);
+        calibration_runs += 1;
+        if calibration_runs >= 1_000_000 {
+            break;
+        }
+    }
+    let per_iter = warm_start.elapsed() / calibration_runs.max(1) as u32;
+
+    // Measure: size one timed sample to fill the measurement window.
+    let iterations = if per_iter.is_zero() {
+        1_000_000
+    } else {
+        (measurement.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 50_000_000) as u64
+    };
+    let mut bencher = Bencher {
+        iterations,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut bencher);
+    let mean_ns = bencher.elapsed.as_nanos() as f64 / iterations.max(1) as f64;
+    println!("bench {label:<40} ... {mean_ns:>14.2} ns/iter ({iterations} iters)");
+}
+
+/// Bundles benchmark functions into a runnable group.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($function:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $($function(&mut criterion);)+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            // `cargo test` probes harness = false targets with `--list`;
+            // answer the protocol without running benchmarks.
+            if ::std::env::args().any(|a| a == "--list") {
+                println!("0 tests, 0 benchmarks");
+                return;
+            }
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_smoke_runs_once() {
+        let mut criterion = Criterion { smoke: true };
+        let mut runs = 0u64;
+        criterion.bench_function("counter", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_and_ids_compose() {
+        let mut criterion = Criterion { smoke: true };
+        let mut group = criterion.benchmark_group("g");
+        group.measurement_time(Duration::from_millis(10));
+        group.warm_up_time(Duration::from_millis(5));
+        group.sample_size(10);
+        let mut total = 0u64;
+        group.bench_with_input(BenchmarkId::new("f", "param"), &3u64, |b, &x| {
+            b.iter_batched(|| x, |v| total += v, BatchSize::LargeInput)
+        });
+        group.finish();
+        assert_eq!(total, 3);
+    }
+}

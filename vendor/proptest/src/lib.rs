@@ -1,0 +1,538 @@
+//! Workspace-vendored, dependency-free property-testing harness exposing
+//! the subset of the `proptest` API this repository uses:
+//!
+//! * the [`proptest!`] macro (with optional `#![proptest_config(..)]`),
+//! * [`strategy::Strategy`] with `prop_map` / `prop_flat_map`, implemented
+//!   for numeric ranges, tuples and [`strategy::Just`],
+//! * [`collection::vec`] and [`collection::hash_set`],
+//! * `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//!   `prop_assume!`.
+//!
+//! Unlike the real proptest there is **no shrinking**: on failure the
+//! harness reports the case index and the seed that reproduces it. Runs
+//! are deterministic by default — the RNG seed is fixed (overridable with
+//! `PROPTEST_SEED`) and the case count is pinned (overridable with
+//! `PROPTEST_CASES`), so CI results are reproducible.
+
+#![forbid(unsafe_code)]
+
+pub mod strategy {
+    //! Value-generation strategies.
+
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into a strategy-producing `f` and samples
+        /// the produced strategy.
+        fn prop_flat_map<S, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S: Strategy,
+            F: Fn(Self::Value) -> S,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Always produces a clone of a fixed value.
+    #[derive(Clone, Debug)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn sample(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// See [`Strategy::prop_map`].
+    #[derive(Clone, Debug)]
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, O, F> Strategy for Map<S, F>
+    where
+        S: Strategy,
+        F: Fn(S::Value) -> O,
+    {
+        type Value = O;
+        fn sample(&self, rng: &mut StdRng) -> O {
+            (self.f)(self.inner.sample(rng))
+        }
+    }
+
+    /// See [`Strategy::prop_flat_map`].
+    #[derive(Clone, Debug)]
+    pub struct FlatMap<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S, T, F> Strategy for FlatMap<S, F>
+    where
+        S: Strategy,
+        T: Strategy,
+        F: Fn(S::Value) -> T,
+    {
+        type Value = T::Value;
+        fn sample(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.sample(rng)).sample(rng)
+        }
+    }
+
+    macro_rules! range_strategy {
+        ($($t:ty),* $(,)?) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(self.start..self.end)
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn sample(&self, rng: &mut StdRng) -> $t {
+                    rng.gen_range(*self.start()..=*self.end())
+                }
+            }
+        )*};
+    }
+
+    range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($(($($name:ident : $idx:tt),+))*) => {$(
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                    ($(self.$idx.sample(rng),)+)
+                }
+            }
+        )*};
+    }
+
+    tuple_strategy! {
+        (A: 0)
+        (A: 0, B: 1)
+        (A: 0, B: 1, C: 2)
+        (A: 0, B: 1, C: 2, D: 3)
+        (A: 0, B: 1, C: 2, D: 3, E: 4)
+    }
+}
+
+pub mod collection {
+    //! Collection strategies.
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::collections::HashSet;
+    use std::hash::Hash;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size range for generated collections.
+    #[derive(Clone, Copy, Debug)]
+    pub struct SizeRange {
+        min: usize,
+        max: usize,
+    }
+
+    impl SizeRange {
+        fn sample(&self, rng: &mut StdRng) -> usize {
+            rng.gen_range(self.min..=self.max)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    /// Generates `Vec`s whose length is drawn from `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`vec`].
+    #[derive(Clone, Debug)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Vec<S::Value> {
+            let len = self.size.sample(rng);
+            (0..len).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+
+    /// Generates `HashSet`s whose target size is drawn from `size`.
+    ///
+    /// If the element domain is too small to reach the target size, the
+    /// set saturates at whatever distinct values were found (the real
+    /// proptest rejects instead; saturating keeps tiny meshes usable).
+    pub fn hash_set<S>(element: S, size: impl Into<SizeRange>) -> HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        HashSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    /// See [`hash_set`].
+    #[derive(Clone, Debug)]
+    pub struct HashSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S> Strategy for HashSetStrategy<S>
+    where
+        S: Strategy,
+        S::Value: Eq + Hash,
+    {
+        type Value = HashSet<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> HashSet<S::Value> {
+            let target = self.size.sample(rng);
+            let mut set = HashSet::with_capacity(target);
+            let mut attempts = 0usize;
+            while set.len() < target && attempts < target * 20 + 50 {
+                set.insert(self.element.sample(rng));
+                attempts += 1;
+            }
+            set
+        }
+    }
+}
+
+pub mod test_runner {
+    //! The case-running loop, failure type, and configuration.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Per-test configuration, honouring `PROPTEST_CASES` / `PROPTEST_SEED`.
+    #[derive(Clone, Debug)]
+    pub struct ProptestConfig {
+        /// Number of cases to run per property.
+        pub cases: u32,
+        /// Maximum number of `prop_assume!` rejections before giving up.
+        pub max_global_rejects: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig {
+                cases: env_u64("PROPTEST_CASES", 48) as u32,
+                max_global_rejects: 1024,
+            }
+        }
+    }
+
+    fn env_u64(name: &str, default: u64) -> u64 {
+        std::env::var(name)
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(default)
+    }
+
+    /// Why a single case did not pass.
+    #[derive(Debug)]
+    pub enum TestCaseError {
+        /// `prop_assert!` failure — fails the whole property.
+        Fail(String),
+        /// `prop_assume!` rejection — the case is skipped.
+        Reject(String),
+    }
+
+    impl TestCaseError {
+        /// An assertion failure.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            TestCaseError::Fail(msg.into())
+        }
+
+        /// An assumption rejection.
+        pub fn reject(msg: impl Into<String>) -> Self {
+            TestCaseError::Reject(msg.into())
+        }
+    }
+
+    /// Stable tiny hash so every property gets its own (deterministic)
+    /// stream even under one global seed.
+    fn fnv1a(name: &str) -> u64 {
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        hash
+    }
+
+    /// Runs `property` for `config.cases` cases, panicking on the first
+    /// failure with a reproduction seed.
+    pub fn run<F>(name: &str, config: &ProptestConfig, mut property: F)
+    where
+        F: FnMut(&mut StdRng) -> Result<(), TestCaseError>,
+    {
+        let env_seed = env_u64("PROPTEST_SEED", 0xADE1E);
+        let base_seed = env_seed ^ fnv1a(name);
+        let mut rejects = 0u32;
+        let mut case = 0u32;
+        while case < config.cases {
+            let case_seed = base_seed.wrapping_add(u64::from(case) ^ u64::from(rejects) << 32);
+            let mut rng = StdRng::seed_from_u64(case_seed);
+            match property(&mut rng) {
+                Ok(()) => case += 1,
+                Err(TestCaseError::Reject(why)) => {
+                    rejects += 1;
+                    assert!(
+                        rejects <= config.max_global_rejects,
+                        "property `{name}`: too many prop_assume! rejections ({rejects}); \
+                         last: {why}"
+                    );
+                }
+                Err(TestCaseError::Fail(why)) => {
+                    panic!(
+                        "property `{name}` failed at case {case}/{} \
+                         (reproduce by rerunning this test with PROPTEST_SEED={env_seed} \
+                         PROPTEST_CASES={}; internal case seed {case_seed:#x}):\n\
+                         {why}",
+                        config.cases, config.cases
+                    );
+                }
+            }
+        }
+    }
+}
+
+pub mod prelude {
+    //! Everything the `proptest!` style of test needs in scope.
+
+    pub use crate as prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr $(,)?) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "{}\n  left: {:?}\n right: {:?}",
+            format!($($fmt)+),
+            left,
+            right
+        );
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `{} != {}`\n  both: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "{}\n  both: {:?}",
+            format!($($fmt)+),
+            left
+        );
+    }};
+}
+
+/// Skips the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(,)?) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::reject(
+                concat!("assumption failed: ", stringify!($cond)),
+            ));
+        }
+    };
+}
+
+/// Defines property tests: each `fn name(pattern in strategy, ...) { .. }`
+/// item becomes a `#[test]` running the body over sampled inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)]
+     $($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $($crate::__proptest_one! {
+            ($config) $(#[$meta])* fn $name($($pat in $strategy),+) $body
+        })*
+    };
+    ($($(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strategy:expr),+ $(,)?) $body:block)*) => {
+        $($crate::__proptest_one! {
+            ($crate::test_runner::ProptestConfig::default())
+            $(#[$meta])* fn $name($($pat in $strategy),+) $body
+        })*
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_one {
+    (($config:expr) $(#[$meta:meta])* fn $name:ident($($pat:pat_param in $strategy:expr),+) $body:block) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::ProptestConfig = $config;
+            $crate::test_runner::run(stringify!($name), &config, |rng| {
+                $(let $pat = $crate::strategy::Strategy::sample(&($strategy), rng);)+
+                let case = || -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::std::result::Result::Ok(())
+                };
+                case()
+            });
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(a in 3u8..10, b in 0.0f64..1.0, c in 1usize..=4) {
+            prop_assert!((3..10).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b));
+            prop_assert!((1..=4).contains(&c));
+        }
+
+        #[test]
+        fn tuples_and_patterns_destructure((x, y) in (0u8..4, 0u8..4)) {
+            prop_assert!(x < 4 && y < 4);
+        }
+
+        #[test]
+        fn flat_map_chains(v in (1usize..5).prop_flat_map(|n| prop::collection::vec(0u8..10, n))) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&b| b < 10));
+        }
+
+        #[test]
+        fn hash_sets_hit_target_sizes(s in prop::collection::hash_set((0u8..6, 0u8..6), 2..=4)) {
+            prop_assert!(s.len() >= 2 && s.len() <= 4);
+        }
+
+        #[test]
+        fn just_clones(m in Just(7u32)) {
+            prop_assert_eq!(m, 7);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 3, ..ProptestConfig::default() })]
+
+        /// Doc comments and explicit configs both parse.
+        #[test]
+        fn config_override_parses(x in 0u8..2) {
+            prop_assert!(x < 2);
+            if x == 1 {
+                return Ok(());
+            }
+        }
+    }
+
+    #[test]
+    fn determinism_same_seed_same_values() {
+        use crate::strategy::Strategy;
+        use rand::{rngs::StdRng, SeedableRng};
+        let strat = (0u32..1000, 0.0f64..1.0);
+        let mut a = StdRng::seed_from_u64(5);
+        let mut b = StdRng::seed_from_u64(5);
+        for _ in 0..50 {
+            assert_eq!(strat.sample(&mut a), strat.sample(&mut b));
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Workspace-vendored, dependency-free stand-in for the subset of the
+//! `rand` 0.8 API this repository uses.
+//!
+//! The CI container has no access to a crates registry, so the workspace
+//! vendors the few third-party crates it needs. This one provides:
+//!
+//! * [`RngCore`] — the object-safe raw-generator trait (`&mut dyn RngCore`
+//!   is used throughout the traffic and AMOSA crates),
+//! * [`Rng`] — the ergonomic extension trait (`gen_range`, `gen_bool`),
+//!   blanket-implemented for every `RngCore` including trait objects,
+//! * [`SeedableRng`] with `seed_from_u64`,
+//! * [`rngs::StdRng`] — a deterministic xoshiro256++ generator.
+//!
+//! Determinism is part of the contract: the same seed always produces the
+//! same stream, on every platform, forever. The simulator's reproducibility
+//! tests rely on this.
+
+#![forbid(unsafe_code)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// The core of a random number generator: a raw source of `u32`/`u64`.
+///
+/// Object safe, so generators can be passed as `&mut dyn RngCore`.
+pub trait RngCore {
+    /// Returns the next random `u32`.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest)
+    }
+}
+
+/// A uniform double in `[0, 1)` with 53 bits of precision.
+fn unit_f64<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+    (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// Ergonomic sampling methods, available on every [`RngCore`] (including
+/// `dyn RngCore`).
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (`a..b` or `a..=b`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+    {
+        range.sample_single(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is not in `[0, 1]`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p = {p} out of [0, 1]");
+        if p >= 1.0 {
+            return true;
+        }
+        unit_f64(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// A type uniformly sampleable from a bounded range (mirrors the shape of
+/// `rand::distributions::uniform::SampleUniform`, so type inference
+/// behaves like the real crate's).
+pub trait SampleUniform: PartialOrd + Sized {
+    /// Draws uniformly from `[low, high)` (`inclusive = false`) or
+    /// `[low, high]` (`inclusive = true`).
+    fn sample_uniform<R: RngCore + ?Sized>(
+        rng: &mut R,
+        low: Self,
+        high: Self,
+        inclusive: bool,
+    ) -> Self;
+}
+
+/// A range usable with [`Rng::gen_range`].
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "gen_range: empty range");
+        T::sample_uniform(rng, self.start, self.end, false)
+    }
+}
+
+impl<T: SampleUniform + Copy> SampleRange<T> for RangeInclusive<T> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T {
+        assert!(
+            self.start() <= self.end(),
+            "gen_range: empty inclusive range"
+        );
+        T::sample_uniform(rng, *self.start(), *self.end(), true)
+    }
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let span = (high as i128 - low as i128) as u128 + u128::from(inclusive);
+                let draw = widening_reduce(rng.next_u64(), span);
+                (low as i128 + draw as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Maps a raw `u64` onto `[0, span)` with the widening-multiply trick
+/// (Lemire), which is unbiased enough for simulation purposes and, unlike
+/// rejection sampling, always consumes exactly one draw — keeping streams
+/// aligned for reproducibility.
+fn widening_reduce(raw: u64, span: u128) -> u128 {
+    debug_assert!(span > 0);
+    if span > u64::MAX as u128 {
+        // Only reachable for full-width i/u64 ranges; modulo is exact there.
+        return raw as u128 % span;
+    }
+    (raw as u128 * span) >> 64
+}
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),* $(,)?) => {$(
+        impl SampleUniform for $t {
+            fn sample_uniform<R: RngCore + ?Sized>(
+                rng: &mut R,
+                low: Self,
+                high: Self,
+                inclusive: bool,
+            ) -> Self {
+                let unit = unit_f64(rng) as $t;
+                let value = low + (high - low) * unit;
+                // Casting the unit to f32 (or the final rounding step) can
+                // land exactly on `high`; keep exclusive ranges exclusive.
+                if !inclusive && value >= high && low < high {
+                    return low;
+                }
+                value
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// A generator constructible from a fixed seed.
+pub trait SeedableRng: Sized {
+    /// Raw seed type (a byte array).
+    type Seed: Default + AsMut<[u8]>;
+
+    /// Builds the generator from a full-entropy seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Builds the generator from a `u64`, expanded through SplitMix64
+    /// exactly like `rand` 0.8 does.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            for (dest, byte) in chunk.iter_mut().zip(z.to_le_bytes()) {
+                *dest = byte;
+            }
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// Concrete generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    ///
+    /// Not the ChaCha12 generator of the real `rand` crate, but it honours
+    /// the same contract this workspace needs: seeded, fast, and with a
+    /// platform-independent stream.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    impl RngCore for StdRng {
+        fn next_u32(&mut self) -> u32 {
+            (self.next_u64() >> 32) as u32
+        }
+
+        fn next_u64(&mut self) -> u64 {
+            let result = self.s[0]
+                .wrapping_add(self.s[3])
+                .rotate_left(23)
+                .wrapping_add(self.s[0]);
+            let t = self.s[1] << 17;
+            self.s[2] ^= self.s[0];
+            self.s[3] ^= self.s[1];
+            self.s[1] ^= self.s[2];
+            self.s[0] ^= self.s[3];
+            self.s[2] ^= t;
+            self.s[3] = self.s[3].rotate_left(45);
+            result
+        }
+
+        fn fill_bytes(&mut self, dest: &mut [u8]) {
+            for chunk in dest.chunks_mut(8) {
+                let word = self.next_u64().to_le_bytes();
+                chunk.copy_from_slice(&word[..chunk.len()]);
+            }
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        type Seed = [u8; 32];
+
+        fn from_seed(seed: Self::Seed) -> Self {
+            let mut s = [0u64; 4];
+            for (lane, chunk) in s.iter_mut().zip(seed.chunks(8)) {
+                let mut bytes = [0u8; 8];
+                bytes.copy_from_slice(chunk);
+                *lane = u64::from_le_bytes(bytes);
+            }
+            // An all-zero state is a fixed point of xoshiro; nudge it.
+            if s == [0; 4] {
+                s = [0x9E37_79B9_7F4A_7C15, 1, 2, 3];
+            }
+            StdRng { s }
+        }
+    }
+
+    /// Alias kept for API compatibility with `rand::rngs::SmallRng`.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v: u16 = rng.gen_range(3..17);
+            assert!((3..17).contains(&v));
+            let w: u16 = rng.gen_range(3..=17);
+            assert!((3..=17).contains(&w));
+            let f: f64 = rng.gen_range(-2.0..5.0);
+            assert!((-2.0..5.0).contains(&f));
+            let i: i32 = rng.gen_range(-10..=-5);
+            assert!((-10..=-5).contains(&i));
+        }
+    }
+
+    #[test]
+    fn gen_range_covers_small_domains() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut seen = [false; 4];
+        for _ in 0..200 {
+            seen[rng.gen_range(0..4usize)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn gen_bool_edge_cases_and_rate() {
+        let mut rng = StdRng::seed_from_u64(11);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+        let hits = (0..40_000).filter(|_| rng.gen_bool(0.25)).count();
+        let rate = hits as f64 / 40_000.0;
+        assert!((rate - 0.25).abs() < 0.02, "measured {rate}");
+    }
+
+    #[test]
+    fn works_through_dyn_rng_core() {
+        let mut rng = StdRng::seed_from_u64(13);
+        let dynamic: &mut dyn RngCore = &mut rng;
+        let v = dynamic.gen_range(0..10usize);
+        assert!(v < 10);
+        let _ = dynamic.gen_bool(0.5);
+    }
+}

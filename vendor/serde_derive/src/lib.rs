@@ -1,0 +1,117 @@
+//! `#[derive(Serialize)]` for the workspace's vendored serde stand-in.
+//!
+//! Supports exactly what the repository uses: non-generic structs with
+//! named fields. The parser walks the raw token stream directly (no
+//! `syn`/`quote` — the CI container has no registry access), which keeps
+//! this crate dependency-free.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` by emitting a `to_value` that builds a
+/// `serde::Value::Object` with one entry per named field, in declaration
+/// order.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    match expand(input) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
+
+fn expand(input: TokenStream) -> Result<TokenStream, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+
+    let mut name = None;
+    let mut body = None;
+    let mut iter = tokens.iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Ident(ident) if ident.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => return Err("expected a struct name".into()),
+                }
+                match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        body = Some(g.stream());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        return Err("derive(Serialize): generic structs are not supported \
+                                    by the vendored serde stand-in"
+                            .into());
+                    }
+                    _ => {
+                        return Err("derive(Serialize): only structs with named fields are \
+                                    supported by the vendored serde stand-in"
+                            .into());
+                    }
+                }
+                break;
+            }
+            TokenTree::Ident(ident) if ident.to_string() == "enum" => {
+                return Err(
+                    "derive(Serialize): enums are not supported by the vendored \
+                            serde stand-in"
+                        .into(),
+                );
+            }
+            _ => {}
+        }
+    }
+
+    let name = name.ok_or_else(|| "derive(Serialize): no struct found".to_string())?;
+    let fields = parse_field_names(body.ok_or_else(|| "no struct body".to_string())?)?;
+
+    let mut entries = String::new();
+    for field in &fields {
+        entries.push_str(&format!(
+            "(::std::string::String::from({field:?}), \
+             ::serde::Serialize::to_value(&self.{field})),"
+        ));
+    }
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse()
+        .map_err(|e| format!("derive(Serialize): generated code failed to parse: {e:?}"))
+}
+
+/// Extracts field names from the contents of a named-fields struct body:
+/// for each top-level comma-separated chunk, the name is the identifier
+/// immediately before the first `:` (skipping `#[...]` attributes and
+/// visibility modifiers).
+fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
+    let mut fields = Vec::new();
+    let mut last_ident: Option<String> = None;
+    let mut seen_colon_in_chunk = false;
+    let mut angle_depth = 0i32;
+    for tt in body {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => {
+                last_ident = None;
+                seen_colon_in_chunk = false;
+            }
+            TokenTree::Punct(p) if p.as_char() == ':' && !seen_colon_in_chunk => {
+                seen_colon_in_chunk = true;
+                let name = last_ident
+                    .take()
+                    .ok_or_else(|| "derive(Serialize): field without a name".to_string())?;
+                fields.push(name);
+            }
+            TokenTree::Ident(ident) if !seen_colon_in_chunk => {
+                let text = ident.to_string();
+                if text != "pub" {
+                    last_ident = Some(text);
+                }
+            }
+            _ => {}
+        }
+    }
+    Ok(fields)
+}

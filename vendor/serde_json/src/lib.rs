@@ -1,0 +1,159 @@
+//! Workspace-vendored minimal JSON writer over the vendored `serde`
+//! [`Value`] tree. Only the encoding direction is implemented — the
+//! repository dumps result JSON for figures, it never parses any.
+
+#![forbid(unsafe_code)]
+
+use serde::{Serialize, Value};
+use std::fmt;
+
+/// Encoding error. The value-tree design makes encoding infallible, but
+/// the public API keeps the `Result` shape of the real `serde_json`.
+#[derive(Debug)]
+pub struct Error(());
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON encoding error")
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Serialises `value` as compact JSON.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), None, 0);
+    Ok(out)
+}
+
+/// Serialises `value` as pretty-printed JSON (two-space indent).
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_value(), Some(2), 0);
+    Ok(out)
+}
+
+fn write_value(out: &mut String, value: &Value, indent: Option<usize>, depth: usize) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::UInt(u) => out.push_str(&u.to_string()),
+        Value::Float(f) => {
+            if f.is_finite() {
+                // Match serde_json: integral floats keep a trailing `.0`.
+                if f.fract() == 0.0 && f.abs() < 1e15 {
+                    out.push_str(&format!("{f:.1}"));
+                } else {
+                    out.push_str(&format!("{f}"));
+                }
+            } else {
+                out.push_str("null");
+            }
+        }
+        Value::String(s) => write_string(out, s),
+        Value::Array(items) => {
+            write_seq(out, items.iter(), indent, depth, ('[', ']'), |o, v, d| {
+                write_value(o, v, indent, d)
+            })
+        }
+        Value::Object(entries) => write_seq(
+            out,
+            entries.iter(),
+            indent,
+            depth,
+            ('{', '}'),
+            |o, (k, v), d| {
+                write_string(o, k);
+                o.push(':');
+                if indent.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, v, indent, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<I, F>(
+    out: &mut String,
+    items: I,
+    indent: Option<usize>,
+    depth: usize,
+    brackets: (char, char),
+    mut write_item: F,
+) where
+    I: ExactSizeIterator,
+    F: FnMut(&mut String, I::Item, usize),
+{
+    out.push(brackets.0);
+    if items.len() == 0 {
+        out.push(brackets.1);
+        return;
+    }
+    let mut first = true;
+    for item in items {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        newline_indent(out, indent, depth + 1);
+        write_item(out, item, depth + 1);
+    }
+    newline_indent(out, indent, depth);
+    out.push(brackets.1);
+}
+
+fn newline_indent(out: &mut String, indent: Option<usize>, depth: usize) {
+    if let Some(width) = indent {
+        out.push('\n');
+        out.extend(std::iter::repeat_n(' ', width * depth));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_and_pretty_round_out() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::UInt(3)),
+            (
+                "b".into(),
+                Value::Array(vec![Value::Float(1.5), Value::Null]),
+            ),
+            ("c".into(), Value::String("x\"y".into())),
+        ]);
+        assert_eq!(
+            to_string(&v).unwrap(),
+            r#"{"a":3,"b":[1.5,null],"c":"x\"y"}"#
+        );
+        let pretty = to_string_pretty(&v).unwrap();
+        assert!(pretty.contains("\n  \"a\": 3"));
+    }
+
+    #[test]
+    fn floats_match_serde_json_shape() {
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&2.25f64).unwrap(), "2.25");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+    }
+}
