@@ -27,7 +27,7 @@ fn mini_run(policy: Policy, workload: Workload, rate: f64) -> noc_sim::RunSummar
     let (mesh, elevators) = Placement::Ps1.instantiate();
     let assignment = adele::offline::SubsetAssignment::full(&mesh, &elevators);
     run_once(
-        mini_config(3),
+        &mini_config(3),
         workload.build(&mesh, rate, 5),
         make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
     )
@@ -99,7 +99,7 @@ fn bench_fig7(c: &mut Criterion) {
         b.iter(|| {
             let traffic = AppTraffic::new(AppKind::Canneal, &mesh, 0.0035, 9);
             let summary = run_once(
-                mini_config(9),
+                &mini_config(9),
                 Box::new(traffic),
                 make_selector(Policy::Adele, &mesh, &elevators, Some(&assignment), 7),
             );

@@ -37,7 +37,7 @@ fn run(
     let selector =
         AdeleSelector::from_assignment(&mesh, &elevators, assignment, config, 77).unwrap();
     run_once(
-        sim_config(placement, 11),
+        &sim_config(placement, 11),
         Workload::Uniform.build(&mesh, rate, 4242),
         Box::new(selector),
     )

@@ -22,7 +22,7 @@ fn main() {
     let (mesh, elevators) = placement.instantiate();
     let rate = 0.003;
     let summary = run_once(
-        sim_config(placement, 21),
+        &sim_config(placement, 21),
         Workload::Uniform.build(&mesh, rate, 1234),
         make_selector(Policy::ElevFirst, &mesh, &elevators, None, 77),
     );

@@ -74,7 +74,7 @@ fn main() {
     let mut json_rows = Vec::new();
 
     let ef = run_once(
-        sim_config(placement, 31),
+        &sim_config(placement, 31),
         Workload::Uniform.build(&mesh, rate, 555),
         make_selector(Policy::ElevFirst, &mesh, &elevators, None, 77),
     );
@@ -97,7 +97,7 @@ fn main() {
     for (i, pick) in picks.iter().enumerate() {
         let selector = AdeleSelector::from_solution(&mesh, &elevators, pick, 77);
         let summary = run_once(
-            sim_config(placement, 31),
+            &sim_config(placement, 31),
             Workload::Uniform.build(&mesh, rate, 555),
             Box::new(selector),
         );

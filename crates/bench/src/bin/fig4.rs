@@ -5,12 +5,16 @@
 //!
 //! Usage: `fig4 [PS1|PS2|PS3|PM] [Uniform|Shuffle]` (no args = all panels).
 //! `ADELE_QUICK=1` shrinks windows for a fast smoke run.
+//!
+//! Sweep points run on the `noc_exp` parallel runner (one worker per
+//! available core); results are bit-identical to the sequential sweep.
 
 use adele_bench::{
     dump_json, f1, f4, fig4_rates, make_selector, offline_assignment, print_table, sim_config,
     Policy, Workload,
 };
-use noc_sim::harness::{injection_sweep, saturation_rate, zero_load_latency};
+use noc_exp::runner::{default_threads, par_injection_sweep};
+use noc_sim::harness::{saturation_rate, zero_load_latency};
 use noc_topology::placement::Placement;
 use serde::Serialize;
 
@@ -50,7 +54,7 @@ fn panel(placement: Placement, workload: Workload) -> Panel {
         };
         let selector = || make_selector(*policy, &mesh, &elevators, Some(&assignment), 77);
         let zero = zero_load_latency(&config, &traffic, &selector);
-        let points = injection_sweep(&config, &rates, &traffic, &selector);
+        let points = par_injection_sweep(&config, &rates, &traffic, &selector, default_threads());
         series.push(Series {
             policy: policy.name().to_string(),
             latency: points.iter().map(|p| p.summary.avg_latency).collect(),

@@ -30,7 +30,7 @@ fn main() {
     let mut rows = Vec::new();
     for policy in Policy::MAIN {
         let summary = run_once(
-            sim_config(placement, 41),
+            &sim_config(placement, 41),
             Workload::Uniform.build(&mesh, rate, 777),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
         );

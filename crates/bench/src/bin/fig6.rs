@@ -40,7 +40,7 @@ fn main() {
             let mut energies = Vec::new();
             for policy in Policy::MAIN {
                 let summary = run_once(
-                    sim_config(placement, 51),
+                    &sim_config(placement, 51),
                     Workload::Uniform.build(&mesh, rate, 999),
                     make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
                 );

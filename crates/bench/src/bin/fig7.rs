@@ -6,10 +6,15 @@
 //! hence no PM); we drive the same experiment with the synthetic
 //! application models of `noc-traffic::apps` (substitution documented in
 //! DESIGN.md).
+//!
+//! The app × policy grid of each placement runs on the `noc_exp` parallel
+//! runner; every cell is an independent seeded simulation, so results are
+//! bit-identical to the sequential loop.
 
 use adele_bench::{
     app_traffic, dump_json, f2, make_selector, offline_assignment, print_table, sim_config, Policy,
 };
+use noc_exp::runner::{default_threads, par_map};
 use noc_sim::harness::run_once;
 use noc_topology::placement::Placement;
 use noc_traffic::apps::AppKind;
@@ -36,22 +41,34 @@ fn main() {
             "\n# Fig. 7: {} — latency normalised to ElevFirst (absolute cycles in parentheses)",
             placement.name()
         );
+        // One grid cell per (app, policy), sharded across cores.
+        let grid: Vec<(AppKind, Policy)> = AppKind::ALL
+            .into_iter()
+            .flat_map(|app| Policy::MAIN.into_iter().map(move |policy| (app, policy)))
+            .collect();
+        let summaries = par_map(&grid, default_threads(), |_, &(app, policy)| {
+            run_once(
+                &sim_config(placement, 61),
+                app_traffic(app, placement, &mesh, 4321),
+                make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
+            )
+        });
+
         let mut rows = Vec::new();
         let mut improvements = Vec::new();
-        for app in AppKind::ALL {
-            let mut latencies = Vec::new();
-            for policy in Policy::MAIN {
-                let summary = run_once(
-                    sim_config(placement, 61),
-                    app_traffic(app, placement, &mesh, 4321),
-                    make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
-                );
-                latencies.push((
-                    policy.name().to_string(),
-                    summary.avg_latency,
-                    summary.energy_per_flit_nj,
-                ));
-            }
+        for (a, app) in AppKind::ALL.into_iter().enumerate() {
+            let latencies: Vec<(String, f64, f64)> = Policy::MAIN
+                .into_iter()
+                .enumerate()
+                .map(|(p, policy)| {
+                    let summary = &summaries[a * Policy::MAIN.len() + p];
+                    (
+                        policy.name().to_string(),
+                        summary.avg_latency,
+                        summary.energy_per_flit_nj,
+                    )
+                })
+                .collect();
             let base = latencies[0].1.max(1e-12);
             let mut row = vec![app.name().to_string()];
             for (policy, lat, energy) in &latencies {

@@ -1,7 +1,7 @@
 use crate::offline::{SolutionPoint, SubsetAssignment};
 use crate::online::{ElevatorSelector, SelectionContext, SourceFeedback};
 use crate::{AdeleConfig, AdeleError};
-use noc_topology::{ElevatorId, ElevatorSet, Mesh3d, NodeId};
+use noc_topology::{ElevatorId, ElevatorMask, ElevatorSet, Mesh3d, NodeId};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Eq. 9: probability of skipping elevator `k` in the enhanced round-robin,
@@ -61,9 +61,8 @@ struct NodeState {
 pub struct AdeleSelector {
     config: AdeleConfig,
     nodes: Vec<NodeState>,
-    /// Bitmask of failed elevators (fault-tolerance extension; none fail
-    /// by default).
-    failed: u64,
+    /// Failed elevators (fault-tolerance extension; none fail by default).
+    failed: ElevatorMask,
     rng: StdRng,
 }
 
@@ -99,7 +98,7 @@ impl AdeleSelector {
         Ok(Self {
             config,
             nodes,
-            failed: 0,
+            failed: ElevatorMask::EMPTY,
             rng: StdRng::seed_from_u64(seed),
         })
     }
@@ -143,21 +142,17 @@ impl AdeleSelector {
     /// subset; a router whose whole subset failed falls back to the nearest
     /// surviving elevator.
     pub fn set_elevator_failed(&mut self, elevator: ElevatorId, failed: bool) {
-        if failed {
-            self.failed |= 1 << elevator.index();
-        } else {
-            self.failed &= !(1 << elevator.index());
-        }
+        self.failed.set(elevator, failed);
     }
 
     /// `true` if `elevator` is currently marked failed.
     #[must_use]
     pub fn is_failed(&self, elevator: ElevatorId) -> bool {
-        self.failed & (1 << elevator.index()) != 0
+        self.failed.contains(elevator)
     }
 
     fn alive(&self, e: ElevatorId) -> bool {
-        self.failed & (1 << e.index()) == 0
+        !self.failed.contains(e)
     }
 }
 
@@ -169,7 +164,7 @@ impl ElevatorSelector for AdeleSelector {
             .subset
             .iter()
             .copied()
-            .filter(|e| failed & (1 << e.index()) == 0)
+            .filter(|&e| !failed.contains(e))
             .collect();
 
         // Whole subset failed: fall back to the nearest surviving elevator
@@ -199,9 +194,7 @@ impl ElevatorSelector for AdeleSelector {
                 .minimal_path_among(
                     ctx.src,
                     ctx.dst,
-                    ctx.elevators
-                        .ids()
-                        .filter(|&e| failed & (1 << e.index()) == 0),
+                    ctx.elevators.ids().filter(|&e| !failed.contains(e)),
                 )
                 .unwrap_or(alive_subset[0]);
             if state.costs[global.index()] < gate {
@@ -246,6 +239,10 @@ impl ElevatorSelector for AdeleSelector {
             .copied()
             .min_by(|a, b| state.costs[a.index()].total_cmp(&state.costs[b.index()]))
             .expect("non-empty")
+    }
+
+    fn on_elevator_status(&mut self, elevator: ElevatorId, failed: bool) {
+        self.set_elevator_failed(elevator, failed);
     }
 
     fn on_source_departure(&mut self, feedback: &SourceFeedback) {

@@ -1,5 +1,5 @@
 use crate::online::{ElevatorSelector, SelectionContext};
-use noc_topology::{route, ElevatorId};
+use noc_topology::{route, ElevatorId, ElevatorMask};
 
 /// Tuning of the [`CdaSelector`] baseline.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -52,6 +52,9 @@ pub struct CdaSelector {
     config: CdaConfig,
     /// Smoothed per-router utilization estimates (lazy-grown to N).
     utilization: Vec<f64>,
+    /// Failed elevators — CDA's global view is assumed to learn of pillar
+    /// failures instantly, like everything else it observes.
+    failed: ElevatorMask,
 }
 
 impl CdaSelector {
@@ -67,6 +70,7 @@ impl CdaSelector {
         Self {
             config,
             utilization: Vec::new(),
+            failed: ElevatorMask::EMPTY,
         }
     }
 
@@ -102,8 +106,20 @@ impl ElevatorSelector for CdaSelector {
             .unwrap_or(1)
             .max(1) as f64;
 
+        // Failed elevators drop out of the candidate set; if every pillar
+        // is down there is nothing better to offer, so consider them all.
+        let all_failed = ctx.elevators.ids().all(|e| self.failed.contains(e));
+        let failed = if all_failed {
+            ElevatorMask::EMPTY
+        } else {
+            self.failed
+        };
+
         let mut best: Option<(f64, u32, ElevatorId)> = None;
         for id in ctx.elevators.ids() {
+            if failed.contains(id) {
+                continue;
+            }
             let pillar = route::ElevatorCoord::from_set(ctx.elevators, id);
             // Occupancy along source → elevator (source layer), including
             // the pillar router on the source layer. CDA's metric stops at
@@ -130,6 +146,10 @@ impl ElevatorSelector for CdaSelector {
             }
         }
         best.expect("elevator set is never empty").2
+    }
+
+    fn on_elevator_status(&mut self, elevator: ElevatorId, failed: bool) {
+        self.failed.set(elevator, failed);
     }
 
     fn name(&self) -> &'static str {
@@ -218,5 +238,40 @@ mod tests {
         // Despite the longer route, the clear e0 wins.
         assert_eq!(cda.select(&ctx), noc_topology::ElevatorId(0));
         assert_eq!(cda.name(), "CDA");
+    }
+
+    #[test]
+    fn failed_elevator_is_excluded_until_recovery() {
+        let (mesh, elevators) = fixture();
+        let probe = MapProbe {
+            mesh,
+            occupancy: vec![0; 32],
+        };
+        let mut cda = CdaSelector::new();
+        let src = Coord::new(1, 0, 0);
+        let dst = Coord::new(3, 0, 1);
+        let ctx = SelectionContext {
+            src_id: probe.node_at(src),
+            src,
+            dst_id: probe.node_at(dst),
+            dst,
+            elevators: &elevators,
+            probe: &probe,
+            cycle: 0,
+        };
+        let e0 = noc_topology::ElevatorId(0);
+        let e1 = noc_topology::ElevatorId(1);
+        assert_eq!(cda.select(&ctx), e0);
+
+        cda.on_elevator_status(e0, true);
+        assert_eq!(cda.select(&ctx), e1, "dead pillar leaves the candidate set");
+
+        // Every elevator down: fall back to the full set (best effort).
+        cda.on_elevator_status(e1, true);
+        assert_eq!(cda.select(&ctx), e0);
+
+        cda.on_elevator_status(e0, false);
+        cda.on_elevator_status(e1, false);
+        assert_eq!(cda.select(&ctx), e0, "recovery restores the original pick");
     }
 }

@@ -1,14 +1,19 @@
 use crate::online::{ElevatorSelector, SelectionContext};
-use noc_topology::{ElevatorId, ElevatorSet, Mesh3d, NodeId};
+use noc_topology::{ElevatorId, ElevatorMask, ElevatorSet, Mesh3d, NodeId};
 
 /// The Elevator-First baseline (Dubois et al. [10]): every packet takes the
 /// elevator **closest to its source router**, ignoring congestion and the
 /// position of the destination.
 ///
-/// The choice is static per source router, so it is precomputed.
+/// The choice is static per source router, so it is precomputed. Under the
+/// fault-tolerance extension a failed elevator is replaced, per packet, by
+/// the nearest surviving one (the natural reading of "nearest" once a
+/// pillar is down).
 #[derive(Debug, Clone)]
 pub struct ElevatorFirstSelector {
     nearest: Vec<ElevatorId>,
+    /// Failed elevators (none by default).
+    failed: ElevatorMask,
 }
 
 impl ElevatorFirstSelector {
@@ -17,10 +22,11 @@ impl ElevatorFirstSelector {
     pub fn new(mesh: &Mesh3d, elevators: &ElevatorSet) -> Self {
         Self {
             nearest: mesh.coords().map(|c| elevators.nearest(c)).collect(),
+            failed: ElevatorMask::EMPTY,
         }
     }
 
-    /// The static choice for `node`.
+    /// The static choice for `node` (ignoring failures).
     #[must_use]
     pub fn choice(&self, node: NodeId) -> ElevatorId {
         self.nearest[node.index()]
@@ -29,7 +35,23 @@ impl ElevatorFirstSelector {
 
 impl ElevatorSelector for ElevatorFirstSelector {
     fn select(&mut self, ctx: &SelectionContext<'_>) -> ElevatorId {
-        self.nearest[ctx.src_id.index()]
+        let pick = self.nearest[ctx.src_id.index()];
+        if !self.failed.contains(pick) {
+            return pick;
+        }
+        // Nearest surviving elevator; if everything failed, keep the static
+        // choice (there is no better option to offer).
+        let failed = self.failed;
+        ctx.elevators
+            .nearest_among(
+                ctx.src,
+                ctx.elevators.ids().filter(|&e| !failed.contains(e)),
+            )
+            .unwrap_or(pick)
+    }
+
+    fn on_elevator_status(&mut self, elevator: ElevatorId, failed: bool) {
+        self.failed.set(elevator, failed);
     }
 
     fn name(&self) -> &'static str {
@@ -67,5 +89,45 @@ mod tests {
             assert_eq!(sel.select(&ctx), ElevatorId(0));
         }
         assert_eq!(sel.name(), "ElevFirst");
+    }
+
+    #[test]
+    fn failed_elevator_falls_over_to_nearest_survivor() {
+        let mesh = Mesh3d::new(4, 4, 4).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
+        let mut sel = ElevatorFirstSelector::new(&mesh, &elevators);
+        let probe = ZeroProbe::new(mesh);
+        let src = Coord::new(0, 1, 0);
+        let dst = Coord::new(2, 2, 1);
+        let ctx = SelectionContext {
+            src_id: mesh.node_id(src).unwrap(),
+            src,
+            dst_id: mesh.node_id(dst).unwrap(),
+            dst,
+            elevators: &elevators,
+            probe: &probe,
+            cycle: 0,
+        };
+        assert_eq!(sel.select(&ctx), ElevatorId(0));
+
+        sel.on_elevator_status(ElevatorId(0), true);
+        assert_eq!(
+            sel.select(&ctx),
+            ElevatorId(1),
+            "must avoid the dead pillar"
+        );
+        // The static precomputation is untouched.
+        assert_eq!(sel.choice(ctx.src_id), ElevatorId(0));
+
+        // Everything failed: keep the static choice rather than panic.
+        sel.on_elevator_status(ElevatorId(1), true);
+        assert_eq!(sel.select(&ctx), ElevatorId(0));
+
+        sel.on_elevator_status(ElevatorId(0), false);
+        assert_eq!(
+            sel.select(&ctx),
+            ElevatorId(0),
+            "repair restores the choice"
+        );
     }
 }

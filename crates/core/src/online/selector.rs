@@ -130,6 +130,16 @@ pub trait ElevatorSelector: Send {
         let _ = feedback;
     }
 
+    /// Notifies the policy that an elevator failed (`failed == true`) or
+    /// recovered. Delivered by the simulator's event-hook API when a
+    /// scenario fails a TSV pillar mid-run; policies are expected to stop
+    /// selecting a failed elevator from the next packet on.
+    ///
+    /// Default: ignored (fault-oblivious policies keep their behaviour).
+    fn on_elevator_status(&mut self, elevator: ElevatorId, failed: bool) {
+        let _ = (elevator, failed);
+    }
+
     /// Policy name as printed in experiment tables ("ElevFirst", "CDA",
     /// "AdEle", "AdEle-RR").
     fn name(&self) -> &'static str;

@@ -1,0 +1,156 @@
+//! Timed scenario events.
+//!
+//! An [`Event`] is the declarative form of a mid-run state change: it is
+//! written in topology terms (elevator ids, hotspot *coordinates*) and
+//! compiled onto the simulator's [`SimCommand`] schedule when the scenario
+//! is instantiated. Events fire at the start of their cycle, before
+//! traffic generation, so elevator selection that cycle already sees the
+//! new world.
+
+use adele::online::Cycle;
+use noc_sim::hooks::SimCommand;
+use noc_topology::{Coord, ElevatorId, Mesh3d, NodeId};
+
+/// Resolves hotspot coordinates against `mesh` (shared by event
+/// compilation and workload instantiation).
+///
+/// # Panics
+///
+/// Panics if a coordinate lies outside the mesh — a scenario authoring
+/// error.
+pub(crate) fn resolve_hotspots(mesh: &Mesh3d, hotspots: &[Coord]) -> Vec<NodeId> {
+    hotspots
+        .iter()
+        .map(|&c| {
+            mesh.node_id(c)
+                .unwrap_or_else(|_| panic!("hotspot {c} outside the mesh"))
+        })
+        .collect()
+}
+
+/// A cycle-stamped scenario event.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// Elevator `elevator` dies at `cycle`: selectors stop choosing it,
+    /// in-flight packets drain (graceful power-down model).
+    ElevatorFail {
+        /// Firing cycle.
+        cycle: Cycle,
+        /// The pillar that dies.
+        elevator: ElevatorId,
+    },
+    /// A previously failed elevator comes back at `cycle`.
+    ElevatorRecover {
+        /// Firing cycle.
+        cycle: Cycle,
+        /// The pillar that recovers.
+        elevator: ElevatorId,
+    },
+    /// The offered load is multiplied by `factor` from `cycle` on
+    /// (`> 1` burst, `< 1` lull; compose two events for a bounded burst).
+    InjectionBurst {
+        /// Firing cycle.
+        cycle: Cycle,
+        /// Non-negative rate multiplier.
+        factor: f64,
+    },
+    /// The workload's spatial pattern re-aims at new hotspots at `cycle`.
+    HotspotShift {
+        /// Firing cycle.
+        cycle: Cycle,
+        /// Hotspot router coordinates.
+        hotspots: Vec<Coord>,
+        /// Probability that a packet targets a hotspot.
+        fraction: f64,
+    },
+}
+
+impl Event {
+    /// The cycle this event fires at.
+    #[must_use]
+    pub fn cycle(&self) -> Cycle {
+        match self {
+            Event::ElevatorFail { cycle, .. }
+            | Event::ElevatorRecover { cycle, .. }
+            | Event::InjectionBurst { cycle, .. }
+            | Event::HotspotShift { cycle, .. } => *cycle,
+        }
+    }
+
+    /// Compiles the event into the simulator's command form, resolving
+    /// coordinates against `mesh`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a hotspot coordinate lies outside `mesh` (a scenario
+    /// authoring error).
+    #[must_use]
+    pub fn compile(&self, mesh: &Mesh3d) -> (Cycle, SimCommand) {
+        match self {
+            Event::ElevatorFail { cycle, elevator } => {
+                (*cycle, SimCommand::FailElevator(*elevator))
+            }
+            Event::ElevatorRecover { cycle, elevator } => {
+                (*cycle, SimCommand::RecoverElevator(*elevator))
+            }
+            Event::InjectionBurst { cycle, factor } => {
+                (*cycle, SimCommand::ScaleInjection { factor: *factor })
+            }
+            Event::HotspotShift {
+                cycle,
+                hotspots,
+                fraction,
+            } => (
+                *cycle,
+                SimCommand::ShiftHotspot {
+                    hotspots: resolve_hotspots(mesh, hotspots),
+                    fraction: *fraction,
+                },
+            ),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn events_compile_to_commands() {
+        let mesh = Mesh3d::new(4, 4, 2).unwrap();
+        let fail = Event::ElevatorFail {
+            cycle: 10,
+            elevator: ElevatorId(2),
+        };
+        assert_eq!(fail.cycle(), 10);
+        assert_eq!(
+            fail.compile(&mesh),
+            (10, SimCommand::FailElevator(ElevatorId(2)))
+        );
+
+        let shift = Event::HotspotShift {
+            cycle: 99,
+            hotspots: vec![Coord::new(1, 1, 1)],
+            fraction: 0.5,
+        };
+        let (at, cmd) = shift.compile(&mesh);
+        assert_eq!(at, 99);
+        let SimCommand::ShiftHotspot { hotspots, fraction } = cmd else {
+            panic!("wrong command kind");
+        };
+        assert_eq!(hotspots, vec![mesh.node_id(Coord::new(1, 1, 1)).unwrap()]);
+        assert!((fraction - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the mesh")]
+    fn out_of_mesh_hotspots_are_rejected() {
+        let mesh = Mesh3d::new(2, 2, 2).unwrap();
+        let _ = Event::HotspotShift {
+            cycle: 0,
+            hotspots: vec![Coord::new(3, 3, 0)],
+            fraction: 0.5,
+        }
+        .compile(&mesh);
+    }
+}

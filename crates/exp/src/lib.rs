@@ -1,0 +1,48 @@
+//! `noc_exp` — the scenario engine of the AdEle evaluation stack.
+//!
+//! Sits between the cycle-level simulator ([`noc_sim`]) and the figure
+//! harnesses (`adele_bench`), replacing one-off experiment wiring with
+//! three composable pieces:
+//!
+//! * [`scenario`] — declarative experiments: a [`Scenario`] names the
+//!   topology, a [`WorkloadSpec`] (uniform / shuffle / hotspot / bursty /
+//!   per-layer / weighted composite), a [`SelectorSpec`], the
+//!   warm-up–measure–drain windows and the master seed, all as plain data.
+//! * [`event`] — a timed [`Event`] schedule delivered into the running
+//!   simulator through `noc_sim`'s command hooks: elevators fail and
+//!   recover **mid-run** ([`Event::ElevatorFail`]), injection rates burst,
+//!   hotspots move — the adaptivity stressors the paper's static sweeps
+//!   cannot express.
+//! * [`runner`] — a scoped-thread worker pool sharding independent sweep
+//!   points and scenario batches across cores. Results come back in input
+//!   order and **bit-identical** to a sequential run; parallelism buys
+//!   wall-clock time, never changes numbers.
+//!
+//! # Example
+//!
+//! ```
+//! use noc_exp::{Event, Scenario, SelectorSpec, WorkloadSpec};
+//! use noc_topology::ElevatorId;
+//! use noc_topology::placement::Placement;
+//!
+//! // An AdEle run on PS1 that loses elevator e1 mid-measurement.
+//! let scenario = Scenario::from_placement("fail-e1", Placement::Ps1)
+//!     .with_workload(WorkloadSpec::Uniform { rate: 0.003 })
+//!     .with_selector(SelectorSpec::adele())
+//!     .with_phases(500, 2_000, 10_000)
+//!     .with_event(Event::ElevatorFail { cycle: 1_500, elevator: ElevatorId(1) })
+//!     .with_seed(42);
+//! let result = scenario.run();
+//! assert!(result.summary.delivered_packets > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod runner;
+pub mod scenario;
+
+pub use event::Event;
+pub use runner::{default_threads, par_injection_sweep, par_map, run_batch};
+pub use scenario::{Scenario, ScenarioResult, SelectorSpec, WorkloadSpec};

@@ -1,0 +1,142 @@
+//! A deterministic parallel runner for independent simulations.
+//!
+//! Sweep points and scenario batches are embarrassingly parallel — every
+//! run owns its configuration, workload and selector, all seeded — so the
+//! runner shards them across a scoped-thread worker pool (no dependencies
+//! beyond `std`) and returns results **in input order**, bit-identical to
+//! a sequential run: parallelism changes wall-clock time and nothing else.
+//!
+//! Work is distributed by an atomic cursor (work stealing), so a slow
+//! point (a saturated sweep rate) does not stall the pool behind it.
+
+use crate::scenario::{Scenario, ScenarioResult};
+use adele::online::ElevatorSelector;
+use noc_sim::harness::{run_once, SweepPoint};
+use noc_sim::SimConfig;
+use noc_traffic::TrafficSource;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A traffic factory shareable across worker threads.
+pub type SyncTrafficFactory<'a> = dyn Fn(f64) -> Box<dyn TrafficSource> + Sync + 'a;
+/// A selector factory shareable across worker threads.
+pub type SyncSelectorFactory<'a> = dyn Fn() -> Box<dyn ElevatorSelector> + Sync + 'a;
+
+/// Worker count matching the host's available parallelism (at least 1).
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Applies `f` to every item on a pool of `threads` scoped workers and
+/// returns the results in input order.
+///
+/// `f` receives `(index, &item)`. With `threads <= 1` (or one item) this
+/// degenerates to a plain sequential map — the parallel path produces the
+/// same output because every item is computed independently.
+///
+/// # Panics
+///
+/// Propagates a panic from `f` (the scope joins all workers first).
+pub fn par_map<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let threads = threads.max(1).min(items.len());
+    if threads <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+
+    let cursor = AtomicUsize::new(0);
+    let done = Mutex::new(Vec::with_capacity(items.len()));
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = cursor.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                done.lock()
+                    .expect("worker panicked holding lock")
+                    .push((i, result));
+            });
+        }
+    });
+
+    let mut tagged = done.into_inner().expect("workers joined");
+    debug_assert_eq!(tagged.len(), items.len());
+    tagged.sort_unstable_by_key(|&(i, _)| i);
+    tagged.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Parallel injection sweep: shards the rate grid across `threads`
+/// workers. The output is exactly [`noc_sim::harness::injection_sweep`]'s
+/// — same points, same order, bit-identical summaries — because every
+/// point builds fresh traffic/selector state from the factories.
+#[must_use]
+pub fn par_injection_sweep(
+    config: &SimConfig,
+    rates: &[f64],
+    make_traffic: &SyncTrafficFactory<'_>,
+    make_selector: &SyncSelectorFactory<'_>,
+    threads: usize,
+) -> Vec<SweepPoint> {
+    par_map(rates, threads, |_, &rate| SweepPoint {
+        rate,
+        summary: run_once(config, make_traffic(rate), make_selector()),
+    })
+}
+
+/// Runs a batch of scenarios on `threads` workers; results come back in
+/// input order, each bit-identical to `scenario.run()`.
+#[must_use]
+pub fn run_batch(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> {
+    par_map(scenarios, threads, |_, scenario| scenario.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::WorkloadSpec;
+    use noc_topology::{ElevatorSet, Mesh3d};
+
+    #[test]
+    fn par_map_preserves_input_order() {
+        let items: Vec<u64> = (0..37).collect();
+        let doubled = par_map(&items, 4, |i, &x| {
+            assert_eq!(i as u64, x);
+            x * 2
+        });
+        assert_eq!(doubled, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_map_handles_degenerate_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(par_map(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(par_map(&[5u32], 8, |_, &x| x + 1), vec![6]);
+        assert_eq!(par_map(&[1u32, 2], 0, |_, &x| x), vec![1, 2]);
+    }
+
+    #[test]
+    fn batch_matches_sequential_runs() {
+        let mesh = Mesh3d::new(4, 4, 2).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
+        let scenarios: Vec<Scenario> = (0u32..4)
+            .map(|i| {
+                Scenario::new(format!("s{i}"), mesh, elevators.clone())
+                    .with_phases(100, 400, 2_000)
+                    .with_workload(WorkloadSpec::Uniform {
+                        rate: 0.002 + 0.001 * f64::from(i),
+                    })
+                    .with_seed(40 + u64::from(i))
+            })
+            .collect();
+        let sequential: Vec<_> = scenarios.iter().map(Scenario::run).collect();
+        let parallel = run_batch(&scenarios, 4);
+        assert_eq!(parallel, sequential);
+    }
+}

@@ -1,0 +1,468 @@
+//! Declarative experiment specifications.
+//!
+//! A [`Scenario`] names everything one simulation run needs — topology,
+//! workload composition, selection policy, measurement windows, seed and a
+//! timed [`Event`] schedule — as plain data. Plain data shards across the
+//! [`crate::runner`] worker pool, serialises into experiment logs, and
+//! keeps the figure harnesses declarative instead of each wiring up its
+//! own simulator.
+
+use crate::event::Event;
+use adele::offline::SubsetAssignment;
+use adele::online::ElevatorSelector;
+use adele::online::{AdeleSelector, CdaSelector, ElevatorFirstSelector};
+use adele::AdeleConfig;
+use noc_sim::{RunSummary, SimConfig, Simulator};
+use noc_topology::placement::Placement;
+use noc_topology::{Coord, ElevatorSet, Mesh3d};
+use noc_traffic::injection::{OnOffParams, PacketSizeRange};
+use noc_traffic::pattern::Uniform;
+use noc_traffic::{CompositeSource, SyntheticTraffic, TrafficSource};
+
+/// SplitMix-style stream derivation: one scenario seed fans out into
+/// decorrelated per-component seeds without coupling their streams.
+fn derive_seed(seed: u64, stream: u64) -> u64 {
+    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The workload half of a scenario, as data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadSpec {
+    /// Uniform random at `rate` packets/node/cycle.
+    Uniform {
+        /// Offered load.
+        rate: f64,
+    },
+    /// Perfect shuffle at `rate`.
+    Shuffle {
+        /// Offered load.
+        rate: f64,
+    },
+    /// Hotspot traffic: a `fraction` of packets target `hotspots`.
+    Hotspot {
+        /// Offered load.
+        rate: f64,
+        /// Hotspot router coordinates.
+        hotspots: Vec<Coord>,
+        /// Probability that a packet targets a hotspot.
+        fraction: f64,
+    },
+    /// Bursty uniform traffic (two-state Markov modulation).
+    Bursty {
+        /// Long-run offered load.
+        rate: f64,
+        /// Burst parameters.
+        params: OnOffParams,
+    },
+    /// Per-layer heterogeneous injection: `rates[z]` for layer `z`,
+    /// uniform destinations.
+    PerLayer {
+        /// One rate per mesh layer.
+        rates: Vec<f64>,
+    },
+    /// A weighted mixture of sub-workloads (hotspot + bursty, …).
+    Composite {
+        /// `(weight, workload)` components; weights are normalised.
+        parts: Vec<(f64, WorkloadSpec)>,
+    },
+}
+
+impl WorkloadSpec {
+    /// Instantiates the workload on `mesh` with streams derived from
+    /// `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on invalid parameters (rates outside `[0, 1]`, hotspot
+    /// coordinates outside the mesh, wrong per-layer rate count, empty
+    /// composites) — scenario authoring errors.
+    #[must_use]
+    pub fn build(&self, mesh: &Mesh3d, seed: u64) -> Box<dyn TrafficSource> {
+        match self {
+            WorkloadSpec::Uniform { rate } => {
+                Box::new(SyntheticTraffic::uniform(mesh, *rate, seed))
+            }
+            WorkloadSpec::Shuffle { rate } => {
+                Box::new(SyntheticTraffic::shuffle(mesh, *rate, seed))
+            }
+            WorkloadSpec::Hotspot {
+                rate,
+                hotspots,
+                fraction,
+            } => Box::new(SyntheticTraffic::hotspot(
+                mesh,
+                *rate,
+                crate::event::resolve_hotspots(mesh, hotspots),
+                *fraction,
+                seed,
+            )),
+            WorkloadSpec::Bursty { rate, params } => {
+                Box::new(SyntheticTraffic::bursty(mesh, *rate, *params, seed))
+            }
+            WorkloadSpec::PerLayer { rates } => Box::new(SyntheticTraffic::per_layer(
+                mesh,
+                Box::new(Uniform::new(mesh.node_count())),
+                rates,
+                PacketSizeRange::paper_default(),
+                seed,
+            )),
+            WorkloadSpec::Composite { parts } => {
+                let components = parts
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (weight, spec))| {
+                        (*weight, spec.build(mesh, derive_seed(seed, 1 + i as u64)))
+                    })
+                    .collect();
+                Box::new(CompositeSource::new(components, derive_seed(seed, 0)))
+            }
+        }
+    }
+}
+
+/// The selection-policy half of a scenario, as data.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectorSpec {
+    /// Nearest-elevator baseline.
+    ElevatorFirst,
+    /// Congestion-aware dynamic assignment baseline.
+    Cda,
+    /// AdEle (or its round-robin ablation with `rr_only`). Without an
+    /// explicit offline `assignment`, every router gets the full elevator
+    /// set (maximal redundancy).
+    Adele {
+        /// Drop the congestion-skipping stage (the AdEle-RR ablation).
+        rr_only: bool,
+        /// Offline subset assignment; `None` means the full set.
+        assignment: Option<SubsetAssignment>,
+    },
+}
+
+impl SelectorSpec {
+    /// AdEle with paper defaults and the full-subset assignment.
+    #[must_use]
+    pub fn adele() -> Self {
+        SelectorSpec::Adele {
+            rr_only: false,
+            assignment: None,
+        }
+    }
+
+    /// Instantiates the policy for `mesh`/`elevators` with `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an explicit assignment does not match the topology.
+    #[must_use]
+    pub fn build(
+        &self,
+        mesh: &Mesh3d,
+        elevators: &ElevatorSet,
+        seed: u64,
+    ) -> Box<dyn ElevatorSelector> {
+        match self {
+            SelectorSpec::ElevatorFirst => Box::new(ElevatorFirstSelector::new(mesh, elevators)),
+            SelectorSpec::Cda => Box::new(CdaSelector::new()),
+            SelectorSpec::Adele {
+                rr_only,
+                assignment,
+            } => {
+                let config = if *rr_only {
+                    AdeleConfig::rr_only()
+                } else {
+                    AdeleConfig::paper_default()
+                };
+                let full;
+                let assignment = match assignment {
+                    Some(a) => a,
+                    None => {
+                        full = SubsetAssignment::full(mesh, elevators);
+                        &full
+                    }
+                };
+                Box::new(
+                    AdeleSelector::from_assignment(mesh, elevators, assignment, config, seed)
+                        .expect("scenario assignment matches its topology"),
+                )
+            }
+        }
+    }
+}
+
+/// One declarative experiment: topology + workload + policy + windows +
+/// seed + timed events.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// Experiment name (carried into results).
+    pub name: String,
+    /// The 3D mesh.
+    pub mesh: Mesh3d,
+    /// Elevator columns.
+    pub elevators: ElevatorSet,
+    /// Workload composition.
+    pub workload: WorkloadSpec,
+    /// Selection policy.
+    pub selector: SelectorSpec,
+    /// Warm-up cycles before measurement.
+    pub warmup: u64,
+    /// Measurement-window cycles.
+    pub measure: u64,
+    /// Drain cap after measurement.
+    pub drain_max: u64,
+    /// Master seed; traffic and selector streams are derived from it.
+    pub seed: u64,
+    /// Timed events delivered mid-run.
+    pub events: Vec<Event>,
+}
+
+impl Scenario {
+    /// A scenario on an explicit topology, with paper-flavoured defaults:
+    /// uniform traffic at 0.003, Elevator-First, moderate windows, seed 1,
+    /// no events.
+    #[must_use]
+    pub fn new(name: impl Into<String>, mesh: Mesh3d, elevators: ElevatorSet) -> Self {
+        Self {
+            name: name.into(),
+            mesh,
+            elevators,
+            workload: WorkloadSpec::Uniform { rate: 0.003 },
+            selector: SelectorSpec::ElevatorFirst,
+            warmup: 1_000,
+            measure: 4_000,
+            drain_max: 20_000,
+            seed: 1,
+            events: Vec::new(),
+        }
+    }
+
+    /// A scenario on one of the paper's placement presets.
+    #[must_use]
+    pub fn from_placement(name: impl Into<String>, placement: Placement) -> Self {
+        let (mesh, elevators) = placement.instantiate();
+        Self::new(name, mesh, elevators)
+    }
+
+    /// Sets the workload.
+    #[must_use]
+    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workload = workload;
+        self
+    }
+
+    /// Sets the selection policy.
+    #[must_use]
+    pub fn with_selector(mut self, selector: SelectorSpec) -> Self {
+        self.selector = selector;
+        self
+    }
+
+    /// Sets warm-up, measurement and drain windows (cycles).
+    #[must_use]
+    pub fn with_phases(mut self, warmup: u64, measure: u64, drain_max: u64) -> Self {
+        self.warmup = warmup;
+        self.measure = measure;
+        self.drain_max = drain_max;
+        self
+    }
+
+    /// Sets the master seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Appends a timed event.
+    #[must_use]
+    pub fn with_event(mut self, event: Event) -> Self {
+        self.events.push(event);
+        self
+    }
+
+    /// The simulator configuration this scenario describes.
+    #[must_use]
+    pub fn sim_config(&self) -> SimConfig {
+        SimConfig::new(self.mesh, self.elevators.clone())
+            .with_phases(self.warmup, self.measure, self.drain_max)
+            .with_seed(self.seed)
+    }
+
+    /// Instantiates the simulator: workload and selector built from
+    /// derived seeds, events compiled onto the command schedule.
+    #[must_use]
+    pub fn build_simulator(&self) -> Simulator {
+        let traffic = self.workload.build(&self.mesh, derive_seed(self.seed, 11));
+        let selector = self
+            .selector
+            .build(&self.mesh, &self.elevators, derive_seed(self.seed, 13));
+        let mut sim = Simulator::new(self.sim_config(), traffic, selector);
+        for event in &self.events {
+            let (at, command) = event.compile(&self.mesh);
+            sim.schedule_command(at, command);
+        }
+        sim
+    }
+
+    /// Runs the scenario to completion.
+    #[must_use]
+    pub fn run(&self) -> ScenarioResult {
+        ScenarioResult {
+            name: self.name.clone(),
+            summary: self.build_simulator().run(),
+        }
+    }
+}
+
+/// The outcome of one scenario run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioResult {
+    /// The scenario's name.
+    pub name: String,
+    /// The run summary.
+    pub summary: RunSummary,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::ElevatorId;
+
+    fn tiny() -> Scenario {
+        let mesh = Mesh3d::new(4, 4, 2).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
+        Scenario::new("tiny", mesh, elevators)
+            .with_phases(200, 800, 4_000)
+            .with_workload(WorkloadSpec::Uniform { rate: 0.004 })
+            .with_seed(7)
+    }
+
+    #[test]
+    fn scenario_runs_and_is_deterministic() {
+        let scenario = tiny();
+        let a = scenario.run();
+        let b = scenario.run();
+        assert_eq!(a, b);
+        assert_eq!(a.name, "tiny");
+        assert!(a.summary.delivered_packets > 0);
+        assert!(a.summary.completed);
+    }
+
+    #[test]
+    fn every_workload_spec_builds_and_delivers() {
+        let specs = [
+            WorkloadSpec::Uniform { rate: 0.004 },
+            WorkloadSpec::Shuffle { rate: 0.004 },
+            WorkloadSpec::Hotspot {
+                rate: 0.004,
+                hotspots: vec![Coord::new(1, 1, 1)],
+                fraction: 0.4,
+            },
+            WorkloadSpec::Bursty {
+                rate: 0.004,
+                params: OnOffParams::new(0.02, 0.005, 0.1),
+            },
+            WorkloadSpec::PerLayer {
+                rates: vec![0.006, 0.002],
+            },
+            WorkloadSpec::Composite {
+                parts: vec![
+                    (
+                        0.7,
+                        WorkloadSpec::Hotspot {
+                            rate: 0.004,
+                            hotspots: vec![Coord::new(3, 3, 0)],
+                            fraction: 0.5,
+                        },
+                    ),
+                    (
+                        0.3,
+                        WorkloadSpec::Bursty {
+                            rate: 0.004,
+                            params: OnOffParams::new(0.02, 0.005, 0.1),
+                        },
+                    ),
+                ],
+            },
+        ];
+        for spec in specs {
+            let result = tiny().with_workload(spec.clone()).run();
+            assert!(
+                result.summary.delivered_packets > 0,
+                "{spec:?} must deliver packets"
+            );
+        }
+    }
+
+    #[test]
+    fn every_selector_spec_builds() {
+        for (spec, name) in [
+            (SelectorSpec::ElevatorFirst, "ElevFirst"),
+            (SelectorSpec::Cda, "CDA"),
+            (SelectorSpec::adele(), "AdEle"),
+            (
+                SelectorSpec::Adele {
+                    rr_only: true,
+                    assignment: None,
+                },
+                "AdEle-RR",
+            ),
+        ] {
+            let scenario = tiny().with_selector(spec);
+            let result = scenario.run();
+            assert_eq!(result.summary.policy, name);
+        }
+    }
+
+    #[test]
+    fn injection_burst_event_raises_offered_load() {
+        let base = tiny().run();
+        let burst = tiny()
+            .with_event(Event::InjectionBurst {
+                cycle: 0,
+                factor: 3.0,
+            })
+            .run();
+        assert!(
+            burst.summary.injected_packets > base.summary.injected_packets * 2,
+            "3× burst must roughly triple injections ({} vs {})",
+            burst.summary.injected_packets,
+            base.summary.injected_packets
+        );
+    }
+
+    #[test]
+    fn hotspot_shift_event_moves_load() {
+        let mesh = Mesh3d::new(4, 4, 2).unwrap();
+        let hot = Coord::new(3, 3, 1);
+        let shifted = tiny()
+            .with_event(Event::HotspotShift {
+                cycle: 0,
+                hotspots: vec![hot],
+                fraction: 0.9,
+            })
+            .run();
+        let base = tiny().run();
+        let hot_id = mesh.node_id(hot).unwrap();
+        assert!(
+            shifted.summary.router_flits[hot_id.index()]
+                > base.summary.router_flits[hot_id.index()],
+            "the shifted hotspot router must see more flits"
+        );
+    }
+
+    #[test]
+    fn elevator_fail_event_reaches_the_selector() {
+        let failed = tiny()
+            .with_selector(SelectorSpec::adele())
+            .with_event(Event::ElevatorFail {
+                cycle: 0,
+                elevator: ElevatorId(0),
+            })
+            .run();
+        assert_eq!(failed.summary.elevator_packets[0], 0);
+        assert!(failed.summary.elevator_packets[1] > 0);
+    }
+}

@@ -22,13 +22,17 @@ pub struct SweepPoint {
 }
 
 /// Runs one simulation (convenience wrapper).
+///
+/// Takes the configuration by reference — like every other harness entry
+/// point — and clones it internally; one `SimConfig` can drive a whole
+/// family of runs.
 #[must_use]
 pub fn run_once(
-    config: SimConfig,
+    config: &SimConfig,
     traffic: Box<dyn TrafficSource>,
     selector: Box<dyn ElevatorSelector>,
 ) -> RunSummary {
-    Simulator::new(config, traffic, selector).run()
+    Simulator::new(config.clone(), traffic, selector).run()
 }
 
 /// Sweeps packet-injection rates, building fresh traffic and selector
@@ -44,7 +48,7 @@ pub fn injection_sweep(
         .iter()
         .map(|&rate| SweepPoint {
             rate,
-            summary: run_once(config.clone(), make_traffic(rate), make_selector()),
+            summary: run_once(config, make_traffic(rate), make_selector()),
         })
         .collect()
 }
@@ -58,7 +62,7 @@ pub fn zero_load_latency(
     make_traffic: &TrafficFactory<'_>,
     make_selector: &SelectorFactory<'_>,
 ) -> f64 {
-    run_once(config.clone(), make_traffic(1e-4), make_selector()).avg_latency
+    run_once(config, make_traffic(1e-4), make_selector()).avg_latency
 }
 
 /// The paper's saturation criterion: the first swept rate whose latency

@@ -1,0 +1,136 @@
+//! The mid-run event-hook API.
+//!
+//! A [`SimCommand`] is a state change a harness wants applied to a running
+//! simulation at a particular cycle: a TSV pillar dying or coming back, a
+//! traffic burst, a hotspot moving. Commands are queued on an
+//! [`EventSchedule`] (or applied immediately through
+//! [`crate::Simulator::apply_command`]) and fire at the **start** of their
+//! cycle, before traffic generation — so elevator selection for packets
+//! created that cycle already sees the new world.
+//!
+//! The elevator fault model is deliberately graceful: a failed pillar stops
+//! being *selected* (the simulator notifies the policy through
+//! [`adele::online::ElevatorSelector::on_elevator_status`]) but flits
+//! already routed through it keep draining — modelling a drained power-down
+//! rather than a hard link cut, which would strand in-flight wormholes.
+
+use adele::online::Cycle;
+use noc_topology::{ElevatorId, NodeId};
+
+/// A state change applied to a running simulation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SimCommand {
+    /// Marks an elevator failed: selectors stop choosing it from this
+    /// cycle on; in-flight packets drain normally.
+    FailElevator(ElevatorId),
+    /// Repairs a previously failed elevator.
+    RecoverElevator(ElevatorId),
+    /// Multiplies every node's injection rate by `factor` (burst or lull).
+    ScaleInjection {
+        /// Non-negative rate multiplier.
+        factor: f64,
+    },
+    /// Re-aims the workload's spatial pattern at a new hotspot set.
+    ShiftHotspot {
+        /// The new hotspot destinations.
+        hotspots: Vec<NodeId>,
+        /// Probability that a packet targets a hotspot.
+        fraction: f64,
+    },
+}
+
+/// A cycle-stamped queue of [`SimCommand`]s, kept sorted by firing cycle.
+///
+/// Commands scheduled for a cycle that has already passed fire on the next
+/// [`crate::Simulator::step`].
+#[derive(Debug, Clone, Default)]
+pub struct EventSchedule {
+    entries: Vec<(Cycle, SimCommand)>,
+    cursor: usize,
+}
+
+impl EventSchedule {
+    /// An empty schedule.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Queues `command` to fire at cycle `at`. Insertion keeps the
+    /// schedule sorted; commands with equal cycles fire in insertion
+    /// order.
+    pub fn push(&mut self, at: Cycle, command: SimCommand) {
+        let pos = self
+            .entries
+            .partition_point(|(c, _)| *c <= at)
+            // Never insert behind the cursor: a command scheduled in the
+            // past still has to fire (on the next step).
+            .max(self.cursor);
+        self.entries.insert(pos, (at, command));
+    }
+
+    /// Commands that have not fired yet.
+    #[must_use]
+    pub fn pending(&self) -> usize {
+        self.entries.len() - self.cursor
+    }
+
+    /// Pops the next command due at or before `cycle`, if any.
+    pub(crate) fn next_due(&mut self, cycle: Cycle) -> Option<SimCommand> {
+        match self.entries.get(self.cursor) {
+            Some((at, command)) if *at <= cycle => {
+                let command = command.clone();
+                self.cursor += 1;
+                Some(command)
+            }
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_fires_in_cycle_then_insertion_order() {
+        let mut s = EventSchedule::new();
+        s.push(10, SimCommand::FailElevator(ElevatorId(0)));
+        s.push(5, SimCommand::ScaleInjection { factor: 2.0 });
+        s.push(10, SimCommand::RecoverElevator(ElevatorId(0)));
+        assert_eq!(s.pending(), 3);
+
+        assert_eq!(s.next_due(4), None);
+        assert_eq!(
+            s.next_due(5),
+            Some(SimCommand::ScaleInjection { factor: 2.0 })
+        );
+        assert_eq!(s.next_due(9), None);
+        assert_eq!(
+            s.next_due(10),
+            Some(SimCommand::FailElevator(ElevatorId(0)))
+        );
+        assert_eq!(
+            s.next_due(10),
+            Some(SimCommand::RecoverElevator(ElevatorId(0)))
+        );
+        assert_eq!(s.next_due(u64::MAX), None);
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn past_commands_fire_on_the_next_poll() {
+        let mut s = EventSchedule::new();
+        s.push(100, SimCommand::FailElevator(ElevatorId(1)));
+        assert_eq!(
+            s.next_due(100),
+            Some(SimCommand::FailElevator(ElevatorId(1)))
+        );
+        // Scheduled "in the past" relative to what already fired.
+        s.push(3, SimCommand::ScaleInjection { factor: 0.5 });
+        assert_eq!(
+            s.next_due(100),
+            Some(SimCommand::ScaleInjection { factor: 0.5 })
+        );
+    }
+}

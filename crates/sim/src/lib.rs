@@ -42,10 +42,12 @@ mod sim;
 mod stats;
 
 pub mod harness;
+pub mod hooks;
 
 pub use config::SimConfig;
 pub use energy::{EnergyLedger, EnergyModel};
 pub use flit::{Flit, FlitKind, Packet, PacketId};
+pub use hooks::{EventSchedule, SimCommand};
 pub use network::Network;
 pub use sim::Simulator;
 pub use stats::{RunSummary, StatsCollector};

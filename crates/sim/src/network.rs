@@ -24,7 +24,7 @@ use crate::flit::{Flit, FlitKind, Packet, PacketId};
 use crate::stats::StatsCollector;
 use adele::online::{Cycle, NetworkProbe, SourceFeedback};
 use noc_topology::route::{self, VirtualNet};
-use noc_topology::{Coord, Direction, ElevatorSet, Mesh3d, NodeId};
+use noc_topology::{Coord, Direction, ElevatorId, ElevatorMask, ElevatorSet, Mesh3d, NodeId};
 use std::collections::VecDeque;
 
 const PORTS: usize = Direction::COUNT;
@@ -91,6 +91,13 @@ struct SourceQueue {
 pub struct Network {
     mesh: Mesh3d,
     elevators: ElevatorSet,
+    /// Elevators currently marked failed (fault events). Bookkeeping only:
+    /// the fabric keeps forwarding in-flight flits through a failed pillar
+    /// (drained power-down model), and the *behavioural* exclusion lives in
+    /// the selection policy, which the simulator notifies separately. This
+    /// registry exists so harnesses and tests can query pillar health
+    /// without reaching into the policy.
+    failed_elevators: ElevatorMask,
     buffer_depth: u8,
     coords: Vec<Coord>,
     /// `neighbours[node][port]` — the router reached through that port.
@@ -147,6 +154,7 @@ impl Network {
         Self {
             mesh,
             elevators,
+            failed_elevators: ElevatorMask::EMPTY,
             buffer_depth,
             coords,
             neighbours,
@@ -169,6 +177,28 @@ impl Network {
     #[must_use]
     pub fn elevators(&self) -> &ElevatorSet {
         &self.elevators
+    }
+
+    /// Marks elevator `id` failed (`failed == true`) or repaired.
+    ///
+    /// The network keeps draining flits already routed through the pillar
+    /// (see the field documentation); callers are expected to also notify
+    /// the selection policy so new packets avoid it — the simulator's
+    /// command hooks do both.
+    pub fn set_elevator_failed(&mut self, id: ElevatorId, failed: bool) {
+        self.failed_elevators.set(id, failed);
+    }
+
+    /// `true` if elevator `id` is currently marked failed.
+    #[must_use]
+    pub fn elevator_failed(&self, id: ElevatorId) -> bool {
+        self.failed_elevators.contains(id)
+    }
+
+    /// The failed-elevator set.
+    #[must_use]
+    pub fn failed_elevators(&self) -> ElevatorMask {
+        self.failed_elevators
     }
 
     /// Queues a freshly created packet at its source NI.

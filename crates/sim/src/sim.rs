@@ -3,11 +3,12 @@
 use crate::config::SimConfig;
 use crate::energy::EnergyLedger;
 use crate::flit::{Packet, PacketId};
+use crate::hooks::{EventSchedule, SimCommand};
 use crate::network::Network;
 use crate::stats::{RunSummary, StatsCollector};
-use adele::online::{ElevatorSelector, SelectionContext, SourceFeedback};
+use adele::online::{Cycle, ElevatorSelector, SelectionContext, SourceFeedback};
 use noc_topology::route::{ElevatorCoord, VirtualNet};
-use noc_traffic::TrafficSource;
+use noc_traffic::{TrafficDirective, TrafficSource};
 
 /// A configured simulation run.
 ///
@@ -23,6 +24,7 @@ pub struct Simulator {
     stats: StatsCollector,
     ledger: EnergyLedger,
     feedbacks: Vec<SourceFeedback>,
+    schedule: EventSchedule,
     cycle: u64,
     last_progress: u64,
 }
@@ -62,8 +64,41 @@ impl Simulator {
             stats,
             ledger: EnergyLedger::default(),
             feedbacks: Vec::new(),
+            schedule: EventSchedule::new(),
             cycle: 0,
             last_progress: 0,
+        }
+    }
+
+    /// Queues `command` to fire at the start of cycle `at` (before traffic
+    /// generation, so selection that cycle already sees the change).
+    /// Commands scheduled in the past fire on the next [`Self::step`].
+    pub fn schedule_command(&mut self, at: Cycle, command: SimCommand) {
+        self.schedule.push(at, command);
+    }
+
+    /// Applies a command immediately (the event-hook API; scheduled
+    /// commands go through this as they fall due).
+    pub fn apply_command(&mut self, command: &SimCommand) {
+        match command {
+            SimCommand::FailElevator(e) => {
+                self.net.set_elevator_failed(*e, true);
+                self.selector.on_elevator_status(*e, true);
+            }
+            SimCommand::RecoverElevator(e) => {
+                self.net.set_elevator_failed(*e, false);
+                self.selector.on_elevator_status(*e, false);
+            }
+            SimCommand::ScaleInjection { factor } => {
+                self.traffic
+                    .apply(&TrafficDirective::ScaleRate { factor: *factor });
+            }
+            SimCommand::ShiftHotspot { hotspots, fraction } => {
+                self.traffic.apply(&TrafficDirective::SetHotspots {
+                    hotspots: hotspots.clone(),
+                    fraction: *fraction,
+                });
+            }
         }
     }
 
@@ -134,6 +169,9 @@ impl Simulator {
     /// progress for `config.watchdog` cycles) — Elevator-First routing is
     /// deadlock-free, so this indicates a simulator or routing bug.
     pub fn step(&mut self) {
+        while let Some(command) = self.schedule.next_due(self.cycle) {
+            self.apply_command(&command);
+        }
         self.generate_traffic();
         let progress = self.net.step(
             &mut self.packets,
@@ -167,6 +205,53 @@ impl Simulator {
             .iter()
             .filter(|p| p.measured && p.delivered.is_none())
             .count()
+    }
+
+    /// Advances `cycles` cycles without touching measurement state
+    /// (warm-up, inter-window gaps in phased experiments).
+    pub fn advance(&mut self, cycles: u64) {
+        for _ in 0..cycles {
+            self.step();
+        }
+    }
+
+    /// Runs one measurement window of `cycles` cycles and summarises it in
+    /// isolation: statistics and energy counters start fresh, and packets
+    /// still in flight from earlier windows are excluded from this
+    /// window's latency figures.
+    ///
+    /// This is the phased-experiment API: scenario engines call it
+    /// repeatedly around scheduled events to compare, e.g., latency before
+    /// and after an elevator failure within a single run. `completed` in
+    /// the returned summary is `true` if every packet created in this
+    /// window was also delivered within it.
+    pub fn measure_window(&mut self, cycles: u64) -> RunSummary {
+        // Orphan unfinished packets from earlier windows so their eventual
+        // delivery does not leak into this window's figures.
+        for p in &mut self.packets {
+            if p.delivered.is_none() {
+                p.measured = false;
+            }
+        }
+        self.stats =
+            StatsCollector::new(self.config.mesh.node_count(), self.config.elevators.len());
+        self.ledger = EnergyLedger::default();
+        self.stats.set_armed(true);
+        for _ in 0..cycles {
+            self.step();
+        }
+        self.stats.set_armed(false);
+        let completed = self.measured_outstanding() == 0;
+        RunSummary::from_parts(
+            self.selector.name(),
+            self.traffic.name(),
+            self.traffic.mean_rate(),
+            &self.stats,
+            &self.ledger,
+            &self.config.energy,
+            self.config.mesh.node_count(),
+            completed,
+        )
     }
 
     /// Executes warm-up → measurement → drain and summarises.
@@ -263,5 +348,83 @@ mod tests {
         assert_eq!(summary.injected_packets, 0);
         assert_eq!(summary.delivered_packets, 0);
         assert!(summary.completed);
+    }
+
+    fn quick_simulator(seed: u64) -> Simulator {
+        let config = quick_config().with_seed(seed);
+        let traffic = SyntheticTraffic::uniform(&config.mesh, 0.004, seed);
+        let selector = ElevatorFirstSelector::new(&config.mesh, &config.elevators);
+        Simulator::new(config, Box::new(traffic), Box::new(selector))
+    }
+
+    #[test]
+    fn scheduled_elevator_failure_diverts_selection() {
+        use crate::hooks::SimCommand;
+        use noc_topology::ElevatorId;
+
+        let healthy = quick_simulator(7).run();
+        assert!(
+            healthy.elevator_packets.iter().all(|&n| n > 0),
+            "sanity: both pillars used when healthy ({:?})",
+            healthy.elevator_packets
+        );
+
+        let mut sim = quick_simulator(7);
+        sim.schedule_command(0, SimCommand::FailElevator(ElevatorId(0)));
+        assert!(!sim.network().elevator_failed(ElevatorId(0)));
+        let failed = sim.run();
+        assert_eq!(
+            failed.elevator_packets[0], 0,
+            "no packet may pick the pillar that died before measurement"
+        );
+        assert!(failed.elevator_packets[1] > 0);
+        assert!(failed.completed, "survivor must carry the full load");
+    }
+
+    #[test]
+    fn scheduled_recovery_restores_the_pillar() {
+        use crate::hooks::SimCommand;
+        use noc_topology::ElevatorId;
+
+        let mut sim = quick_simulator(9);
+        sim.schedule_command(0, SimCommand::FailElevator(ElevatorId(1)));
+        sim.schedule_command(5, SimCommand::RecoverElevator(ElevatorId(1)));
+        sim.advance(10);
+        assert!(!sim.network().elevator_failed(ElevatorId(1)));
+        let summary = sim.run();
+        assert!(
+            summary.elevator_packets[1] > 0,
+            "repaired pillar re-enters selection"
+        );
+    }
+
+    #[test]
+    fn injection_burst_command_scales_offered_load() {
+        use crate::hooks::SimCommand;
+
+        let mut sim = quick_simulator(3);
+        sim.schedule_command(0, SimCommand::ScaleInjection { factor: 0.0 });
+        let summary = sim.run();
+        assert_eq!(
+            summary.injected_packets, 0,
+            "a zero-factor burst silences the workload"
+        );
+    }
+
+    #[test]
+    fn measure_window_isolates_phases() {
+        let mut sim = quick_simulator(5);
+        sim.advance(200);
+        let w1 = sim.measure_window(800);
+        let w2 = sim.measure_window(800);
+        for w in [&w1, &w2] {
+            assert!(w.delivered_packets > 0);
+            assert!(w.avg_latency > 0.0);
+            assert_eq!(w.measured_cycles, 800);
+        }
+        // Each window counts only its own injections: the totals are in the
+        // same ballpark (same offered load), not cumulative.
+        let ratio = w1.injected_packets as f64 / w2.injected_packets.max(1) as f64;
+        assert!((0.5..2.0).contains(&ratio), "windows must not accumulate");
     }
 }

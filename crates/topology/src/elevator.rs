@@ -25,6 +25,60 @@ impl From<u8> for ElevatorId {
     }
 }
 
+/// A set of elevators as a bitmask — the fault-bookkeeping currency shared
+/// by the selection policies and the simulator (failed pillars, alive
+/// pillars).
+///
+/// Supports up to 64 elevators; [`ElevatorMask::set`] asserts the id fits,
+/// making the limit explicit instead of silently wrapping the shift on
+/// larger sets (every paper placement has ≤ 12; revisit if a mega-mesh
+/// ever carries more than 64 pillars).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ElevatorMask(u64);
+
+impl ElevatorMask {
+    /// The empty mask.
+    pub const EMPTY: ElevatorMask = ElevatorMask(0);
+
+    /// Sets (`on == true`) or clears elevator `id`'s bit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id.index() >= 64` (the mask cannot represent it).
+    pub fn set(&mut self, id: ElevatorId, on: bool) {
+        assert!(
+            id.index() < 64,
+            "ElevatorMask supports at most 64 elevators, got {id}"
+        );
+        if on {
+            self.0 |= 1 << id.index();
+        } else {
+            self.0 &= !(1 << id.index());
+        }
+    }
+
+    /// `true` if elevator `id`'s bit is set.
+    ///
+    /// Ids beyond the 64-elevator capacity are never contained (they can
+    /// never be set), so membership tests need no bound check.
+    #[must_use]
+    pub fn contains(self, id: ElevatorId) -> bool {
+        id.index() < 64 && self.0 & (1 << id.index()) != 0
+    }
+
+    /// `true` if no bit is set.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The raw bits (bit `i` = elevator `i`).
+    #[must_use]
+    pub fn bits(self) -> u64 {
+        self.0
+    }
+}
+
 /// The set of vertical-link columns of a PC-3DNoC.
 ///
 /// Each elevator is a full TSV pillar at one `(x, y)` column, connecting all
@@ -274,5 +328,32 @@ mod tests {
     fn coord_on_layer_places_pillar() {
         let s = set();
         assert_eq!(s.coord_on_layer(ElevatorId(1), 2), Coord::new(3, 1, 2));
+    }
+
+    #[test]
+    fn elevator_mask_sets_clears_and_queries() {
+        let mut m = ElevatorMask::EMPTY;
+        assert!(m.is_empty());
+        m.set(ElevatorId(3), true);
+        m.set(ElevatorId(63), true);
+        assert!(m.contains(ElevatorId(3)));
+        assert!(m.contains(ElevatorId(63)));
+        assert!(!m.contains(ElevatorId(0)));
+        assert!(
+            !m.contains(ElevatorId(64)),
+            "out-of-capacity ids are never members"
+        );
+        assert!(!m.is_empty());
+        m.set(ElevatorId(3), false);
+        assert!(!m.contains(ElevatorId(3)));
+        assert_eq!(m.bits(), 1 << 63);
+        assert_eq!(ElevatorMask::default(), ElevatorMask::EMPTY);
+    }
+
+    #[test]
+    #[should_panic(expected = "at most 64 elevators")]
+    fn elevator_mask_rejects_out_of_range_sets() {
+        let mut mask = ElevatorMask::EMPTY;
+        mask.set(ElevatorId(64), true);
     }
 }

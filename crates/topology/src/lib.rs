@@ -37,6 +37,6 @@ pub mod route;
 
 pub use coord::{Coord, NodeId};
 pub use direction::Direction;
-pub use elevator::{ElevatorId, ElevatorSet};
+pub use elevator::{ElevatorId, ElevatorMask, ElevatorSet};
 pub use error::TopologyError;
 pub use mesh::Mesh3d;

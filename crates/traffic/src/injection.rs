@@ -162,18 +162,49 @@ impl InjectionProcess {
         }
     }
 
-    /// The long-run average injection rate.
+    /// The long-run average injection rate, as an effective probability
+    /// (a rate scaled past saturation reports the clamped value actually
+    /// emitted).
     #[must_use]
     pub fn mean_rate(&self) -> f64 {
         match self {
-            InjectionProcess::Bernoulli { rate } | InjectionProcess::OnOff { rate, .. } => *rate,
+            InjectionProcess::Bernoulli { rate } | InjectionProcess::OnOff { rate, .. } => {
+                rate.clamp(0.0, 1.0)
+            }
+        }
+    }
+
+    /// Scales the base injection rate by `factor`. Burst state is
+    /// preserved — scenario engines use this to raise or drop the offered
+    /// load mid-run (injection bursts).
+    ///
+    /// The stored rate keeps the exact product (it is only clamped to a
+    /// probability at emission time), so a burst and its inverse compose
+    /// losslessly: scaling by `300` and later by `1/300` restores the
+    /// original offered load even though the intermediate rate saturated
+    /// at one packet per cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is negative or not finite.
+    pub fn scale_rate(&mut self, factor: f64) {
+        assert!(
+            factor.is_finite() && factor >= 0.0,
+            "rate scale {factor} must be finite and non-negative"
+        );
+        match self {
+            InjectionProcess::Bernoulli { rate } | InjectionProcess::OnOff { rate, .. } => {
+                *rate *= factor;
+            }
         }
     }
 
     /// Advances one cycle and reports whether a packet is injected.
     pub fn step(&mut self, rng: &mut dyn rand::RngCore) -> bool {
         match self {
-            InjectionProcess::Bernoulli { rate } => *rate > 0.0 && rng.gen_bool(*rate),
+            InjectionProcess::Bernoulli { rate } => {
+                *rate > 0.0 && rng.gen_bool(rate.clamp(0.0, 1.0))
+            }
             InjectionProcess::OnOff { rate, params, on } => {
                 // State transition first, then emission from the new state.
                 let flip = if *on {
@@ -246,6 +277,44 @@ mod tests {
         assert!((s_on - 0.5).abs() < 1e-12);
         let mean = s_on * params.on_scale() + (1.0 - s_on) * params.off_scale;
         assert!((mean - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_rate_multiplies_and_clamps_at_emission() {
+        let mut p = InjectionProcess::bernoulli(0.2);
+        p.scale_rate(2.0);
+        assert!((p.mean_rate() - 0.4).abs() < 1e-12);
+        p.scale_rate(10.0);
+        assert_eq!(p.mean_rate(), 1.0, "effective rate clamps at 1");
+        p.scale_rate(0.0);
+        assert_eq!(p.mean_rate(), 0.0);
+
+        let mut b = InjectionProcess::on_off(0.1, OnOffParams::new(0.02, 0.005, 0.1));
+        b.scale_rate(0.5);
+        assert!((b.mean_rate() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn scale_rate_burst_and_inverse_compose_losslessly() {
+        // A burst that saturates past rate 1 must not corrupt the baseline
+        // once the inverse scale ends it.
+        let mut p = InjectionProcess::bernoulli(0.005);
+        p.scale_rate(300.0);
+        assert_eq!(p.mean_rate(), 1.0, "saturated while bursting");
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(p.step(&mut rng), "rate 1 injects every cycle");
+        p.scale_rate(1.0 / 300.0);
+        assert!(
+            (p.mean_rate() - 0.005).abs() < 1e-15,
+            "inverse scale restores the offered load, got {}",
+            p.mean_rate()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn scale_rate_rejects_negative_factors() {
+        InjectionProcess::bernoulli(0.1).scale_rate(-1.0);
     }
 
     #[test]

@@ -13,6 +13,11 @@
 //!   AdEle's offline objectives (Eq. 1 of the paper).
 //! * [`trace`] — recorded injection events for replay and testing.
 //!
+//! Workloads compose: [`CompositeSource`] mixes weighted components
+//! (hotspot + bursty, …), [`SyntheticTraffic::per_layer`] skews rates
+//! across layers, and [`TrafficDirective`]s steer a live workload mid-run
+//! (injection bursts, hotspot shifts) through the simulator's event hooks.
+//!
 //! # Example
 //!
 //! ```
@@ -45,4 +50,6 @@ pub mod trace;
 mod source;
 
 pub use matrix::TrafficMatrix;
-pub use source::{InjectionRequest, SyntheticTraffic, TrafficSource};
+pub use source::{
+    CompositeSource, InjectionRequest, SyntheticTraffic, TrafficDirective, TrafficSource,
+};

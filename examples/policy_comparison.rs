@@ -26,7 +26,7 @@ fn main() {
         Policy::AdeleRr,
     ] {
         let summary = run_once(
-            sim_config(placement, 5),
+            &sim_config(placement, 5),
             Workload::Uniform.build(&mesh, rate, 99),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
         );

@@ -23,7 +23,7 @@ fn main() {
     for app in AppKind::ALL {
         let run = |policy: Policy| {
             run_once(
-                sim_config(placement, 13),
+                &sim_config(placement, 13),
                 app_traffic(app, placement, &mesh, 2024),
                 make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
             )

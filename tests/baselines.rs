@@ -38,7 +38,7 @@ fn adaptive_policies_beat_elevator_first_under_congestion() {
     let rate = 0.0045; // beyond ElevFirst's saturation, inside CDA/AdEle's
     let run = |policy: Policy| {
         run_once(
-            config(17),
+            &config(17),
             Workload::Uniform.build(&mesh, rate, 31),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
         )
@@ -74,7 +74,7 @@ fn adele_balances_elevator_load_better_than_elevator_first() {
     let rate = 0.004;
     let spread = |policy: Policy| -> f64 {
         let summary = run_once(
-            config(19),
+            &config(19),
             Workload::Uniform.build(&mesh, rate, 37),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
         );
@@ -99,7 +99,7 @@ fn low_load_energy_ranking_favours_adele() {
     let rate = 0.001; // the paper's Fig. 6 low-injection regime
     let energy = |policy: Policy| {
         run_once(
-            config(23),
+            &config(23),
             Workload::Uniform.build(&mesh, rate, 41),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
         )
@@ -121,7 +121,7 @@ fn adele_rr_is_a_valid_midpoint() {
     let rate = 0.005;
     let run = |policy: Policy| {
         run_once(
-            config(29),
+            &config(29),
             Workload::Uniform.build(&mesh, rate, 43),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
         )

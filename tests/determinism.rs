@@ -19,7 +19,7 @@ fn run_full_stack(sim_seed: u64, traffic_seed: u64, amosa_seed: u64) -> noc_sim:
         .with_phases(300, 1_500, 10_000)
         .with_seed(sim_seed);
     run_once(
-        config,
+        &config,
         Workload::Uniform.build(&mesh, 0.003, traffic_seed),
         make_selector(Policy::Adele, &mesh, &elevators, Some(assignment), sim_seed),
     )
@@ -88,12 +88,12 @@ fn baseline_policies_are_seed_independent() {
     };
     for policy in [Policy::ElevFirst, Policy::Cda] {
         let a = run_once(
-            config(),
+            &config(),
             Workload::Uniform.build(&mesh, 0.003, 8),
             make_selector(policy, &mesh, &elevators, None, 111),
         );
         let b = run_once(
-            config(),
+            &config(),
             Workload::Uniform.build(&mesh, 0.003, 8),
             make_selector(policy, &mesh, &elevators, None, 222),
         );

@@ -1,0 +1,167 @@
+//! The scenario engine end to end: the parallel runner is bit-identical
+//! to the sequential harness, scenario batches preserve order and
+//! determinism, and a mid-run `ElevatorFail` event demonstrably changes
+//! AdEle's selection.
+
+use adele::online::{ElevatorFirstSelector, ElevatorSelector};
+use noc_exp::runner::{par_injection_sweep, run_batch};
+use noc_exp::{Event, Scenario, SelectorSpec, WorkloadSpec};
+use noc_sim::harness::injection_sweep;
+use noc_sim::SimConfig;
+use noc_topology::{Coord, ElevatorId, ElevatorSet, Mesh3d};
+use noc_traffic::{SyntheticTraffic, TrafficSource};
+
+fn tiny_topology() -> (Mesh3d, ElevatorSet) {
+    let mesh = Mesh3d::new(4, 4, 2).unwrap();
+    let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
+    (mesh, elevators)
+}
+
+/// The acceptance contract of the parallel runner: for a fixed seed, the
+/// sweep output equals the sequential `injection_sweep` output exactly —
+/// every `SweepPoint`, bit for bit — for any worker count.
+#[test]
+fn parallel_sweep_is_bit_identical_to_sequential() {
+    let (mesh, elevators) = tiny_topology();
+    let config = SimConfig::new(mesh, elevators.clone())
+        .with_phases(150, 600, 3_000)
+        .with_seed(5);
+    let rates: Vec<f64> = (1..=8).map(|i| 0.004 * f64::from(i) / 8.0).collect();
+    let traffic = |rate: f64| -> Box<dyn TrafficSource> {
+        Box::new(SyntheticTraffic::uniform(&mesh, rate, 5))
+    };
+    let selector =
+        || -> Box<dyn ElevatorSelector> { Box::new(ElevatorFirstSelector::new(&mesh, &elevators)) };
+
+    let sequential = injection_sweep(&config, &rates, &traffic, &selector);
+    for threads in [1, 2, 4, 8] {
+        let parallel = par_injection_sweep(&config, &rates, &traffic, &selector, threads);
+        assert_eq!(
+            parallel, sequential,
+            "{threads}-thread sweep must match the sequential output exactly"
+        );
+    }
+}
+
+#[test]
+fn scenario_batch_preserves_order_and_determinism() {
+    let (mesh, elevators) = tiny_topology();
+    let scenarios: Vec<Scenario> = (0u32..5)
+        .map(|i| {
+            Scenario::new(format!("point-{i}"), mesh, elevators.clone())
+                .with_phases(100, 400, 2_000)
+                .with_workload(WorkloadSpec::Uniform {
+                    rate: 0.001 + 0.001 * f64::from(i),
+                })
+                .with_seed(7)
+        })
+        .collect();
+    let a = run_batch(&scenarios, 4);
+    let b = run_batch(&scenarios, 2);
+    assert_eq!(a, b, "worker count must never change results");
+    for (i, result) in a.iter().enumerate() {
+        assert_eq!(result.name, format!("point-{i}"), "input order preserved");
+    }
+}
+
+/// The acceptance contract of the event hooks: failing an elevator
+/// mid-run changes AdEle's selection — the victim stops being picked the
+/// moment the event fires, and the run still completes on the survivor.
+#[test]
+fn elevator_fail_event_changes_adele_selection_mid_run() {
+    let (mesh, elevators) = tiny_topology();
+    let victim = ElevatorId(1);
+    let base = Scenario::new("fault", mesh, elevators)
+        .with_workload(WorkloadSpec::Uniform { rate: 0.004 })
+        .with_selector(SelectorSpec::adele())
+        .with_phases(200, 1_000, 6_000)
+        .with_seed(11);
+
+    let healthy = base.clone().run();
+    assert!(
+        healthy.summary.elevator_packets[victim.index()] > 0,
+        "sanity: the victim carries load while healthy"
+    );
+
+    // Fail the victim halfway through the measurement window: picks up to
+    // that cycle are free to use it, picks after it must not.
+    let fail_at = 200 + 500;
+    let failed = base
+        .clone()
+        .with_event(Event::ElevatorFail {
+            cycle: fail_at,
+            elevator: victim,
+        })
+        .run();
+    assert_ne!(
+        healthy.summary, failed.summary,
+        "the failure must perturb the run"
+    );
+    assert!(
+        failed.summary.elevator_packets[victim.index()]
+            < healthy.summary.elevator_packets[victim.index()],
+        "selection must shift off the victim after the event ({} vs {})",
+        failed.summary.elevator_packets[victim.index()],
+        healthy.summary.elevator_packets[victim.index()]
+    );
+    assert!(
+        failed.summary.elevator_packets[0] > 0,
+        "the survivor carries the diverted load"
+    );
+    assert!(failed.summary.completed, "the run must still drain");
+
+    // Failing at the very start of measurement: the victim gets nothing.
+    let failed_from_start = base
+        .with_event(Event::ElevatorFail {
+            cycle: 0,
+            elevator: victim,
+        })
+        .run();
+    assert_eq!(
+        failed_from_start.summary.elevator_packets[victim.index()],
+        0,
+        "no measured packet may pick a pillar that died before warm-up"
+    );
+}
+
+/// Composite and per-layer workloads flow through the whole engine.
+#[test]
+fn composed_workloads_run_through_the_engine() {
+    let (mesh, elevators) = tiny_topology();
+    let composite = Scenario::new("hotspot+bursty", mesh, elevators.clone())
+        .with_phases(150, 600, 3_000)
+        .with_workload(WorkloadSpec::Composite {
+            parts: vec![
+                (
+                    0.6,
+                    WorkloadSpec::Hotspot {
+                        rate: 0.004,
+                        hotspots: vec![Coord::new(3, 3, 1)],
+                        fraction: 0.5,
+                    },
+                ),
+                (
+                    0.4,
+                    WorkloadSpec::Bursty {
+                        rate: 0.004,
+                        params: noc_traffic::injection::OnOffParams::new(0.02, 0.005, 0.1),
+                    },
+                ),
+            ],
+        })
+        .with_seed(3);
+    let layered = Scenario::new("layer-skew", mesh, elevators)
+        .with_phases(150, 600, 3_000)
+        .with_workload(WorkloadSpec::PerLayer {
+            rates: vec![0.006, 0.001],
+        })
+        .with_seed(3);
+
+    let results = run_batch(&[composite, layered], 2);
+    assert_eq!(results.len(), 2);
+    assert_eq!(results[0].summary.workload, "composite");
+    for r in &results {
+        assert!(r.summary.delivered_packets > 0, "{} must deliver", r.name);
+        assert!(r.summary.completed);
+    }
+}
