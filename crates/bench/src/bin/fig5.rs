@@ -4,11 +4,18 @@
 //!
 //! The paper's takeaway: AdEle reduces the load on the most-utilised
 //! elevator (the blue bar) by spreading traffic across the set.
+//!
+//! The per-policy runs execute on the `noc_exp` parallel pool; under
+//! `ADELE_QUICK=1` the binary re-runs them sequentially and asserts the
+//! pooled results are bit-identical.
 
 use adele_bench::{
-    dump_json, f2, f4, make_selector, offline_assignment, print_table, sim_config, Policy, Workload,
+    dump_json, f2, f4, make_selector, offline_assignment, print_table, quick_mode, sim_config,
+    Policy, Workload,
 };
+use noc_exp::runner::{default_threads, par_map};
 use noc_sim::harness::run_once;
+use noc_sim::RunSummary;
 use noc_topology::placement::Placement;
 use serde::Serialize;
 
@@ -26,14 +33,28 @@ fn main() {
     let assignment = offline_assignment(placement);
     let rate = 0.004;
 
-    let mut bars = Vec::new();
-    let mut rows = Vec::new();
-    for policy in Policy::MAIN {
-        let summary = run_once(
+    let run_policy = |policy: Policy| -> RunSummary {
+        run_once(
             &sim_config(placement, 41),
             Workload::Uniform.build(&mesh, rate, 777),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
+        )
+    };
+    let summaries = par_map(&Policy::MAIN, default_threads(), |_, &policy| {
+        run_policy(policy)
+    });
+    if quick_mode() {
+        // Smoke runs double as the pool's equivalence check.
+        let sequential: Vec<RunSummary> = Policy::MAIN.iter().map(|&p| run_policy(p)).collect();
+        assert_eq!(
+            summaries, sequential,
+            "pooled fig5 runs must match the sequential runs bit for bit"
         );
+    }
+
+    let mut bars = Vec::new();
+    let mut rows = Vec::new();
+    for (policy, summary) in Policy::MAIN.iter().zip(&summaries) {
         // Per-router flags: does this router sit on an elevator pillar?
         let flags: Vec<bool> = mesh
             .coords()

@@ -6,12 +6,26 @@
 //! efficient (minimal-path override); at high rates it pays a small
 //! (<10 %) premium over CDA for taking non-minimal paths that relieve
 //! congestion.
+//!
+//! The (regime × placement × policy) grid runs on the `noc_exp` parallel
+//! pool; under `ADELE_QUICK=1` the binary re-runs the grid sequentially
+//! and asserts the pooled results are bit-identical.
+//!
+//! **Link-granular mode** (`fig6 --links`, or `ADELE_FIG6_LINKS=1`):
+//! instead of the aggregate cells, reproduce the figure at link
+//! granularity from the per-link telemetry — per-pillar TSV energy, the
+//! hottest links of every run, a per-link CSV and a layer/pillar heatmap
+//! JSON per placement under `results/`.
 
+use adele::offline::SubsetAssignment;
 use adele_bench::{
-    dump_json, f2, f4, fig6_rates, make_selector, offline_assignment, print_table, sim_config,
-    Policy, Workload,
+    dump_json, f2, f4, fig6_rates, make_selector, offline_assignment, phases, print_table,
+    quick_mode, results_dir, sim_config, Policy, Workload,
 };
+use noc_energy::{HeatmapReport, LinkEnergyReport};
+use noc_exp::runner::{default_threads, par_map};
 use noc_sim::harness::run_once;
+use noc_sim::{RunSummary, Simulator};
 use noc_topology::placement::Placement;
 use serde::Serialize;
 
@@ -24,38 +38,89 @@ struct Cell {
     normalized: f64,
 }
 
-fn main() {
+/// One grid point: a placement × policy cell at one regime's rate.
+#[derive(Clone, Copy)]
+struct Job {
+    placement: Placement,
+    policy: Policy,
+    rate: f64,
+}
+
+fn run_job(job: &Job, assignments: &[SubsetAssignment]) -> RunSummary {
+    let (mesh, elevators) = job.placement.instantiate();
+    let assignment = &assignments[placement_index(job.placement)];
+    run_once(
+        &sim_config(job.placement, 51),
+        Workload::Uniform.build(&mesh, job.rate, 999),
+        make_selector(job.policy, &mesh, &elevators, Some(assignment), 77),
+    )
+}
+
+fn placement_index(placement: Placement) -> usize {
+    Placement::ALL
+        .iter()
+        .position(|&p| p == placement)
+        .expect("placement is one of the presets")
+}
+
+fn standard_mode() {
+    // The offline AMOSA stage caches to disk: run it sequentially, once
+    // per placement, before fanning the grid out.
+    let assignments: Vec<SubsetAssignment> = Placement::ALL
+        .iter()
+        .map(|&p| offline_assignment(p))
+        .collect();
+
+    let mut jobs = Vec::new();
+    for regime in 0..2 {
+        for placement in Placement::ALL {
+            let rates = fig6_rates(placement);
+            let rate = if regime == 0 { rates.0 } else { rates.1 };
+            for policy in Policy::MAIN {
+                jobs.push(Job {
+                    placement,
+                    policy,
+                    rate,
+                });
+            }
+        }
+    }
+
+    let summaries = par_map(&jobs, default_threads(), |_, job| {
+        run_job(job, &assignments)
+    });
+    if quick_mode() {
+        // Smoke runs double as the pool's equivalence check.
+        let sequential: Vec<RunSummary> =
+            jobs.iter().map(|job| run_job(job, &assignments)).collect();
+        assert_eq!(
+            summaries, sequential,
+            "pooled fig6 grid must match the sequential grid bit for bit"
+        );
+    }
+
     let mut cells = Vec::new();
-    for (regime, pick_rate) in [("Low injection rate", 0usize), ("High injection rate", 1)] {
+    let mut cursor = 0;
+    for (regime, label) in [(0usize, "a"), (1, "b")] {
         println!(
-            "\n# Fig. 6({}): energy/flit normalised to ElevFirst — {regime}",
-            if pick_rate == 0 { "a" } else { "b" }
+            "\n# Fig. 6({label}): energy/flit normalised to ElevFirst — {} injection rate",
+            if regime == 0 { "Low" } else { "High" }
         );
         let mut rows = Vec::new();
         for placement in Placement::ALL {
-            let (mesh, elevators) = placement.instantiate();
-            let assignment = offline_assignment(placement);
-            let rates = fig6_rates(placement);
-            let rate = if pick_rate == 0 { rates.0 } else { rates.1 };
-            let mut energies = Vec::new();
-            for policy in Policy::MAIN {
-                let summary = run_once(
-                    &sim_config(placement, 51),
-                    Workload::Uniform.build(&mesh, rate, 999),
-                    make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
-                );
-                energies.push((policy.name().to_string(), summary.energy_per_flit_nj));
-            }
-            let base = energies[0].1.max(1e-12);
+            let batch = &summaries[cursor..cursor + Policy::MAIN.len()];
+            let rate = jobs[cursor].rate;
+            cursor += Policy::MAIN.len();
+            let base = batch[0].energy_per_flit_nj.max(1e-12);
             let mut row = vec![placement.name().to_string(), f4(rate)];
-            for (policy, e) in &energies {
-                row.push(f2(e / base));
+            for (policy, summary) in Policy::MAIN.iter().zip(batch) {
+                row.push(f2(summary.energy_per_flit_nj / base));
                 cells.push(Cell {
                     placement: placement.name().to_string(),
                     rate,
-                    policy: policy.clone(),
-                    energy_per_flit_nj: *e,
-                    normalized: e / base,
+                    policy: policy.name().to_string(),
+                    energy_per_flit_nj: summary.energy_per_flit_nj,
+                    normalized: summary.energy_per_flit_nj / base,
                 });
             }
             rows.push(row);
@@ -66,4 +131,125 @@ fn main() {
         "\npaper: AdEle lowest at low rates (minimal-path override); ≤9.7% over CDA at high rates."
     );
     dump_json("fig6", &cells);
+}
+
+#[derive(Serialize)]
+struct LinkCell {
+    placement: String,
+    rate: f64,
+    policy: String,
+    pillar_tsv_energy_nj: Vec<f64>,
+    hottest_links: Vec<String>,
+}
+
+/// Runs one link-granularity cell and snapshots its per-link telemetry
+/// (the reports are plain owned data, so pool workers can return them and
+/// the main thread keeps only printing and file writes).
+fn run_link_job(job: &Job, assignments: &[SubsetAssignment]) -> (LinkEnergyReport, HeatmapReport) {
+    let (mesh, elevators) = job.placement.instantiate();
+    let assignment = &assignments[placement_index(job.placement)];
+    let (warmup, measure, _) = phases(job.placement);
+    let config = sim_config(job.placement, 51);
+    let mut sim = Simulator::new(
+        config.clone(),
+        Workload::Uniform.build(&mesh, job.rate, 999),
+        make_selector(job.policy, &mesh, &elevators, Some(assignment), 77),
+    );
+    sim.advance(warmup);
+    let _ = sim.measure_window(measure);
+    (
+        LinkEnergyReport::from_ledger(sim.link_map(), sim.link_ledger(), &config.energy),
+        HeatmapReport::from_ledger(sim.link_map(), sim.link_ledger(), &config.energy),
+    )
+}
+
+/// Fig. 6 at link granularity: per-pillar TSV energy and hottest links,
+/// from the same runs as the aggregate cells but driven through the
+/// simulator directly so the per-link ledger stays accessible. The grid
+/// runs on the same pool as the aggregate mode.
+fn links_mode() {
+    let assignments: Vec<SubsetAssignment> = Placement::ALL
+        .iter()
+        .map(|&p| offline_assignment(p))
+        .collect();
+    let mut jobs = Vec::new();
+    for placement in Placement::ALL {
+        let (low, high) = fig6_rates(placement);
+        for rate in [low, high] {
+            for policy in Policy::MAIN {
+                jobs.push(Job {
+                    placement,
+                    policy,
+                    rate,
+                });
+            }
+        }
+    }
+    let snapshots = par_map(&jobs, default_threads(), |_, job| {
+        run_link_job(job, &assignments)
+    });
+
+    let mut cells = Vec::new();
+    let mut results = jobs.iter().zip(snapshots);
+    for placement in Placement::ALL {
+        let (_, high) = fig6_rates(placement);
+        println!("\n# Fig. 6 (link granularity): {}", placement.name());
+        let mut rows = Vec::new();
+        for _ in 0..2 * Policy::MAIN.len() {
+            let (job, (report, heat)) = results.next().expect("one snapshot per job");
+            let hottest: Vec<String> = report
+                .hottest(3)
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{}-{}-{} {} ({:.0} nJ)",
+                        r.src.0, r.src.1, r.src.2, r.dir, r.attributed_nj
+                    )
+                })
+                .collect();
+            let tsv_total: f64 = heat.pillar_tsv_energy_nj.iter().sum();
+            rows.push(vec![
+                f4(job.rate),
+                job.policy.name().to_string(),
+                f2(tsv_total),
+                hottest.first().cloned().unwrap_or_default(),
+            ]);
+
+            // Full per-link artefacts for AdEle at the high rate: the
+            // link-granular reproduction the ROADMAP item asks for.
+            if job.policy == Policy::Adele && job.rate == high {
+                let dir = results_dir();
+                let name = placement.name();
+                report
+                    .write_csv(&dir.join(format!("fig6_links_{name}.csv")))
+                    .expect("write per-link CSV");
+                heat.write_json(&dir.join(format!("fig6_heatmap_{name}.json")))
+                    .expect("write heatmap JSON");
+            }
+
+            cells.push(LinkCell {
+                placement: placement.name().to_string(),
+                rate: job.rate,
+                policy: job.policy.name().to_string(),
+                pillar_tsv_energy_nj: heat.pillar_tsv_energy_nj,
+                hottest_links: hottest,
+            });
+        }
+        print_table(&["rate", "policy", "tsv_energy_nj", "hottest link"], &rows);
+    }
+    println!("\nper-link CSV + layer/pillar heatmap JSON written to results/ (AdEle, high rate);");
+    println!("TSVs are cheap per hop but concentrate on few pillars — the per-pillar view above.");
+    dump_json("fig6_links", &cells);
+}
+
+fn main() {
+    let links = std::env::args().any(|a| a == "--links")
+        || std::env::var("ADELE_FIG6_LINKS")
+            .map(|v| v == "1")
+            .unwrap_or(false);
+    if links {
+        links_mode();
+    } else {
+        standard_mode();
+    }
 }

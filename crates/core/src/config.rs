@@ -27,6 +27,12 @@ pub struct AdeleConfig {
     /// configuration" — the paper leaves dynamic threshold management to
     /// future work).
     pub override_reentry_factor: f64,
+    /// Drive the low-traffic override from **measured** per-pillar energy
+    /// telemetry (`ElevatorSelector::on_pillar_energy`) instead of the
+    /// hop-count proxy of Section III.A. Off by default — the paper's
+    /// policy, asserted bit-identical — and inert until the simulator
+    /// pushes a first telemetry sample.
+    pub measured_energy_override: bool,
 }
 
 impl AdeleConfig {
@@ -40,6 +46,17 @@ impl AdeleConfig {
             skipping_enabled: true,
             low_traffic_override: true,
             override_reentry_factor: 0.25,
+            measured_energy_override: false,
+        }
+    }
+
+    /// Paper defaults plus the measured-energy override: the low-traffic
+    /// energy decision reads per-pillar telemetry instead of hop counts.
+    #[must_use]
+    pub fn measured_energy() -> Self {
+        Self {
+            measured_energy_override: true,
+            ..Self::paper_default()
         }
     }
 
@@ -104,6 +121,15 @@ mod tests {
         let c = AdeleConfig::rr_only();
         assert!(!c.skipping_enabled && !c.low_traffic_override);
         c.validate();
+    }
+
+    #[test]
+    fn measured_energy_is_off_by_default() {
+        assert!(!AdeleConfig::paper_default().measured_energy_override);
+        assert!(!AdeleConfig::rr_only().measured_energy_override);
+        let m = AdeleConfig::measured_energy();
+        assert!(m.measured_energy_override && m.low_traffic_override);
+        m.validate();
     }
 
     #[test]

@@ -210,6 +210,29 @@ impl SubsetAssignment {
     }
 }
 
+impl serde::Serialize for SubsetAssignment {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            (
+                "elevator_count".into(),
+                serde::Value::UInt(self.elevator_count as u64),
+            ),
+            ("masks".into(), serde::Serialize::to_value(&self.masks)),
+        ])
+    }
+}
+
+impl serde::Deserialize for SubsetAssignment {
+    /// Deserialises through [`SubsetAssignment::from_masks`], keeping the
+    /// non-empty-subset and elevator-range invariants for parsed specs.
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let elevator_count: usize = serde::field(value, "elevator_count")?;
+        let masks: Vec<u64> = serde::field(value, "masks")?;
+        Self::from_masks(masks, elevator_count)
+            .map_err(|e| serde::DeError(format!("invalid subset assignment: {e}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -274,6 +297,23 @@ mod tests {
         assert!(SubsetAssignment::from_text("").is_err());
         assert!(SubsetAssignment::from_text("elevators x\n1\n").is_err());
         assert!(SubsetAssignment::from_text("elevators 2\nzz\n").is_err());
+    }
+
+    #[test]
+    fn json_round_trip_preserves_masks_and_validates() {
+        let (mesh, elevators) = fixture();
+        let a = SubsetAssignment::nearest(&mesh, &elevators);
+        let json = serde_json::to_string(&a).unwrap();
+        assert_eq!(serde_json::from_str::<SubsetAssignment>(&json).unwrap(), a);
+        // Parsed assignments pass `from_masks` validation.
+        assert!(
+            serde_json::from_str::<SubsetAssignment>(r#"{"elevator_count": 2, "masks": [0]}"#)
+                .is_err()
+        );
+        assert!(
+            serde_json::from_str::<SubsetAssignment>(r#"{"elevator_count": 2, "masks": [4]}"#)
+                .is_err()
+        );
     }
 
     #[test]

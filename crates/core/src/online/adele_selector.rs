@@ -1,7 +1,7 @@
 use crate::offline::{SolutionPoint, SubsetAssignment};
 use crate::online::{ElevatorSelector, SelectionContext, SourceFeedback};
 use crate::{AdeleConfig, AdeleError};
-use noc_topology::{ElevatorId, ElevatorMask, ElevatorSet, Mesh3d, NodeId};
+use noc_topology::{Coord, ElevatorId, ElevatorMask, ElevatorSet, Mesh3d, NodeId};
 use rand::{rngs::StdRng, Rng, SeedableRng};
 
 /// Eq. 9: probability of skipping elevator `k` in the enhanced round-robin,
@@ -27,6 +27,31 @@ pub fn skip_probability(cost: f64, total_cost: f64, subset_size: usize, xi: f64)
     } else {
         0.0
     }
+}
+
+/// The candidate with the lowest **measured** per-flit pillar energy —
+/// the telemetry-driven replacement for the hop-count proxy in the
+/// low-traffic override. Pillars without a sample yet read as 0 nJ, so
+/// they are explored first; ties (including the all-cold start) fall back
+/// to the geometric detour metric, then the lowest id.
+fn min_measured_energy_among(
+    energy: &[f64],
+    elevators: &ElevatorSet,
+    src: Coord,
+    dst: Coord,
+    candidates: impl IntoIterator<Item = ElevatorId>,
+) -> Option<ElevatorId> {
+    candidates.into_iter().min_by(|&a, &b| {
+        let ea = energy.get(a.index()).copied().unwrap_or(0.0);
+        let eb = energy.get(b.index()).copied().unwrap_or(0.0);
+        ea.total_cmp(&eb)
+            .then_with(|| {
+                elevators
+                    .route_xy_length(src, dst, a)
+                    .cmp(&elevators.route_xy_length(src, dst, b))
+            })
+            .then(a.cmp(&b))
+    })
 }
 
 /// Per-router online state: the offline subset, smoothed costs `C_k`
@@ -63,6 +88,9 @@ pub struct AdeleSelector {
     nodes: Vec<NodeState>,
     /// Failed elevators (fault-tolerance extension; none fail by default).
     failed: ElevatorMask,
+    /// Latest measured per-pillar energy sample (nJ per TSV flit), pushed
+    /// by the simulator; empty until the first push.
+    pillar_energy: Vec<f64>,
     rng: StdRng,
 }
 
@@ -99,6 +127,7 @@ impl AdeleSelector {
             config,
             nodes,
             failed: ElevatorMask::EMPTY,
+            pillar_energy: Vec::new(),
             rng: StdRng::seed_from_u64(seed),
         })
     }
@@ -189,21 +218,33 @@ impl ElevatorSelector for AdeleSelector {
         };
         state.override_active = alive_subset.iter().all(|e| state.costs[e.index()] < gate);
         if self.config.low_traffic_override && state.override_active {
-            let global = ctx
-                .elevators
-                .minimal_path_among(
-                    ctx.src,
-                    ctx.dst,
-                    ctx.elevators.ids().filter(|&e| !failed.contains(e)),
-                )
+            // Measured-energy mode replaces the hop-count proxy with the
+            // per-pillar telemetry signal once a first sample arrived;
+            // before that (and in the paper-default configuration) the
+            // geometric minimal-path pick applies unchanged.
+            let pillar_energy = &self.pillar_energy;
+            let measured =
+                self.config.measured_energy_override && pillar_energy.iter().any(|&e| e > 0.0);
+            let pick = |candidates: &mut dyn Iterator<Item = ElevatorId>| {
+                if measured {
+                    min_measured_energy_among(
+                        pillar_energy,
+                        ctx.elevators,
+                        ctx.src,
+                        ctx.dst,
+                        candidates,
+                    )
+                } else {
+                    ctx.elevators
+                        .minimal_path_among(ctx.src, ctx.dst, candidates)
+                }
+            };
+            let global = pick(&mut ctx.elevators.ids().filter(|&e| !failed.contains(e)))
                 .unwrap_or(alive_subset[0]);
             if state.costs[global.index()] < gate {
                 return global;
             }
-            return ctx
-                .elevators
-                .minimal_path_among(ctx.src, ctx.dst, alive_subset.iter().copied())
-                .expect("alive_subset is non-empty");
+            return pick(&mut alive_subset.iter().copied()).expect("alive_subset is non-empty");
         }
 
         // Plain round-robin (AdEle-RR ablation).
@@ -243,6 +284,11 @@ impl ElevatorSelector for AdeleSelector {
 
     fn on_elevator_status(&mut self, elevator: ElevatorId, failed: bool) {
         self.set_elevator_failed(elevator, failed);
+    }
+
+    fn on_pillar_energy(&mut self, energy: &[f64]) {
+        self.pillar_energy.clear();
+        self.pillar_energy.extend_from_slice(energy);
     }
 
     fn on_source_departure(&mut self, feedback: &SourceFeedback) {
@@ -317,6 +363,46 @@ mod tests {
         assert_eq!(skip_probability(0.0, 0.0, 4, xi), 0.0);
         // Singleton subsets never skip (relative cost is exactly 1 < 2).
         assert_eq!(skip_probability(0.7, 0.7, 1, xi), 0.0);
+    }
+
+    #[test]
+    fn measured_energy_mode_follows_the_telemetry_signal() {
+        let (mesh, elevators, mut sel) = full_selector(AdeleConfig::measured_energy());
+        let probe = ZeroProbe::new(mesh);
+        // src (3,1,0) → dst (3,2,1): e1 at (3,0) is the minimal-path pick.
+        let c = ctx(
+            &mesh,
+            &elevators,
+            &probe,
+            Coord::new(3, 1, 0),
+            Coord::new(3, 2, 1),
+        );
+        // Cold start (no telemetry yet): behave exactly like the proxy.
+        assert_eq!(sel.select(&c), ElevatorId(1));
+        // Telemetry says e1 is expensive, e2 is the cheapest pillar.
+        sel.on_pillar_energy(&[40.0, 90.0, 15.0]);
+        assert_eq!(sel.select(&c), ElevatorId(2));
+        // The same signal is ignored under the paper-default config.
+        let (_, _, mut plain) = full_selector(AdeleConfig::paper_default());
+        plain.on_pillar_energy(&[40.0, 90.0, 15.0]);
+        assert_eq!(plain.select(&c), ElevatorId(1));
+    }
+
+    #[test]
+    fn measured_energy_mode_prefers_unmeasured_pillars_first() {
+        // Pillars without a sample read as 0 nJ and win ties by geometry:
+        // the selector keeps exploring them until every pillar has data.
+        let (mesh, elevators, mut sel) = full_selector(AdeleConfig::measured_energy());
+        let probe = ZeroProbe::new(mesh);
+        let c = ctx(
+            &mesh,
+            &elevators,
+            &probe,
+            Coord::new(3, 1, 0),
+            Coord::new(3, 2, 1),
+        );
+        sel.on_pillar_energy(&[40.0, 90.0, 0.0]);
+        assert_eq!(sel.select(&c), ElevatorId(2), "cold pillar explored");
     }
 
     #[test]

@@ -140,6 +140,18 @@ pub trait ElevatorSelector: Send {
         let _ = (elevator, failed);
     }
 
+    /// Receives measured per-pillar energy telemetry: `energy[e]` is the
+    /// measured energy (nJ) per TSV-crossing flit of elevator `e` over the
+    /// current window (0 where the pillar carried nothing yet). Pushed
+    /// periodically by the simulator from the per-link ledger.
+    ///
+    /// Default: ignored — the paper's policies use hop-count proxies, and
+    /// the push consumes no randomness, so ignoring it keeps behaviour
+    /// bit-identical.
+    fn on_pillar_energy(&mut self, energy: &[f64]) {
+        let _ = energy;
+    }
+
     /// Policy name as printed in experiment tables ("ElevFirst", "CDA",
     /// "AdEle", "AdEle-RR").
     fn name(&self) -> &'static str;

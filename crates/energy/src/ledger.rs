@@ -1,0 +1,415 @@
+//! The dense per-link/per-VC telemetry store and its hierarchical
+//! roll-ups.
+//!
+//! A [`LinkLedger`] is a set of flat `u64` arrays indexed by
+//! `lane × vc` — no hashing, no per-event allocation — sized once from a
+//! [`LinkMap`]. The simulator increments it alongside the aggregate
+//! [`EnergyLedger`] on every flit event; the roll-ups reconstruct that
+//! aggregate **exactly** (counter for counter) at link, router, pillar,
+//! layer and network granularity:
+//!
+//! * every buffer write/read and crossbar traversal is attributed to the
+//!   *lane* whose FIFO it happened in (the upstream link for mesh ports,
+//!   the router's NI lane for injections),
+//! * every link traversal is attributed to the link (and the VC it used),
+//! * NI events and static router-cycles are attributed to their router.
+//!
+//! A lane's events roll up to the router that owns the FIFO; a link's
+//! traversals roll up to the router that drives the link; routers roll up
+//! to their layer (and, for elevator routers, their pillar), and layers
+//! roll up to the network total.
+
+use crate::link::{LinkId, LinkMap};
+use crate::model::{EnergyLedger, EnergyModel};
+
+/// Flat per-lane/per-VC event counters for one topology.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinkLedger {
+    vcs: usize,
+    link_count: usize,
+    node_count: usize,
+    /// Link traversals, indexed `link * vcs + vc`.
+    link_flits: Vec<u64>,
+    /// FIFO writes, indexed `lane * vcs + vc`.
+    buffer_writes: Vec<u64>,
+    /// FIFO reads (each paired with a crossbar traversal), indexed
+    /// `lane * vcs + vc`.
+    buffer_reads: Vec<u64>,
+    /// NI events (injections + ejections) per router.
+    ni_events: Vec<u64>,
+    /// Measured cycles (shared by every router: static energy).
+    cycles: u64,
+}
+
+impl LinkLedger {
+    /// An all-zero ledger sized for `map` with `vcs` virtual channels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vcs` is zero.
+    #[must_use]
+    pub fn new(map: &LinkMap, vcs: usize) -> Self {
+        assert!(vcs >= 1, "at least one virtual channel");
+        Self {
+            vcs,
+            link_count: map.link_count(),
+            node_count: map.node_count(),
+            link_flits: vec![0; map.link_count() * vcs],
+            buffer_writes: vec![0; map.lane_count() * vcs],
+            buffer_reads: vec![0; map.lane_count() * vcs],
+            ni_events: vec![0; map.node_count()],
+            cycles: 0,
+        }
+    }
+
+    /// Number of virtual channels per lane.
+    #[must_use]
+    pub fn vcs(&self) -> usize {
+        self.vcs
+    }
+
+    /// Measured cycles counted so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Resets every counter to zero (new measurement window).
+    pub fn reset(&mut self) {
+        self.link_flits.fill(0);
+        self.buffer_writes.fill(0);
+        self.buffer_reads.fill(0);
+        self.ni_events.fill(0);
+        self.cycles = 0;
+    }
+
+    // ---- Hot-path increments (called by the simulator per flit event) ----
+
+    /// Records one flit crossing `link` on `vc`.
+    #[inline]
+    pub fn on_link_flit(&mut self, link: u32, vc: usize) {
+        self.link_flits[link as usize * self.vcs + vc] += 1;
+    }
+
+    /// Records one flit written into the FIFO of `lane` on `vc`.
+    #[inline]
+    pub fn on_buffer_write(&mut self, lane: u32, vc: usize) {
+        self.buffer_writes[lane as usize * self.vcs + vc] += 1;
+    }
+
+    /// Records one flit read out of the FIFO of `lane` on `vc` (and the
+    /// paired crossbar traversal).
+    #[inline]
+    pub fn on_buffer_read(&mut self, lane: u32, vc: usize) {
+        self.buffer_reads[lane as usize * self.vcs + vc] += 1;
+    }
+
+    /// Records one NI event (injection or ejection) at router `node`.
+    #[inline]
+    pub fn on_ni_event(&mut self, node: usize) {
+        self.ni_events[node] += 1;
+    }
+
+    /// Records one measured cycle.
+    #[inline]
+    pub fn on_cycle(&mut self) {
+        self.cycles += 1;
+    }
+
+    // ---- Queries ----
+
+    /// Flits that crossed `link` on `vc`.
+    #[must_use]
+    pub fn link_flits(&self, link: LinkId, vc: usize) -> u64 {
+        self.link_flits[link.index() * self.vcs + vc]
+    }
+
+    /// Flits that crossed `link`, summed over VCs.
+    #[must_use]
+    pub fn link_flits_total(&self, link: LinkId) -> u64 {
+        self.link_flits[link.index() * self.vcs..(link.index() + 1) * self.vcs]
+            .iter()
+            .sum()
+    }
+
+    /// Pure traversal energy of `link` (flits × per-hop link energy).
+    #[must_use]
+    pub fn link_traversal_nj(&self, map: &LinkMap, model: &EnergyModel, link: LinkId) -> f64 {
+        let per_hop = if map.is_vertical(link) {
+            model.link_vertical_nj
+        } else {
+            model.link_horizontal_nj
+        };
+        self.link_flits_total(link) as f64 * per_hop
+    }
+
+    /// Energy attributed to `link` as a *lane*: traversal energy plus the
+    /// buffer writes/reads and crossbar traversals of the downstream FIFO
+    /// it feeds — the energy this link's traffic causes.
+    #[must_use]
+    pub fn link_attributed_nj(&self, map: &LinkMap, model: &EnergyModel, link: LinkId) -> f64 {
+        let lane = link.index();
+        let writes: u64 = self.buffer_writes[lane * self.vcs..(lane + 1) * self.vcs]
+            .iter()
+            .sum();
+        let reads: u64 = self.buffer_reads[lane * self.vcs..(lane + 1) * self.vcs]
+            .iter()
+            .sum();
+        self.link_traversal_nj(map, model, link)
+            + writes as f64 * model.buffer_write_nj
+            + reads as f64 * (model.buffer_read_nj + model.crossbar_nj)
+    }
+
+    // ---- Hierarchical roll-ups ----
+
+    /// The network-level roll-up: an aggregate [`EnergyLedger`] rebuilt
+    /// from the per-lane counters. Equals the simulator's own aggregate
+    /// ledger counter-for-counter (the telemetry invariant the test
+    /// pyramid asserts).
+    #[must_use]
+    pub fn aggregate(&self, map: &LinkMap) -> EnergyLedger {
+        let mut out = EnergyLedger {
+            buffer_writes: self.buffer_writes.iter().sum(),
+            buffer_reads: self.buffer_reads.iter().sum(),
+            crossbar_traversals: self.buffer_reads.iter().sum(),
+            horizontal_hops: 0,
+            vertical_hops: 0,
+            ni_events: self.ni_events.iter().sum(),
+            router_cycles: self.cycles * self.node_count as u64,
+        };
+        for (id, _) in map.links() {
+            let flits = self.link_flits_total(id);
+            if map.is_vertical(id) {
+                out.vertical_hops += flits;
+            } else {
+                out.horizontal_hops += flits;
+            }
+        }
+        out
+    }
+
+    /// Per-router roll-up. Lane events go to the router owning the FIFO,
+    /// link traversals to the driving router, NI events and static cycles
+    /// to their router; the element-wise sum over routers equals
+    /// [`LinkLedger::aggregate`].
+    #[must_use]
+    pub fn router_ledgers(&self, map: &LinkMap) -> Vec<EnergyLedger> {
+        let mut out = vec![EnergyLedger::default(); self.node_count];
+        for lane in 0..map.lane_count() {
+            let owner = map.lane_owner(lane).index();
+            let writes: u64 = self.buffer_writes[lane * self.vcs..(lane + 1) * self.vcs]
+                .iter()
+                .sum();
+            let reads: u64 = self.buffer_reads[lane * self.vcs..(lane + 1) * self.vcs]
+                .iter()
+                .sum();
+            out[owner].buffer_writes += writes;
+            out[owner].buffer_reads += reads;
+            out[owner].crossbar_traversals += reads;
+        }
+        for (id, info) in map.links() {
+            let flits = self.link_flits_total(id);
+            let driver = &mut out[info.src.index()];
+            if map.is_vertical(id) {
+                driver.vertical_hops += flits;
+            } else {
+                driver.horizontal_hops += flits;
+            }
+        }
+        for (node, ledger) in out.iter_mut().enumerate() {
+            ledger.ni_events = self.ni_events[node];
+            ledger.router_cycles = self.cycles;
+        }
+        out
+    }
+
+    /// Per-layer roll-up (routers grouped by their `z`); the element-wise
+    /// sum over layers equals [`LinkLedger::aggregate`].
+    #[must_use]
+    pub fn layer_ledgers(&self, map: &LinkMap) -> Vec<EnergyLedger> {
+        let mut out = vec![EnergyLedger::default(); map.layers()];
+        for (node, ledger) in self.router_ledgers(map).iter().enumerate() {
+            let z = map.coord(noc_topology::NodeId(node as u16)).z as usize;
+            out[z].merge(ledger);
+        }
+        out
+    }
+
+    /// Per-pillar roll-up: the routers of each elevator column summed over
+    /// layers. A partial view (non-pillar routers belong to no pillar) —
+    /// the TSV-vs-horizontal energy asymmetry per pillar.
+    #[must_use]
+    pub fn pillar_ledgers(&self, map: &LinkMap) -> Vec<EnergyLedger> {
+        let mut out = vec![EnergyLedger::default(); map.pillar_count()];
+        for (node, ledger) in self.router_ledgers(map).iter().enumerate() {
+            if let Some(e) = map.node_pillar(noc_topology::NodeId(node as u16)) {
+                out[e.index()].merge(ledger);
+            }
+        }
+        out
+    }
+
+    /// TSV traversals per pillar (flits that crossed each pillar's
+    /// vertical links, counting one per hop).
+    #[must_use]
+    pub fn pillar_tsv_flits(&self, map: &LinkMap) -> Vec<u64> {
+        let mut out = vec![0u64; map.pillar_count()];
+        for (id, _) in map.links() {
+            if let Some(e) = map.link_pillar(id) {
+                out[e.index()] += self.link_flits_total(id);
+            }
+        }
+        out
+    }
+
+    /// Measured energy per TSV-crossing flit for each pillar: the pillar
+    /// roll-up's total energy divided by its TSV traversals (0 where the
+    /// pillar carried nothing) — the online signal AdEle's measured-energy
+    /// override consumes.
+    #[must_use]
+    pub fn pillar_energy_per_tsv_flit(&self, map: &LinkMap, model: &EnergyModel) -> Vec<f64> {
+        let flits = self.pillar_tsv_flits(map);
+        self.pillar_ledgers(map)
+            .iter()
+            .zip(flits)
+            .map(|(ledger, f)| {
+                if f == 0 {
+                    0.0
+                } else {
+                    ledger.total_nj(model) / f as f64
+                }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use noc_topology::{Coord, Direction, ElevatorSet, Mesh3d};
+
+    fn fixture() -> (Mesh3d, ElevatorSet, LinkMap) {
+        let mesh = Mesh3d::new(3, 3, 2).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(1, 1)]).unwrap();
+        let map = LinkMap::new(&mesh, &elevators);
+        (mesh, elevators, map)
+    }
+
+    /// Simulates a hand-built event stream and checks every roll-up level
+    /// sums to the same aggregate.
+    #[test]
+    fn rollups_are_exact_partitions() {
+        let (mesh, _elevators, map) = fixture();
+        let mut ledger = LinkLedger::new(&map, 2);
+
+        // One flit injected at (0,0,0), forwarded east, delivered at (1,0,0).
+        let src = mesh.node_id(Coord::new(0, 0, 0)).unwrap();
+        let dst = mesh.node_id(Coord::new(1, 0, 0)).unwrap();
+        let ni = map.ni_lane(src) as u32;
+        ledger.on_ni_event(src.index()); // injection
+        ledger.on_buffer_write(ni, 0); // into the local FIFO
+        ledger.on_buffer_read(ni, 0); // out through the crossbar
+        let east = map.out_link(src, Direction::East).unwrap();
+        ledger.on_link_flit(east.0, 0);
+        ledger.on_buffer_write(east.0, 0); // downstream FIFO write
+        ledger.on_buffer_read(east.0, 0); // read towards ejection
+        ledger.on_ni_event(dst.index()); // ejection
+        ledger.on_cycle();
+
+        let agg = ledger.aggregate(&map);
+        assert_eq!(
+            agg,
+            EnergyLedger {
+                buffer_writes: 2,
+                buffer_reads: 2,
+                crossbar_traversals: 2,
+                horizontal_hops: 1,
+                vertical_hops: 0,
+                ni_events: 2,
+                router_cycles: map.node_count() as u64,
+            }
+        );
+
+        let mut router_sum = EnergyLedger::default();
+        for r in ledger.router_ledgers(&map) {
+            router_sum.merge(&r);
+        }
+        assert_eq!(router_sum, agg, "router roll-up partitions the aggregate");
+
+        let mut layer_sum = EnergyLedger::default();
+        for l in ledger.layer_ledgers(&map) {
+            layer_sum.merge(&l);
+        }
+        assert_eq!(layer_sum, agg, "layer roll-up partitions the aggregate");
+    }
+
+    #[test]
+    fn attribution_lands_on_the_expected_routers() {
+        let (mesh, _elevators, map) = fixture();
+        let mut ledger = LinkLedger::new(&map, 2);
+        let src = mesh.node_id(Coord::new(0, 0, 0)).unwrap();
+        let east = map.out_link(src, Direction::East).unwrap();
+        ledger.on_link_flit(east.0, 1);
+        ledger.on_buffer_write(east.0, 1);
+
+        let routers = ledger.router_ledgers(&map);
+        // The driving router owns the hop, the receiving one the write.
+        assert_eq!(routers[src.index()].horizontal_hops, 1);
+        assert_eq!(routers[src.index()].buffer_writes, 0);
+        let dst = map.link(east).dst;
+        assert_eq!(routers[dst.index()].buffer_writes, 1);
+        assert_eq!(ledger.link_flits(east, 1), 1);
+        assert_eq!(ledger.link_flits(east, 0), 0);
+        assert_eq!(ledger.link_flits_total(east), 1);
+    }
+
+    #[test]
+    fn pillar_rollup_sees_tsv_traffic() {
+        let (mesh, _elevators, map) = fixture();
+        let mut ledger = LinkLedger::new(&map, 2);
+        let pillar0 = mesh.node_id(Coord::new(1, 1, 0)).unwrap();
+        let up = map.out_link(pillar0, Direction::Up).unwrap();
+        ledger.on_link_flit(up.0, 0);
+        ledger.on_link_flit(up.0, 0);
+
+        assert_eq!(ledger.pillar_tsv_flits(&map), vec![2]);
+        let model = EnergyModel::default_45nm();
+        let per_flit = ledger.pillar_energy_per_tsv_flit(&map, &model);
+        // Two TSV hops and nothing else: energy/flit = link_vertical_nj.
+        assert!((per_flit[0] - model.link_vertical_nj).abs() < 1e-12);
+        assert_eq!(ledger.pillar_ledgers(&map)[0].vertical_hops, 2);
+    }
+
+    #[test]
+    fn reset_zeroes_everything() {
+        let (_, _, map) = fixture();
+        let mut ledger = LinkLedger::new(&map, 2);
+        ledger.on_link_flit(0, 0);
+        ledger.on_buffer_write(0, 1);
+        ledger.on_ni_event(3);
+        ledger.on_cycle();
+        ledger.reset();
+        assert_eq!(ledger.aggregate(&map), EnergyLedger::default());
+        assert_eq!(ledger.cycles(), 0);
+    }
+
+    #[test]
+    fn link_energy_views_split_traversal_and_lane_costs() {
+        let (mesh, _elevators, map) = fixture();
+        let model = EnergyModel::default_45nm();
+        let mut ledger = LinkLedger::new(&map, 2);
+        let src = mesh.node_id(Coord::new(0, 0, 0)).unwrap();
+        let east = map.out_link(src, Direction::East).unwrap();
+        ledger.on_link_flit(east.0, 0);
+        ledger.on_buffer_write(east.0, 0);
+        ledger.on_buffer_read(east.0, 0);
+        let traversal = ledger.link_traversal_nj(&map, &model, east);
+        assert!((traversal - model.link_horizontal_nj).abs() < 1e-12);
+        let attributed = ledger.link_attributed_nj(&map, &model, east);
+        let expected = model.link_horizontal_nj
+            + model.buffer_write_nj
+            + model.buffer_read_nj
+            + model.crossbar_nj;
+        assert!((attributed - expected).abs() < 1e-12);
+    }
+}

@@ -28,8 +28,30 @@ pub(crate) fn resolve_hotspots(mesh: &Mesh3d, hotspots: &[Coord]) -> Vec<NodeId>
         .collect()
 }
 
+/// Validates a hotspot target list + fraction against `mesh` (shared by
+/// event validation and workload-spec validation, so the two paths cannot
+/// drift).
+pub(crate) fn validate_hotspots(
+    mesh: &Mesh3d,
+    hotspots: &[Coord],
+    fraction: f64,
+) -> Result<(), String> {
+    if !(0.0..=1.0).contains(&fraction) {
+        return Err(format!("hotspot fraction {fraction} outside [0, 1]"));
+    }
+    if hotspots.is_empty() {
+        return Err("hotspot list is empty".into());
+    }
+    for &c in hotspots {
+        if !mesh.contains(c) {
+            return Err(format!("hotspot {c} outside the mesh"));
+        }
+    }
+    Ok(())
+}
+
 /// A cycle-stamped scenario event.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, serde::Serialize, serde::Deserialize)]
 pub enum Event {
     /// Elevator `elevator` dies at `cycle`: selectors stop choosing it,
     /// in-flight packets drain (graceful power-down model).
@@ -66,6 +88,48 @@ pub enum Event {
 }
 
 impl Event {
+    /// Checks the event against the topology it will fire on: elevator
+    /// ids must exist in `elevators`, hotspots must lie inside `mesh`,
+    /// factors and fractions must be sane. Run on every event of a parsed
+    /// scenario spec (`Scenario::validate`).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint.
+    pub fn validate(
+        &self,
+        mesh: &Mesh3d,
+        elevators: &noc_topology::ElevatorSet,
+    ) -> Result<(), String> {
+        let elevator_ok = |id: ElevatorId| {
+            if id.index() < elevators.len() {
+                Ok(())
+            } else {
+                Err(format!(
+                    "event references elevator {id}, but the set has {}",
+                    elevators.len()
+                ))
+            }
+        };
+        match self {
+            Event::ElevatorFail { elevator, .. } | Event::ElevatorRecover { elevator, .. } => {
+                elevator_ok(*elevator)
+            }
+            Event::InjectionBurst { factor, .. } => {
+                if factor.is_finite() && *factor >= 0.0 {
+                    Ok(())
+                } else {
+                    Err(format!(
+                        "injection-burst factor {factor} is not a rate multiplier"
+                    ))
+                }
+            }
+            Event::HotspotShift {
+                hotspots, fraction, ..
+            } => validate_hotspots(mesh, hotspots, *fraction),
+        }
+    }
+
     /// The cycle this event fires at.
     #[must_use]
     pub fn cycle(&self) -> Cycle {

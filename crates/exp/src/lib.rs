@@ -45,4 +45,4 @@ pub mod scenario;
 
 pub use event::Event;
 pub use runner::{default_threads, par_injection_sweep, par_map, run_batch};
-pub use scenario::{Scenario, ScenarioResult, SelectorSpec, WorkloadSpec};
+pub use scenario::{results_to_json, Scenario, ScenarioResult, SelectorSpec, WorkloadSpec};

@@ -18,6 +18,7 @@ use noc_topology::{Coord, ElevatorSet, Mesh3d};
 use noc_traffic::injection::{OnOffParams, PacketSizeRange};
 use noc_traffic::pattern::Uniform;
 use noc_traffic::{CompositeSource, SyntheticTraffic, TrafficSource};
+use serde::{Deserialize, Serialize};
 
 /// SplitMix-style stream derivation: one scenario seed fans out into
 /// decorrelated per-component seeds without coupling their streams.
@@ -29,7 +30,7 @@ fn derive_seed(seed: u64, stream: u64) -> u64 {
 }
 
 /// The workload half of a scenario, as data.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum WorkloadSpec {
     /// Uniform random at `rate` packets/node/cycle.
     Uniform {
@@ -71,6 +72,63 @@ pub enum WorkloadSpec {
 }
 
 impl WorkloadSpec {
+    /// Checks the spec against `mesh`: rates are probabilities, hotspot
+    /// coordinates lie inside the mesh, per-layer rate lists match the
+    /// layer count, composites are non-empty with non-negative weights.
+    /// [`Scenario::validate`] runs this on every parsed spec so malformed
+    /// spec files fail at the parse site, not deep inside a run.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint.
+    pub fn validate(&self, mesh: &Mesh3d) -> Result<(), String> {
+        let rate_ok = |rate: f64, what: &str| {
+            if (0.0..=1.0).contains(&rate) {
+                Ok(())
+            } else {
+                Err(format!("{what} rate {rate} outside [0, 1]"))
+            }
+        };
+        match self {
+            WorkloadSpec::Uniform { rate } => rate_ok(*rate, "uniform"),
+            WorkloadSpec::Shuffle { rate } => rate_ok(*rate, "shuffle"),
+            WorkloadSpec::Hotspot {
+                rate,
+                hotspots,
+                fraction,
+            } => {
+                rate_ok(*rate, "hotspot")?;
+                crate::event::validate_hotspots(mesh, hotspots, *fraction)
+            }
+            WorkloadSpec::Bursty { rate, .. } => rate_ok(*rate, "bursty"),
+            WorkloadSpec::PerLayer { rates } => {
+                if rates.len() != mesh.layers() {
+                    return Err(format!(
+                        "{} per-layer rates for a {}-layer mesh",
+                        rates.len(),
+                        mesh.layers()
+                    ));
+                }
+                rates.iter().try_for_each(|&r| rate_ok(r, "per-layer"))
+            }
+            WorkloadSpec::Composite { parts } => {
+                if parts.is_empty() {
+                    return Err("empty composite workload".into());
+                }
+                for (weight, part) in parts {
+                    if !weight.is_finite() || *weight < 0.0 {
+                        return Err(format!("composite weight {weight} is not a weight"));
+                    }
+                    part.validate(mesh)?;
+                }
+                if parts.iter().all(|(w, _)| *w == 0.0) {
+                    return Err("composite weights sum to zero".into());
+                }
+                Ok(())
+            }
+        }
+    }
+
     /// Instantiates the workload on `mesh` with streams derived from
     /// `seed`.
     ///
@@ -124,7 +182,7 @@ impl WorkloadSpec {
 }
 
 /// The selection-policy half of a scenario, as data.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum SelectorSpec {
     /// Nearest-elevator baseline.
     ElevatorFirst,
@@ -136,6 +194,9 @@ pub enum SelectorSpec {
     Adele {
         /// Drop the congestion-skipping stage (the AdEle-RR ablation).
         rr_only: bool,
+        /// Drive the low-traffic override from measured per-pillar energy
+        /// telemetry instead of the hop-count proxy.
+        measured_energy: bool,
         /// Offline subset assignment; `None` means the full set.
         assignment: Option<SubsetAssignment>,
     },
@@ -147,6 +208,18 @@ impl SelectorSpec {
     pub fn adele() -> Self {
         SelectorSpec::Adele {
             rr_only: false,
+            measured_energy: false,
+            assignment: None,
+        }
+    }
+
+    /// AdEle reading measured per-pillar energy telemetry in its
+    /// low-traffic override (full-subset assignment).
+    #[must_use]
+    pub fn adele_measured_energy() -> Self {
+        SelectorSpec::Adele {
+            rr_only: false,
+            measured_energy: true,
             assignment: None,
         }
     }
@@ -168,13 +241,15 @@ impl SelectorSpec {
             SelectorSpec::Cda => Box::new(CdaSelector::new()),
             SelectorSpec::Adele {
                 rr_only,
+                measured_energy,
                 assignment,
             } => {
-                let config = if *rr_only {
+                let mut config = if *rr_only {
                     AdeleConfig::rr_only()
                 } else {
                     AdeleConfig::paper_default()
                 };
+                config.measured_energy_override = *measured_energy;
                 let full;
                 let assignment = match assignment {
                     Some(a) => a,
@@ -194,7 +269,15 @@ impl SelectorSpec {
 
 /// One declarative experiment: topology + workload + policy + windows +
 /// seed + timed events.
-#[derive(Debug, Clone)]
+///
+/// Serialisable both ways: experiment suites can live in checked-in JSON
+/// spec files (`serde_json::to_string_pretty` / `from_str`) instead of
+/// Rust, and a parsed scenario runs bit-identically to the original.
+/// Deserialisation cross-validates the fields ([`Scenario::validate`]),
+/// so a hand-edited spec whose pieces disagree — elevators built for a
+/// different mesh, events naming out-of-range elevators — fails at the
+/// parse site instead of deep inside the run.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct Scenario {
     /// Experiment name (carried into results).
     pub name: String,
@@ -282,12 +365,59 @@ impl Scenario {
         self
     }
 
+    /// Checks that the scenario's pieces agree with each other: the
+    /// elevator set matches the mesh geometry, the workload fits the mesh,
+    /// an explicit offline assignment matches the topology, and every
+    /// event references an existing elevator / in-mesh hotspot with sane
+    /// parameters. Run automatically when a scenario is deserialised.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.elevators.is_compatible_with(&self.mesh) {
+            return Err(format!(
+                "elevator set does not fit the {}x{}x{} mesh",
+                self.mesh.x(),
+                self.mesh.y(),
+                self.mesh.layers()
+            ));
+        }
+        self.workload.validate(&self.mesh)?;
+        if let SelectorSpec::Adele {
+            assignment: Some(assignment),
+            ..
+        } = &self.selector
+        {
+            assignment
+                .check_compatible(&self.mesh, &self.elevators)
+                .map_err(|e| format!("offline assignment: {e}"))?;
+        }
+        for event in &self.events {
+            event.validate(&self.mesh, &self.elevators)?;
+        }
+        Ok(())
+    }
+
     /// The simulator configuration this scenario describes.
     #[must_use]
     pub fn sim_config(&self) -> SimConfig {
-        SimConfig::new(self.mesh, self.elevators.clone())
+        let config = SimConfig::new(self.mesh, self.elevators.clone())
             .with_phases(self.warmup, self.measure, self.drain_max)
-            .with_seed(self.seed)
+            .with_seed(self.seed);
+        // Telemetry pushes cost a roll-up each period: enable them only
+        // for the selector that consumes the signal.
+        if matches!(
+            self.selector,
+            SelectorSpec::Adele {
+                measured_energy: true,
+                ..
+            }
+        ) {
+            config.with_energy_feedback_period(SimConfig::MEASURED_ENERGY_FEEDBACK_PERIOD)
+        } else {
+            config
+        }
     }
 
     /// Instantiates the simulator: workload and selector built from
@@ -316,13 +446,47 @@ impl Scenario {
     }
 }
 
+impl Deserialize for Scenario {
+    /// Field-wise deserialisation followed by [`Scenario::validate`]:
+    /// cross-field inconsistencies in spec files are parse errors.
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let scenario = Self {
+            name: serde::field(value, "name")?,
+            mesh: serde::field(value, "mesh")?,
+            elevators: serde::field(value, "elevators")?,
+            workload: serde::field(value, "workload")?,
+            selector: serde::field(value, "selector")?,
+            warmup: serde::field(value, "warmup")?,
+            measure: serde::field(value, "measure")?,
+            drain_max: serde::field(value, "drain_max")?,
+            seed: serde::field(value, "seed")?,
+            events: serde::field(value, "events")?,
+        };
+        scenario
+            .validate()
+            .map_err(|e| serde::DeError(format!("invalid scenario: {e}")))?;
+        Ok(scenario)
+    }
+}
+
 /// The outcome of one scenario run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct ScenarioResult {
     /// The scenario's name.
     pub name: String,
     /// The run summary.
     pub summary: RunSummary,
+}
+
+/// Serialises a batch of results as pretty JSON (the experiment-log dump
+/// format; `RunSummary` carries the per-pillar energy telemetry).
+///
+/// # Panics
+///
+/// Never panics: the vendored JSON writer is infallible for value trees.
+#[must_use]
+pub fn results_to_json(results: &[ScenarioResult]) -> String {
+    serde_json::to_string_pretty(results).expect("JSON encoding is infallible")
 }
 
 #[cfg(test)]
@@ -405,6 +569,7 @@ mod tests {
             (
                 SelectorSpec::Adele {
                     rr_only: true,
+                    measured_energy: false,
                     assignment: None,
                 },
                 "AdEle-RR",

@@ -9,8 +9,9 @@
 //! * credit-based flow control on every link (including the NI),
 //! * Elevator-First routing with a pluggable
 //!   [`adele::online::ElevatorSelector`],
-//! * Noxim-style energy accounting ([`EnergyModel`]) and latency / load /
-//!   elevator-usage statistics ([`RunSummary`]).
+//! * Noxim-style energy accounting ([`EnergyModel`], owned by the
+//!   [`noc_energy`] crate and instrumented here per link and per VC) and
+//!   latency / load / elevator-usage statistics ([`RunSummary`]).
 //!
 //! # Example
 //!
@@ -35,7 +36,6 @@
 #![warn(missing_docs)]
 
 mod config;
-mod energy;
 mod flit;
 mod network;
 mod sim;
@@ -45,9 +45,11 @@ pub mod harness;
 pub mod hooks;
 
 pub use config::SimConfig;
-pub use energy::{EnergyLedger, EnergyModel};
+// Energy modelling lives in `noc_energy`; re-exported for compatibility
+// (the model/ledger types predate the telemetry crate).
 pub use flit::{Flit, FlitKind, Packet, PacketId};
 pub use hooks::{EventSchedule, SimCommand};
 pub use network::Network;
+pub use noc_energy::{EnergyLedger, EnergyModel, LinkLedger, LinkMap};
 pub use sim::Simulator;
 pub use stats::{RunSummary, StatsCollector};

@@ -19,10 +19,10 @@
 //! state, stages flit arrivals and credit returns) then *commit* — so
 //! results do not depend on router iteration order.
 
-use crate::energy::EnergyLedger;
 use crate::flit::{Flit, FlitKind, Packet, PacketId};
 use crate::stats::StatsCollector;
 use adele::online::{Cycle, NetworkProbe, SourceFeedback};
+use noc_energy::{EnergyLedger, LinkLedger, LinkMap};
 use noc_topology::route::{self, VirtualNet};
 use noc_topology::{Coord, Direction, ElevatorId, ElevatorMask, ElevatorSet, Mesh3d, NodeId};
 use std::collections::VecDeque;
@@ -100,6 +100,10 @@ pub struct Network {
     failed_elevators: ElevatorMask,
     buffer_depth: u8,
     coords: Vec<Coord>,
+    /// Canonical directed-link enumeration: the single source of truth for
+    /// which links exist (the fabric below is derived from it) and the key
+    /// space of the per-link energy telemetry.
+    links: LinkMap,
     /// `neighbours[node][port]` — the router reached through that port.
     neighbours: Vec<[Option<NodeId>; PORTS]>,
     routers: Vec<RouterState>,
@@ -123,21 +127,15 @@ impl Network {
         assert!(buffer_depth >= 1, "buffers need at least one slot");
         let n = mesh.node_count();
         let coords: Vec<Coord> = mesh.coords().collect();
-        let neighbours: Vec<[Option<NodeId>; PORTS]> = coords
-            .iter()
-            .map(|&c| {
+        // The link map decides which links exist (vertical links only on
+        // elevator pillars); the router fabric mirrors it port for port so
+        // telemetry and switching can never disagree.
+        let links = LinkMap::new(&mesh, &elevators);
+        let neighbours: Vec<[Option<NodeId>; PORTS]> = (0..n)
+            .map(|i| {
                 let mut row = [None; PORTS];
                 for dir in Direction::ALL {
-                    if dir == Direction::Local {
-                        continue;
-                    }
-                    // Vertical links exist only on elevator pillars.
-                    if dir.is_vertical() && !elevators.is_elevator_router(c) {
-                        continue;
-                    }
-                    if let Some(next) = mesh.neighbour(c, dir) {
-                        row[dir.index()] = Some(mesh.node_id(next).expect("in mesh"));
-                    }
+                    row[dir.index()] = links.neighbour(NodeId(i as u16), dir);
                 }
                 row
             })
@@ -157,6 +155,7 @@ impl Network {
             failed_elevators: ElevatorMask::EMPTY,
             buffer_depth,
             coords,
+            links,
             neighbours,
             routers,
             sources: vec![SourceQueue::default(); n],
@@ -177,6 +176,13 @@ impl Network {
     #[must_use]
     pub fn elevators(&self) -> &ElevatorSet {
         &self.elevators
+    }
+
+    /// The canonical link enumeration of this fabric (the key space of the
+    /// per-link energy telemetry).
+    #[must_use]
+    pub fn link_map(&self) -> &LinkMap {
+        &self.links
     }
 
     /// Marks elevator `id` failed (`failed == true`) or repaired.
@@ -222,13 +228,18 @@ impl Network {
     ///
     /// Returns `true` if any flit moved (progress indicator for the
     /// deadlock watchdog). Source-departure feedback events are appended to
-    /// `feedbacks` for the simulator to forward to the selector.
+    /// `feedbacks` for the simulator to forward to the selector. Energy
+    /// events are double-booked into the aggregate `ledger` and the
+    /// per-link `telemetry` store (the roll-up invariant tests assert the
+    /// two agree counter-for-counter).
+    #[allow(clippy::too_many_arguments)] // the per-cycle sinks of one step
     pub fn step(
         &mut self,
         packets: &mut [Packet],
         cycle: Cycle,
         stats: &mut StatsCollector,
         ledger: &mut EnergyLedger,
+        telemetry: &mut LinkLedger,
         feedbacks: &mut Vec<SourceFeedback>,
     ) -> bool {
         let armed = stats.armed();
@@ -250,6 +261,7 @@ impl Network {
                     armed,
                     stats,
                     ledger,
+                    telemetry,
                     feedbacks,
                 );
             }
@@ -276,6 +288,7 @@ impl Network {
             ));
             if armed {
                 ledger.ni_events += 1;
+                telemetry.on_ni_event(node);
             }
             let sq = &mut self.sources[node];
             sq.sent += 1;
@@ -299,6 +312,12 @@ impl Network {
             stats.on_router_flit(node);
             if armed {
                 ledger.buffer_writes += 1;
+                // The lane is the upstream link feeding this input port,
+                // or the router's NI lane for local-port injections.
+                telemetry.on_buffer_write(
+                    self.links.in_lane_raw(node.index(), port as usize),
+                    vc as usize,
+                );
             }
         }
         for (node, oport, vc) in self.staged_credits.drain(..) {
@@ -314,6 +333,7 @@ impl Network {
 
         if armed {
             ledger.router_cycles += self.routers.len() as u64;
+            telemetry.on_cycle();
         }
         stats.on_cycle();
         progress
@@ -332,6 +352,7 @@ impl Network {
         armed: bool,
         stats: &mut StatsCollector,
         ledger: &mut EnergyLedger,
+        telemetry: &mut LinkLedger,
         feedbacks: &mut Vec<SourceFeedback>,
     ) -> bool {
         let o_dir = Direction::from_index(o).expect("valid port");
@@ -426,6 +447,9 @@ impl Network {
         if armed {
             ledger.buffer_reads += 1;
             ledger.crossbar_traversals += 1;
+            // Read + crossbar happen in the FIFO of the lane that delivered
+            // the flit to this router.
+            telemetry.on_buffer_read(self.links.in_lane_raw(r, ipu), ivu);
         }
 
         let node_id = NodeId(r as u16);
@@ -433,6 +457,7 @@ impl Network {
             // Ejection into the NI sink.
             if armed {
                 ledger.ni_events += 1;
+                telemetry.on_ni_event(r);
             }
             stats.on_flit_delivered();
             let pkt = &mut packets[flit.packet.index()];
@@ -448,6 +473,7 @@ impl Network {
                 } else {
                     ledger.horizontal_hops += 1;
                 }
+                telemetry.on_link_flit(self.links.out_link_raw(r, o), v);
             }
             let downstream = self.neighbours[r][o].expect("credit implies neighbour");
             let down_in = o_dir.opposite().index() as u8;
@@ -528,6 +554,10 @@ mod tests {
         }
     }
 
+    fn telemetry_for(net: &Network) -> LinkLedger {
+        LinkLedger::new(net.link_map(), VCS)
+    }
+
     /// Drives the network until all packets deliver or `max` cycles pass.
     fn drain(
         net: &mut Network,
@@ -536,9 +566,17 @@ mod tests {
         max: u64,
     ) -> u64 {
         let mut ledger = EnergyLedger::default();
+        let mut telemetry = telemetry_for(net);
         let mut feedbacks = Vec::new();
         for cycle in 0..max {
-            net.step(packets, cycle, stats, &mut ledger, &mut feedbacks);
+            net.step(
+                packets,
+                cycle,
+                stats,
+                &mut ledger,
+                &mut telemetry,
+                &mut feedbacks,
+            );
             if packets.iter().all(|p| p.delivered.is_some()) {
                 return cycle + 1;
             }
@@ -600,6 +638,7 @@ mod tests {
         let mut net = Network::new(mesh, elevators.clone(), 4);
         let mut stats = StatsCollector::new(18, 1);
         let mut ledger = EnergyLedger::default();
+        let mut telemetry = telemetry_for(&net);
         let mut feedbacks = Vec::new();
         let mut packets = vec![make_packet(
             &mesh,
@@ -611,7 +650,14 @@ mod tests {
         )];
         net.enqueue_packet(packets[0].src, PacketId(0));
         for cycle in 0..100 {
-            net.step(&mut packets, cycle, &mut stats, &mut ledger, &mut feedbacks);
+            net.step(
+                &mut packets,
+                cycle,
+                &mut stats,
+                &mut ledger,
+                &mut telemetry,
+                &mut feedbacks,
+            );
         }
         assert_eq!(feedbacks.len(), 1);
         let fb = feedbacks[0];
@@ -654,6 +700,7 @@ mod tests {
         let mut net = Network::new(mesh, elevators.clone(), 4);
         let mut stats = StatsCollector::new(18, 1);
         let mut ledger = EnergyLedger::default();
+        let mut telemetry = telemetry_for(&net);
         let mut feedbacks = Vec::new();
         let src = Coord::new(0, 0, 0);
         let mut packets = vec![make_packet(
@@ -666,8 +713,16 @@ mod tests {
         )];
         net.enqueue_packet(packets[0].src, PacketId(0));
         assert_eq!(net.buffer_occupancy(NodeId(0)), 0);
-        net.step(&mut packets, 0, &mut stats, &mut ledger, &mut feedbacks);
-        net.step(&mut packets, 1, &mut stats, &mut ledger, &mut feedbacks);
+        for cycle in 0..2 {
+            net.step(
+                &mut packets,
+                cycle,
+                &mut stats,
+                &mut ledger,
+                &mut telemetry,
+                &mut feedbacks,
+            );
+        }
         assert!(net.buffer_occupancy(net.node_at(src)) > 0);
         assert_eq!(net.buffer_capacity_per_router(), 56);
     }
@@ -683,6 +738,7 @@ mod tests {
         let mut net = Network::new(mesh, elevators.clone(), 4);
         let mut stats = StatsCollector::new(27, 1);
         let mut ledger = EnergyLedger::default();
+        let mut telemetry = telemetry_for(&net);
         let mut feedbacks = Vec::new();
 
         // All-to-one inter-layer hotspot through the single pillar.
@@ -698,7 +754,14 @@ mod tests {
         }
 
         for cycle in 0..2000 {
-            net.step(&mut packets, cycle, &mut stats, &mut ledger, &mut feedbacks);
+            net.step(
+                &mut packets,
+                cycle,
+                &mut stats,
+                &mut ledger,
+                &mut telemetry,
+                &mut feedbacks,
+            );
             // Invariant check over every FIFO.
             for router in &net.routers {
                 for port in 0..PORTS {

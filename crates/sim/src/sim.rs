@@ -1,12 +1,12 @@
 //! The simulation driver: traffic → selection → network → statistics.
 
 use crate::config::SimConfig;
-use crate::energy::EnergyLedger;
 use crate::flit::{Packet, PacketId};
 use crate::hooks::{EventSchedule, SimCommand};
 use crate::network::Network;
 use crate::stats::{RunSummary, StatsCollector};
 use adele::online::{Cycle, ElevatorSelector, SelectionContext, SourceFeedback};
+use noc_energy::{EnergyLedger, LinkLedger, LinkMap};
 use noc_topology::route::{ElevatorCoord, VirtualNet};
 use noc_traffic::{TrafficDirective, TrafficSource};
 
@@ -23,6 +23,7 @@ pub struct Simulator {
     selector: Box<dyn ElevatorSelector>,
     stats: StatsCollector,
     ledger: EnergyLedger,
+    telemetry: LinkLedger,
     feedbacks: Vec<SourceFeedback>,
     schedule: EventSchedule,
     cycle: u64,
@@ -55,6 +56,7 @@ impl Simulator {
         config.validate();
         let net = Network::new(config.mesh, config.elevators.clone(), config.buffer_depth);
         let stats = StatsCollector::new(config.mesh.node_count(), config.elevators.len());
+        let telemetry = LinkLedger::new(net.link_map(), VirtualNet::COUNT);
         Self {
             config,
             net,
@@ -63,6 +65,7 @@ impl Simulator {
             selector,
             stats,
             ledger: EnergyLedger::default(),
+            telemetry,
             feedbacks: Vec::new(),
             schedule: EventSchedule::new(),
             cycle: 0,
@@ -112,6 +115,24 @@ impl Simulator {
     #[must_use]
     pub fn network(&self) -> &Network {
         &self.net
+    }
+
+    /// The aggregate energy ledger of the current measurement window.
+    #[must_use]
+    pub fn energy_ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// The per-link/per-VC telemetry of the current measurement window.
+    #[must_use]
+    pub fn link_ledger(&self) -> &LinkLedger {
+        &self.telemetry
+    }
+
+    /// The canonical link enumeration of the simulated fabric.
+    #[must_use]
+    pub fn link_map(&self) -> &LinkMap {
+        self.net.link_map()
     }
 
     /// Creates this cycle's packets: asks the workload, runs elevator
@@ -178,6 +199,7 @@ impl Simulator {
             self.cycle,
             &mut self.stats,
             &mut self.ledger,
+            &mut self.telemetry,
             &mut self.feedbacks,
         );
         for i in 0..self.feedbacks.len() {
@@ -185,6 +207,18 @@ impl Simulator {
             self.selector.on_source_departure(&fb);
         }
         self.feedbacks.clear();
+
+        // Periodically surface measured per-pillar energy to the policy.
+        // Inert by default: the push consumes no randomness and every
+        // stock selector ignores it unless its measured-energy mode is
+        // explicitly enabled.
+        let period = self.config.energy_feedback_period;
+        if period > 0 && self.stats.armed() && self.cycle.is_multiple_of(period) {
+            let signal = self
+                .telemetry
+                .pillar_energy_per_tsv_flit(self.net.link_map(), &self.config.energy);
+            self.selector.on_pillar_energy(&signal);
+        }
 
         if progress || self.net.buffered_flits() == 0 {
             self.last_progress = self.cycle;
@@ -236,6 +270,7 @@ impl Simulator {
         self.stats =
             StatsCollector::new(self.config.mesh.node_count(), self.config.elevators.len());
         self.ledger = EnergyLedger::default();
+        self.telemetry.reset();
         self.stats.set_armed(true);
         for _ in 0..cycles {
             self.step();
@@ -248,6 +283,8 @@ impl Simulator {
             self.traffic.mean_rate(),
             &self.stats,
             &self.ledger,
+            &self.telemetry,
+            self.net.link_map(),
             &self.config.energy,
             self.config.mesh.node_count(),
             completed,
@@ -285,6 +322,8 @@ impl Simulator {
             self.traffic.mean_rate(),
             &self.stats,
             &self.ledger,
+            &self.telemetry,
+            self.net.link_map(),
             &self.config.energy,
             self.config.mesh.node_count(),
             completed,

@@ -1,8 +1,9 @@
 //! Latency, throughput, load and elevator-usage statistics.
 
-use crate::energy::{EnergyLedger, EnergyModel};
 use crate::flit::Packet;
+use noc_energy::{EnergyLedger, EnergyModel, LinkLedger, LinkMap};
 use noc_topology::{ElevatorId, NodeId};
+use serde::Serialize;
 
 /// Collects statistics during a run. Only events inside the measurement
 /// window count (the collector is armed/disarmed by the simulator).
@@ -93,7 +94,7 @@ impl StatsCollector {
 }
 
 /// Final summary of one simulation run.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct RunSummary {
     /// Policy name ("ElevFirst", "CDA", "AdEle", "AdEle-RR").
     pub policy: String,
@@ -118,6 +119,11 @@ pub struct RunSummary {
     pub router_flits: Vec<u64>,
     /// Packets assigned to each elevator (load balance view).
     pub elevator_packets: Vec<u64>,
+    /// Total measured energy (nJ) attributed to each elevator pillar's
+    /// routers (per-link telemetry roll-up, summed over layers).
+    pub pillar_energy_nj: Vec<f64>,
+    /// TSV traversals per pillar during the window.
+    pub pillar_tsv_flits: Vec<u64>,
     /// Cycles in the measurement window.
     pub measured_cycles: u64,
     /// `true` if every measured packet drained before the cap; `false`
@@ -133,6 +139,8 @@ impl RunSummary {
         offered_rate: Option<f64>,
         stats: &StatsCollector,
         ledger: &EnergyLedger,
+        telemetry: &LinkLedger,
+        link_map: &LinkMap,
         model: &EnergyModel,
         nodes: usize,
         completed: bool,
@@ -154,6 +162,12 @@ impl RunSummary {
             energy_per_flit_nj: ledger.per_flit_nj(model, stats.delivered_flits),
             router_flits: stats.router_flits.clone(),
             elevator_packets: stats.elevator_packets.clone(),
+            pillar_energy_nj: telemetry
+                .pillar_ledgers(link_map)
+                .iter()
+                .map(|l| l.total_nj(model))
+                .collect(),
+            pillar_tsv_flits: telemetry.pillar_tsv_flits(link_map),
             measured_cycles: stats.measured_cycles,
             completed,
         }
@@ -258,6 +272,8 @@ mod tests {
             energy_per_flit_nj: 0.0,
             router_flits: vec![100, 10, 20, 300],
             elevator_packets: vec![],
+            pillar_energy_nj: vec![],
+            pillar_tsv_flits: vec![],
             measured_cycles: 0,
             completed: true,
         };

@@ -10,7 +10,9 @@ use std::fmt;
 /// let c = Coord::new(1, 2, 3);
 /// assert_eq!((c.x, c.y, c.z), (1, 2, 3));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, serde::Serialize, serde::Deserialize,
+)]
 pub struct Coord {
     /// Position along the X dimension (east-west).
     pub x: u8,

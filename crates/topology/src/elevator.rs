@@ -25,6 +25,18 @@ impl From<u8> for ElevatorId {
     }
 }
 
+impl serde::Serialize for ElevatorId {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::UInt(u64::from(self.0))
+    }
+}
+
+impl serde::Deserialize for ElevatorId {
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        u8::from_value(value).map(ElevatorId)
+    }
+}
+
 /// A set of elevators as a bitmask — the fault-bookkeeping currency shared
 /// by the selection policies and the simulator (failed pillars, alive
 /// pillars).
@@ -181,6 +193,22 @@ impl ElevatorSet {
         self.column_at(coord).is_some()
     }
 
+    /// `true` if this set was built for (or deserialised compatibly with)
+    /// `mesh`'s XY plane: same row stride, same per-layer node count, and
+    /// every column inside the mesh. Sets that fail this check would
+    /// mis-index or panic in [`ElevatorSet::column_at`] — callers stitching
+    /// a mesh and an elevator set from separate sources (e.g. a parsed
+    /// scenario spec) should check before use.
+    #[must_use]
+    pub fn is_compatible_with(&self, mesh: &Mesh3d) -> bool {
+        self.mesh_x == mesh.x()
+            && self.column_of.len() == mesh.nodes_per_layer()
+            && self
+                .columns
+                .iter()
+                .all(|&(x, y)| mesh.contains(Coord::new(x, y, 0)))
+    }
+
     /// Iterates over `(id, (x, y))` pairs in id order.
     pub fn iter(&self) -> impl Iterator<Item = (ElevatorId, (u8, u8))> + '_ {
         self.columns
@@ -251,6 +279,70 @@ impl ElevatorSet {
             .map(|id| (self.route_xy_length(src, dst, id), id))
             .min()
             .map(|(_, id)| id)
+    }
+}
+
+impl serde::Serialize for ElevatorSet {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("mesh_x".into(), serde::Value::UInt(self.mesh_x as u64)),
+            (
+                "nodes_per_layer".into(),
+                serde::Value::UInt(self.column_of.len() as u64),
+            ),
+            ("columns".into(), serde::Serialize::to_value(&self.columns)),
+        ])
+    }
+}
+
+impl serde::Deserialize for ElevatorSet {
+    /// Deserialises the self-contained form written by `Serialize`
+    /// (columns plus the XY-plane geometry), re-running the constructor's
+    /// validation: non-empty, in-bounds, duplicate-free columns.
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let mesh_x: usize = serde::field(value, "mesh_x")?;
+        let nodes_per_layer: usize = serde::field(value, "nodes_per_layer")?;
+        let columns: Vec<(u8, u8)> = serde::field(value, "columns")?;
+        if mesh_x == 0 || nodes_per_layer == 0 || !nodes_per_layer.is_multiple_of(mesh_x) {
+            return Err(serde::DeError(format!(
+                "invalid elevator-set geometry: mesh_x {mesh_x}, \
+                 nodes_per_layer {nodes_per_layer}"
+            )));
+        }
+        if columns.is_empty() {
+            return Err(serde::DeError("empty elevator set".into()));
+        }
+        // The fault-bookkeeping mask caps elevator ids at 64; reject the
+        // excess here (the untrusted-input path) instead of panicking in
+        // `ElevatorMask::set` mid-run.
+        if columns.len() > 64 {
+            return Err(serde::DeError(format!(
+                "{} elevator columns exceed the 64-elevator capacity",
+                columns.len()
+            )));
+        }
+        let mut set = Self {
+            columns: Vec::new(),
+            column_of: vec![None; nodes_per_layer],
+            mesh_x,
+        };
+        for (x, y) in columns {
+            let index = x as usize + y as usize * mesh_x;
+            if x as usize >= mesh_x || index >= nodes_per_layer {
+                return Err(serde::DeError(format!(
+                    "elevator column ({x}, {y}) outside the XY plane"
+                )));
+            }
+            let slot = &mut set.column_of[index];
+            if slot.is_some() {
+                return Err(serde::DeError(format!(
+                    "duplicate elevator column ({x}, {y})"
+                )));
+            }
+            *slot = Some(ElevatorId(set.columns.len() as u8));
+            set.columns.push((x, y));
+        }
+        Ok(set)
     }
 }
 
@@ -355,5 +447,52 @@ mod tests {
     fn elevator_mask_rejects_out_of_range_sets() {
         let mut mask = ElevatorMask::EMPTY;
         mask.set(ElevatorId(64), true);
+    }
+
+    #[test]
+    fn compatibility_check_matches_construction_mesh() {
+        let m = mesh();
+        let s = set();
+        assert!(s.is_compatible_with(&m));
+        // Different stride, different plane size, out-of-bounds column.
+        assert!(!s.is_compatible_with(&Mesh3d::new(8, 4, 4).unwrap()));
+        assert!(!s.is_compatible_with(&Mesh3d::new(4, 3, 4).unwrap()));
+        let narrow = Mesh3d::new(4, 2, 4).unwrap();
+        assert!(!ElevatorSet::new(&m, [(1, 3)])
+            .unwrap()
+            .is_compatible_with(&narrow));
+    }
+
+    #[test]
+    fn elevator_set_json_round_trips() {
+        let s = set();
+        let json = serde_json::to_string(&s).unwrap();
+        let parsed: ElevatorSet = serde_json::from_str(&json).unwrap();
+        assert_eq!(parsed, s);
+        // Lookups, not just the column list, survive the round trip.
+        assert_eq!(parsed.column_at(Coord::new(3, 1, 2)), Some(ElevatorId(1)));
+        assert_eq!(parsed.column_at(Coord::new(2, 2, 0)), None);
+    }
+
+    #[test]
+    fn elevator_set_deserialize_validates() {
+        for bad in [
+            r#"{"mesh_x": 4, "nodes_per_layer": 16, "columns": []}"#,
+            r#"{"mesh_x": 4, "nodes_per_layer": 16, "columns": [[4, 0]]}"#,
+            r#"{"mesh_x": 4, "nodes_per_layer": 16, "columns": [[1, 1], [1, 1]]}"#,
+            r#"{"mesh_x": 0, "nodes_per_layer": 16, "columns": [[0, 0]]}"#,
+            r#"{"mesh_x": 4, "nodes_per_layer": 15, "columns": [[0, 0]]}"#,
+        ] {
+            assert!(serde_json::from_str::<ElevatorSet>(bad).is_err(), "{bad}");
+        }
+        // More columns than the 64-elevator mask capacity: a parse error,
+        // not a mid-run `ElevatorMask::set` panic.
+        let columns: Vec<String> = (0..65).map(|i| format!("[{},{}]", i % 9, i / 9)).collect();
+        let oversized = format!(
+            r#"{{"mesh_x": 9, "nodes_per_layer": 81, "columns": [{}]}}"#,
+            columns.join(",")
+        );
+        let err = serde_json::from_str::<ElevatorSet>(&oversized).unwrap_err();
+        assert!(err.to_string().contains("64-elevator"), "{err}");
     }
 }

@@ -158,6 +158,27 @@ impl Mesh3d {
     }
 }
 
+impl serde::Serialize for Mesh3d {
+    fn to_value(&self) -> serde::Value {
+        serde::Value::Object(vec![
+            ("x".into(), serde::Value::UInt(u64::from(self.x))),
+            ("y".into(), serde::Value::UInt(u64::from(self.y))),
+            ("z".into(), serde::Value::UInt(u64::from(self.z))),
+        ])
+    }
+}
+
+impl serde::Deserialize for Mesh3d {
+    /// Deserialises through [`Mesh3d::new`], so every invariant (non-zero
+    /// extents, `MAX_DIM`, `u16` node-count) holds for parsed meshes too.
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        let x: usize = serde::field(value, "x")?;
+        let y: usize = serde::field(value, "y")?;
+        let z: usize = serde::field(value, "z")?;
+        Mesh3d::new(x, y, z).map_err(|e| serde::DeError(format!("invalid mesh: {e}")))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -234,6 +255,16 @@ mod tests {
         let mut sorted = ids.clone();
         sorted.sort_unstable();
         assert_eq!(ids, sorted);
+    }
+
+    #[test]
+    fn mesh_json_round_trips_and_validates() {
+        let mesh = Mesh3d::new(8, 8, 4).unwrap();
+        let json = serde_json::to_string(&mesh).unwrap();
+        assert_eq!(serde_json::from_str::<Mesh3d>(&json).unwrap(), mesh);
+        // Parsed meshes pass through `Mesh3d::new`'s validation.
+        assert!(serde_json::from_str::<Mesh3d>(r#"{"x":0,"y":4,"z":4}"#).is_err());
+        assert!(serde_json::from_str::<Mesh3d>(r#"{"x":65,"y":4,"z":4}"#).is_err());
     }
 
     #[test]

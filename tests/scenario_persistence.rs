@@ -1,0 +1,243 @@
+//! Scenario persistence: experiment specs serialise to JSON and parse
+//! back losslessly (the first step of keeping experiment suites in
+//! checked-in spec files), and a parsed scenario runs **bit-identically**
+//! to the original.
+
+use adele::offline::SubsetAssignment;
+use noc_exp::{results_to_json, Event, Scenario, SelectorSpec, WorkloadSpec};
+use noc_topology::{Coord, ElevatorId, ElevatorSet, Mesh3d};
+use noc_traffic::injection::OnOffParams;
+
+fn topology() -> (Mesh3d, ElevatorSet) {
+    let mesh = Mesh3d::new(4, 4, 2).unwrap();
+    let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
+    (mesh, elevators)
+}
+
+/// A scenario exercising every corner of the spec surface: a composite
+/// workload nesting three sub-specs, an explicit offline assignment, and
+/// one event of every kind.
+fn kitchen_sink() -> Scenario {
+    let (mesh, elevators) = topology();
+    let assignment = SubsetAssignment::nearest(&mesh, &elevators);
+    Scenario::new("kitchen-sink", mesh, elevators)
+        .with_phases(150, 600, 3_000)
+        .with_seed(99)
+        .with_workload(WorkloadSpec::Composite {
+            parts: vec![
+                (
+                    0.5,
+                    WorkloadSpec::Hotspot {
+                        rate: 0.004,
+                        hotspots: vec![Coord::new(3, 3, 1), Coord::new(0, 0, 0)],
+                        fraction: 0.4,
+                    },
+                ),
+                (
+                    0.3,
+                    WorkloadSpec::Bursty {
+                        rate: 0.003,
+                        params: OnOffParams::new(0.02, 0.005, 0.1),
+                    },
+                ),
+                (
+                    0.2,
+                    WorkloadSpec::PerLayer {
+                        rates: vec![0.006, 0.001],
+                    },
+                ),
+            ],
+        })
+        .with_selector(SelectorSpec::Adele {
+            rr_only: false,
+            measured_energy: false,
+            assignment: Some(assignment),
+        })
+        .with_event(Event::ElevatorFail {
+            cycle: 300,
+            elevator: ElevatorId(1),
+        })
+        .with_event(Event::ElevatorRecover {
+            cycle: 500,
+            elevator: ElevatorId(1),
+        })
+        .with_event(Event::InjectionBurst {
+            cycle: 400,
+            factor: 2.0,
+        })
+        .with_event(Event::HotspotShift {
+            cycle: 450,
+            hotspots: vec![Coord::new(1, 1, 0)],
+            fraction: 0.7,
+        })
+}
+
+#[test]
+fn scenario_json_round_trip_is_lossless() {
+    let original = kitchen_sink();
+    let json = serde_json::to_string_pretty(&original).unwrap();
+    let parsed: Scenario = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed, original);
+    // The compact form round-trips too.
+    let compact = serde_json::to_string(&original).unwrap();
+    assert_eq!(
+        serde_json::from_str::<Scenario>(&compact).unwrap(),
+        original
+    );
+}
+
+#[test]
+fn parsed_scenario_runs_bit_identically() {
+    let original = kitchen_sink();
+    let json = serde_json::to_string(&original).unwrap();
+    let parsed: Scenario = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed.run(), original.run());
+}
+
+#[test]
+fn every_workload_and_selector_spec_round_trips() {
+    let workloads = [
+        WorkloadSpec::Uniform { rate: 0.003 },
+        WorkloadSpec::Shuffle { rate: 0.004 },
+        WorkloadSpec::Hotspot {
+            rate: 0.002,
+            hotspots: vec![Coord::new(2, 2, 1)],
+            fraction: 0.25,
+        },
+        WorkloadSpec::Bursty {
+            rate: 0.005,
+            params: OnOffParams::new(0.01, 0.01, 0.2),
+        },
+        WorkloadSpec::PerLayer {
+            rates: vec![0.001, 0.002],
+        },
+    ];
+    for spec in workloads {
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(serde_json::from_str::<WorkloadSpec>(&json).unwrap(), spec);
+    }
+    let selectors = [
+        SelectorSpec::ElevatorFirst,
+        SelectorSpec::Cda,
+        SelectorSpec::adele(),
+        SelectorSpec::adele_measured_energy(),
+        SelectorSpec::Adele {
+            rr_only: true,
+            measured_energy: false,
+            assignment: None,
+        },
+    ];
+    for spec in selectors {
+        let json = serde_json::to_string(&spec).unwrap();
+        assert_eq!(serde_json::from_str::<SelectorSpec>(&json).unwrap(), spec);
+    }
+    // Unit variants use the externally tagged string form.
+    assert_eq!(
+        serde_json::to_string(&SelectorSpec::Cda).unwrap(),
+        "\"Cda\""
+    );
+}
+
+/// Cross-field inconsistencies — pieces that parse fine in isolation but
+/// disagree with each other — are parse errors, not deep-run panics.
+#[test]
+fn cross_field_inconsistencies_fail_at_parse_time() {
+    let base = kitchen_sink();
+    let json = serde_json::to_string(&base).unwrap();
+
+    // Elevators built for a different (wider) mesh.
+    let foreign_elevators = json.replace(
+        "\"mesh_x\":4,\"nodes_per_layer\":16",
+        "\"mesh_x\":8,\"nodes_per_layer\":64",
+    );
+    assert_ne!(foreign_elevators, json, "replacement must hit");
+    let err = serde_json::from_str::<Scenario>(&foreign_elevators).unwrap_err();
+    assert!(err.to_string().contains("elevator set"), "{err}");
+
+    // An event naming an elevator the set does not have.
+    let bad_event = json.replace(
+        "{\"ElevatorFail\":{\"cycle\":300,\"elevator\":1}}",
+        "{\"ElevatorFail\":{\"cycle\":300,\"elevator\":7}}",
+    );
+    assert_ne!(bad_event, json, "replacement must hit");
+    let err = serde_json::from_str::<Scenario>(&bad_event).unwrap_err();
+    assert!(err.to_string().contains("elevator"), "{err}");
+
+    // A per-layer rate list that does not match the layer count.
+    let bad_layers = json.replace(
+        "{\"PerLayer\":{\"rates\":[0.006,0.001]}}",
+        "{\"PerLayer\":{\"rates\":[0.006]}}",
+    );
+    assert_ne!(bad_layers, json, "replacement must hit");
+    let err = serde_json::from_str::<Scenario>(&bad_layers).unwrap_err();
+    assert!(err.to_string().contains("per-layer"), "{err}");
+
+    // An assignment sized for a different mesh.
+    let (mesh, elevators) = topology();
+    let mut wrong = Scenario::new("wrong", mesh, elevators);
+    wrong.selector = SelectorSpec::Adele {
+        rr_only: false,
+        measured_energy: false,
+        assignment: Some(SubsetAssignment::from_masks(vec![1; 5], 2).unwrap()),
+    };
+    let err =
+        serde_json::from_str::<Scenario>(&serde_json::to_string(&wrong).unwrap()).unwrap_err();
+    assert!(err.to_string().contains("assignment"), "{err}");
+
+    // And the validator is callable directly on constructed scenarios.
+    assert!(base.validate().is_ok());
+    assert!(wrong.validate().is_err());
+}
+
+#[test]
+fn measured_energy_selector_enables_the_feedback_period() {
+    let (mesh, elevators) = topology();
+    let base = Scenario::new("periods", mesh, elevators);
+    assert_eq!(
+        base.sim_config().energy_feedback_period,
+        0,
+        "default policies pay nothing for telemetry pushes"
+    );
+    let measured = base.with_selector(SelectorSpec::adele_measured_energy());
+    assert_eq!(
+        measured.sim_config().energy_feedback_period,
+        noc_sim::SimConfig::MEASURED_ENERGY_FEEDBACK_PERIOD,
+        "the measured-energy selector opts in automatically"
+    );
+}
+
+#[test]
+fn malformed_specs_are_rejected_with_errors() {
+    // Unknown variant tag.
+    assert!(serde_json::from_str::<WorkloadSpec>(r#"{"Gaussian": {"rate": 0.1}}"#).is_err());
+    assert!(serde_json::from_str::<SelectorSpec>("\"Oracle\"").is_err());
+    // Missing field inside a variant body.
+    assert!(serde_json::from_str::<WorkloadSpec>(r#"{"Uniform": {}}"#).is_err());
+    // Domain validation still applies through the spec boundary.
+    assert!(serde_json::from_str::<WorkloadSpec>(
+        r#"{"Bursty": {"rate": 0.003,
+            "params": {"on_to_off": 2.0, "off_to_on": 0.1, "off_scale": 0.5}}}"#
+    )
+    .is_err());
+}
+
+#[test]
+fn results_dump_carries_pillar_telemetry() {
+    let (mesh, elevators) = topology();
+    let scenario = Scenario::new("dump", mesh, elevators)
+        .with_phases(100, 400, 2_000)
+        .with_workload(WorkloadSpec::Uniform { rate: 0.004 })
+        .with_seed(5);
+    let results = vec![scenario.run()];
+    let json = results_to_json(&results);
+    assert!(json.contains("\"name\": \"dump\""));
+    assert!(json.contains("\"pillar_energy_nj\""));
+    assert!(json.contains("\"pillar_tsv_flits\""));
+    assert!(json.contains("\"energy_per_flit_nj\""));
+    // The dump is valid JSON for the parser half of the codec.
+    let value: serde::Value = serde_json::from_str(&json).unwrap();
+    let serde::Value::Array(items) = value else {
+        panic!("dump must be a JSON array");
+    };
+    assert_eq!(items.len(), 1);
+}

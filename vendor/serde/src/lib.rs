@@ -1,16 +1,21 @@
 //! Workspace-vendored, dependency-free stand-in for the subset of `serde`
 //! this repository uses: a [`Serialize`] trait that lowers values into a
-//! self-describing [`Value`] tree, plus the `#[derive(Serialize)]` macro
-//! (re-exported from the sibling `serde_derive` crate).
+//! self-describing [`Value`] tree, a [`Deserialize`] trait that lifts
+//! values back out of it, and the `#[derive(Serialize)]` /
+//! `#[derive(Deserialize)]` macros (re-exported from the sibling
+//! `serde_derive` crate).
 //!
 //! The real serde's visitor-based architecture is deliberately not
-//! reproduced — every in-tree consumer only ever serialises plain result
-//! structs to JSON via `serde_json`, and a value tree is the simplest
-//! correct contract for that.
+//! reproduced — the in-tree consumers serialise plain result structs and
+//! experiment specs to JSON via `serde_json` and read the specs back, and
+//! a value tree is the simplest correct contract for that. Enums use the
+//! real serde's externally tagged representation (`"Variant"` for unit
+//! variants, `{"Variant": {..fields..}}` for struct variants), so checked
+//! JSON spec files stay compatible if the real crate is swapped back in.
 
 #![forbid(unsafe_code)]
 
-pub use serde_derive::Serialize;
+pub use serde_derive::{Deserialize, Serialize};
 
 /// A self-describing serialised value (a JSON-shaped tree).
 #[derive(Clone, Debug, PartialEq)]
@@ -146,5 +151,165 @@ serialize_tuple! {
 impl Serialize for Value {
     fn to_value(&self) -> Value {
         self.clone()
+    }
+}
+
+/// Deserialisation error: a human-readable message naming what failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error for an unexpected value shape.
+    #[must_use]
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Int(_) | Value::UInt(_) => "an integer",
+            Value::Float(_) => "a float",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        };
+        DeError(format!("expected {what}, got {kind}"))
+    }
+}
+
+impl std::fmt::Display for DeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Types that can lift themselves back out of a [`Value`] tree.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a [`Value`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`DeError`] when the value has the wrong shape or fails
+    /// the type's validation.
+    fn from_value(value: &Value) -> Result<Self, DeError>;
+}
+
+/// Looks up field `name` in an object value and deserialises it — the
+/// helper the `#[derive(Deserialize)]` expansion builds structs with.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] if `value` is not an object, the field is
+/// missing, or the field fails to deserialise.
+pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
+    let Value::Object(entries) = value else {
+        return Err(DeError::expected("an object", value));
+    };
+    let entry = entries
+        .iter()
+        .find(|(k, _)| k == name)
+        .ok_or_else(|| DeError(format!("missing field {name:?}")))?;
+    T::from_value(&entry.1).map_err(|e| DeError(format!("field {name:?}: {e}")))
+}
+
+macro_rules! deserialize_int {
+    ($($t:ty),* $(,)?) => {$(
+        impl Deserialize for $t {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                match *value {
+                    Value::Int(i) => <$t>::try_from(i)
+                        .map_err(|_| DeError(format!("{i} out of range for {}", stringify!($t)))),
+                    Value::UInt(u) => <$t>::try_from(u)
+                        .map_err(|_| DeError(format!("{u} out of range for {}", stringify!($t)))),
+                    _ => Err(DeError::expected("an integer", value)),
+                }
+            }
+        }
+    )*};
+}
+
+deserialize_int!(i8, i16, i32, i64, isize, u8, u16, u32, u64, usize);
+
+impl Deserialize for f64 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::Float(f) => Ok(f),
+            Value::Int(i) => Ok(i as f64),
+            Value::UInt(u) => Ok(u as f64),
+            _ => Err(DeError::expected("a number", value)),
+        }
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        f64::from_value(value).map(|f| f as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match *value {
+            Value::Bool(b) => Ok(b),
+            _ => Err(DeError::expected("a boolean", value)),
+        }
+    }
+}
+
+impl Deserialize for String {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::String(s) => Ok(s.clone()),
+            _ => Err(DeError::expected("a string", value)),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::from_value(other).map(Some),
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Array(items) => items.iter().map(T::from_value).collect(),
+            _ => Err(DeError::expected("an array", value)),
+        }
+    }
+}
+
+macro_rules! deserialize_tuple {
+    ($(($len:literal, $($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_value(value: &Value) -> Result<Self, DeError> {
+                let Value::Array(items) = value else {
+                    return Err(DeError::expected("an array", value));
+                };
+                if items.len() != $len {
+                    return Err(DeError(format!(
+                        "expected a {}-element array, got {}", $len, items.len()
+                    )));
+                }
+                Ok(($($name::from_value(&items[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+deserialize_tuple! {
+    (1, A: 0)
+    (2, A: 0, B: 1)
+    (3, A: 0, B: 1, C: 2)
+    (4, A: 0, B: 1, C: 2, D: 3)
+}
+
+impl Deserialize for Value {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
     }
 }

@@ -1,83 +1,103 @@
-//! `#[derive(Serialize)]` for the workspace's vendored serde stand-in.
+//! `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the workspace's
+//! vendored serde stand-in.
 //!
 //! Supports exactly what the repository uses: non-generic structs with
-//! named fields. The parser walks the raw token stream directly (no
+//! named fields, and non-generic enums whose variants are unit-like or
+//! carry named fields (the real serde's externally tagged representation:
+//! `"Variant"` for unit variants, `{"Variant": {..fields..}}` for struct
+//! variants). The parser walks the raw token stream directly (no
 //! `syn`/`quote` — the CI container has no registry access), which keeps
 //! this crate dependency-free.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-/// Derives `serde::Serialize` by emitting a `to_value` that builds a
-/// `serde::Value::Object` with one entry per named field, in declaration
-/// order.
+/// Derives `serde::Serialize`: named-field structs lower to a
+/// `Value::Object` with one entry per field in declaration order; enums
+/// use the externally tagged representation.
 #[proc_macro_derive(Serialize)]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
-    match expand(input) {
+    match parse_input(input).map(|item| item.expand_serialize()) {
         Ok(ts) => ts,
         Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
     }
 }
 
-fn expand(input: TokenStream) -> Result<TokenStream, String> {
-    let tokens: Vec<TokenTree> = input.into_iter().collect();
+/// Derives `serde::Deserialize`, the inverse of the derived `Serialize`:
+/// structs read their fields out of an object (missing fields are
+/// errors), enums dispatch on the external tag.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    match parse_input(input).map(|item| item.expand_deserialize()) {
+        Ok(ts) => ts,
+        Err(msg) => format!("compile_error!({msg:?});").parse().unwrap(),
+    }
+}
 
-    let mut name = None;
-    let mut body = None;
+/// One enum variant: its name and, for brace variants, its field names.
+type Variant = (String, Option<Vec<String>>);
+
+/// A parsed derive target.
+enum Item {
+    /// A struct with named fields.
+    Struct { name: String, fields: Vec<String> },
+    /// An enum of unit and/or named-field variants (`None` = unit).
+    Enum {
+        name: String,
+        variants: Vec<Variant>,
+    },
+}
+
+fn parse_input(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
     let mut iter = tokens.iter().peekable();
     while let Some(tt) = iter.next() {
         match tt {
             TokenTree::Ident(ident) if ident.to_string() == "struct" => {
-                match iter.next() {
-                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
                     _ => return Err("expected a struct name".into()),
-                }
-                match iter.next() {
+                };
+                return match iter.next() {
                     Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
-                        body = Some(g.stream());
+                        Ok(Item::Struct {
+                            name,
+                            fields: parse_field_names(g.stream())?,
+                        })
                     }
                     Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
-                        return Err("derive(Serialize): generic structs are not supported \
-                                    by the vendored serde stand-in"
-                            .into());
+                        Err("derive(Serialize/Deserialize): generic types are not \
+                             supported by the vendored serde stand-in"
+                            .into())
                     }
-                    _ => {
-                        return Err("derive(Serialize): only structs with named fields are \
-                                    supported by the vendored serde stand-in"
-                            .into());
-                    }
-                }
-                break;
+                    _ => Err("derive(Serialize/Deserialize): only named-field structs \
+                              are supported by the vendored serde stand-in"
+                        .into()),
+                };
             }
             TokenTree::Ident(ident) if ident.to_string() == "enum" => {
-                return Err(
-                    "derive(Serialize): enums are not supported by the vendored \
-                            serde stand-in"
-                        .into(),
-                );
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    _ => return Err("expected an enum name".into()),
+                };
+                return match iter.next() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Ok(Item::Enum {
+                            name,
+                            variants: parse_variants(g.stream())?,
+                        })
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        Err("derive(Serialize/Deserialize): generic types are not \
+                             supported by the vendored serde stand-in"
+                            .into())
+                    }
+                    _ => Err("expected an enum body".into()),
+                };
             }
             _ => {}
         }
     }
-
-    let name = name.ok_or_else(|| "derive(Serialize): no struct found".to_string())?;
-    let fields = parse_field_names(body.ok_or_else(|| "no struct body".to_string())?)?;
-
-    let mut entries = String::new();
-    for field in &fields {
-        entries.push_str(&format!(
-            "(::std::string::String::from({field:?}), \
-             ::serde::Serialize::to_value(&self.{field})),"
-        ));
-    }
-    let out = format!(
-        "impl ::serde::Serialize for {name} {{\n\
-             fn to_value(&self) -> ::serde::Value {{\n\
-                 ::serde::Value::Object(::std::vec![{entries}])\n\
-             }}\n\
-         }}"
-    );
-    out.parse()
-        .map_err(|e| format!("derive(Serialize): generated code failed to parse: {e:?}"))
+    Err("derive(Serialize/Deserialize): no struct or enum found".into())
 }
 
 /// Extracts field names from the contents of a named-fields struct body:
@@ -99,9 +119,9 @@ fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
             }
             TokenTree::Punct(p) if p.as_char() == ':' && !seen_colon_in_chunk => {
                 seen_colon_in_chunk = true;
-                let name = last_ident
-                    .take()
-                    .ok_or_else(|| "derive(Serialize): field without a name".to_string())?;
+                let name = last_ident.take().ok_or_else(|| {
+                    "derive(Serialize/Deserialize): field without a name".to_string()
+                })?;
                 fields.push(name);
             }
             TokenTree::Ident(ident) if !seen_colon_in_chunk => {
@@ -114,4 +134,190 @@ fn parse_field_names(body: TokenStream) -> Result<Vec<String>, String> {
         }
     }
     Ok(fields)
+}
+
+/// Extracts `(variant, fields)` pairs from an enum body. `fields` is
+/// `None` for unit variants and the named-field list for brace variants;
+/// tuple variants are rejected. Attributes (`#[...]`, including doc
+/// comments) are skipped; discriminants are not supported.
+fn parse_variants(body: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    let mut pending: Option<String> = None;
+    let mut tokens = body.into_iter().peekable();
+    while let Some(tt) = tokens.next() {
+        match tt {
+            // Attribute (e.g. a doc comment): `#` followed by `[...]`.
+            TokenTree::Punct(p) if p.as_char() == '#' => match tokens.peek() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                    tokens.next();
+                }
+                _ => return Err("stray '#' in enum body".into()),
+            },
+            TokenTree::Ident(ident) => {
+                if let Some(name) = pending.take() {
+                    // Two idents in a row: previous one was a unit variant
+                    // missing its comma — impossible in valid Rust.
+                    return Err(format!("unexpected ident after variant {name}"));
+                }
+                pending = Some(ident.to_string());
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                let name = pending
+                    .take()
+                    .ok_or_else(|| "variant body without a name".to_string())?;
+                variants.push((name, Some(parse_field_names(g.stream())?)));
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                return Err(
+                    "derive(Serialize/Deserialize): tuple enum variants are not \
+                            supported by the vendored serde stand-in"
+                        .into(),
+                );
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' => {
+                if let Some(name) = pending.take() {
+                    variants.push((name, None));
+                }
+            }
+            TokenTree::Punct(p) if p.as_char() == '=' => {
+                return Err("derive(Serialize/Deserialize): enum discriminants are not \
+                            supported by the vendored serde stand-in"
+                    .into());
+            }
+            _ => {}
+        }
+    }
+    if let Some(name) = pending.take() {
+        variants.push((name, None));
+    }
+    Ok(variants)
+}
+
+impl Item {
+    fn expand_serialize(&self) -> TokenStream {
+        let out = match self {
+            Item::Struct { name, fields } => {
+                let mut entries = String::new();
+                for field in fields {
+                    entries.push_str(&format!(
+                        "(::std::string::String::from({field:?}), \
+                         ::serde::Serialize::to_value(&self.{field})),"
+                    ));
+                }
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             ::serde::Value::Object(::std::vec![{entries}])\n\
+                         }}\n\
+                     }}"
+                )
+            }
+            Item::Enum { name, variants } => {
+                let mut arms = String::new();
+                for (variant, fields) in variants {
+                    match fields {
+                        None => arms.push_str(&format!(
+                            "{name}::{variant} => ::serde::Value::String(\
+                             ::std::string::String::from({variant:?})),\n"
+                        )),
+                        Some(fields) => {
+                            let bindings = fields.join(", ");
+                            let mut entries = String::new();
+                            for field in fields {
+                                entries.push_str(&format!(
+                                    "(::std::string::String::from({field:?}), \
+                                     ::serde::Serialize::to_value({field})),"
+                                ));
+                            }
+                            arms.push_str(&format!(
+                                "{name}::{variant} {{ {bindings} }} => \
+                                 ::serde::Value::Object(::std::vec![(\
+                                     ::std::string::String::from({variant:?}), \
+                                     ::serde::Value::Object(::std::vec![{entries}])\
+                                 )]),\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "impl ::serde::Serialize for {name} {{\n\
+                         fn to_value(&self) -> ::serde::Value {{\n\
+                             match self {{\n{arms}\n}}\n\
+                         }}\n\
+                     }}"
+                )
+            }
+        };
+        out.parse().expect("generated Serialize impl parses")
+    }
+
+    fn expand_deserialize(&self) -> TokenStream {
+        let out = match self {
+            Item::Struct { name, fields } => {
+                let mut inits = String::new();
+                for field in fields {
+                    inits.push_str(&format!("{field}: ::serde::field(value, {field:?})?,"));
+                }
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(value: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                             ::std::result::Result::Ok(Self {{ {inits} }})\n\
+                         }}\n\
+                     }}"
+                )
+            }
+            Item::Enum { name, variants } => {
+                let mut unit_arms = String::new();
+                let mut tagged_arms = String::new();
+                for (variant, fields) in variants {
+                    match fields {
+                        None => unit_arms.push_str(&format!(
+                            "{variant:?} => ::std::result::Result::Ok({name}::{variant}),\n"
+                        )),
+                        Some(fields) => {
+                            let mut inits = String::new();
+                            for field in fields {
+                                inits.push_str(&format!(
+                                    "{field}: ::serde::field(body, {field:?})?,"
+                                ));
+                            }
+                            tagged_arms.push_str(&format!(
+                                "{variant:?} => ::std::result::Result::Ok(\
+                                 {name}::{variant} {{ {inits} }}),\n"
+                            ));
+                        }
+                    }
+                }
+                format!(
+                    "impl ::serde::Deserialize for {name} {{\n\
+                         fn from_value(value: &::serde::Value) \
+                             -> ::std::result::Result<Self, ::serde::DeError> {{\n\
+                             match value {{\n\
+                                 ::serde::Value::String(tag) => match tag.as_str() {{\n\
+                                     {unit_arms}\
+                                     other => ::std::result::Result::Err(::serde::DeError(\
+                                         ::std::format!(\
+                                             \"unknown {name} variant {{other:?}}\"))),\n\
+                                 }},\n\
+                                 ::serde::Value::Object(entries) if entries.len() == 1 => {{\n\
+                                     let (tag, body) = &entries[0];\n\
+                                     match tag.as_str() {{\n\
+                                         {tagged_arms}\
+                                         other => ::std::result::Result::Err(::serde::DeError(\
+                                             ::std::format!(\
+                                                 \"unknown {name} variant {{other:?}}\"))),\n\
+                                     }}\n\
+                                 }},\n\
+                                 other => ::std::result::Result::Err(\
+                                     ::serde::DeError::expected(\
+                                         \"a {name} variant tag\", other)),\n\
+                             }}\n\
+                         }}\n\
+                     }}"
+                )
+            }
+        };
+        out.parse().expect("generated Deserialize impl parses")
+    }
 }
