@@ -1,41 +1,120 @@
-//! Runs every paper-reproduction harness in sequence (Fig. 2b, Fig. 3 +
-//! Table II, Fig. 4, Fig. 5, Fig. 6, Fig. 7, Table III), streaming their
-//! stdout and leaving JSON results in `results/`.
+//! Runs every paper-reproduction harness (Fig. 2b, Fig. 3 + Table II,
+//! Fig. 4, Fig. 5, Fig. 6, Fig. 7, Table III, ablation) on the
+//! `noc_exp::runner` worker pool, leaving JSON results in `results/`.
+//!
+//! The harnesses are independent processes, so the pool shards them
+//! across cores (work stealing, like every sweep in this workspace) and
+//! the captured outputs are printed **in suite order** once all complete —
+//! byte-identical to what the old sequential driver streamed, regardless
+//! of worker count or finish order.
+//!
+//! Usage: `repro_all [--jobs N] [--verify]`
+//!
+//! * `--jobs N` — worker processes (default: available cores).
+//! * `--verify` — run the suite twice, sequentially and on the pool, and
+//!   fail unless every harness printed byte-identical output both times
+//!   (the bit-identity contract, cheap under `ADELE_QUICK=1`).
 //!
 //! Respects `ADELE_QUICK=1` like the individual binaries.
 
+use noc_exp::runner::{default_threads, par_map};
+use std::path::Path;
 use std::process::Command;
+
+const EXPERIMENTS: [&str; 8] = [
+    "fig2b",
+    "fig3_table2",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "table3",
+    "ablation",
+];
+
+/// Output of one harness: combined stdout (status line goes to stderr).
+struct HarnessRun {
+    name: &'static str,
+    ok: bool,
+    stdout: Vec<u8>,
+    stderr: Vec<u8>,
+}
+
+/// Runs the whole suite on `jobs` workers; results in suite order.
+fn run_suite(bin_dir: &Path, jobs: usize) -> Vec<HarnessRun> {
+    par_map(&EXPERIMENTS, jobs, |_, &name| {
+        let output = Command::new(bin_dir.join(name)).output();
+        let run = match output {
+            Ok(out) => HarnessRun {
+                name,
+                ok: out.status.success(),
+                stdout: out.stdout,
+                stderr: out.stderr,
+            },
+            Err(e) => HarnessRun {
+                name,
+                ok: false,
+                stdout: Vec::new(),
+                stderr: format!(
+                    "failed to launch {name} ({e}); build it with \
+                     `cargo build --release -p adele_bench --bins`"
+                )
+                .into_bytes(),
+            },
+        };
+        eprintln!(
+            "[repro_all] {name}: {}",
+            if run.ok { "ok" } else { "FAILED" }
+        );
+        run
+    })
+}
+
+fn print_suite(runs: &[HarnessRun]) {
+    use std::io::Write;
+    for run in runs {
+        println!("\n================= {} =================", run.name);
+        std::io::stdout().write_all(&run.stdout).expect("stdout");
+        std::io::stderr().write_all(&run.stderr).expect("stderr");
+    }
+}
 
 fn main() {
     let exe = std::env::current_exe().expect("own path");
-    let dir = exe.parent().expect("bin dir");
-    let experiments = [
-        "fig2b",
-        "fig3_table2",
-        "fig4",
-        "fig5",
-        "fig6",
-        "fig7",
-        "table3",
-        "ablation",
-    ];
-    let mut failed = Vec::new();
-    for name in experiments {
-        println!("\n================= {name} =================");
-        let path = dir.join(name);
-        let status = Command::new(&path).status();
-        match status {
-            Ok(s) if s.success() => {}
-            Ok(s) => {
-                eprintln!("{name} exited with {s}");
-                failed.push(name);
-            }
-            Err(e) => {
-                eprintln!("failed to launch {name} ({e}); build it with `cargo build --release -p adele-bench --bins`");
-                failed.push(name);
-            }
+    let bin_dir = exe.parent().expect("bin dir").to_path_buf();
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let verify = args.iter().any(|a| a == "--verify");
+    let jobs = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .and_then(|n| n.parse().ok())
+        .unwrap_or_else(default_threads);
+
+    let runs = run_suite(&bin_dir, jobs);
+    print_suite(&runs);
+
+    if verify {
+        // The contract the pool port rests on: worker count changes
+        // wall-clock time and nothing else. Re-run sequentially and
+        // compare every harness's bytes.
+        eprintln!("\n[repro_all] --verify: re-running sequentially…");
+        let sequential = run_suite(&bin_dir, 1);
+        for (par, seq) in runs.iter().zip(&sequential) {
+            assert_eq!(par.name, seq.name);
+            assert!(
+                par.stdout == seq.stdout && par.ok == seq.ok,
+                "{}: parallel output differs from sequential",
+                par.name
+            );
         }
+        println!(
+            "\n--verify: all {} harness outputs bit-identical.",
+            runs.len()
+        );
     }
+
+    let failed: Vec<&str> = runs.iter().filter(|r| !r.ok).map(|r| r.name).collect();
     if failed.is_empty() {
         println!("\nAll experiments completed. JSON results in results/.");
     } else {

@@ -1,0 +1,150 @@
+//! Executes a directory of scenario spec files on the parallel runner.
+//!
+//! Every `*.json` in the directory is parsed (and cross-validated) as a
+//! [`noc_exp::Scenario`], the whole suite runs on the `noc_exp` worker
+//! pool — bit-identical to running each file sequentially — and a results
+//! table plus `results/specs.json` come out.
+//!
+//! Usage:
+//!
+//! * `run_specs [DIR]` — run the suite in `DIR` (default `specs/`).
+//! * `run_specs --emit [DIR]` — (re)write the canonical checked-in suite
+//!   (baseline, elevator-fail, hotspot-shift, measured-energy) into `DIR`.
+//!
+//! `ADELE_QUICK=1` shrinks every scenario's windows for smoke runs (event
+//! cycles are left untouched; the canonical suite schedules its events
+//! early enough to land inside the shrunken windows too).
+
+use adele_bench::{f1, f2, print_table, quick_mode};
+use noc_exp::{load_dir, results_to_json, run_batch, Event, Scenario, SelectorSpec, WorkloadSpec};
+use noc_topology::placement::Placement;
+use noc_topology::{Coord, ElevatorId};
+use std::path::Path;
+
+/// The canonical checked-in suite: one spec per scenario family the
+/// engine supports (steady baseline, mid-run fault, moving hotspot,
+/// telemetry-driven selection).
+fn canonical_suite() -> Vec<(&'static str, Scenario)> {
+    let phases = |s: Scenario| s.with_phases(1_000, 4_000, 20_000);
+    vec![
+        (
+            "baseline",
+            phases(Scenario::from_placement("baseline", Placement::Ps1))
+                .with_workload(WorkloadSpec::Uniform { rate: 0.003 })
+                .with_selector(SelectorSpec::adele())
+                .with_seed(101),
+        ),
+        (
+            "elevator_fail",
+            phases(Scenario::from_placement("elevator_fail", Placement::Ps1))
+                .with_workload(WorkloadSpec::Uniform { rate: 0.003 })
+                .with_selector(SelectorSpec::adele())
+                .with_event(Event::ElevatorFail {
+                    cycle: 1_200,
+                    elevator: ElevatorId(0),
+                })
+                .with_event(Event::ElevatorRecover {
+                    cycle: 2_400,
+                    elevator: ElevatorId(0),
+                })
+                .with_seed(102),
+        ),
+        (
+            "hotspot_shift",
+            phases(Scenario::from_placement("hotspot_shift", Placement::Ps1))
+                .with_workload(WorkloadSpec::Hotspot {
+                    rate: 0.002,
+                    hotspots: vec![Coord::new(0, 0, 0)],
+                    fraction: 0.3,
+                })
+                .with_selector(SelectorSpec::adele())
+                .with_event(Event::HotspotShift {
+                    cycle: 1_500,
+                    hotspots: vec![Coord::new(3, 3, 3)],
+                    fraction: 0.3,
+                })
+                .with_seed(103),
+        ),
+        (
+            "measured_energy",
+            phases(Scenario::from_placement("measured_energy", Placement::Ps1))
+                .with_workload(WorkloadSpec::Uniform { rate: 0.002 })
+                .with_selector(SelectorSpec::adele_measured_energy())
+                .with_seed(104),
+        ),
+    ]
+}
+
+fn emit(dir: &Path) {
+    std::fs::create_dir_all(dir).expect("create spec dir");
+    for (name, scenario) in canonical_suite() {
+        let path = dir.join(format!("{name}.json"));
+        let json = serde_json::to_string_pretty(&scenario).expect("scenarios encode");
+        std::fs::write(&path, json + "\n").expect("write spec");
+        println!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("--emit") {
+        let dir = args.get(1).map_or("specs", String::as_str);
+        emit(Path::new(dir));
+        return;
+    }
+
+    let dir = args.first().map_or("specs", String::as_str);
+    let suite = match load_dir(Path::new(dir)) {
+        Ok(suite) => suite,
+        Err(e) => {
+            eprintln!("run_specs: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    let scenarios: Vec<Scenario> = suite
+        .iter()
+        .map(|(_, scenario)| {
+            let mut scenario = scenario.clone();
+            if quick_mode() {
+                // Smoke mode: quarter windows (floored to keep events from
+                // outliving the run), identical topology and events.
+                scenario.warmup = (scenario.warmup / 4).max(500);
+                scenario.measure = (scenario.measure / 4).max(2_000);
+                scenario.drain_max /= 2;
+            }
+            scenario
+        })
+        .collect();
+    let results = run_batch(&scenarios, noc_exp::default_threads());
+
+    print_table(
+        &[
+            "spec", "policy", "workload", "inj", "dlv", "lat", "nJ/flit", "done",
+        ],
+        &results
+            .iter()
+            .map(|r| {
+                vec![
+                    r.name.clone(),
+                    r.summary.policy.clone(),
+                    r.summary.workload.clone(),
+                    r.summary.injected_packets.to_string(),
+                    r.summary.delivered_packets.to_string(),
+                    f1(r.summary.avg_latency),
+                    f2(r.summary.energy_per_flit_nj),
+                    r.summary.completed.to_string(),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    let dir = adele_bench::results_dir();
+    if std::fs::create_dir_all(&dir).is_ok() {
+        let _ = std::fs::write(dir.join("specs.json"), results_to_json(&results));
+    }
+
+    if results.iter().any(|r| r.summary.delivered_packets == 0) {
+        eprintln!("run_specs: a spec delivered no packets");
+        std::process::exit(1);
+    }
+}

@@ -1,0 +1,143 @@
+//! Scaling study beyond the paper: cycles/second and peak RSS on
+//! 8×8×4 → 16×16×8 → 32×32×8 meshes at low and moderate injection.
+//!
+//! The paper stops at PM (8×8×4); this binary measures where the cycle
+//! loop stops scaling. Each mesh gets a regular elevator grid (columns
+//! every 4 routers), Elevator-First selection and uniform traffic, and is
+//! driven for a fixed cycle budget after a warm-up; the wall-clock
+//! cycles/second and the process peak RSS are reported per point.
+//!
+//! Usage: `scale [--quick]` (`ADELE_QUICK=1` works too). Results land in
+//! `results/scale.json`.
+
+use adele::online::ElevatorFirstSelector;
+use adele_bench::{dump_json, f1, pillar_grid, print_table, quick_mode};
+use noc_sim::{SimConfig, Simulator};
+use noc_topology::{ElevatorSet, Mesh3d};
+use noc_traffic::SyntheticTraffic;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One measured point of the study.
+#[derive(Serialize)]
+struct ScalePoint {
+    mesh: String,
+    nodes: usize,
+    pillars: usize,
+    rate: f64,
+    cycles: u64,
+    wall_seconds: f64,
+    cycles_per_second: f64,
+    injected_packets: u64,
+    peak_rss_kb: Option<u64>,
+}
+
+/// The meshes of the study: the paper's PM scale and two steps beyond.
+fn meshes() -> Vec<(Mesh3d, ElevatorSet)> {
+    [(8, 8, 4), (16, 16, 8), (32, 32, 8)]
+        .into_iter()
+        .map(|(x, y, z)| {
+            let mesh = Mesh3d::new(x, y, z).expect("study dimensions are valid");
+            // The same pillar density at every scale, so cycles/second
+            // differences come from the mesh size, not elevator scarcity.
+            let elevators = ElevatorSet::new(&mesh, pillar_grid(x, y)).expect("grid fits the mesh");
+            (mesh, elevators)
+        })
+        .collect()
+}
+
+/// Peak resident set size of this process in kB (Linux; `None` elsewhere).
+fn peak_rss_kb() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line.trim_start_matches("VmHWM:")
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()
+}
+
+/// Resets the kernel's peak-RSS watermark so each study point reports its
+/// own footprint instead of the max over every point run so far. Returns
+/// `false` where unsupported (the report is then a lifetime watermark).
+fn reset_peak_rss() -> bool {
+    std::fs::write("/proc/self/clear_refs", "5").is_ok()
+}
+
+fn measure(mesh: Mesh3d, elevators: &ElevatorSet, rate: f64, cycles: u64) -> ScalePoint {
+    let warmup = cycles / 10;
+    let config = SimConfig::new(mesh, elevators.clone()).with_seed(42);
+    let traffic = SyntheticTraffic::uniform(&mesh, rate, 42);
+    let selector = ElevatorFirstSelector::new(&mesh, elevators);
+    reset_peak_rss();
+    let mut sim = Simulator::new(config, Box::new(traffic), Box::new(selector));
+    sim.advance(warmup);
+    let start = Instant::now();
+    let summary = sim.measure_window(cycles);
+    let wall = start.elapsed().as_secs_f64();
+    ScalePoint {
+        mesh: format!("{}x{}x{}", mesh.x(), mesh.y(), mesh.layers()),
+        nodes: mesh.node_count(),
+        pillars: elevators.len(),
+        rate,
+        cycles,
+        wall_seconds: wall,
+        cycles_per_second: cycles as f64 / wall,
+        injected_packets: summary.injected_packets,
+        peak_rss_kb: peak_rss_kb(),
+    }
+}
+
+fn main() {
+    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let cycles: u64 = if quick { 2_000 } else { 20_000 };
+    // Low load (well under pillar saturation at every scale) is where
+    // idle-router skipping matters; the higher rate saturates the pillar
+    // grid, so it measures busy-network switching throughput instead.
+    let rates = [0.0005, 0.002];
+    if !reset_peak_rss() {
+        eprintln!("note: peak-RSS reset unsupported; rss columns are process-lifetime peaks");
+    }
+
+    let mut points = Vec::new();
+    for (mesh, elevators) in meshes() {
+        for rate in rates {
+            let point = measure(mesh, &elevators, rate, cycles);
+            println!(
+                "{:>9}  rate {:.4}  {:>12.0} cycles/s  peak RSS {}",
+                point.mesh,
+                rate,
+                point.cycles_per_second,
+                point
+                    .peak_rss_kb
+                    .map_or("n/a".to_string(), |kb| format!("{} MB", kb / 1024)),
+            );
+            points.push(point);
+        }
+    }
+
+    println!();
+    print_table(
+        &[
+            "mesh", "nodes", "pillars", "rate", "cycles", "kcyc/s", "inj", "rss_mb",
+        ],
+        &points
+            .iter()
+            .map(|p| {
+                vec![
+                    p.mesh.clone(),
+                    p.nodes.to_string(),
+                    p.pillars.to_string(),
+                    format!("{:.4}", p.rate),
+                    p.cycles.to_string(),
+                    f1(p.cycles_per_second / 1e3),
+                    p.injected_packets.to_string(),
+                    p.peak_rss_kb
+                        .map_or("n/a".into(), |kb| (kb / 1024).to_string()),
+                ]
+            })
+            .collect::<Vec<_>>(),
+    );
+    dump_json("scale", &points);
+}

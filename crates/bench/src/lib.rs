@@ -267,6 +267,18 @@ pub fn table2_rate() -> f64 {
     0.004
 }
 
+/// The scaling-study elevator geometry: one pillar column per 4×4 tile
+/// (`(4i+2, 4j+2)`), giving the same pillar density at every mesh size —
+/// 4 columns on 8×8, 16 on 16×16, 64 on 32×32. Shared by the `scale`
+/// binary and the `step_hot_path` bench so the README table and the
+/// recorded bench always measure the same fabric.
+#[must_use]
+pub fn pillar_grid(x: usize, y: usize) -> Vec<(u8, u8)> {
+    (0..x as u8 / 4)
+        .flat_map(|i| (0..y as u8 / 4).map(move |j| (4 * i + 2, 4 * j + 2)))
+        .collect()
+}
+
 /// Workspace `results/` directory (created on demand).
 #[must_use]
 pub fn results_dir() -> PathBuf {

@@ -17,6 +17,9 @@
 //!   points and scenario batches across cores. Results come back in input
 //!   order and **bit-identical** to a sequential run; parallelism buys
 //!   wall-clock time, never changes numbers.
+//! * [`specs`] — suite loading: a directory of scenario JSON files
+//!   becomes a validated, filename-ordered batch ready for the pool (the
+//!   checked-in `specs/` suite and the `run_specs` binary build on this).
 //!
 //! # Example
 //!
@@ -42,7 +45,9 @@
 pub mod event;
 pub mod runner;
 pub mod scenario;
+pub mod specs;
 
 pub use event::Event;
 pub use runner::{default_threads, par_injection_sweep, par_map, run_batch};
 pub use scenario::{results_to_json, Scenario, ScenarioResult, SelectorSpec, WorkloadSpec};
+pub use specs::{load_dir, load_spec};

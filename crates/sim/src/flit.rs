@@ -43,20 +43,49 @@ impl FlitKind {
     }
 }
 
-/// Dense packet index into the simulator's packet table.
+/// Generation-tagged handle to a slot of the simulator's
+/// [`PacketTable`](crate::PacketTable).
+///
+/// The slot index addresses dense storage; the generation distinguishes
+/// successive packets that recycled the same slot. A retired handle can
+/// therefore never alias the slot's next occupant: the table bumps the
+/// slot generation on every insert and retire, and its accessors assert
+/// (in debug builds) that a handle's generation matches the slot's.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct PacketId(pub u32);
+pub struct PacketId {
+    slot: u32,
+    generation: u32,
+}
 
 impl PacketId {
-    /// The index as `usize`.
+    /// Builds a handle from its parts (the table is the usual author).
+    #[must_use]
+    pub const fn new(slot: u32, generation: u32) -> Self {
+        Self { slot, generation }
+    }
+
+    /// The slot index as `usize`.
     #[must_use]
     pub const fn index(self) -> usize {
-        self.0 as usize
+        self.slot as usize
+    }
+
+    /// The raw slot index.
+    #[must_use]
+    pub const fn slot(self) -> u32 {
+        self.slot
+    }
+
+    /// The generation the slot had when this handle was issued.
+    #[must_use]
+    pub const fn generation(self) -> u32 {
+        self.generation
     }
 }
 
-/// One flit in a buffer or on a link. Deliberately tiny (8 bytes): all
-/// per-packet state lives in the packet table.
+/// One flit in a buffer or on a link. Deliberately tiny (12 bytes — a
+/// generation-tagged packet handle plus the kind): all per-packet state
+/// lives in the packet table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Flit {
     /// Owning packet.

@@ -35,14 +35,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod arena;
 mod config;
 mod flit;
 mod network;
 mod sim;
 mod stats;
+mod table;
 
 pub mod harness;
 pub mod hooks;
+#[doc(hidden)]
+pub mod reference;
 
 pub use config::SimConfig;
 // Energy modelling lives in `noc_energy`; re-exported for compatibility
@@ -53,3 +57,4 @@ pub use network::Network;
 pub use noc_energy::{EnergyLedger, EnergyModel, LinkLedger, LinkMap};
 pub use sim::Simulator;
 pub use stats::{RunSummary, StatsCollector};
+pub use table::PacketTable;

@@ -1,0 +1,626 @@
+//! **Temporary** copy of the pre-arena simulator core, kept only so the
+//! equivalence suite (`tests/core_equivalence.rs`) can assert that the
+//! arena-based [`crate::Network`]/[`crate::Simulator`] behave
+//! bit-identically — per cycle and per run — to the original
+//! `VecDeque`-FIFO, grow-only-`Vec<Packet>` implementation. Deleted (with
+//! that suite) once the new core is proven.
+
+use crate::config::SimConfig;
+use crate::flit::{Flit, FlitKind, Packet, PacketId};
+use crate::hooks::{EventSchedule, SimCommand};
+use crate::stats::{RunSummary, StatsCollector};
+use adele::online::{Cycle, ElevatorSelector, SelectionContext, SourceFeedback};
+use noc_energy::{EnergyLedger, LinkLedger, LinkMap};
+use noc_topology::route::{self, ElevatorCoord, VirtualNet};
+use noc_topology::{Coord, Direction, ElevatorMask, ElevatorSet, Mesh3d, NodeId};
+use noc_traffic::{TrafficDirective, TrafficSource};
+use std::collections::VecDeque;
+
+const PORTS: usize = Direction::COUNT;
+const VCS: usize = VirtualNet::COUNT;
+const LOCAL: usize = 0;
+
+/// Old per-router state: one heap-allocated `VecDeque` per input FIFO.
+#[derive(Debug, Clone)]
+struct RouterState {
+    fifos: Vec<VecDeque<Flit>>,
+    owner: [[Option<(u8, u8)>; VCS]; PORTS],
+    credits: [[u8; VCS]; PORTS],
+    rr_grant: [[u8; VCS]; PORTS],
+    rr_vc: [u8; PORTS],
+    buffered: u32,
+}
+
+impl RouterState {
+    fn new(buffer_depth: u8, credit_mask: [bool; PORTS]) -> Self {
+        let mut credits = [[0u8; VCS]; PORTS];
+        for p in 0..PORTS {
+            if credit_mask[p] {
+                credits[p] = [buffer_depth; VCS];
+            }
+        }
+        Self {
+            fifos: (0..PORTS * VCS)
+                .map(|_| VecDeque::with_capacity(buffer_depth as usize))
+                .collect(),
+            owner: [[None; VCS]; PORTS],
+            credits,
+            rr_grant: [[0; VCS]; PORTS],
+            rr_vc: [0; PORTS],
+            buffered: 0,
+        }
+    }
+
+    fn fifo(&self, port: usize, vc: usize) -> &VecDeque<Flit> {
+        &self.fifos[port * VCS + vc]
+    }
+
+    fn fifo_mut(&mut self, port: usize, vc: usize) -> &mut VecDeque<Flit> {
+        &mut self.fifos[port * VCS + vc]
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SourceQueue {
+    queue: VecDeque<PacketId>,
+    sent: u16,
+}
+
+/// The pre-arena network: dense full-scan loops, `VecDeque` FIFOs.
+#[derive(Debug, Clone)]
+pub struct RefNetwork {
+    mesh: Mesh3d,
+    failed_elevators: ElevatorMask,
+    buffer_depth: u8,
+    coords: Vec<Coord>,
+    links: LinkMap,
+    neighbours: Vec<[Option<NodeId>; PORTS]>,
+    routers: Vec<RouterState>,
+    sources: Vec<SourceQueue>,
+    ni_credits: Vec<[u8; VCS]>,
+    staged_arrivals: Vec<(NodeId, u8, u8, Flit)>,
+    staged_credits: Vec<(NodeId, u8, u8)>,
+    staged_ni_credits: Vec<(NodeId, u8)>,
+}
+
+impl RefNetwork {
+    #[must_use]
+    pub fn new(mesh: Mesh3d, elevators: &ElevatorSet, buffer_depth: u8) -> Self {
+        assert!(buffer_depth >= 1, "buffers need at least one slot");
+        let n = mesh.node_count();
+        let coords: Vec<Coord> = mesh.coords().collect();
+        let links = LinkMap::new(&mesh, elevators);
+        let neighbours: Vec<[Option<NodeId>; PORTS]> = (0..n)
+            .map(|i| {
+                let mut row = [None; PORTS];
+                for dir in Direction::ALL {
+                    row[dir.index()] = links.neighbour(NodeId(i as u16), dir);
+                }
+                row
+            })
+            .collect();
+        let routers = (0..n)
+            .map(|i| {
+                let mut credit_mask = [false; PORTS];
+                for p in 0..PORTS {
+                    credit_mask[p] = neighbours[i][p].is_some();
+                }
+                RouterState::new(buffer_depth, credit_mask)
+            })
+            .collect();
+        Self {
+            mesh,
+            failed_elevators: ElevatorMask::EMPTY,
+            buffer_depth,
+            coords,
+            links,
+            neighbours,
+            routers,
+            sources: vec![SourceQueue::default(); n],
+            ni_credits: vec![[buffer_depth; VCS]; n],
+            staged_arrivals: Vec::new(),
+            staged_credits: Vec::new(),
+            staged_ni_credits: Vec::new(),
+        }
+    }
+
+    pub fn enqueue_packet(&mut self, src: NodeId, id: PacketId) {
+        self.sources[src.index()].queue.push_back(id);
+    }
+
+    #[must_use]
+    pub fn buffered_flits(&self) -> u64 {
+        self.routers.iter().map(|r| u64::from(r.buffered)).sum()
+    }
+
+    #[must_use]
+    pub fn queued_packets(&self) -> u64 {
+        self.sources.iter().map(|s| s.queue.len() as u64).sum()
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    pub fn step(
+        &mut self,
+        packets: &mut [Packet],
+        cycle: Cycle,
+        stats: &mut StatsCollector,
+        ledger: &mut EnergyLedger,
+        telemetry: &mut LinkLedger,
+        feedbacks: &mut Vec<SourceFeedback>,
+    ) -> bool {
+        let armed = stats.armed();
+        let mut progress = false;
+
+        for r in 0..self.routers.len() {
+            if self.routers[r].buffered == 0 {
+                continue;
+            }
+            let mut input_used = [[false; VCS]; PORTS];
+            for o in 0..PORTS {
+                progress |= self.process_output(
+                    r,
+                    o,
+                    &mut input_used,
+                    packets,
+                    cycle,
+                    armed,
+                    stats,
+                    ledger,
+                    telemetry,
+                    feedbacks,
+                );
+            }
+        }
+
+        for node in 0..self.sources.len() {
+            let Some(&pid) = self.sources[node].queue.front() else {
+                continue;
+            };
+            let pkt = &packets[pid.index()];
+            let vc = pkt.vnet.index();
+            if self.ni_credits[node][vc] == 0 {
+                continue;
+            }
+            let sent = self.sources[node].sent;
+            let kind = FlitKind::for_position(sent, pkt.flits);
+            self.ni_credits[node][vc] -= 1;
+            self.staged_arrivals.push((
+                NodeId(node as u16),
+                LOCAL as u8,
+                vc as u8,
+                Flit { packet: pid, kind },
+            ));
+            if armed {
+                ledger.ni_events += 1;
+                telemetry.on_ni_event(node);
+            }
+            let sq = &mut self.sources[node];
+            sq.sent += 1;
+            if sq.sent == pkt.flits {
+                sq.queue.pop_front();
+                sq.sent = 0;
+            }
+            progress = true;
+        }
+
+        for (node, port, vc, flit) in self.staged_arrivals.drain(..) {
+            let router = &mut self.routers[node.index()];
+            let fifo = router.fifo_mut(port as usize, vc as usize);
+            debug_assert!(fifo.len() < self.buffer_depth as usize);
+            fifo.push_back(flit);
+            router.buffered += 1;
+            stats.on_router_flit(node);
+            if armed {
+                ledger.buffer_writes += 1;
+                telemetry.on_buffer_write(
+                    self.links.in_lane_raw(node.index(), port as usize),
+                    vc as usize,
+                );
+            }
+        }
+        for (node, oport, vc) in self.staged_credits.drain(..) {
+            self.routers[node.index()].credits[oport as usize][vc as usize] += 1;
+        }
+        for (node, vc) in self.staged_ni_credits.drain(..) {
+            self.ni_credits[node.index()][vc as usize] += 1;
+        }
+
+        if armed {
+            ledger.router_cycles += self.routers.len() as u64;
+            telemetry.on_cycle();
+        }
+        stats.on_cycle();
+        progress
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn process_output(
+        &mut self,
+        r: usize,
+        o: usize,
+        input_used: &mut [[bool; VCS]; PORTS],
+        packets: &mut [Packet],
+        cycle: Cycle,
+        armed: bool,
+        stats: &mut StatsCollector,
+        ledger: &mut EnergyLedger,
+        telemetry: &mut LinkLedger,
+        feedbacks: &mut Vec<SourceFeedback>,
+    ) -> bool {
+        let o_dir = Direction::from_index(o).expect("valid port");
+        let mut candidates: [Option<(u8, u8, bool)>; VCS] = [None; VCS];
+        for v in 0..VCS {
+            let has_credit = o == LOCAL || self.routers[r].credits[o][v] > 0;
+            if !has_credit {
+                continue;
+            }
+            if let Some((ip, iv)) = self.routers[r].owner[o][v] {
+                let (ipu, ivu) = (ip as usize, iv as usize);
+                if input_used[ipu][ivu] {
+                    continue;
+                }
+                if !self.routers[r].fifo(ipu, ivu).is_empty() {
+                    candidates[v] = Some((ip, iv, false));
+                }
+            } else {
+                let start = self.routers[r].rr_grant[o][v] as usize;
+                for t in 0..PORTS {
+                    let p = (start + t) % PORTS;
+                    if input_used[p][v] {
+                        continue;
+                    }
+                    let Some(&head) = self.routers[r].fifo(p, v).front() else {
+                        continue;
+                    };
+                    if !head.kind.is_head() {
+                        continue;
+                    }
+                    let pkt = &packets[head.packet.index()];
+                    if pkt.vnet.index() != v {
+                        continue;
+                    }
+                    let dir = route::route_step(
+                        self.coords[r],
+                        self.coords[pkt.dst.index()],
+                        pkt.elevator,
+                    );
+                    if dir == o_dir {
+                        candidates[v] = Some((p as u8, v as u8, true));
+                        break;
+                    }
+                }
+            }
+        }
+
+        let start_vc = self.routers[r].rr_vc[o] as usize;
+        let Some(v) = (0..VCS)
+            .map(|t| (start_vc + t) % VCS)
+            .find(|&v| candidates[v].is_some())
+        else {
+            return false;
+        };
+        let (ip, iv, is_new) = candidates[v].expect("just found");
+        let (ipu, ivu) = (ip as usize, iv as usize);
+
+        let flit = self.routers[r]
+            .fifo_mut(ipu, ivu)
+            .pop_front()
+            .expect("candidate exists");
+        self.routers[r].buffered -= 1;
+        input_used[ipu][ivu] = true;
+        if is_new {
+            self.routers[r].owner[o][v] = Some((ip, iv));
+            self.routers[r].rr_grant[o][v] = (ip + 1) % PORTS as u8;
+        }
+        if flit.kind.is_tail() {
+            self.routers[r].owner[o][v] = None;
+        }
+        self.routers[r].rr_vc[o] = ((v + 1) % VCS) as u8;
+        if o != LOCAL {
+            self.routers[r].credits[o][v] -= 1;
+        }
+
+        if ipu == LOCAL {
+            self.staged_ni_credits.push((NodeId(r as u16), iv));
+        } else {
+            let upstream = self.neighbours[r][ipu].expect("input port implies neighbour");
+            let up_out = Direction::from_index(ipu)
+                .expect("valid")
+                .opposite()
+                .index() as u8;
+            self.staged_credits.push((upstream, up_out, iv));
+        }
+
+        if armed {
+            ledger.buffer_reads += 1;
+            ledger.crossbar_traversals += 1;
+            telemetry.on_buffer_read(self.links.in_lane_raw(r, ipu), ivu);
+        }
+
+        let node_id = NodeId(r as u16);
+        if o == LOCAL {
+            if armed {
+                ledger.ni_events += 1;
+                telemetry.on_ni_event(r);
+            }
+            stats.on_flit_delivered();
+            let pkt = &mut packets[flit.packet.index()];
+            pkt.flits_delivered += 1;
+            if flit.kind.is_tail() {
+                pkt.delivered = Some(cycle);
+                stats.on_packet_delivered(pkt, cycle);
+            }
+        } else {
+            if armed {
+                if o_dir.is_vertical() {
+                    ledger.vertical_hops += 1;
+                } else {
+                    ledger.horizontal_hops += 1;
+                }
+                telemetry.on_link_flit(self.links.out_link_raw(r, o), v);
+            }
+            let downstream = self.neighbours[r][o].expect("credit implies neighbour");
+            let down_in = o_dir.opposite().index() as u8;
+            self.staged_arrivals
+                .push((downstream, down_in, v as u8, flit));
+
+            let pkt = &mut packets[flit.packet.index()];
+            if pkt.src == node_id {
+                if flit.kind.is_head() {
+                    pkt.head_out_src = Some(cycle);
+                }
+                if flit.kind.is_tail() {
+                    pkt.tail_out_src = Some(cycle);
+                    if let Some(elevator) = pkt.elevator {
+                        feedbacks.push(SourceFeedback {
+                            src: pkt.src,
+                            elevator: elevator.id,
+                            head_departure: pkt.head_out_src.unwrap_or(cycle),
+                            tail_departure: cycle,
+                            packet_flits: pkt.flits,
+                        });
+                    }
+                }
+            }
+        }
+        true
+    }
+}
+
+/// The pre-arena driver: grow-only packet `Vec`, O(packets) outstanding
+/// scan, 64-cycle drain blocks.
+pub struct RefSimulator {
+    config: SimConfig,
+    net: RefNetwork,
+    elevators: ElevatorSet,
+    packets: Vec<Packet>,
+    traffic: Box<dyn TrafficSource>,
+    selector: Box<dyn ElevatorSelector>,
+    stats: StatsCollector,
+    ledger: EnergyLedger,
+    telemetry: LinkLedger,
+    feedbacks: Vec<SourceFeedback>,
+    schedule: EventSchedule,
+    cycle: u64,
+    last_progress: u64,
+}
+
+impl RefSimulator {
+    #[must_use]
+    pub fn new(
+        config: SimConfig,
+        traffic: Box<dyn TrafficSource>,
+        selector: Box<dyn ElevatorSelector>,
+    ) -> Self {
+        config.validate();
+        let net = RefNetwork::new(config.mesh, &config.elevators, config.buffer_depth);
+        let stats = StatsCollector::new(config.mesh.node_count(), config.elevators.len());
+        let telemetry = LinkLedger::new(&net.links, VirtualNet::COUNT);
+        let elevators = config.elevators.clone();
+        Self {
+            config,
+            net,
+            elevators,
+            packets: Vec::new(),
+            traffic,
+            selector,
+            stats,
+            ledger: EnergyLedger::default(),
+            telemetry,
+            feedbacks: Vec::new(),
+            schedule: EventSchedule::new(),
+            cycle: 0,
+            last_progress: 0,
+        }
+    }
+
+    pub fn schedule_command(&mut self, at: Cycle, command: SimCommand) {
+        self.schedule.push(at, command);
+    }
+
+    fn apply_command(&mut self, command: &SimCommand) {
+        match command {
+            SimCommand::FailElevator(e) => {
+                self.net.failed_elevators.set(*e, true);
+                self.selector.on_elevator_status(*e, true);
+            }
+            SimCommand::RecoverElevator(e) => {
+                self.net.failed_elevators.set(*e, false);
+                self.selector.on_elevator_status(*e, false);
+            }
+            SimCommand::ScaleInjection { factor } => {
+                self.traffic
+                    .apply(&TrafficDirective::ScaleRate { factor: *factor });
+            }
+            SimCommand::ShiftHotspot { hotspots, fraction } => {
+                self.traffic.apply(&TrafficDirective::SetHotspots {
+                    hotspots: hotspots.clone(),
+                    fraction: *fraction,
+                });
+            }
+        }
+    }
+
+    #[must_use]
+    pub fn buffered_flits(&self) -> u64 {
+        self.net.buffered_flits()
+    }
+
+    #[must_use]
+    pub fn queued_packets(&self) -> u64 {
+        self.net.queued_packets()
+    }
+
+    /// Delivered measured packets so far (cycle-granular comparison hook).
+    #[must_use]
+    pub fn delivered_packets(&self) -> u64 {
+        self.packets
+            .iter()
+            .filter(|p| p.measured && p.delivered.is_some())
+            .count() as u64
+    }
+
+    fn generate_traffic(&mut self) {
+        struct Probe<'a>(&'a RefNetwork);
+        impl adele::online::NetworkProbe for Probe<'_> {
+            fn buffer_occupancy(&self, node: NodeId) -> u32 {
+                self.0.routers[node.index()].buffered
+            }
+            fn buffer_capacity_per_router(&self) -> u32 {
+                (PORTS * VCS) as u32 * u32::from(self.0.buffer_depth)
+            }
+            fn node_at(&self, coord: Coord) -> NodeId {
+                self.0.mesh.node_id(coord).expect("coordinate within mesh")
+            }
+        }
+
+        for node in self.config.mesh.node_ids() {
+            let Some(req) = self.traffic.maybe_inject(node, self.cycle) else {
+                continue;
+            };
+            if req.dst == node || req.flits == 0 {
+                continue;
+            }
+            let src = self.config.mesh.coord(node);
+            let dst = self.config.mesh.coord(req.dst);
+            let elevator = if src.z != dst.z {
+                let probe = Probe(&self.net);
+                let ctx = SelectionContext {
+                    src_id: node,
+                    src,
+                    dst_id: req.dst,
+                    dst,
+                    elevators: &self.elevators,
+                    probe: &probe,
+                    cycle: self.cycle,
+                };
+                let choice = self.selector.select(&ctx);
+                Some(ElevatorCoord::from_set(&self.elevators, choice))
+            } else {
+                None
+            };
+            self.stats
+                .on_packet_created(req.flits, elevator.map(|e| e.id));
+            let id = PacketId::new(self.packets.len() as u32, 1);
+            self.packets.push(Packet {
+                src: node,
+                dst: req.dst,
+                flits: req.flits,
+                vnet: VirtualNet::for_layers(src.z, dst.z),
+                elevator,
+                created: self.cycle,
+                head_out_src: None,
+                tail_out_src: None,
+                delivered: None,
+                flits_delivered: 0,
+                measured: self.stats.armed(),
+            });
+            self.net.enqueue_packet(node, id);
+        }
+    }
+
+    pub fn step(&mut self) {
+        while let Some(command) = self.schedule.next_due(self.cycle) {
+            self.apply_command(&command);
+        }
+        self.generate_traffic();
+        let progress = self.net.step(
+            &mut self.packets,
+            self.cycle,
+            &mut self.stats,
+            &mut self.ledger,
+            &mut self.telemetry,
+            &mut self.feedbacks,
+        );
+        for i in 0..self.feedbacks.len() {
+            let fb = self.feedbacks[i];
+            self.selector.on_source_departure(&fb);
+        }
+        self.feedbacks.clear();
+
+        let period = self.config.energy_feedback_period;
+        if period > 0 && self.stats.armed() && self.cycle.is_multiple_of(period) {
+            let signal = self
+                .telemetry
+                .pillar_energy_per_tsv_flit(&self.net.links, &self.config.energy);
+            self.selector.on_pillar_energy(&signal);
+        }
+
+        if progress || self.net.buffered_flits() == 0 {
+            self.last_progress = self.cycle;
+        } else {
+            assert!(
+                self.cycle - self.last_progress <= self.config.watchdog,
+                "deadlock in reference core"
+            );
+        }
+        self.cycle += 1;
+    }
+
+    fn measured_outstanding(&self) -> usize {
+        self.packets
+            .iter()
+            .filter(|p| p.measured && p.delivered.is_none())
+            .count()
+    }
+
+    pub fn set_armed(&mut self, armed: bool) {
+        self.stats.set_armed(armed);
+    }
+
+    /// Warm-up → measurement → drain, exactly like the old `run`.
+    #[must_use]
+    pub fn run(mut self) -> RunSummary {
+        for _ in 0..self.config.warmup {
+            self.step();
+        }
+        self.stats.set_armed(true);
+        for _ in 0..self.config.measure {
+            self.step();
+        }
+        self.stats.set_armed(false);
+
+        let mut drained = 0;
+        let mut completed = self.measured_outstanding() == 0;
+        while !completed && drained < self.config.drain_max {
+            for _ in 0..64 {
+                self.step();
+                drained += 1;
+            }
+            completed = self.measured_outstanding() == 0;
+        }
+
+        RunSummary::from_parts(
+            self.selector.name(),
+            self.traffic.name(),
+            self.traffic.mean_rate(),
+            &self.stats,
+            &self.ledger,
+            &self.telemetry,
+            &self.net.links,
+            &self.config.energy,
+            self.config.mesh.node_count(),
+            completed,
+        )
+    }
+}

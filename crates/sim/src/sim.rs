@@ -1,10 +1,11 @@
 //! The simulation driver: traffic → selection → network → statistics.
 
 use crate::config::SimConfig;
-use crate::flit::{Packet, PacketId};
+use crate::flit::Packet;
 use crate::hooks::{EventSchedule, SimCommand};
 use crate::network::Network;
 use crate::stats::{RunSummary, StatsCollector};
+use crate::table::PacketTable;
 use adele::online::{Cycle, ElevatorSelector, SelectionContext, SourceFeedback};
 use noc_energy::{EnergyLedger, LinkLedger, LinkMap};
 use noc_topology::route::{ElevatorCoord, VirtualNet};
@@ -18,7 +19,7 @@ use noc_traffic::{TrafficDirective, TrafficSource};
 pub struct Simulator {
     config: SimConfig,
     net: Network,
-    packets: Vec<Packet>,
+    packets: PacketTable,
     traffic: Box<dyn TrafficSource>,
     selector: Box<dyn ElevatorSelector>,
     stats: StatsCollector,
@@ -34,7 +35,7 @@ impl std::fmt::Debug for Simulator {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Simulator")
             .field("cycle", &self.cycle)
-            .field("packets", &self.packets.len())
+            .field("packets_in_flight", &self.packets.live())
             .field("policy", &self.selector.name())
             .field("workload", &self.traffic.name())
             .finish()
@@ -60,7 +61,7 @@ impl Simulator {
         Self {
             config,
             net,
-            packets: Vec::new(),
+            packets: PacketTable::new(),
             traffic,
             selector,
             stats,
@@ -135,6 +136,12 @@ impl Simulator {
         self.net.link_map()
     }
 
+    /// The recycling packet table (slot-reuse diagnostics, tests).
+    #[must_use]
+    pub fn packet_table(&self) -> &PacketTable {
+        &self.packets
+    }
+
     /// Creates this cycle's packets: asks the workload, runs elevator
     /// selection for inter-layer packets, and queues them at their NIs.
     fn generate_traffic(&mut self) {
@@ -164,8 +171,7 @@ impl Simulator {
             };
             self.stats
                 .on_packet_created(req.flits, elevator.map(|e| e.id));
-            let id = PacketId(self.packets.len() as u32);
-            self.packets.push(Packet {
+            let id = self.packets.insert(Packet {
                 src: node,
                 dst: req.dst,
                 flits: req.flits,
@@ -233,12 +239,12 @@ impl Simulator {
         self.cycle += 1;
     }
 
-    /// Number of measured packets not yet fully delivered.
+    /// Number of measured packets not yet fully delivered — an O(1)
+    /// counter the packet table maintains at insert/retire/orphan time
+    /// (this used to be a periodic O(packets) scan, which made long runs
+    /// slow down as their packet history grew).
     fn measured_outstanding(&self) -> usize {
-        self.packets
-            .iter()
-            .filter(|p| p.measured && p.delivered.is_none())
-            .count()
+        self.packets.measured_outstanding()
     }
 
     /// Advances `cycles` cycles without touching measurement state
@@ -262,11 +268,7 @@ impl Simulator {
     pub fn measure_window(&mut self, cycles: u64) -> RunSummary {
         // Orphan unfinished packets from earlier windows so their eventual
         // delivery does not leak into this window's figures.
-        for p in &mut self.packets {
-            if p.delivered.is_none() {
-                p.measured = false;
-            }
-        }
+        self.packets.orphan_unfinished();
         self.stats =
             StatsCollector::new(self.config.mesh.node_count(), self.config.elevators.len());
         self.ledger = EnergyLedger::default();
@@ -305,14 +307,16 @@ impl Simulator {
 
         // Drain with traffic still flowing (background congestion stays
         // realistic); stop once every measured packet has been delivered.
+        // The completion check is an O(1) counter now, so it runs every
+        // cycle; the cap keeps the historical 64-cycle check quantum (the
+        // old core only noticed completion at block boundaries), so run
+        // outcomes stay bit-identical.
+        let cap = self.config.drain_max.div_ceil(64) * 64;
         let mut drained = 0;
         let mut completed = self.measured_outstanding() == 0;
-        while !completed && drained < self.config.drain_max {
-            // Check outstanding only periodically: the scan is O(packets).
-            for _ in 0..64 {
-                self.step();
-                drained += 1;
-            }
+        while !completed && drained < cap {
+            self.step();
+            drained += 1;
             completed = self.measured_outstanding() == 0;
         }
 

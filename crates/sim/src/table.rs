@@ -1,0 +1,254 @@
+//! The recycling packet table: dense slots, a free list and
+//! generation-tagged handles.
+//!
+//! Before this table, the simulator appended every packet of a run to a
+//! `Vec<Packet>` that only ever grew — a multi-million-cycle run kept the
+//! bookkeeping of millions of long-delivered packets resident, and asking
+//! "how many measured packets are still in flight?" was an O(packets)
+//! scan. The table bounds memory by the number of packets actually *in
+//! flight*: a slot is recycled the moment its packet's tail flit is
+//! ejected, and the measured-outstanding count is maintained incrementally
+//! at insert/orphan/retire so the drain loop's completion check is O(1).
+//!
+//! Slot reuse is made safe by generations: each slot carries a counter
+//! bumped on every insert *and* every retire (live slots have odd
+//! generations), and every [`PacketId`] records the generation it was
+//! issued under. A stale handle — one that outlived its packet — can never
+//! silently alias the slot's next occupant; the accessors assert the match
+//! in debug builds, and [`PacketTable::is_live`] exposes the check.
+
+use crate::flit::{Packet, PacketId};
+
+/// Dense recycling storage for in-flight packets.
+#[derive(Debug, Clone, Default)]
+pub struct PacketTable {
+    /// Slot storage. Retired slots keep their last value (never read:
+    /// accessors assert handle generations first).
+    packets: Vec<Packet>,
+    /// Per-slot generation; odd while the slot is live.
+    generations: Vec<u32>,
+    /// Retired slots available for reuse (LIFO, so slot assignment is
+    /// deterministic and recently-touched memory is reused first).
+    free: Vec<u32>,
+    /// Measured packets not yet fully delivered.
+    measured_outstanding: usize,
+    /// Packets ever inserted (diagnostics; shows how much the free list
+    /// recycled).
+    total_created: u64,
+}
+
+impl PacketTable {
+    /// An empty table.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Stores `packet`, recycling a retired slot if one is free.
+    pub fn insert(&mut self, packet: Packet) -> PacketId {
+        self.total_created += 1;
+        if packet.measured {
+            self.measured_outstanding += 1;
+        }
+        if let Some(slot) = self.free.pop() {
+            let s = slot as usize;
+            self.generations[s] = self.generations[s].wrapping_add(1); // even → odd
+            self.packets[s] = packet;
+            PacketId::new(slot, self.generations[s])
+        } else {
+            let slot = self.packets.len() as u32;
+            self.packets.push(packet);
+            self.generations.push(1);
+            PacketId::new(slot, 1)
+        }
+    }
+
+    /// The packet behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `id` is stale (its packet was retired).
+    #[must_use]
+    #[inline]
+    pub fn get(&self, id: PacketId) -> &Packet {
+        debug_assert_eq!(
+            self.generations[id.index()],
+            id.generation(),
+            "stale PacketId {id:?}"
+        );
+        &self.packets[id.index()]
+    }
+
+    /// Mutable access to the packet behind `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `id` is stale.
+    #[must_use]
+    #[inline]
+    pub fn get_mut(&mut self, id: PacketId) -> &mut Packet {
+        debug_assert_eq!(
+            self.generations[id.index()],
+            id.generation(),
+            "stale PacketId {id:?}"
+        );
+        &mut self.packets[id.index()]
+    }
+
+    /// Retires `id`'s packet, freeing its slot for reuse. Called by the
+    /// network the cycle a packet's tail flit is ejected (no flit of the
+    /// packet can remain anywhere once its tail has left).
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `id` is stale or already retired.
+    pub fn retire(&mut self, id: PacketId) {
+        let s = id.index();
+        debug_assert_eq!(self.generations[s], id.generation(), "double retire {id:?}");
+        debug_assert!(self.generations[s] % 2 == 1, "retiring a vacant slot");
+        if self.packets[s].measured {
+            self.measured_outstanding -= 1;
+        }
+        self.generations[s] = self.generations[s].wrapping_add(1); // odd → even
+        self.free.push(id.slot());
+    }
+
+    /// `true` if `id` still addresses the packet it was issued for.
+    #[must_use]
+    pub fn is_live(&self, id: PacketId) -> bool {
+        id.generation() % 2 == 1 && self.generations.get(id.index()) == Some(&id.generation())
+    }
+
+    /// Measured packets not yet fully delivered — maintained incrementally,
+    /// so the drain loop's completion check costs O(1) instead of a scan
+    /// over every packet ever created.
+    #[must_use]
+    pub fn measured_outstanding(&self) -> usize {
+        self.measured_outstanding
+    }
+
+    /// Packets currently in flight (live slots).
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.packets.len() - self.free.len()
+    }
+
+    /// Slots allocated — the high-water mark of concurrently in-flight
+    /// packets, *not* the number of packets ever created.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.packets.len()
+    }
+
+    /// Packets ever inserted.
+    #[must_use]
+    pub fn total_created(&self) -> u64 {
+        self.total_created
+    }
+
+    /// Live packets, in slot order.
+    pub fn iter_live(&self) -> impl Iterator<Item = (PacketId, &Packet)> {
+        self.packets
+            .iter()
+            .zip(&self.generations)
+            .enumerate()
+            .filter(|(_, (_, &generation))| generation % 2 == 1)
+            .map(|(slot, (packet, &generation))| (PacketId::new(slot as u32, generation), packet))
+    }
+
+    /// Strips the measured flag from every in-flight packet and zeroes the
+    /// outstanding count: packets created before a measurement window must
+    /// not leak into its figures when they eventually deliver.
+    pub fn orphan_unfinished(&mut self) {
+        for (packet, &generation) in self.packets.iter_mut().zip(&self.generations) {
+            if generation % 2 == 1 {
+                packet.measured = false;
+            }
+        }
+        self.measured_outstanding = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adele::online::Cycle;
+    use noc_topology::route::VirtualNet;
+    use noc_topology::NodeId;
+
+    fn packet(measured: bool, created: Cycle) -> Packet {
+        Packet {
+            src: NodeId(0),
+            dst: NodeId(1),
+            flits: 4,
+            vnet: VirtualNet::Ascend,
+            elevator: None,
+            created,
+            head_out_src: None,
+            tail_out_src: None,
+            delivered: None,
+            flits_delivered: 0,
+            measured,
+        }
+    }
+
+    #[test]
+    fn slots_recycle_with_fresh_generations() {
+        let mut table = PacketTable::new();
+        let a = table.insert(packet(false, 1));
+        let b = table.insert(packet(false, 2));
+        assert_eq!(table.capacity(), 2);
+        table.retire(a);
+        assert!(!table.is_live(a));
+        assert!(table.is_live(b));
+
+        let c = table.insert(packet(false, 3));
+        // The slot is reused, the handle is not.
+        assert_eq!(c.index(), a.index());
+        assert_ne!(c, a);
+        assert!(table.is_live(c));
+        assert!(!table.is_live(a));
+        assert_eq!(table.capacity(), 2, "recycling must not grow the table");
+        assert_eq!(table.total_created(), 3);
+        assert_eq!(table.get(c).created, 3);
+    }
+
+    #[test]
+    fn measured_outstanding_tracks_insert_retire_orphan() {
+        let mut table = PacketTable::new();
+        let a = table.insert(packet(true, 1));
+        let _b = table.insert(packet(false, 2));
+        let c = table.insert(packet(true, 3));
+        assert_eq!(table.measured_outstanding(), 2);
+        table.retire(a);
+        assert_eq!(table.measured_outstanding(), 1);
+        table.orphan_unfinished();
+        assert_eq!(table.measured_outstanding(), 0);
+        assert!(!table.get(c).measured, "orphaning clears the flag");
+        table.retire(c);
+        assert_eq!(table.measured_outstanding(), 0);
+        assert_eq!(table.live(), 1);
+    }
+
+    #[test]
+    fn iter_live_skips_retired_slots() {
+        let mut table = PacketTable::new();
+        let a = table.insert(packet(false, 1));
+        let b = table.insert(packet(false, 2));
+        let c = table.insert(packet(false, 3));
+        table.retire(b);
+        let live: Vec<PacketId> = table.iter_live().map(|(id, _)| id).collect();
+        assert_eq!(live, vec![a, c]);
+    }
+
+    #[test]
+    #[cfg(debug_assertions)]
+    #[should_panic(expected = "stale PacketId")]
+    fn stale_handles_are_caught() {
+        let mut table = PacketTable::new();
+        let a = table.insert(packet(false, 1));
+        table.retire(a);
+        let _ = table.insert(packet(false, 2));
+        let _ = table.get(a);
+    }
+}

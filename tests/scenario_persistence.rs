@@ -241,3 +241,38 @@ fn results_dump_carries_pillar_telemetry() {
     };
     assert_eq!(items.len(), 1);
 }
+
+/// The checked-in `specs/` suite (step 2 of the scenario-spec roadmap
+/// item): every file parses and cross-validates, the suite loads in
+/// filename order, each scenario is named after its file, and one spec of
+/// each family is present.
+#[test]
+fn checked_in_spec_suite_loads_and_validates() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("specs");
+    let suite = noc_exp::load_dir(&dir).expect("checked-in specs must parse");
+    let names: Vec<&str> = suite.iter().map(|(stem, _)| stem.as_str()).collect();
+    assert_eq!(
+        names,
+        [
+            "baseline",
+            "elevator_fail",
+            "hotspot_shift",
+            "measured_energy"
+        ],
+        "canonical suite drifted; regenerate with `run_specs --emit specs`"
+    );
+    for (stem, scenario) in &suite {
+        assert_eq!(&scenario.name, stem, "scenario name must match its file");
+        scenario.validate().expect("parsed specs are valid");
+    }
+    // The fault spec really carries mid-run events; the telemetry spec
+    // really opts into measured energy.
+    assert_eq!(suite[1].1.events.len(), 2);
+    assert!(matches!(
+        suite[3].1.selector,
+        SelectorSpec::Adele {
+            measured_energy: true,
+            ..
+        }
+    ));
+}
