@@ -45,8 +45,6 @@ mod table;
 
 pub mod harness;
 pub mod hooks;
-#[doc(hidden)]
-pub mod reference;
 
 pub use config::SimConfig;
 // Energy modelling lives in `noc_energy`; re-exported for compatibility
