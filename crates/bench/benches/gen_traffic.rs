@@ -1,0 +1,166 @@
+//! Micro-benchmark isolating the *traffic-generation* path — the per-cycle
+//! cost of deciding who injects, with no network attached — so the
+//! injection scheduler has its own regression trace alongside
+//! `step_hot_path`.
+//!
+//! Two streams per mesh: `v1` polls every node every cycle (one RNG draw
+//! per node through the `TrafficSource` vtable), `v2` drains the batched
+//! skip-sampling source. At sweep rates the v2 cost is proportional to
+//! *injections*, not nodes — the gap is the point of the bench.
+//!
+//! A full `cargo bench` run also emits `BENCH_gen_traffic.json` at the
+//! workspace root; `cargo test` smoke-runs the bodies once and writes
+//! nothing.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use noc_topology::Mesh3d;
+use noc_traffic::{BatchedSynthetic, ScheduledSource, SyntheticTraffic, TrafficSource};
+use serde::Serialize;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The benchmark grid: (mesh extents, injection rate).
+const GRID: [((usize, usize, usize), f64); 4] = [
+    ((16, 16, 8), 0.0005),
+    ((16, 16, 8), 0.002),
+    ((32, 32, 8), 0.0005),
+    ((32, 32, 8), 0.002),
+];
+
+/// One whole-network cycle of polled injection decisions.
+fn v1_cycle(source: &mut dyn TrafficSource, mesh: &Mesh3d, cycle: u64) -> usize {
+    let mut injected = 0;
+    for node in mesh.node_ids() {
+        if source.maybe_inject(node, cycle).is_some() {
+            injected += 1;
+        }
+    }
+    injected
+}
+
+fn bench_gen_traffic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gen_traffic");
+    group.measurement_time(std::time::Duration::from_secs(2));
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.sample_size(10);
+    for (extents, rate) in GRID {
+        let (x, y, z) = extents;
+        let mesh = Mesh3d::new(x, y, z).expect("bench dimensions are valid");
+        let label = format!("{x}x{y}x{z}@{rate}");
+
+        let mut v1 = SyntheticTraffic::uniform(&mesh, rate, 7);
+        let mut cycle = 0u64;
+        group.bench_with_input(BenchmarkId::new("v1_cycle", &label), &(), |b, ()| {
+            b.iter(|| {
+                cycle += 1;
+                black_box(v1_cycle(&mut v1, &mesh, cycle))
+            })
+        });
+
+        let mut v2 = BatchedSynthetic::uniform(&mesh, rate, 7);
+        let mut cycle = 0u64;
+        group.bench_with_input(BenchmarkId::new("v2_cycle", &label), &(), |b, ()| {
+            b.iter(|| {
+                cycle += 1;
+                black_box(v2.next_injections(cycle).len())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gen_traffic);
+
+#[derive(Serialize)]
+struct GenPoint {
+    mesh: String,
+    rate: f64,
+    stream: String,
+    cycles: u64,
+    ns_per_cycle: f64,
+}
+
+#[derive(Serialize)]
+struct GenReport {
+    bench: &'static str,
+    mode: &'static str,
+    points: Vec<GenPoint>,
+}
+
+/// Times each grid point directly (best of 3 windows) and writes
+/// `BENCH_gen_traffic.json` at the workspace root.
+fn emit_json() {
+    let reps = 3;
+    let mut points = Vec::new();
+    for (extents, rate) in GRID {
+        let (x, y, z) = extents;
+        let mesh = Mesh3d::new(x, y, z).expect("bench dimensions are valid");
+        // Enough cycles for a stable window on both streams.
+        let cycles: u64 = 20_000;
+
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let mut source = SyntheticTraffic::uniform(&mesh, rate, 7);
+            let start = Instant::now();
+            for cycle in 0..cycles {
+                black_box(v1_cycle(&mut source, &mesh, cycle));
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        points.push(GenPoint {
+            mesh: format!("{x}x{y}x{z}"),
+            rate,
+            stream: "v1".into(),
+            cycles,
+            ns_per_cycle: best * 1e9 / cycles as f64,
+        });
+
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let mut source = BatchedSynthetic::uniform(&mesh, rate, 7);
+            let start = Instant::now();
+            let mut at = 0u64;
+            while at < cycles {
+                let up_to = (at + 63).min(cycles - 1);
+                black_box(source.next_injections(up_to).len());
+                at = up_to + 1;
+            }
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        points.push(GenPoint {
+            mesh: format!("{x}x{y}x{z}"),
+            rate,
+            stream: "v2".into(),
+            cycles,
+            ns_per_cycle: best * 1e9 / cycles as f64,
+        });
+    }
+    let report = GenReport {
+        bench: "gen_traffic",
+        mode: "bench",
+        points,
+    };
+    let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .parent()
+        .and_then(|p| p.parent())
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(|| std::path::PathBuf::from("."));
+    let json = serde_json::to_string_pretty(&report).expect("report encodes");
+    let path = root.join("BENCH_gen_traffic.json");
+    if std::fs::write(&path, json + "\n").is_ok() {
+        println!("wrote {}", path.display());
+    }
+}
+
+fn main() {
+    // `cargo test` probes harness = false targets with `--list`; answer
+    // the protocol without running benchmarks (mirrors criterion_main!).
+    if std::env::args().any(|a| a == "--list") {
+        println!("0 tests, 0 benchmarks");
+        return;
+    }
+    benches();
+    if std::env::args().any(|a| a == "--bench") {
+        emit_json();
+    }
+}

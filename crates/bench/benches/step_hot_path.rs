@@ -1,6 +1,8 @@
 //! Micro-benchmark of the arena-based `Network::step` hot path: steady
-//! cycles/second at the paper's PM scale and one step beyond, at low
-//! (idle-skip dominated) and moderate (switching dominated) injection.
+//! cycles/second from the paper's PM scale up to 32×32×8, at near-idle
+//! (injection-scheduler dominated), low (idle-skip dominated) and
+//! moderate (switching dominated) injection — on both workload streams
+//! (`v1` polled, `v2` batched event-driven injection).
 //!
 //! Besides the criterion timings, a full `cargo bench` run emits
 //! `BENCH_step.json` at the workspace root — the machine-readable record
@@ -11,29 +13,48 @@
 use adele::online::ElevatorFirstSelector;
 use adele_bench::pillar_grid;
 use criterion::{criterion_group, BenchmarkId, Criterion};
-use noc_sim::{SimConfig, Simulator};
+use noc_sim::{SimConfig, Simulator, TrafficInput};
 use noc_topology::{ElevatorSet, Mesh3d};
-use noc_traffic::SyntheticTraffic;
+use noc_traffic::{BatchedSynthetic, StreamVersion, SyntheticTraffic};
 use serde::Serialize;
 use std::time::Instant;
 
-/// The benchmark grid: (mesh extents, injection rate).
-const GRID: [((usize, usize, usize), f64); 4] = [
+/// The benchmark grid: (mesh extents, injection rate). Every point is
+/// measured on both workload streams.
+const GRID: [((usize, usize, usize), f64); 8] = [
     ((8, 8, 4), 0.0005),
     ((8, 8, 4), 0.002),
+    ((16, 16, 8), 0.00005),
     ((16, 16, 8), 0.0005),
     ((16, 16, 8), 0.002),
+    ((32, 32, 8), 0.00005),
+    ((32, 32, 8), 0.0005),
+    ((32, 32, 8), 0.002),
 ];
 
+const STREAMS: [StreamVersion; 2] = [StreamVersion::V1, StreamVersion::V2];
+
 /// A warmed-up simulator on the `scale` study's shared pillar geometry.
-fn warmed_sim(extents: (usize, usize, usize), rate: f64, warmup: u64) -> Simulator {
+fn warmed_sim(
+    extents: (usize, usize, usize),
+    rate: f64,
+    stream: StreamVersion,
+    warmup: u64,
+) -> Simulator {
     let (x, y, z) = extents;
     let mesh = Mesh3d::new(x, y, z).expect("bench dimensions are valid");
     let elevators = ElevatorSet::new(&mesh, pillar_grid(x, y)).expect("grid fits the mesh");
     let config = SimConfig::new(mesh, elevators.clone()).with_seed(7);
-    let traffic = SyntheticTraffic::uniform(&mesh, rate, 7);
+    let input = match stream {
+        StreamVersion::V1 => {
+            TrafficInput::Polled(Box::new(SyntheticTraffic::uniform(&mesh, rate, 7)))
+        }
+        StreamVersion::V2 => {
+            TrafficInput::Scheduled(Box::new(BatchedSynthetic::uniform(&mesh, rate, 7)))
+        }
+    };
     let selector = ElevatorFirstSelector::new(&mesh, &elevators);
-    let mut sim = Simulator::new(config, Box::new(traffic), Box::new(selector));
+    let mut sim = Simulator::from_input(config, input, Box::new(selector));
     sim.advance(warmup);
     sim
 }
@@ -44,23 +65,25 @@ fn bench_step_hot_path(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_secs(1));
     group.sample_size(10);
     for (extents, rate) in GRID {
-        let label = format!("{}x{}x{}@{rate}", extents.0, extents.1, extents.2);
-        group.bench_with_input(
-            BenchmarkId::new("steps_200", label),
-            &(extents, rate),
-            |b, &(extents, rate)| {
-                b.iter_batched(
-                    || warmed_sim(extents, rate, 500),
-                    |mut sim| {
-                        for _ in 0..200 {
-                            sim.step();
-                        }
-                        sim.cycle()
-                    },
-                    criterion::BatchSize::LargeInput,
-                );
-            },
-        );
+        for stream in STREAMS {
+            let label = format!("{}x{}x{}@{rate}/{stream}", extents.0, extents.1, extents.2);
+            group.bench_with_input(
+                BenchmarkId::new("steps_200", label),
+                &(extents, rate, stream),
+                |b, &(extents, rate, stream)| {
+                    b.iter_batched(
+                        || warmed_sim(extents, rate, stream, 500),
+                        |mut sim| {
+                            for _ in 0..200 {
+                                sim.step();
+                            }
+                            sim.cycle()
+                        },
+                        criterion::BatchSize::LargeInput,
+                    );
+                },
+            );
+        }
     }
     group.finish();
 }
@@ -71,6 +94,7 @@ criterion_group!(benches, bench_step_hot_path);
 struct StepPoint {
     mesh: String,
     rate: f64,
+    stream: String,
     cycles: u64,
     ns_per_cycle: f64,
     cycles_per_second: f64,
@@ -87,25 +111,26 @@ struct StepReport {
 /// `BENCH_step.json` at the workspace root.
 fn emit_json() {
     let (warmup, cycles, reps) = (2_000, 10_000u64, 3);
-    let points = GRID
-        .iter()
-        .map(|&(extents, rate)| {
+    let mut points = Vec::new();
+    for (extents, rate) in GRID {
+        for stream in STREAMS {
             let mut best = f64::INFINITY;
             for _ in 0..reps {
-                let mut sim = warmed_sim(extents, rate, warmup);
+                let mut sim = warmed_sim(extents, rate, stream, warmup);
                 let start = Instant::now();
                 sim.advance(cycles);
                 best = best.min(start.elapsed().as_secs_f64());
             }
-            StepPoint {
+            points.push(StepPoint {
                 mesh: format!("{}x{}x{}", extents.0, extents.1, extents.2),
                 rate,
+                stream: stream.to_string(),
                 cycles,
                 ns_per_cycle: best * 1e9 / cycles as f64,
                 cycles_per_second: cycles as f64 / best,
-            }
-        })
-        .collect();
+            });
+        }
+    }
     let report = StepReport {
         bench: "step_hot_path",
         mode: "bench",

@@ -9,35 +9,46 @@
 //!
 //! * `run_specs [DIR]` — run the suite in `DIR` (default `specs/`).
 //! * `run_specs --emit [DIR]` — (re)write the canonical checked-in suite
-//!   (baseline, elevator-fail, hotspot-shift, measured-energy) into `DIR`.
+//!   (baseline, baseline-v2, elevator-fail, hotspot-shift,
+//!   measured-energy) into `DIR`.
 //!
 //! `ADELE_QUICK=1` shrinks every scenario's windows for smoke runs (event
 //! cycles are left untouched; the canonical suite schedules its events
 //! early enough to land inside the shrunken windows too).
 
 use adele_bench::{f1, f2, print_table, quick_mode};
-use noc_exp::{load_dir, results_to_json, run_batch, Event, Scenario, SelectorSpec, WorkloadSpec};
+use noc_exp::{
+    load_dir, results_to_json, run_batch, Event, Scenario, SelectorSpec, WorkloadKind, WorkloadSpec,
+};
 use noc_topology::placement::Placement;
 use noc_topology::{Coord, ElevatorId};
 use std::path::Path;
 
 /// The canonical checked-in suite: one spec per scenario family the
-/// engine supports (steady baseline, mid-run fault, moving hotspot,
-/// telemetry-driven selection).
+/// engine supports (steady baseline, the same baseline on the batched
+/// `v2` workload stream, mid-run fault, moving hotspot, telemetry-driven
+/// selection).
 fn canonical_suite() -> Vec<(&'static str, Scenario)> {
     let phases = |s: Scenario| s.with_phases(1_000, 4_000, 20_000);
     vec![
         (
             "baseline",
             phases(Scenario::from_placement("baseline", Placement::Ps1))
-                .with_workload(WorkloadSpec::Uniform { rate: 0.003 })
+                .with_workload(WorkloadKind::Uniform { rate: 0.003 })
+                .with_selector(SelectorSpec::adele())
+                .with_seed(101),
+        ),
+        (
+            "baseline_v2",
+            phases(Scenario::from_placement("baseline_v2", Placement::Ps1))
+                .with_workload(WorkloadSpec::v2(WorkloadKind::Uniform { rate: 0.003 }))
                 .with_selector(SelectorSpec::adele())
                 .with_seed(101),
         ),
         (
             "elevator_fail",
             phases(Scenario::from_placement("elevator_fail", Placement::Ps1))
-                .with_workload(WorkloadSpec::Uniform { rate: 0.003 })
+                .with_workload(WorkloadKind::Uniform { rate: 0.003 })
                 .with_selector(SelectorSpec::adele())
                 .with_event(Event::ElevatorFail {
                     cycle: 1_200,
@@ -52,7 +63,7 @@ fn canonical_suite() -> Vec<(&'static str, Scenario)> {
         (
             "hotspot_shift",
             phases(Scenario::from_placement("hotspot_shift", Placement::Ps1))
-                .with_workload(WorkloadSpec::Hotspot {
+                .with_workload(WorkloadKind::Hotspot {
                     rate: 0.002,
                     hotspots: vec![Coord::new(0, 0, 0)],
                     fraction: 0.3,
@@ -68,7 +79,7 @@ fn canonical_suite() -> Vec<(&'static str, Scenario)> {
         (
             "measured_energy",
             phases(Scenario::from_placement("measured_energy", Placement::Ps1))
-                .with_workload(WorkloadSpec::Uniform { rate: 0.002 })
+                .with_workload(WorkloadKind::Uniform { rate: 0.002 })
                 .with_selector(SelectorSpec::adele_measured_energy())
                 .with_seed(104),
         ),

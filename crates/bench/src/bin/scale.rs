@@ -1,5 +1,6 @@
 //! Scaling study beyond the paper: cycles/second and peak RSS on
-//! 8×8×4 → 16×16×8 → 32×32×8 meshes at low and moderate injection.
+//! 8×8×4 → 16×16×8 → 32×32×8 meshes at low and moderate injection, on
+//! either workload stream.
 //!
 //! The paper stops at PM (8×8×4); this binary measures where the cycle
 //! loop stops scaling. Each mesh gets a regular elevator grid (columns
@@ -7,14 +8,16 @@
 //! driven for a fixed cycle budget after a warm-up; the wall-clock
 //! cycles/second and the process peak RSS are reported per point.
 //!
-//! Usage: `scale [--quick]` (`ADELE_QUICK=1` works too). Results land in
+//! Usage: `scale [--quick] [--stream v1|v2|both]` (`ADELE_QUICK=1` works
+//! too; the default measures **both** streams so the batched-injection
+//! speedup is recorded next to the bit-stable baseline). Results land in
 //! `results/scale.json`.
 
 use adele::online::ElevatorFirstSelector;
 use adele_bench::{dump_json, f1, pillar_grid, print_table, quick_mode};
-use noc_sim::{SimConfig, Simulator};
+use noc_sim::{SimConfig, Simulator, TrafficInput};
 use noc_topology::{ElevatorSet, Mesh3d};
-use noc_traffic::SyntheticTraffic;
+use noc_traffic::{BatchedSynthetic, StreamVersion, SyntheticTraffic};
 use serde::Serialize;
 use std::time::Instant;
 
@@ -25,6 +28,7 @@ struct ScalePoint {
     nodes: usize,
     pillars: usize,
     rate: f64,
+    stream: String,
     cycles: u64,
     wall_seconds: f64,
     cycles_per_second: f64,
@@ -65,13 +69,26 @@ fn reset_peak_rss() -> bool {
     std::fs::write("/proc/self/clear_refs", "5").is_ok()
 }
 
-fn measure(mesh: Mesh3d, elevators: &ElevatorSet, rate: f64, cycles: u64) -> ScalePoint {
+fn measure(
+    mesh: Mesh3d,
+    elevators: &ElevatorSet,
+    rate: f64,
+    stream: StreamVersion,
+    cycles: u64,
+) -> ScalePoint {
     let warmup = cycles / 10;
     let config = SimConfig::new(mesh, elevators.clone()).with_seed(42);
-    let traffic = SyntheticTraffic::uniform(&mesh, rate, 42);
+    let traffic = match stream {
+        StreamVersion::V1 => {
+            TrafficInput::Polled(Box::new(SyntheticTraffic::uniform(&mesh, rate, 42)))
+        }
+        StreamVersion::V2 => {
+            TrafficInput::Scheduled(Box::new(BatchedSynthetic::uniform(&mesh, rate, 42)))
+        }
+    };
     let selector = ElevatorFirstSelector::new(&mesh, elevators);
     reset_peak_rss();
-    let mut sim = Simulator::new(config, Box::new(traffic), Box::new(selector));
+    let mut sim = Simulator::from_input(config, traffic, Box::new(selector));
     sim.advance(warmup);
     let start = Instant::now();
     let summary = sim.measure_window(cycles);
@@ -81,6 +98,7 @@ fn measure(mesh: Mesh3d, elevators: &ElevatorSet, rate: f64, cycles: u64) -> Sca
         nodes: mesh.node_count(),
         pillars: elevators.len(),
         rate,
+        stream: stream.to_string(),
         cycles,
         wall_seconds: wall,
         cycles_per_second: cycles as f64 / wall,
@@ -89,12 +107,36 @@ fn measure(mesh: Mesh3d, elevators: &ElevatorSet, rate: f64, cycles: u64) -> Sca
     }
 }
 
+/// Parses `--stream v1|v2|both` (default both).
+fn stream_selection(args: &[String]) -> Vec<StreamVersion> {
+    let Some(at) = args.iter().position(|a| a == "--stream") else {
+        return vec![StreamVersion::V1, StreamVersion::V2];
+    };
+    match args.get(at + 1).map(String::as_str) {
+        Some("both") => vec![StreamVersion::V1, StreamVersion::V2],
+        Some(s) => match s.parse::<StreamVersion>() {
+            Ok(stream) => vec![stream],
+            Err(e) => {
+                eprintln!("scale: {e}");
+                std::process::exit(2);
+            }
+        },
+        None => {
+            eprintln!("scale: --stream needs a value (v1, v2 or both)");
+            std::process::exit(2);
+        }
+    }
+}
+
 fn main() {
-    let quick = quick_mode() || std::env::args().any(|a| a == "--quick");
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = quick_mode() || args.iter().any(|a| a == "--quick");
+    let streams = stream_selection(&args);
     let cycles: u64 = if quick { 2_000 } else { 20_000 };
     // Low load (well under pillar saturation at every scale) is where
-    // idle-router skipping matters; the higher rate saturates the pillar
-    // grid, so it measures busy-network switching throughput instead.
+    // idle-router skipping and batched injection matter; the higher rate
+    // saturates the pillar grid, so it measures busy-network switching
+    // throughput instead.
     let rates = [0.0005, 0.002];
     if !reset_peak_rss() {
         eprintln!("note: peak-RSS reset unsupported; rss columns are process-lifetime peaks");
@@ -103,24 +145,27 @@ fn main() {
     let mut points = Vec::new();
     for (mesh, elevators) in meshes() {
         for rate in rates {
-            let point = measure(mesh, &elevators, rate, cycles);
-            println!(
-                "{:>9}  rate {:.4}  {:>12.0} cycles/s  peak RSS {}",
-                point.mesh,
-                rate,
-                point.cycles_per_second,
-                point
-                    .peak_rss_kb
-                    .map_or("n/a".to_string(), |kb| format!("{} MB", kb / 1024)),
-            );
-            points.push(point);
+            for &stream in &streams {
+                let point = measure(mesh, &elevators, rate, stream, cycles);
+                println!(
+                    "{:>9}  rate {:.4}  {}  {:>12.0} cycles/s  peak RSS {}",
+                    point.mesh,
+                    rate,
+                    point.stream,
+                    point.cycles_per_second,
+                    point
+                        .peak_rss_kb
+                        .map_or("n/a".to_string(), |kb| format!("{} MB", kb / 1024)),
+                );
+                points.push(point);
+            }
         }
     }
 
     println!();
     print_table(
         &[
-            "mesh", "nodes", "pillars", "rate", "cycles", "kcyc/s", "inj", "rss_mb",
+            "mesh", "nodes", "pillars", "rate", "stream", "cycles", "kcyc/s", "inj", "rss_mb",
         ],
         &points
             .iter()
@@ -130,6 +175,7 @@ fn main() {
                     p.nodes.to_string(),
                     p.pillars.to_string(),
                     format!("{:.4}", p.rate),
+                    p.stream.clone(),
                     p.cycles.to_string(),
                     f1(p.cycles_per_second / 1e3),
                     p.injected_packets.to_string(),

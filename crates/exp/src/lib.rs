@@ -5,8 +5,9 @@
 //! three composable pieces:
 //!
 //! * [`scenario`] — declarative experiments: a [`Scenario`] names the
-//!   topology, a [`WorkloadSpec`] (uniform / shuffle / hotspot / bursty /
-//!   per-layer / weighted composite), a [`SelectorSpec`], the
+//!   topology, a [`WorkloadSpec`] (a [`WorkloadKind`] — uniform / shuffle
+//!   / hotspot / bursty / per-layer / weighted composite — on a versioned
+//!   injection [`StreamVersion`]), a [`SelectorSpec`], the
 //!   warm-up–measure–drain windows and the master seed, all as plain data.
 //! * [`event`] — a timed [`Event`] schedule delivered into the running
 //!   simulator through `noc_sim`'s command hooks: elevators fail and
@@ -24,13 +25,13 @@
 //! # Example
 //!
 //! ```
-//! use noc_exp::{Event, Scenario, SelectorSpec, WorkloadSpec};
+//! use noc_exp::{Event, Scenario, SelectorSpec, WorkloadKind};
 //! use noc_topology::ElevatorId;
 //! use noc_topology::placement::Placement;
 //!
 //! // An AdEle run on PS1 that loses elevator e1 mid-measurement.
 //! let scenario = Scenario::from_placement("fail-e1", Placement::Ps1)
-//!     .with_workload(WorkloadSpec::Uniform { rate: 0.003 })
+//!     .with_workload(WorkloadKind::Uniform { rate: 0.003 })
 //!     .with_selector(SelectorSpec::adele())
 //!     .with_phases(500, 2_000, 10_000)
 //!     .with_event(Event::ElevatorFail { cycle: 1_500, elevator: ElevatorId(1) })
@@ -48,6 +49,9 @@ pub mod scenario;
 pub mod specs;
 
 pub use event::Event;
+pub use noc_traffic::StreamVersion;
 pub use runner::{default_threads, par_injection_sweep, par_map, run_batch};
-pub use scenario::{results_to_json, Scenario, ScenarioResult, SelectorSpec, WorkloadSpec};
+pub use scenario::{
+    results_to_json, Scenario, ScenarioResult, SelectorSpec, WorkloadKind, WorkloadSpec,
+};
 pub use specs::{load_dir, load_spec};

@@ -100,7 +100,7 @@ pub fn run_batch(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::WorkloadSpec;
+    use crate::scenario::WorkloadKind;
     use noc_topology::{ElevatorSet, Mesh3d};
 
     #[test]
@@ -129,7 +129,7 @@ mod tests {
             .map(|i| {
                 Scenario::new(format!("s{i}"), mesh, elevators.clone())
                     .with_phases(100, 400, 2_000)
-                    .with_workload(WorkloadSpec::Uniform {
+                    .with_workload(WorkloadKind::Uniform {
                         rate: 0.002 + 0.001 * f64::from(i),
                     })
                     .with_seed(40 + u64::from(i))

@@ -12,26 +12,26 @@ use adele::offline::SubsetAssignment;
 use adele::online::ElevatorSelector;
 use adele::online::{AdeleSelector, CdaSelector, ElevatorFirstSelector};
 use adele::AdeleConfig;
-use noc_sim::{RunSummary, SimConfig, Simulator};
+use noc_sim::{RunSummary, SimConfig, Simulator, TrafficInput};
 use noc_topology::placement::Placement;
 use noc_topology::{Coord, ElevatorSet, Mesh3d};
 use noc_traffic::injection::{OnOffParams, PacketSizeRange};
 use noc_traffic::pattern::Uniform;
-use noc_traffic::{CompositeSource, SyntheticTraffic, TrafficSource};
+use noc_traffic::{
+    BatchedSynthetic, CompositeSource, CyclePolled, ScheduledSource, StreamVersion,
+    SyntheticTraffic, TrafficSource,
+};
 use serde::{Deserialize, Serialize};
 
-/// SplitMix-style stream derivation: one scenario seed fans out into
-/// decorrelated per-component seeds without coupling their streams.
-fn derive_seed(seed: u64, stream: u64) -> u64 {
-    let mut z = seed ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15);
-    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-    z ^ (z >> 31)
-}
+// One scenario seed fans out into decorrelated per-component seeds via
+// the SplitMix mixer shared with the batched sources' per-node streams.
+use noc_traffic::scheduled::derive_stream_seed as derive_seed;
 
-/// The workload half of a scenario, as data.
+/// The workload *shape* half of a scenario, as data: what traffic is
+/// offered, independent of which injection-stream generation
+/// ([`StreamVersion`]) generates it.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
-pub enum WorkloadSpec {
+pub enum WorkloadKind {
     /// Uniform random at `rate` packets/node/cycle.
     Uniform {
         /// Offered load.
@@ -67,11 +67,11 @@ pub enum WorkloadSpec {
     /// A weighted mixture of sub-workloads (hotspot + bursty, …).
     Composite {
         /// `(weight, workload)` components; weights are normalised.
-        parts: Vec<(f64, WorkloadSpec)>,
+        parts: Vec<(f64, WorkloadKind)>,
     },
 }
 
-impl WorkloadSpec {
+impl WorkloadKind {
     /// Checks the spec against `mesh`: rates are probabilities, hotspot
     /// coordinates lie inside the mesh, per-layer rate lists match the
     /// layer count, composites are non-empty with non-negative weights.
@@ -90,9 +90,9 @@ impl WorkloadSpec {
             }
         };
         match self {
-            WorkloadSpec::Uniform { rate } => rate_ok(*rate, "uniform"),
-            WorkloadSpec::Shuffle { rate } => rate_ok(*rate, "shuffle"),
-            WorkloadSpec::Hotspot {
+            WorkloadKind::Uniform { rate } => rate_ok(*rate, "uniform"),
+            WorkloadKind::Shuffle { rate } => rate_ok(*rate, "shuffle"),
+            WorkloadKind::Hotspot {
                 rate,
                 hotspots,
                 fraction,
@@ -100,8 +100,8 @@ impl WorkloadSpec {
                 rate_ok(*rate, "hotspot")?;
                 crate::event::validate_hotspots(mesh, hotspots, *fraction)
             }
-            WorkloadSpec::Bursty { rate, .. } => rate_ok(*rate, "bursty"),
-            WorkloadSpec::PerLayer { rates } => {
+            WorkloadKind::Bursty { rate, .. } => rate_ok(*rate, "bursty"),
+            WorkloadKind::PerLayer { rates } => {
                 if rates.len() != mesh.layers() {
                     return Err(format!(
                         "{} per-layer rates for a {}-layer mesh",
@@ -111,7 +111,7 @@ impl WorkloadSpec {
                 }
                 rates.iter().try_for_each(|&r| rate_ok(r, "per-layer"))
             }
-            WorkloadSpec::Composite { parts } => {
+            WorkloadKind::Composite { parts } => {
                 if parts.is_empty() {
                     return Err("empty composite workload".into());
                 }
@@ -129,8 +129,8 @@ impl WorkloadSpec {
         }
     }
 
-    /// Instantiates the workload on `mesh` with streams derived from
-    /// `seed`.
+    /// Instantiates the workload's classic polled (`v1`-stream) form on
+    /// `mesh` with streams derived from `seed`.
     ///
     /// # Panics
     ///
@@ -138,15 +138,15 @@ impl WorkloadSpec {
     /// coordinates outside the mesh, wrong per-layer rate count, empty
     /// composites) — scenario authoring errors.
     #[must_use]
-    pub fn build(&self, mesh: &Mesh3d, seed: u64) -> Box<dyn TrafficSource> {
+    pub fn build_polled(&self, mesh: &Mesh3d, seed: u64) -> Box<dyn TrafficSource> {
         match self {
-            WorkloadSpec::Uniform { rate } => {
+            WorkloadKind::Uniform { rate } => {
                 Box::new(SyntheticTraffic::uniform(mesh, *rate, seed))
             }
-            WorkloadSpec::Shuffle { rate } => {
+            WorkloadKind::Shuffle { rate } => {
                 Box::new(SyntheticTraffic::shuffle(mesh, *rate, seed))
             }
-            WorkloadSpec::Hotspot {
+            WorkloadKind::Hotspot {
                 rate,
                 hotspots,
                 fraction,
@@ -157,26 +157,196 @@ impl WorkloadSpec {
                 *fraction,
                 seed,
             )),
-            WorkloadSpec::Bursty { rate, params } => {
+            WorkloadKind::Bursty { rate, params } => {
                 Box::new(SyntheticTraffic::bursty(mesh, *rate, *params, seed))
             }
-            WorkloadSpec::PerLayer { rates } => Box::new(SyntheticTraffic::per_layer(
+            WorkloadKind::PerLayer { rates } => Box::new(SyntheticTraffic::per_layer(
                 mesh,
                 Box::new(Uniform::new(mesh.node_count())),
                 rates,
                 PacketSizeRange::paper_default(),
                 seed,
             )),
-            WorkloadSpec::Composite { parts } => {
+            WorkloadKind::Composite { parts } => {
                 let components = parts
                     .iter()
                     .enumerate()
                     .map(|(i, (weight, spec))| {
-                        (*weight, spec.build(mesh, derive_seed(seed, 1 + i as u64)))
+                        (
+                            *weight,
+                            spec.build_polled(mesh, derive_seed(seed, 1 + i as u64)),
+                        )
                     })
                     .collect();
                 Box::new(CompositeSource::new(components, derive_seed(seed, 0)))
             }
+        }
+    }
+
+    /// Instantiates the workload's batched event-driven (`v2`-stream)
+    /// form: synthetic kinds get native skip-sampling sources, composites
+    /// fall back to the polled mixture behind a [`CyclePolled`] adapter
+    /// (a mixture must advance every component each opportunity, so it
+    /// has no closed-form schedule).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the same authoring errors as [`Self::build_polled`].
+    #[must_use]
+    pub fn build_scheduled(&self, mesh: &Mesh3d, seed: u64) -> Box<dyn ScheduledSource> {
+        match self {
+            WorkloadKind::Uniform { rate } => {
+                Box::new(BatchedSynthetic::uniform(mesh, *rate, seed))
+            }
+            WorkloadKind::Shuffle { rate } => {
+                Box::new(BatchedSynthetic::shuffle(mesh, *rate, seed))
+            }
+            WorkloadKind::Hotspot {
+                rate,
+                hotspots,
+                fraction,
+            } => Box::new(BatchedSynthetic::hotspot(
+                mesh,
+                *rate,
+                crate::event::resolve_hotspots(mesh, hotspots),
+                *fraction,
+                seed,
+            )),
+            WorkloadKind::Bursty { rate, params } => {
+                Box::new(BatchedSynthetic::bursty(mesh, *rate, *params, seed))
+            }
+            WorkloadKind::PerLayer { rates } => Box::new(BatchedSynthetic::per_layer(
+                mesh,
+                Box::new(Uniform::new(mesh.node_count())),
+                rates,
+                PacketSizeRange::paper_default(),
+                seed,
+            )),
+            WorkloadKind::Composite { .. } => Box::new(CyclePolled::new(
+                self.build_polled(mesh, seed),
+                mesh.node_count(),
+            )),
+        }
+    }
+}
+
+/// The workload half of a scenario: a [`WorkloadKind`] plus the
+/// [`StreamVersion`] that generates it.
+///
+/// `stream` defaults to [`StreamVersion::V1`] — the polled stream every
+/// checked-in baseline was recorded on — and `v1` specs serialise exactly
+/// as they did before the field existed, so existing spec files and their
+/// results stay bit-identical. `v2` selects the event-driven batched
+/// stream: the same offered load in distribution, several times faster at
+/// low rates, but a different RNG stream (cross-stream comparisons are
+/// statistical, never bit-for-bit).
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadSpec {
+    /// Which injection-stream generation runs the workload.
+    pub stream: StreamVersion,
+    /// The offered traffic.
+    pub kind: WorkloadKind,
+}
+
+impl WorkloadSpec {
+    /// `kind` on the default bit-stable `v1` stream.
+    #[must_use]
+    pub fn v1(kind: WorkloadKind) -> Self {
+        Self {
+            stream: StreamVersion::V1,
+            kind,
+        }
+    }
+
+    /// `kind` on the batched `v2` stream.
+    #[must_use]
+    pub fn v2(kind: WorkloadKind) -> Self {
+        Self {
+            stream: StreamVersion::V2,
+            kind,
+        }
+    }
+
+    /// Same workload on the given stream.
+    #[must_use]
+    pub fn with_stream(mut self, stream: StreamVersion) -> Self {
+        self.stream = stream;
+        self
+    }
+
+    /// Checks the workload shape against `mesh` (see
+    /// [`WorkloadKind::validate`]; the stream version needs no
+    /// validation).
+    ///
+    /// # Errors
+    ///
+    /// Returns a message naming the first violated constraint.
+    pub fn validate(&self, mesh: &Mesh3d) -> Result<(), String> {
+        self.kind.validate(mesh)
+    }
+
+    /// Instantiates the workload on `mesh` with streams derived from
+    /// `seed`, in whichever form `stream` selects.
+    ///
+    /// # Panics
+    ///
+    /// Panics on scenario authoring errors (see
+    /// [`WorkloadKind::build_polled`]).
+    #[must_use]
+    pub fn build(&self, mesh: &Mesh3d, seed: u64) -> TrafficInput {
+        match self.stream {
+            StreamVersion::V1 => TrafficInput::Polled(self.kind.build_polled(mesh, seed)),
+            StreamVersion::V2 => TrafficInput::Scheduled(self.kind.build_scheduled(mesh, seed)),
+        }
+    }
+}
+
+impl From<WorkloadKind> for WorkloadSpec {
+    fn from(kind: WorkloadKind) -> Self {
+        Self::v1(kind)
+    }
+}
+
+impl Serialize for WorkloadSpec {
+    /// `v1` serialises as the bare externally tagged kind — byte-identical
+    /// to the pre-versioning format — while `v2` prepends a `"stream"`
+    /// field to the kind's object.
+    fn to_value(&self) -> serde::Value {
+        let kind = self.kind.to_value();
+        match self.stream {
+            StreamVersion::V1 => kind,
+            StreamVersion::V2 => {
+                let serde::Value::Object(mut entries) = kind else {
+                    unreachable!("workload kinds are struct variants (objects)");
+                };
+                entries.insert(0, ("stream".into(), self.stream.to_value()));
+                serde::Value::Object(entries)
+            }
+        }
+    }
+}
+
+impl Deserialize for WorkloadSpec {
+    /// Reads the optional `"stream"` field (default `v1`), then parses the
+    /// remaining entries as the externally tagged [`WorkloadKind`].
+    fn from_value(value: &serde::Value) -> Result<Self, serde::DeError> {
+        if let serde::Value::Object(entries) = value {
+            let mut stream = StreamVersion::V1;
+            let mut rest = Vec::with_capacity(entries.len());
+            for (key, entry) in entries {
+                if key == "stream" {
+                    stream = StreamVersion::from_value(entry)
+                        .map_err(|e| serde::DeError(format!("field \"stream\": {e}")))?;
+                } else {
+                    rest.push((key.clone(), entry.clone()));
+                }
+            }
+            let kind = WorkloadKind::from_value(&serde::Value::Object(rest))?;
+            Ok(Self { stream, kind })
+        } else {
+            // Future-proofing: a unit-variant kind would serialise as a
+            // bare string; pass it through.
+            WorkloadKind::from_value(value).map(Self::v1)
         }
     }
 }
@@ -311,7 +481,7 @@ impl Scenario {
             name: name.into(),
             mesh,
             elevators,
-            workload: WorkloadSpec::Uniform { rate: 0.003 },
+            workload: WorkloadSpec::v1(WorkloadKind::Uniform { rate: 0.003 }),
             selector: SelectorSpec::ElevatorFirst,
             warmup: 1_000,
             measure: 4_000,
@@ -328,10 +498,18 @@ impl Scenario {
         Self::new(name, mesh, elevators)
     }
 
-    /// Sets the workload.
+    /// Sets the workload (a bare [`WorkloadKind`] selects the default
+    /// `v1` stream).
     #[must_use]
-    pub fn with_workload(mut self, workload: WorkloadSpec) -> Self {
-        self.workload = workload;
+    pub fn with_workload(mut self, workload: impl Into<WorkloadSpec>) -> Self {
+        self.workload = workload.into();
+        self
+    }
+
+    /// Moves the scenario's workload onto the given injection stream.
+    #[must_use]
+    pub fn with_stream(mut self, stream: StreamVersion) -> Self {
+        self.workload.stream = stream;
         self
     }
 
@@ -428,7 +606,7 @@ impl Scenario {
         let selector = self
             .selector
             .build(&self.mesh, &self.elevators, derive_seed(self.seed, 13));
-        let mut sim = Simulator::new(self.sim_config(), traffic, selector);
+        let mut sim = Simulator::from_input(self.sim_config(), traffic, selector);
         for event in &self.events {
             let (at, command) = event.compile(&self.mesh);
             sim.schedule_command(at, command);
@@ -499,7 +677,7 @@ mod tests {
         let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
         Scenario::new("tiny", mesh, elevators)
             .with_phases(200, 800, 4_000)
-            .with_workload(WorkloadSpec::Uniform { rate: 0.004 })
+            .with_workload(WorkloadKind::Uniform { rate: 0.004 })
             .with_seed(7)
     }
 
@@ -517,25 +695,25 @@ mod tests {
     #[test]
     fn every_workload_spec_builds_and_delivers() {
         let specs = [
-            WorkloadSpec::Uniform { rate: 0.004 },
-            WorkloadSpec::Shuffle { rate: 0.004 },
-            WorkloadSpec::Hotspot {
+            WorkloadKind::Uniform { rate: 0.004 },
+            WorkloadKind::Shuffle { rate: 0.004 },
+            WorkloadKind::Hotspot {
                 rate: 0.004,
                 hotspots: vec![Coord::new(1, 1, 1)],
                 fraction: 0.4,
             },
-            WorkloadSpec::Bursty {
+            WorkloadKind::Bursty {
                 rate: 0.004,
                 params: OnOffParams::new(0.02, 0.005, 0.1),
             },
-            WorkloadSpec::PerLayer {
+            WorkloadKind::PerLayer {
                 rates: vec![0.006, 0.002],
             },
-            WorkloadSpec::Composite {
+            WorkloadKind::Composite {
                 parts: vec![
                     (
                         0.7,
-                        WorkloadSpec::Hotspot {
+                        WorkloadKind::Hotspot {
                             rate: 0.004,
                             hotspots: vec![Coord::new(3, 3, 0)],
                             fraction: 0.5,
@@ -543,7 +721,7 @@ mod tests {
                     ),
                     (
                         0.3,
-                        WorkloadSpec::Bursty {
+                        WorkloadKind::Bursty {
                             rate: 0.004,
                             params: OnOffParams::new(0.02, 0.005, 0.1),
                         },

@@ -60,7 +60,7 @@ pub fn load_dir(dir: &Path) -> Result<Vec<(String, Scenario)>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::scenario::WorkloadSpec;
+    use crate::scenario::{WorkloadKind, WorkloadSpec};
     use noc_topology::{ElevatorSet, Mesh3d};
 
     fn tiny(name: &str, rate: f64) -> Scenario {
@@ -68,7 +68,7 @@ mod tests {
         let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
         Scenario::new(name, mesh, elevators)
             .with_phases(100, 400, 2_000)
-            .with_workload(WorkloadSpec::Uniform { rate })
+            .with_workload(WorkloadKind::Uniform { rate })
     }
 
     #[test]
@@ -85,7 +85,10 @@ mod tests {
         assert_eq!(suite.len(), 2, "non-JSON entries are ignored");
         assert_eq!(suite[0].0, "a_first");
         assert_eq!(suite[1].0, "b_second");
-        assert_eq!(suite[0].1.workload, WorkloadSpec::Uniform { rate: 0.001 });
+        assert_eq!(
+            suite[0].1.workload,
+            WorkloadSpec::v1(WorkloadKind::Uniform { rate: 0.001 })
+        );
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

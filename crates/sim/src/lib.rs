@@ -39,6 +39,7 @@ mod arena;
 mod config;
 mod flit;
 mod network;
+mod scheduler;
 mod sim;
 mod stats;
 mod table;
@@ -53,6 +54,6 @@ pub use flit::{Flit, FlitKind, Packet, PacketId};
 pub use hooks::{EventSchedule, SimCommand};
 pub use network::Network;
 pub use noc_energy::{EnergyLedger, EnergyModel, LinkLedger, LinkMap};
-pub use sim::Simulator;
+pub use sim::{Simulator, TrafficInput};
 pub use stats::{RunSummary, StatsCollector};
 pub use table::PacketTable;

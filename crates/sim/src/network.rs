@@ -58,6 +58,21 @@ const LOCAL: usize = 0; // Direction::Local.index()
 /// request table (port indices are < [`PORTS`]).
 const NO_REQUEST: u8 = u8::MAX;
 
+/// Route-request cache sentinel: the lane's front changed since the last
+/// route computation (or the lane is empty).
+const REQ_UNKNOWN: u8 = u8::MAX;
+/// Route-request cache sentinel: the current front is not a routable head
+/// (a body/tail flit mid-wormhole). Distinct from [`REQ_UNKNOWN`] so
+/// blocked non-head fronts are not re-inspected every cycle.
+const REQ_NONE: u8 = u8::MAX - 1;
+
+/// Lane index of `(port, vc)` within one router's `PORTS × VCS` block
+/// (the bit position used by the occupancy/owner masks).
+#[inline]
+fn local_lane(port: usize, vc: usize) -> usize {
+    port * VCS + vc
+}
+
 /// FIFO lane of `(router, port, vc)` in the flit arena.
 #[inline]
 fn lane(router: usize, port: usize, vc: usize) -> usize {
@@ -67,6 +82,21 @@ fn lane(router: usize, port: usize, vc: usize) -> usize {
 /// Per-router switching state (flit storage lives in the shared arena).
 #[derive(Debug, Clone)]
 struct RouterState {
+    /// Non-empty input lanes, bit [`local_lane`]`(port, vc)`. A pure
+    /// cache of the arena's occupancy, maintained at every push/pop, so
+    /// the per-cycle route-and-send pass iterates set bits instead of
+    /// probing all `PORTS × VCS` FIFO fronts.
+    occ: u32,
+    /// Output channels with a live wormhole owner, bit
+    /// [`local_lane`]`(port, vc)` — the same skip-the-scan trick for the
+    /// owner table.
+    own: u32,
+    /// Cached routing decision for each input lane's front flit: an
+    /// output-port index, [`REQ_NONE`] (front is not a routable head) or
+    /// [`REQ_UNKNOWN`] (front changed since last computed). Routes are
+    /// pure functions of the packet, so a blocked head no longer pays a
+    /// packet-table read plus `route_step` every cycle it waits.
+    req_cache: [u8; PORTS * VCS],
     /// Owner of each output channel `(port, vc)`: the input `(port, vc)`
     /// whose packet currently holds the wormhole.
     owner: [[Option<(u8, u8)>; VCS]; PORTS],
@@ -78,6 +108,14 @@ struct RouterState {
     rr_vc: [u8; PORTS],
     /// Total buffered flits (for probe queries and worklist re-arming).
     buffered: u32,
+    /// `true` while the router is provably stuck: its last arbitration
+    /// moved nothing, and no arrival or credit has touched it since.
+    /// Arbitration is a pure function of the router's own FIFOs, owners
+    /// and credits (packet routes are immutable), so until one of those
+    /// changes the outcome cannot either — the route-and-send pass skips
+    /// the router for the cost of one flag read. Cleared by every arrival
+    /// and credit commit.
+    quiet: bool,
 }
 
 impl RouterState {
@@ -89,11 +127,15 @@ impl RouterState {
             }
         }
         Self {
+            occ: 0,
+            own: 0,
+            req_cache: [REQ_UNKNOWN; PORTS * VCS],
             owner: [[None; VCS]; PORTS],
             credits,
             rr_grant: [[0; VCS]; PORTS],
             rr_vc: [0; PORTS],
             buffered: 0,
+            quiet: false,
         }
     }
 }
@@ -324,12 +366,20 @@ impl Network {
             while bits != 0 {
                 let r = w * 64 + bits.trailing_zeros() as usize;
                 bits &= bits - 1;
-                if self.routers[r].buffered == 0 {
+                let router = &self.routers[r];
+                if router.buffered == 0 {
                     continue; // only queued at its source NI
                 }
-                progress |= self.process_router(
+                if router.quiet {
+                    continue; // provably stuck since its last arbitration
+                }
+                let moved = self.process_router(
                     r, packets, cycle, armed, stats, ledger, telemetry, feedbacks,
                 );
+                progress |= moved;
+                // A fruitless arbitration stays fruitless until an arrival
+                // or credit changes the router's inputs.
+                self.routers[r].quiet = !moved;
             }
         }
 
@@ -381,7 +431,15 @@ impl Network {
                 "credit protocol violated: FIFO overflow at {node}"
             );
             self.fifos.push_back(fifo, flit);
-            self.routers[n].buffered += 1;
+            let arrival_bit = local_lane(port as usize, vc as usize);
+            let router = &mut self.routers[n];
+            if router.occ & (1 << arrival_bit) == 0 {
+                // The lane was empty: this flit is its new front.
+                router.occ |= 1 << arrival_bit;
+                router.req_cache[arrival_bit] = REQ_UNKNOWN;
+            }
+            router.buffered += 1;
+            router.quiet = false;
             self.buffered_total += 1;
             stats.on_router_flit(node);
             if armed {
@@ -394,8 +452,10 @@ impl Network {
             self.active_bits[n / 64] |= 1 << (n % 64);
         }
         for (node, oport, vc) in self.staged_credits.drain(..) {
-            let c = &mut self.routers[node.index()].credits[oport as usize][vc as usize];
+            let router = &mut self.routers[node.index()];
+            let c = &mut router.credits[oport as usize][vc as usize];
             *c += 1;
+            router.quiet = false;
             debug_assert!(*c <= self.buffer_depth, "credit overflow at {node}");
         }
         for (node, vc) in self.staged_ni_credits.drain(..) {
@@ -446,37 +506,62 @@ impl Network {
         telemetry: &mut LinkLedger,
         feedbacks: &mut Vec<SourceFeedback>,
     ) -> bool {
-        // Output ports worth arbitrating: wormhole owners with flits ready…
+        // Output ports worth arbitrating: wormhole owners with flits
+        // ready. Only channels with their `own` bit set can have an
+        // owner, so iterate the mask instead of scanning the table.
         let mut out_mask: u8 = 0;
-        for o in 0..PORTS {
-            for v in 0..VCS {
-                if let Some((ip, iv)) = self.routers[r].owner[o][v] {
-                    if !self.fifos.is_empty(lane(r, ip as usize, iv as usize)) {
-                        out_mask |= 1 << o;
-                    }
-                }
+        // VCs per output that can possibly field a candidate (live owner
+        // or requesting head); process_output skips the rest unseen.
+        let mut vc_mask = [0u8; PORTS];
+        let mut own_bits = self.routers[r].own;
+        while own_bits != 0 {
+            let b = own_bits.trailing_zeros() as usize;
+            own_bits &= own_bits - 1;
+            let (o, v) = (b / VCS, b % VCS);
+            let (ip, iv) = self.routers[r].owner[o][v].expect("own bit implies an owner");
+            if self.routers[r].occ & (1 << local_lane(ip as usize, iv as usize)) != 0 {
+                out_mask |= 1 << o;
+                vc_mask[o] |= 1 << v;
             }
         }
         // …and the requested output of every head flit at a FIFO front
         // (owned lanes never front a head: the owner is cleared the moment
-        // the previous tail is sent).
+        // the previous tail is sent). Only non-empty lanes — the set bits
+        // of `occ` — can front anything, and the route of a given front
+        // is constant, so blocked heads reuse the cached request.
         let mut head_request = [[NO_REQUEST; VCS]; PORTS];
-        for (p, row) in head_request.iter_mut().enumerate() {
-            for (v, request) in row.iter_mut().enumerate() {
-                let Some(head) = self.fifos.front(lane(r, p, v)) else {
-                    continue;
+        let mut occ_bits = self.routers[r].occ;
+        while occ_bits != 0 {
+            let b = occ_bits.trailing_zeros() as usize;
+            occ_bits &= occ_bits - 1;
+            let (p, v) = (b / VCS, b % VCS);
+            let mut request = self.routers[r].req_cache[b];
+            if request == REQ_UNKNOWN {
+                let head = self
+                    .fifos
+                    .front(lane(r, p, v))
+                    .expect("occ bit implies a flit");
+                request = if head.kind.is_head() {
+                    let pkt = packets.get(head.packet);
+                    if pkt.vnet.index() == v {
+                        route::route_step(
+                            self.coords[r],
+                            self.coords[pkt.dst.index()],
+                            pkt.elevator,
+                        )
+                        .index() as u8
+                    } else {
+                        REQ_NONE
+                    }
+                } else {
+                    REQ_NONE
                 };
-                if !head.kind.is_head() {
-                    continue;
-                }
-                let pkt = packets.get(head.packet);
-                if pkt.vnet.index() != v {
-                    continue;
-                }
-                let dir =
-                    route::route_step(self.coords[r], self.coords[pkt.dst.index()], pkt.elevator);
-                *request = dir.index() as u8;
-                out_mask |= 1 << dir.index();
+                self.routers[r].req_cache[b] = request;
+            }
+            if request < PORTS as u8 {
+                head_request[p][v] = request;
+                out_mask |= 1 << request;
+                vc_mask[request as usize] |= 1 << v;
             }
         }
 
@@ -488,6 +573,7 @@ impl Network {
             progress |= self.process_output(
                 r,
                 o,
+                vc_mask[o],
                 &head_request,
                 &mut input_used,
                 packets,
@@ -509,6 +595,7 @@ impl Network {
         &mut self,
         r: usize,
         o: usize,
+        vc_mask: u8,
         head_request: &[[u8; VCS]; PORTS],
         input_used: &mut [[bool; VCS]; PORTS],
         packets: &mut PacketTable,
@@ -522,7 +609,10 @@ impl Network {
         let o_dir = Direction::from_index(o).expect("valid port");
         // Gather, per VC, the input (port, vc) able to send on (o, vc).
         let mut candidates: [Option<(u8, u8, bool)>; VCS] = [None; VCS]; // (ip, iv, is_new_grant)
-        for v in 0..VCS {
+        let mut vcs = vc_mask;
+        while vcs != 0 {
+            let v = vcs.trailing_zeros() as usize;
+            vcs &= vcs - 1;
             let has_credit = o == LOCAL || self.routers[r].credits[o][v] > 0;
             if !has_credit {
                 continue;
@@ -567,12 +657,22 @@ impl Network {
         self.routers[r].buffered -= 1;
         self.buffered_total -= 1;
         input_used[ipu][ivu] = true;
+        // The lane's front changed: drop its cached route and, if it
+        // emptied, its occupancy bit.
+        let in_lane_bit = local_lane(ipu, ivu);
+        self.routers[r].req_cache[in_lane_bit] = REQ_UNKNOWN;
+        if self.fifos.is_empty(lane(r, ipu, ivu)) {
+            self.routers[r].occ &= !(1 << in_lane_bit);
+        }
+        let out_lane_bit = local_lane(o, v);
         if is_new {
             self.routers[r].owner[o][v] = Some((ip, iv));
+            self.routers[r].own |= 1 << out_lane_bit;
             self.routers[r].rr_grant[o][v] = (ip + 1) % PORTS as u8;
         }
         if flit.kind.is_tail() {
             self.routers[r].owner[o][v] = None;
+            self.routers[r].own &= !(1 << out_lane_bit);
         }
         self.routers[r].rr_vc[o] = ((v + 1) % VCS) as u8;
         if o != LOCAL {
@@ -630,9 +730,14 @@ impl Network {
             self.staged_arrivals
                 .push((downstream, down_in, v as u8, flit));
 
-            // Source-router departure feedback (Eq. 6 inputs).
-            let pkt = packets.get_mut(flit.packet);
-            if pkt.src == node_id {
+            // Source-router departure feedback (Eq. 6 inputs). A flit is
+            // leaving its source exactly when it exits through a LOCAL
+            // input lane (flits only ever enter LOCAL lanes at their
+            // injection NI, and XY-then-vertical routing never revisits
+            // the source), so transit flits skip the packet-table read.
+            if ipu == LOCAL {
+                let pkt = packets.get_mut(flit.packet);
+                debug_assert_eq!(pkt.src, node_id, "LOCAL input lane implies source router");
                 if flit.kind.is_head() {
                     pkt.head_out_src = Some(cycle);
                 }

@@ -4,12 +4,81 @@ use crate::config::SimConfig;
 use crate::flit::Packet;
 use crate::hooks::{EventSchedule, SimCommand};
 use crate::network::Network;
+use crate::scheduler::InjectionScheduler;
 use crate::stats::{RunSummary, StatsCollector};
 use crate::table::PacketTable;
 use adele::online::{Cycle, ElevatorSelector, SelectionContext, SourceFeedback};
 use noc_energy::{EnergyLedger, LinkLedger, LinkMap};
 use noc_topology::route::{ElevatorCoord, VirtualNet};
-use noc_traffic::{TrafficDirective, TrafficSource};
+use noc_topology::NodeId;
+use noc_traffic::{InjectionRequest, ScheduledSource, TrafficDirective, TrafficSource};
+
+/// A workload handed to the simulator: either the classic polled
+/// interface (one [`TrafficSource::maybe_inject`] call per node per
+/// cycle — the bit-stable `v1` stream) or an event-driven
+/// [`ScheduledSource`] drained through the injection calendar (the
+/// batched `v2` stream).
+///
+/// Spec layers build this with `WorkloadSpec::build`; direct users can
+/// rely on the `From` impls.
+pub enum TrafficInput {
+    /// Per-node-per-cycle polled workload.
+    Polled(Box<dyn TrafficSource>),
+    /// Batched event-driven workload.
+    Scheduled(Box<dyn ScheduledSource>),
+}
+
+impl From<Box<dyn TrafficSource>> for TrafficInput {
+    fn from(source: Box<dyn TrafficSource>) -> Self {
+        TrafficInput::Polled(source)
+    }
+}
+
+impl From<Box<dyn ScheduledSource>> for TrafficInput {
+    fn from(source: Box<dyn ScheduledSource>) -> Self {
+        TrafficInput::Scheduled(source)
+    }
+}
+
+impl std::fmt::Debug for TrafficInput {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrafficInput::Polled(s) => write!(f, "TrafficInput::Polled({})", s.name()),
+            TrafficInput::Scheduled(s) => write!(f, "TrafficInput::Scheduled({})", s.name()),
+        }
+    }
+}
+
+/// The simulator's injection driver: the polled path is kept verbatim
+/// (its per-cycle call sequence — and with it the `v1` RNG stream — is
+/// bit-stable), the scheduled path drains the calendar.
+enum Injector {
+    Polled(Box<dyn TrafficSource>),
+    Scheduled(InjectionScheduler),
+}
+
+impl Injector {
+    fn name(&self) -> &'static str {
+        match self {
+            Injector::Polled(s) => s.name(),
+            Injector::Scheduled(s) => s.name(),
+        }
+    }
+
+    fn mean_rate(&self) -> Option<f64> {
+        match self {
+            Injector::Polled(s) => s.mean_rate(),
+            Injector::Scheduled(s) => s.mean_rate(),
+        }
+    }
+
+    fn apply(&mut self, directive: &TrafficDirective, now: Cycle) {
+        match self {
+            Injector::Polled(s) => s.apply(directive),
+            Injector::Scheduled(s) => s.apply(directive, now),
+        }
+    }
+}
 
 /// A configured simulation run.
 ///
@@ -20,13 +89,15 @@ pub struct Simulator {
     config: SimConfig,
     net: Network,
     packets: PacketTable,
-    traffic: Box<dyn TrafficSource>,
+    traffic: Injector,
     selector: Box<dyn ElevatorSelector>,
     stats: StatsCollector,
     ledger: EnergyLedger,
     telemetry: LinkLedger,
     feedbacks: Vec<SourceFeedback>,
     schedule: EventSchedule,
+    /// This cycle's staged injections, reused across cycles.
+    pending: Vec<(NodeId, InjectionRequest)>,
     cycle: u64,
     last_progress: u64,
 }
@@ -54,10 +125,44 @@ impl Simulator {
         traffic: Box<dyn TrafficSource>,
         selector: Box<dyn ElevatorSelector>,
     ) -> Self {
+        Self::from_input(config, TrafficInput::Polled(traffic), selector)
+    }
+
+    /// Assembles a simulator over an event-driven [`ScheduledSource`]:
+    /// injection drains the calendar queue instead of polling every node
+    /// every cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`SimConfig::validate`]).
+    #[must_use]
+    pub fn new_scheduled(
+        config: SimConfig,
+        traffic: Box<dyn ScheduledSource>,
+        selector: Box<dyn ElevatorSelector>,
+    ) -> Self {
+        Self::from_input(config, TrafficInput::Scheduled(traffic), selector)
+    }
+
+    /// Assembles a simulator from either workload interface.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config` is invalid (see [`SimConfig::validate`]).
+    #[must_use]
+    pub fn from_input(
+        config: SimConfig,
+        traffic: TrafficInput,
+        selector: Box<dyn ElevatorSelector>,
+    ) -> Self {
         config.validate();
         let net = Network::new(config.mesh, config.elevators.clone(), config.buffer_depth);
         let stats = StatsCollector::new(config.mesh.node_count(), config.elevators.len());
         let telemetry = LinkLedger::new(net.link_map(), VirtualNet::COUNT);
+        let traffic = match traffic {
+            TrafficInput::Polled(source) => Injector::Polled(source),
+            TrafficInput::Scheduled(source) => Injector::Scheduled(InjectionScheduler::new(source)),
+        };
         Self {
             config,
             net,
@@ -69,6 +174,7 @@ impl Simulator {
             telemetry,
             feedbacks: Vec::new(),
             schedule: EventSchedule::new(),
+            pending: Vec::new(),
             cycle: 0,
             last_progress: 0,
         }
@@ -95,13 +201,16 @@ impl Simulator {
             }
             SimCommand::ScaleInjection { factor } => {
                 self.traffic
-                    .apply(&TrafficDirective::ScaleRate { factor: *factor });
+                    .apply(&TrafficDirective::ScaleRate { factor: *factor }, self.cycle);
             }
             SimCommand::ShiftHotspot { hotspots, fraction } => {
-                self.traffic.apply(&TrafficDirective::SetHotspots {
-                    hotspots: hotspots.clone(),
-                    fraction: *fraction,
-                });
+                self.traffic.apply(
+                    &TrafficDirective::SetHotspots {
+                        hotspots: hotspots.clone(),
+                        fraction: *fraction,
+                    },
+                    self.cycle,
+                );
             }
         }
     }
@@ -142,50 +251,62 @@ impl Simulator {
         &self.packets
     }
 
-    /// Creates this cycle's packets: asks the workload, runs elevator
-    /// selection for inter-layer packets, and queues them at their NIs.
+    /// Creates this cycle's packets and queues them at their NIs.
+    ///
+    /// The polled path asks the workload about every node (the bit-stable
+    /// `v1` call sequence, verbatim); the scheduled path drains the
+    /// injection calendar, so only nodes that actually inject this cycle
+    /// cost anything.
     fn generate_traffic(&mut self) {
-        for node in self.config.mesh.node_ids() {
-            let Some(req) = self.traffic.maybe_inject(node, self.cycle) else {
-                continue;
-            };
-            if req.dst == node || req.flits == 0 {
-                continue; // self-addressed or empty packets are dropped
+        match &mut self.traffic {
+            Injector::Polled(traffic) => {
+                for node in self.config.mesh.node_ids() {
+                    let Some(req) = traffic.maybe_inject(node, self.cycle) else {
+                        continue;
+                    };
+                    admit_packet(
+                        &self.config,
+                        &mut self.net,
+                        &mut self.packets,
+                        self.selector.as_mut(),
+                        &mut self.stats,
+                        self.cycle,
+                        node,
+                        req,
+                    );
+                }
             }
-            let src = self.config.mesh.coord(node);
-            let dst = self.config.mesh.coord(req.dst);
-            let elevator = if src.z != dst.z {
-                let ctx = SelectionContext {
-                    src_id: node,
-                    src,
-                    dst_id: req.dst,
-                    dst,
-                    elevators: self.net.elevators(),
-                    probe: &self.net,
-                    cycle: self.cycle,
-                };
-                let choice = self.selector.select(&ctx);
-                Some(ElevatorCoord::from_set(self.net.elevators(), choice))
-            } else {
-                None
-            };
-            self.stats
-                .on_packet_created(req.flits, elevator.map(|e| e.id));
-            let id = self.packets.insert(Packet {
-                src: node,
-                dst: req.dst,
-                flits: req.flits,
-                vnet: VirtualNet::for_layers(src.z, dst.z),
-                elevator,
-                created: self.cycle,
-                head_out_src: None,
-                tail_out_src: None,
-                delivered: None,
-                flits_delivered: 0,
-                measured: self.stats.armed(),
-            });
-            self.net.enqueue_packet(node, id);
+            Injector::Scheduled(_) => self.generate_scheduled(),
         }
+    }
+
+    /// The calendar-drain half of [`Self::generate_traffic`]: injections
+    /// arrive already sorted by node, so admission order (and with it
+    /// selection and statistics order) matches the polled scan.
+    fn generate_scheduled(&mut self) {
+        let mut pending = std::mem::take(&mut self.pending);
+        if let Injector::Scheduled(scheduler) = &mut self.traffic {
+            scheduler.drain_due(self.cycle, &mut pending);
+        }
+        for &(node, req) in &pending {
+            admit_packet(
+                &self.config,
+                &mut self.net,
+                &mut self.packets,
+                self.selector.as_mut(),
+                &mut self.stats,
+                self.cycle,
+                node,
+                req,
+            );
+        }
+        self.pending = pending;
+    }
+
+    /// The workload's name (experiment output).
+    #[must_use]
+    pub fn workload_name(&self) -> &'static str {
+        self.traffic.name()
     }
 
     /// Advances one cycle.
@@ -333,6 +454,61 @@ impl Simulator {
             completed,
         )
     }
+}
+
+/// Admits one injection request: drops degenerate packets, runs elevator
+/// selection for inter-layer traffic, records statistics and queues the
+/// packet at its source NI. Shared verbatim by the polled scan and the
+/// calendar drain, so the two injection paths cannot drift.
+///
+/// Takes the simulator's fields individually (not `&mut Simulator`) so
+/// callers can invoke it while the workload itself is still borrowed.
+#[allow(clippy::too_many_arguments)] // the per-injection sinks of one admission
+fn admit_packet(
+    config: &SimConfig,
+    net: &mut Network,
+    packets: &mut PacketTable,
+    selector: &mut dyn ElevatorSelector,
+    stats: &mut StatsCollector,
+    cycle: u64,
+    node: NodeId,
+    req: InjectionRequest,
+) {
+    if req.dst == node || req.flits == 0 {
+        return; // self-addressed or empty packets are dropped
+    }
+    let src = config.mesh.coord(node);
+    let dst = config.mesh.coord(req.dst);
+    let elevator = if src.z != dst.z {
+        let ctx = SelectionContext {
+            src_id: node,
+            src,
+            dst_id: req.dst,
+            dst,
+            elevators: net.elevators(),
+            probe: net,
+            cycle,
+        };
+        let choice = selector.select(&ctx);
+        Some(ElevatorCoord::from_set(net.elevators(), choice))
+    } else {
+        None
+    };
+    stats.on_packet_created(req.flits, elevator.map(|e| e.id));
+    let id = packets.insert(Packet {
+        src: node,
+        dst: req.dst,
+        flits: req.flits,
+        vnet: VirtualNet::for_layers(src.z, dst.z),
+        elevator,
+        created: cycle,
+        head_out_src: None,
+        tail_out_src: None,
+        delivered: None,
+        flits_delivered: 0,
+        measured: stats.armed(),
+    });
+    net.enqueue_packet(node, id);
 }
 
 #[cfg(test)]

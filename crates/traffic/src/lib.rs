@@ -12,6 +12,11 @@
 //! * [`matrix`] — long-run traffic frequency matrices `f_ij`, consumed by
 //!   AdEle's offline objectives (Eq. 1 of the paper).
 //! * [`trace`] — recorded injection events for replay and testing.
+//! * [`scheduled`] — event-driven batched injection: sources that
+//!   skip-sample each node's next injection cycle (geometric for
+//!   Bernoulli, phase-aware for bursty) so idle nodes cost nothing
+//!   between injections, plus the [`CyclePolled`] adapter that lets any
+//!   polled source ride the same interface.
 //!
 //! Workloads compose: [`CompositeSource`] mixes weighted components
 //! (hotspot + bursty, …), [`SyntheticTraffic::per_layer`] skews rates
@@ -45,11 +50,16 @@ pub mod apps;
 pub mod injection;
 pub mod matrix;
 pub mod pattern;
+pub mod scheduled;
 pub mod trace;
 
 mod source;
 
 pub use matrix::TrafficMatrix;
+pub use scheduled::{
+    derive_stream_seed, BatchedSynthetic, CyclePolled, ScheduledInjection, ScheduledSource,
+    StreamVersion,
+};
 pub use source::{
     CompositeSource, InjectionRequest, SyntheticTraffic, TrafficDirective, TrafficSource,
 };

@@ -252,3 +252,117 @@ proptest! {
         prop_assert_eq!(collect(), collect());
     }
 }
+
+/// Mean and (population) variance of a sample.
+fn mean_var(samples: &[f64]) -> (f64, f64) {
+    let n = samples.len() as f64;
+    let mean = samples.iter().sum::<f64>() / n;
+    let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n;
+    (mean, var)
+}
+
+// The geometric skip-sampler against the per-cycle Bernoulli process it
+// replaces: identical support and matching inter-arrival moments, across
+// rates including the edge cases (rate 0, rate 1, post-ScaleRate
+// clamping past saturation).
+proptest! {
+    #[test]
+    fn geometric_skip_support_matches_bernoulli(rate in 0.01f64..0.99, seed in 0u64..200) {
+        use noc_traffic::scheduled::{geometric_skip, NEVER};
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..200 {
+            let gap = geometric_skip(&mut rng, rate);
+            // A Bernoulli process with 0 < p < 1 can produce any finite
+            // number of failures before a success — but never "never".
+            prop_assert!(gap != NEVER);
+        }
+    }
+
+    #[test]
+    fn geometric_skip_matches_bernoulli_gap_moments(
+        rate in 0.02f64..0.5,
+        seed in 0u64..100,
+    ) {
+        use noc_traffic::scheduled::geometric_skip;
+        let draws = 30_000usize;
+
+        // Skip-sampled inter-arrival gaps (cycles from one injection to
+        // the next: one cycle to fire plus the sampled failure run).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let skip: Vec<f64> = (0..draws)
+            .map(|_| 1.0 + geometric_skip(&mut rng, rate) as f64)
+            .collect();
+
+        // The per-cycle process, observed the classic way.
+        let mut process = InjectionProcess::bernoulli(rate);
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED);
+        let mut polled = Vec::with_capacity(draws);
+        let mut gap = 0f64;
+        while polled.len() < draws {
+            gap += 1.0;
+            if process.step(&mut rng) {
+                polled.push(gap);
+                gap = 0.0;
+            }
+        }
+
+        // Geometric(p) on {1, 2, …}: mean 1/p, variance (1-p)/p².
+        let expect_mean = 1.0 / rate;
+        let expect_var = (1.0 - rate) / (rate * rate);
+        let (skip_mean, skip_var) = mean_var(&skip);
+        let (poll_mean, poll_var) = mean_var(&polled);
+        for (what, mean, var) in [("skip", skip_mean, skip_var), ("polled", poll_mean, poll_var)] {
+            prop_assert!(
+                (mean - expect_mean).abs() < 0.05 * expect_mean,
+                "{what} gap mean {mean} vs expected {expect_mean} at rate {rate}"
+            );
+            prop_assert!(
+                (var - expect_var).abs() < 0.15 * expect_var + 0.5,
+                "{what} gap variance {var} vs expected {expect_var} at rate {rate}"
+            );
+        }
+        prop_assert!(
+            (skip_mean - poll_mean).abs() < 0.07 * expect_mean,
+            "streams disagree: skip mean {skip_mean}, polled mean {poll_mean}"
+        );
+    }
+
+    #[test]
+    fn geometric_skip_edge_rates(seed in 0u64..200) {
+        use noc_traffic::scheduled::{geometric_skip, NEVER};
+        let mut rng = StdRng::seed_from_u64(seed);
+        // Rate 0 (a silenced workload): no injection, ever.
+        prop_assert_eq!(geometric_skip(&mut rng, 0.0), NEVER);
+        // Rate 1 and rates clamped past saturation (ScaleRate keeps the
+        // raw product and clamps at sampling): fire every cycle.
+        prop_assert_eq!(geometric_skip(&mut rng, 1.0), 0);
+        prop_assert_eq!(geometric_skip(&mut rng, 17.5), 0);
+        // Negative products cannot occur (scale_rate rejects negative
+        // factors), but the sampler still saturates safely.
+        prop_assert_eq!(geometric_skip(&mut rng, -1.0), NEVER);
+    }
+
+    #[test]
+    fn scaled_batched_source_tracks_clamped_rate(
+        rate in 0.001f64..0.01,
+        factor in 0.0f64..400.0,
+        seed in 0u64..50,
+    ) {
+        use noc_traffic::scheduled::ScheduledSource;
+        use noc_traffic::{BatchedSynthetic, TrafficDirective};
+        let mesh = Mesh3d::new(4, 4, 2).unwrap();
+        let mut source = BatchedSynthetic::uniform(&mesh, rate, seed);
+        source.apply(&TrafficDirective::ScaleRate { factor }, 0);
+        let clamped = (rate * factor).clamp(0.0, 1.0);
+        prop_assert!((source.mean_rate().unwrap() - clamped).abs() < 1e-12);
+        let cycles = 4_000u64;
+        let injected = source.next_injections(cycles - 1).len();
+        let measured = injected as f64 / (cycles as f64 * 32.0);
+        // Binomial bound: 6 standard deviations around the clamped rate.
+        let sd = (clamped * (1.0 - clamped) / (cycles as f64 * 32.0)).sqrt();
+        prop_assert!(
+            (measured - clamped).abs() <= 6.0 * sd + 1e-9,
+            "measured {measured} vs clamped {clamped} (sd {sd})"
+        );
+    }
+}

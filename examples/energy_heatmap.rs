@@ -8,7 +8,7 @@
 
 use adele_bench::quick_mode;
 use noc_energy::{HeatmapReport, LinkEnergyReport};
-use noc_exp::{Scenario, SelectorSpec, WorkloadSpec};
+use noc_exp::{Scenario, SelectorSpec, WorkloadKind};
 use noc_sim::hooks::SimCommand;
 use noc_sim::Simulator;
 use noc_topology::placement::Placement;
@@ -58,7 +58,7 @@ fn main() {
 
     // PS3: 8 pillars on a 4×4×4 mesh, AdEle with full subsets.
     let scenario = Scenario::from_placement("energy-heatmap", Placement::Ps3)
-        .with_workload(WorkloadSpec::Uniform { rate: 0.005 })
+        .with_workload(WorkloadKind::Uniform { rate: 0.005 })
         .with_selector(SelectorSpec::adele())
         .with_phases(warmup, 2 * window, 30_000)
         .with_seed(42);

@@ -12,7 +12,7 @@
 //! (`ADELE_QUICK=1` shrinks the windows for a smoke pass).
 
 use adele_bench::quick_mode;
-use noc_exp::{Event, Scenario, SelectorSpec, WorkloadSpec};
+use noc_exp::{Event, Scenario, SelectorSpec, WorkloadKind};
 use noc_sim::RunSummary;
 use noc_topology::placement::Placement;
 use noc_topology::ElevatorId;
@@ -29,7 +29,7 @@ fn main() {
     // redundancy is maximal. The victim dies at the start of the second
     // window and recovers at the start of the third.
     let scenario = Scenario::from_placement("elevator-failure", Placement::Ps3)
-        .with_workload(WorkloadSpec::Uniform { rate: 0.005 })
+        .with_workload(WorkloadKind::Uniform { rate: 0.005 })
         .with_selector(SelectorSpec::adele())
         .with_phases(warmup, 3 * window, 30_000)
         .with_seed(42)

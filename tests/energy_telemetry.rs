@@ -6,7 +6,7 @@
 
 use adele::online::ElevatorFirstSelector;
 use noc_energy::EnergyLedger;
-use noc_exp::{Event, Scenario, SelectorSpec, WorkloadSpec};
+use noc_exp::{Event, Scenario, SelectorSpec, WorkloadKind};
 use noc_sim::{SimConfig, Simulator};
 use noc_topology::{ElevatorId, ElevatorSet, Mesh3d};
 use noc_traffic::SyntheticTraffic;
@@ -78,7 +78,7 @@ fn failed_pillar_tsv_links_report_zero_energy() {
     let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
     let victim = ElevatorId(0);
     let scenario = Scenario::new("tsv-zero", mesh, elevators)
-        .with_workload(WorkloadSpec::Uniform { rate: 0.005 })
+        .with_workload(WorkloadKind::Uniform { rate: 0.005 })
         .with_selector(SelectorSpec::adele())
         .with_phases(200, 800, 4_000)
         .with_seed(13)
@@ -151,7 +151,7 @@ fn measured_energy_mode_runs_deterministically() {
     let mesh = Mesh3d::new(4, 4, 2).unwrap();
     let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
     let scenario = Scenario::new("measured", mesh, elevators)
-        .with_workload(WorkloadSpec::Uniform { rate: 0.004 })
+        .with_workload(WorkloadKind::Uniform { rate: 0.004 })
         .with_selector(SelectorSpec::adele_measured_energy())
         .with_phases(200, 800, 4_000)
         .with_seed(21);
@@ -170,7 +170,7 @@ fn measured_flag_off_matches_paper_policy_bitwise() {
     let mesh = Mesh3d::new(4, 4, 2).unwrap();
     let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
     let base = Scenario::new("paper", mesh, elevators)
-        .with_workload(WorkloadSpec::Uniform { rate: 0.004 })
+        .with_workload(WorkloadKind::Uniform { rate: 0.004 })
         .with_phases(200, 800, 4_000)
         .with_seed(31);
     let paper = base.clone().with_selector(SelectorSpec::adele()).run();

@@ -5,7 +5,7 @@
 
 use adele::online::{ElevatorFirstSelector, ElevatorSelector};
 use noc_exp::runner::{par_injection_sweep, run_batch};
-use noc_exp::{Event, Scenario, SelectorSpec, WorkloadSpec};
+use noc_exp::{Event, Scenario, SelectorSpec, WorkloadKind};
 use noc_sim::harness::injection_sweep;
 use noc_sim::SimConfig;
 use noc_topology::{Coord, ElevatorId, ElevatorSet, Mesh3d};
@@ -50,7 +50,7 @@ fn scenario_batch_preserves_order_and_determinism() {
         .map(|i| {
             Scenario::new(format!("point-{i}"), mesh, elevators.clone())
                 .with_phases(100, 400, 2_000)
-                .with_workload(WorkloadSpec::Uniform {
+                .with_workload(WorkloadKind::Uniform {
                     rate: 0.001 + 0.001 * f64::from(i),
                 })
                 .with_seed(7)
@@ -72,7 +72,7 @@ fn elevator_fail_event_changes_adele_selection_mid_run() {
     let (mesh, elevators) = tiny_topology();
     let victim = ElevatorId(1);
     let base = Scenario::new("fault", mesh, elevators)
-        .with_workload(WorkloadSpec::Uniform { rate: 0.004 })
+        .with_workload(WorkloadKind::Uniform { rate: 0.004 })
         .with_selector(SelectorSpec::adele())
         .with_phases(200, 1_000, 6_000)
         .with_seed(11);
@@ -130,11 +130,11 @@ fn composed_workloads_run_through_the_engine() {
     let (mesh, elevators) = tiny_topology();
     let composite = Scenario::new("hotspot+bursty", mesh, elevators.clone())
         .with_phases(150, 600, 3_000)
-        .with_workload(WorkloadSpec::Composite {
+        .with_workload(WorkloadKind::Composite {
             parts: vec![
                 (
                     0.6,
-                    WorkloadSpec::Hotspot {
+                    WorkloadKind::Hotspot {
                         rate: 0.004,
                         hotspots: vec![Coord::new(3, 3, 1)],
                         fraction: 0.5,
@@ -142,7 +142,7 @@ fn composed_workloads_run_through_the_engine() {
                 ),
                 (
                     0.4,
-                    WorkloadSpec::Bursty {
+                    WorkloadKind::Bursty {
                         rate: 0.004,
                         params: noc_traffic::injection::OnOffParams::new(0.02, 0.005, 0.1),
                     },
@@ -152,7 +152,7 @@ fn composed_workloads_run_through_the_engine() {
         .with_seed(3);
     let layered = Scenario::new("layer-skew", mesh, elevators)
         .with_phases(150, 600, 3_000)
-        .with_workload(WorkloadSpec::PerLayer {
+        .with_workload(WorkloadKind::PerLayer {
             rates: vec![0.006, 0.001],
         })
         .with_seed(3);

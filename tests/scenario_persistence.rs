@@ -4,7 +4,9 @@
 //! to the original.
 
 use adele::offline::SubsetAssignment;
-use noc_exp::{results_to_json, Event, Scenario, SelectorSpec, WorkloadSpec};
+use noc_exp::{
+    results_to_json, Event, Scenario, SelectorSpec, StreamVersion, WorkloadKind, WorkloadSpec,
+};
 use noc_topology::{Coord, ElevatorId, ElevatorSet, Mesh3d};
 use noc_traffic::injection::OnOffParams;
 
@@ -23,11 +25,11 @@ fn kitchen_sink() -> Scenario {
     Scenario::new("kitchen-sink", mesh, elevators)
         .with_phases(150, 600, 3_000)
         .with_seed(99)
-        .with_workload(WorkloadSpec::Composite {
+        .with_workload(WorkloadKind::Composite {
             parts: vec![
                 (
                     0.5,
-                    WorkloadSpec::Hotspot {
+                    WorkloadKind::Hotspot {
                         rate: 0.004,
                         hotspots: vec![Coord::new(3, 3, 1), Coord::new(0, 0, 0)],
                         fraction: 0.4,
@@ -35,14 +37,14 @@ fn kitchen_sink() -> Scenario {
                 ),
                 (
                     0.3,
-                    WorkloadSpec::Bursty {
+                    WorkloadKind::Bursty {
                         rate: 0.003,
                         params: OnOffParams::new(0.02, 0.005, 0.1),
                     },
                 ),
                 (
                     0.2,
-                    WorkloadSpec::PerLayer {
+                    WorkloadKind::PerLayer {
                         rates: vec![0.006, 0.001],
                     },
                 ),
@@ -97,24 +99,35 @@ fn parsed_scenario_runs_bit_identically() {
 #[test]
 fn every_workload_and_selector_spec_round_trips() {
     let workloads = [
-        WorkloadSpec::Uniform { rate: 0.003 },
-        WorkloadSpec::Shuffle { rate: 0.004 },
-        WorkloadSpec::Hotspot {
+        WorkloadKind::Uniform { rate: 0.003 },
+        WorkloadKind::Shuffle { rate: 0.004 },
+        WorkloadKind::Hotspot {
             rate: 0.002,
             hotspots: vec![Coord::new(2, 2, 1)],
             fraction: 0.25,
         },
-        WorkloadSpec::Bursty {
+        WorkloadKind::Bursty {
             rate: 0.005,
             params: OnOffParams::new(0.01, 0.01, 0.2),
         },
-        WorkloadSpec::PerLayer {
+        WorkloadKind::PerLayer {
             rates: vec![0.001, 0.002],
         },
     ];
-    for spec in workloads {
-        let json = serde_json::to_string(&spec).unwrap();
-        assert_eq!(serde_json::from_str::<WorkloadSpec>(&json).unwrap(), spec);
+    for kind in workloads {
+        // Both streams round-trip; a bare kind parses as the default v1.
+        for spec in [WorkloadSpec::v1(kind.clone()), WorkloadSpec::v2(kind)] {
+            let json = serde_json::to_string(&spec).unwrap();
+            assert_eq!(serde_json::from_str::<WorkloadSpec>(&json).unwrap(), spec);
+            if spec.stream == StreamVersion::V1 {
+                assert!(
+                    !json.contains("stream"),
+                    "v1 keeps the pre-versioning format: {json}"
+                );
+            } else {
+                assert!(json.contains("\"stream\":\"v2\""), "{json}");
+            }
+        }
     }
     let selectors = [
         SelectorSpec::ElevatorFirst,
@@ -226,7 +239,7 @@ fn results_dump_carries_pillar_telemetry() {
     let (mesh, elevators) = topology();
     let scenario = Scenario::new("dump", mesh, elevators)
         .with_phases(100, 400, 2_000)
-        .with_workload(WorkloadSpec::Uniform { rate: 0.004 })
+        .with_workload(WorkloadKind::Uniform { rate: 0.004 })
         .with_seed(5);
     let results = vec![scenario.run()];
     let json = results_to_json(&results);
@@ -255,6 +268,7 @@ fn checked_in_spec_suite_loads_and_validates() {
         names,
         [
             "baseline",
+            "baseline_v2",
             "elevator_fail",
             "hotspot_shift",
             "measured_energy"
@@ -265,11 +279,18 @@ fn checked_in_spec_suite_loads_and_validates() {
         assert_eq!(&scenario.name, stem, "scenario name must match its file");
         scenario.validate().expect("parsed specs are valid");
     }
-    // The fault spec really carries mid-run events; the telemetry spec
-    // really opts into measured energy.
-    assert_eq!(suite[1].1.events.len(), 2);
+    // The v2 spec really selects the batched stream (and the baseline
+    // stays on the default v1); the fault spec really carries mid-run
+    // events; the telemetry spec really opts into measured energy.
+    assert_eq!(suite[0].1.workload.stream, StreamVersion::V1);
+    assert_eq!(suite[1].1.workload.stream, StreamVersion::V2);
+    assert_eq!(
+        suite[0].1.workload.kind, suite[1].1.workload.kind,
+        "the v2 baseline offers the same load as the v1 baseline"
+    );
+    assert_eq!(suite[2].1.events.len(), 2);
     assert!(matches!(
-        suite[3].1.selector,
+        suite[4].1.selector,
         SelectorSpec::Adele {
             measured_energy: true,
             ..
