@@ -7,7 +7,11 @@
 //!
 //! Usage:
 //!
-//! * `run_specs [DIR]` — run the suite in `DIR` (default `specs/`).
+//! * `run_specs [DIR] [--shards N]` — run the suite in `DIR` (default
+//!   `specs/`). `--shards N` overrides every scenario's mesh shard count;
+//!   results are bit-identical at any value (the override only trades
+//!   wall-clock for cores, and CI uses it to sweep the sharded engine
+//!   over the whole suite).
 //! * `run_specs --emit [DIR]` — (re)write the canonical checked-in suite
 //!   (baseline, baseline-v2, elevator-fail, hotspot-shift,
 //!   measured-energy) into `DIR`.
@@ -104,7 +108,21 @@ fn main() {
         return;
     }
 
-    let dir = args.first().map_or("specs", String::as_str);
+    let shards_at = args.iter().position(|a| a == "--shards");
+    let shards_override = shards_at.map(|at| {
+        let Some(n) = args.get(at + 1).and_then(|s| s.parse::<usize>().ok()) else {
+            eprintln!("run_specs: --shards needs a shard count");
+            std::process::exit(2);
+        };
+        n
+    });
+    // The directory is the first argument that is neither the flag nor
+    // its value.
+    let dir = args
+        .iter()
+        .enumerate()
+        .find(|&(i, a)| !a.starts_with("--") && shards_at.is_none_or(|at| i != at + 1))
+        .map_or("specs", |(_, a)| a.as_str());
     let suite = match load_dir(Path::new(dir)) {
         Ok(suite) => suite,
         Err(e) => {
@@ -123,6 +141,9 @@ fn main() {
                 scenario.warmup = (scenario.warmup / 4).max(500);
                 scenario.measure = (scenario.measure / 4).max(2_000);
                 scenario.drain_max /= 2;
+            }
+            if let Some(shards) = shards_override {
+                scenario.shards = shards;
             }
             scenario
         })

@@ -1,6 +1,6 @@
 //! Scaling study beyond the paper: cycles/second and peak RSS on
 //! 8×8×4 → 16×16×8 → 32×32×8 meshes at low and moderate injection, on
-//! either workload stream.
+//! either workload stream, at one or more mesh shard counts.
 //!
 //! The paper stops at PM (8×8×4); this binary measures where the cycle
 //! loop stops scaling. Each mesh gets a regular elevator grid (columns
@@ -8,10 +8,15 @@
 //! driven for a fixed cycle budget after a warm-up; the wall-clock
 //! cycles/second and the process peak RSS are reported per point.
 //!
-//! Usage: `scale [--quick] [--stream v1|v2|both]` (`ADELE_QUICK=1` works
-//! too; the default measures **both** streams so the batched-injection
-//! speedup is recorded next to the bit-stable baseline). Results land in
-//! `results/scale.json`.
+//! Usage: `scale [--quick] [--stream v1|v2|both] [--shards 1,2,8]
+//! [--split]` (`ADELE_QUICK=1` works too; the default measures **both**
+//! streams so the batched-injection speedup is recorded next to the
+//! bit-stable baseline). `--shards` takes a comma-separated list of shard
+//! counts — results are bit-identical at every count, so the extra points
+//! only measure wall clock. `--split` additionally times the
+//! parallelisable network phase separately from the whole step, the
+//! serial/parallel (Amdahl) split the sharded-engine README section
+//! cites. Results land in `results/scale.json`.
 
 use adele::online::ElevatorFirstSelector;
 use adele_bench::{dump_json, f1, pillar_grid, print_table, quick_mode};
@@ -29,11 +34,17 @@ struct ScalePoint {
     pillars: usize,
     rate: f64,
     stream: String,
+    shards: usize,
     cycles: u64,
     wall_seconds: f64,
     cycles_per_second: f64,
     injected_packets: u64,
     peak_rss_kb: Option<u64>,
+    /// Seconds inside the parallelisable network phase (`--split` only).
+    compute_seconds: Option<f64>,
+    /// Fraction of the step outside the parallelisable phase — the
+    /// Amdahl serial share (`--split` only).
+    serial_fraction: Option<f64>,
 }
 
 /// The meshes of the study: the paper's PM scale and two steps beyond.
@@ -74,10 +85,14 @@ fn measure(
     elevators: &ElevatorSet,
     rate: f64,
     stream: StreamVersion,
+    shards: usize,
     cycles: u64,
+    split: bool,
 ) -> ScalePoint {
     let warmup = cycles / 10;
-    let config = SimConfig::new(mesh, elevators.clone()).with_seed(42);
+    let config = SimConfig::new(mesh, elevators.clone())
+        .with_seed(42)
+        .with_shards(shards);
     let traffic = match stream {
         StreamVersion::V1 => {
             TrafficInput::Polled(Box::new(SyntheticTraffic::uniform(&mesh, rate, 42)))
@@ -90,20 +105,42 @@ fn measure(
     reset_peak_rss();
     let mut sim = Simulator::from_input(config, traffic, Box::new(selector));
     sim.advance(warmup);
-    let start = Instant::now();
-    let summary = sim.measure_window(cycles);
-    let wall = start.elapsed().as_secs_f64();
+    let (wall, injected, compute_seconds, serial_fraction) = if split {
+        // The Amdahl probe: time the parallelisable network phase apart
+        // from the whole step (traffic generation, feedback, commit
+        // bookkeeping stay serial).
+        let (compute, total) = sim.advance_split_timed(cycles);
+        let (compute, total) = (compute.as_secs_f64(), total.as_secs_f64());
+        (
+            total,
+            sim.packet_table().total_created(),
+            Some(compute),
+            Some(1.0 - compute / total),
+        )
+    } else {
+        let start = Instant::now();
+        let summary = sim.measure_window(cycles);
+        (
+            start.elapsed().as_secs_f64(),
+            summary.injected_packets,
+            None,
+            None,
+        )
+    };
     ScalePoint {
         mesh: format!("{}x{}x{}", mesh.x(), mesh.y(), mesh.layers()),
         nodes: mesh.node_count(),
         pillars: elevators.len(),
         rate,
         stream: stream.to_string(),
+        shards,
         cycles,
         wall_seconds: wall,
         cycles_per_second: cycles as f64 / wall,
-        injected_packets: summary.injected_packets,
+        injected_packets: injected,
         peak_rss_kb: peak_rss_kb(),
+        compute_seconds,
+        serial_fraction,
     }
 }
 
@@ -128,10 +165,32 @@ fn stream_selection(args: &[String]) -> Vec<StreamVersion> {
     }
 }
 
+/// Parses `--shards 1,2,8` (default `1`, the sequential engine).
+fn shard_selection(args: &[String]) -> Vec<usize> {
+    let Some(at) = args.iter().position(|a| a == "--shards") else {
+        return vec![1];
+    };
+    let Some(list) = args.get(at + 1) else {
+        eprintln!("scale: --shards needs a comma-separated list (e.g. 1,2,8)");
+        std::process::exit(2);
+    };
+    list.split(',')
+        .map(|s| match s.trim().parse::<usize>() {
+            Ok(k) => k,
+            Err(_) => {
+                eprintln!("scale: bad shard count {s:?} in --shards {list}");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = quick_mode() || args.iter().any(|a| a == "--quick");
+    let split = args.iter().any(|a| a == "--split");
     let streams = stream_selection(&args);
+    let shard_counts = shard_selection(&args);
     let cycles: u64 = if quick { 2_000 } else { 20_000 };
     // Low load (well under pillar saturation at every scale) is where
     // idle-router skipping and batched injection matter; the higher rate
@@ -146,18 +205,24 @@ fn main() {
     for (mesh, elevators) in meshes() {
         for rate in rates {
             for &stream in &streams {
-                let point = measure(mesh, &elevators, rate, stream, cycles);
-                println!(
-                    "{:>9}  rate {:.4}  {}  {:>12.0} cycles/s  peak RSS {}",
-                    point.mesh,
-                    rate,
-                    point.stream,
-                    point.cycles_per_second,
-                    point
-                        .peak_rss_kb
-                        .map_or("n/a".to_string(), |kb| format!("{} MB", kb / 1024)),
-                );
-                points.push(point);
+                for &shards in &shard_counts {
+                    let point = measure(mesh, &elevators, rate, stream, shards, cycles, split);
+                    println!(
+                        "{:>9}  rate {:.4}  {}  k={:<3}  {:>12.0} cycles/s{}  peak RSS {}",
+                        point.mesh,
+                        rate,
+                        point.stream,
+                        shards,
+                        point.cycles_per_second,
+                        point
+                            .serial_fraction
+                            .map_or(String::new(), |f| format!("  serial {:.1}%", f * 100.0)),
+                        point
+                            .peak_rss_kb
+                            .map_or("n/a".to_string(), |kb| format!("{} MB", kb / 1024)),
+                    );
+                    points.push(point);
+                }
             }
         }
     }
@@ -165,7 +230,8 @@ fn main() {
     println!();
     print_table(
         &[
-            "mesh", "nodes", "pillars", "rate", "stream", "cycles", "kcyc/s", "inj", "rss_mb",
+            "mesh", "nodes", "pillars", "rate", "stream", "shards", "cycles", "kcyc/s", "inj",
+            "serial%", "rss_mb",
         ],
         &points
             .iter()
@@ -176,9 +242,11 @@ fn main() {
                     p.pillars.to_string(),
                     format!("{:.4}", p.rate),
                     p.stream.clone(),
+                    p.shards.to_string(),
                     p.cycles.to_string(),
                     f1(p.cycles_per_second / 1e3),
                     p.injected_packets.to_string(),
+                    p.serial_fraction.map_or("-".into(), |f| f1(f * 100.0)),
                     p.peak_rss_kb
                         .map_or("n/a".into(), |kb| (kb / 1024).to_string()),
                 ]

@@ -83,6 +83,39 @@ impl LinkLedger {
         self.cycles = 0;
     }
 
+    /// Adds every counter of `other` into `self` and zeroes `other` — the
+    /// shard-partition merge of the sharded stepping engine. Disjoint
+    /// partitions (each shard only books events on its own routers'
+    /// lanes) make element-wise addition an exact merge: roll-ups over
+    /// the merged ledger equal roll-ups over a single-ledger run counter
+    /// for counter. Draining (rather than copying) keeps the operation
+    /// idempotent, so callers may merge as often as they like.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two ledgers were sized for different topologies.
+    pub fn merge_from(&mut self, other: &mut LinkLedger) {
+        assert!(
+            self.vcs == other.vcs
+                && self.link_count == other.link_count
+                && self.node_count == other.node_count
+                && self.buffer_writes.len() == other.buffer_writes.len(),
+            "ledger merge requires identical topology dimensions"
+        );
+        fn drain_into(dst: &mut [u64], src: &mut [u64]) {
+            for (d, s) in dst.iter_mut().zip(src.iter_mut()) {
+                *d += *s;
+                *s = 0;
+            }
+        }
+        drain_into(&mut self.link_flits, &mut other.link_flits);
+        drain_into(&mut self.buffer_writes, &mut other.buffer_writes);
+        drain_into(&mut self.buffer_reads, &mut other.buffer_reads);
+        drain_into(&mut self.ni_events, &mut other.ni_events);
+        self.cycles += other.cycles;
+        other.cycles = 0;
+    }
+
     // ---- Hot-path increments (called by the simulator per flit event) ----
 
     /// Records one flit crossing `link` on `vc`.
@@ -293,6 +326,47 @@ mod tests {
         let elevators = ElevatorSet::new(&mesh, [(1, 1)]).unwrap();
         let map = LinkMap::new(&mesh, &elevators);
         (mesh, elevators, map)
+    }
+
+    /// Splitting an event stream across two ledgers and merging must be
+    /// indistinguishable from booking into one ledger — the sharded
+    /// engine's telemetry contract — and the merge must drain its source.
+    #[test]
+    fn merge_from_is_exact_and_drains() {
+        let (mesh, _elevators, map) = fixture();
+        let mut whole = LinkLedger::new(&map, 2);
+        let mut left = LinkLedger::new(&map, 2);
+        let mut right = LinkLedger::new(&map, 2);
+
+        let src = mesh.node_id(Coord::new(0, 0, 0)).unwrap();
+        let east = map.out_link(src, Direction::East).unwrap();
+        let ni = map.ni_lane(src) as u32;
+        for (part, reps) in [(&mut left, 3u32), (&mut right, 5u32)] {
+            for _ in 0..reps {
+                part.on_ni_event(src.index());
+                part.on_buffer_write(ni, 0);
+                part.on_buffer_read(ni, 1);
+                part.on_link_flit(east.0, 0);
+            }
+        }
+        for _ in 0..8 {
+            whole.on_ni_event(src.index());
+            whole.on_buffer_write(ni, 0);
+            whole.on_buffer_read(ni, 1);
+            whole.on_link_flit(east.0, 0);
+        }
+        whole.on_cycle();
+
+        let mut merged = LinkLedger::new(&map, 2);
+        merged.on_cycle();
+        merged.merge_from(&mut left);
+        merged.merge_from(&mut right);
+        assert_eq!(merged, whole);
+        assert_eq!(left, LinkLedger::new(&map, 2), "merge must drain");
+        assert_eq!(right, LinkLedger::new(&map, 2), "merge must drain");
+        // Idempotent once drained.
+        merged.merge_from(&mut left);
+        assert_eq!(merged, whole);
     }
 
     /// Simulates a hand-built event stream and checks every roll-up level

@@ -22,12 +22,13 @@ pub type SyncTrafficFactory<'a> = dyn Fn(f64) -> Box<dyn TrafficSource> + Sync +
 /// A selector factory shareable across worker threads.
 pub type SyncSelectorFactory<'a> = dyn Fn() -> Box<dyn ElevatorSelector> + Sync + 'a;
 
-/// Worker count matching the host's available parallelism (at least 1).
+/// Default worker count: [`noc_sim::worker_threads`], i.e. the host's
+/// available parallelism unless pinned via the `NOC_THREADS` environment
+/// variable. Sharing one knob with the sharded stepping engine lets CI
+/// pin every pool in the workspace deterministically.
 #[must_use]
 pub fn default_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(std::num::NonZeroUsize::get)
-        .unwrap_or(1)
+    noc_sim::worker_threads()
 }
 
 /// Applies `f` to every item on a pool of `threads` scoped workers and

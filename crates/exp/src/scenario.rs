@@ -469,6 +469,11 @@ pub struct Scenario {
     pub seed: u64,
     /// Timed events delivered mid-run.
     pub events: Vec<Event>,
+    /// Mesh shard count for intra-run parallel stepping (1 = sequential,
+    /// 0 = auto-size to the worker count). Results are bit-identical at
+    /// every value; this is purely a wall-clock knob, so older spec
+    /// files without the field parse as sequential.
+    pub shards: usize,
 }
 
 impl Scenario {
@@ -488,6 +493,7 @@ impl Scenario {
             drain_max: 20_000,
             seed: 1,
             events: Vec::new(),
+            shards: 1,
         }
     }
 
@@ -543,6 +549,14 @@ impl Scenario {
         self
     }
 
+    /// Sets the mesh shard count (1 = sequential, 0 = auto). Bit-identical
+    /// results at every value — this only trades wall-clock for cores.
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Checks that the scenario's pieces agree with each other: the
     /// elevator set matches the mesh geometry, the workload fits the mesh,
     /// an explicit offline assignment matches the topology, and every
@@ -582,7 +596,8 @@ impl Scenario {
     pub fn sim_config(&self) -> SimConfig {
         let config = SimConfig::new(self.mesh, self.elevators.clone())
             .with_phases(self.warmup, self.measure, self.drain_max)
-            .with_seed(self.seed);
+            .with_seed(self.seed)
+            .with_shards(self.shards);
         // Telemetry pushes cost a roll-up each period: enable them only
         // for the selector that consumes the signal.
         if matches!(
@@ -639,6 +654,9 @@ impl Deserialize for Scenario {
             drain_max: serde::field(value, "drain_max")?,
             seed: serde::field(value, "seed")?,
             events: serde::field(value, "events")?,
+            // Grew after the spec format shipped: absent means sequential
+            // (a malformed value still errors — see `optional_field`).
+            shards: serde::optional_field(value, "shards")?.unwrap_or(1),
         };
         scenario
             .validate()

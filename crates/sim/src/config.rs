@@ -32,6 +32,13 @@ pub struct SimConfig {
     /// simulator declares a deadlock and panics. Deadlocks indicate routing
     /// bugs; Elevator-First is provably deadlock-free.
     pub watchdog: u64,
+    /// Router shards stepped in parallel (layer ranges, or XY row-bands
+    /// when the mesh has fewer layers than shards). `1` (the default) is
+    /// the sequential engine; `0` asks for one shard per available worker
+    /// ([`crate::worker_threads`]). Results never depend on this knob —
+    /// only wall-clock does (see the sharded-engine determinism contract
+    /// on [`crate::Network`]).
+    pub shards: usize,
 }
 
 impl SimConfig {
@@ -54,6 +61,7 @@ impl SimConfig {
             energy: EnergyModel::default_45nm(),
             energy_feedback_period: 0,
             watchdog: 20_000,
+            shards: 1,
         }
     }
 
@@ -94,6 +102,14 @@ impl SimConfig {
         self
     }
 
+    /// Sets the shard count (`1` sequential, `0` auto — one shard per
+    /// available worker).
+    #[must_use]
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = shards;
+        self
+    }
+
     /// Validates the configuration.
     ///
     /// # Panics
@@ -116,10 +132,12 @@ mod tests {
         let c = SimConfig::new(mesh, elevators)
             .with_phases(1, 2, 3)
             .with_seed(9)
-            .with_buffer_depth(8);
+            .with_buffer_depth(8)
+            .with_shards(4);
         assert_eq!((c.warmup, c.measure, c.drain_max), (1, 2, 3));
         assert_eq!(c.seed, 9);
         assert_eq!(c.buffer_depth, 8);
+        assert_eq!(c.shards, 4);
         c.validate();
     }
 

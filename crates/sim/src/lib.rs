@@ -39,10 +39,13 @@ mod arena;
 mod config;
 mod flit;
 mod network;
+mod pool;
 mod scheduler;
+mod shard;
 mod sim;
 mod stats;
 mod table;
+mod threads;
 
 pub mod harness;
 pub mod hooks;
@@ -57,3 +60,4 @@ pub use noc_energy::{EnergyLedger, EnergyModel, LinkLedger, LinkMap};
 pub use sim::{Simulator, TrafficInput};
 pub use stats::{RunSummary, StatsCollector};
 pub use table::PacketTable;
+pub use threads::worker_threads;

@@ -19,13 +19,39 @@
 //! state, stages flit arrivals and credit returns) then *commit* — so
 //! results do not depend on router iteration order.
 //!
+//! # Sharded stepping
+//!
+//! The fabric is partitioned into 1..=k contiguous router ranges
+//! ([`ShardState`]), each with its own flit-arena slice, active-router
+//! worklist and telemetry partition. Flits and credits crossing a shard
+//! boundary travel through per-shard-pair channel buffers
+//! (`BoundaryBatch`) that are committed every cycle — they are the same
+//! staging buffers the sequential engine always had, merely keyed by
+//! destination shard, so the boundary channel's fixed latency is exactly
+//! the one commit boundary a cycle always imposed.
+//!
+//! The determinism contract (proved by `tests/shard_equivalence.rs`):
+//! a run is a function of `(config, seed)` — the shard count and worker
+//! count never affect any architectural state, statistic or telemetry
+//! counter, because staged effects of one cycle commute (see the `shard`
+//! module docs) and everything order-sensitive is replayed in global
+//! router order by [`Network::finish_cycle`]. `k = 1` runs the original
+//! single-slab data path inline.
+//!
+//! With more than one shard and more than one worker thread available
+//! (see [`crate::worker_threads`]), the simulator drives phase 1 and the
+//! boundary exchange on a persistent thread pool; shard ownership moves
+//! to the workers and back each cycle, so the engine stays 100% safe
+//! Rust with no shared mutable state.
+//!
 //! # Dense hot-path state
 //!
 //! All per-cycle state lives in arenas sized once at construction:
 //!
-//! * every input FIFO is a fixed ring in one flat [`FlitArena`] slab
-//!   (lane = router × port × VC), so a router's 14 occupancy counters sit
-//!   in a single cache line instead of 14 heap-allocated `VecDeque`s,
+//! * every input FIFO is a fixed ring in a flat [`FlitArena`] slab per
+//!   shard (lane = router × port × VC), so a router's 14 occupancy
+//!   counters sit in a single cache line instead of 14 heap-allocated
+//!   `VecDeque`s,
 //! * packets live in a recycling [`PacketTable`] owned by the caller,
 //! * an **active-router worklist** (a bitmap keyed by node id) makes
 //!   [`Network::step`] visit only routers with buffered flits, staged
@@ -39,116 +65,21 @@
 //! (the staging buffers reach their high-water capacity and stay there);
 //! [`Network::heap_footprint`] exposes the reserved capacities so tests
 //! can assert it.
+//!
+//! [`FlitArena`]: crate::arena::FlitArena
 
-use crate::arena::FlitArena;
-use crate::flit::{Flit, FlitKind, PacketId};
+use crate::flit::PacketId;
+use crate::pool::ShardPool;
+use crate::shard::{shard_bounds, Effect, ShardState, Topo, LOCAL, PORTS, VCS};
 use crate::stats::StatsCollector;
 use crate::table::PacketTable;
 use adele::online::{Cycle, NetworkProbe, SourceFeedback};
 use noc_energy::{EnergyLedger, LinkLedger, LinkMap};
-use noc_topology::route::{self, VirtualNet};
 use noc_topology::{Coord, Direction, ElevatorId, ElevatorMask, ElevatorSet, Mesh3d, NodeId};
-use std::collections::VecDeque;
+use std::sync::Arc;
 
-const PORTS: usize = Direction::COUNT;
-const VCS: usize = VirtualNet::COUNT;
-const LOCAL: usize = 0; // Direction::Local.index()
-
-/// "This input lane fronts no routed head" marker in the per-cycle
-/// request table (port indices are < [`PORTS`]).
-const NO_REQUEST: u8 = u8::MAX;
-
-/// Route-request cache sentinel: the lane's front changed since the last
-/// route computation (or the lane is empty).
-const REQ_UNKNOWN: u8 = u8::MAX;
-/// Route-request cache sentinel: the current front is not a routable head
-/// (a body/tail flit mid-wormhole). Distinct from [`REQ_UNKNOWN`] so
-/// blocked non-head fronts are not re-inspected every cycle.
-const REQ_NONE: u8 = u8::MAX - 1;
-
-/// Lane index of `(port, vc)` within one router's `PORTS × VCS` block
-/// (the bit position used by the occupancy/owner masks).
-#[inline]
-fn local_lane(port: usize, vc: usize) -> usize {
-    port * VCS + vc
-}
-
-/// FIFO lane of `(router, port, vc)` in the flit arena.
-#[inline]
-fn lane(router: usize, port: usize, vc: usize) -> usize {
-    (router * PORTS + port) * VCS + vc
-}
-
-/// Per-router switching state (flit storage lives in the shared arena).
-#[derive(Debug, Clone)]
-struct RouterState {
-    /// Non-empty input lanes, bit [`local_lane`]`(port, vc)`. A pure
-    /// cache of the arena's occupancy, maintained at every push/pop, so
-    /// the per-cycle route-and-send pass iterates set bits instead of
-    /// probing all `PORTS × VCS` FIFO fronts.
-    occ: u32,
-    /// Output channels with a live wormhole owner, bit
-    /// [`local_lane`]`(port, vc)` — the same skip-the-scan trick for the
-    /// owner table.
-    own: u32,
-    /// Cached routing decision for each input lane's front flit: an
-    /// output-port index, [`REQ_NONE`] (front is not a routable head) or
-    /// [`REQ_UNKNOWN`] (front changed since last computed). Routes are
-    /// pure functions of the packet, so a blocked head no longer pays a
-    /// packet-table read plus `route_step` every cycle it waits.
-    req_cache: [u8; PORTS * VCS],
-    /// Owner of each output channel `(port, vc)`: the input `(port, vc)`
-    /// whose packet currently holds the wormhole.
-    owner: [[Option<(u8, u8)>; VCS]; PORTS],
-    /// Credits towards the downstream FIFO of each output channel.
-    credits: [[u8; VCS]; PORTS],
-    /// Round-robin pointer over input ports for new grants, per channel.
-    rr_grant: [[u8; VCS]; PORTS],
-    /// Round-robin pointer over VCs, per output port.
-    rr_vc: [u8; PORTS],
-    /// Total buffered flits (for probe queries and worklist re-arming).
-    buffered: u32,
-    /// `true` while the router is provably stuck: its last arbitration
-    /// moved nothing, and no arrival or credit has touched it since.
-    /// Arbitration is a pure function of the router's own FIFOs, owners
-    /// and credits (packet routes are immutable), so until one of those
-    /// changes the outcome cannot either — the route-and-send pass skips
-    /// the router for the cost of one flag read. Cleared by every arrival
-    /// and credit commit.
-    quiet: bool,
-}
-
-impl RouterState {
-    fn new(buffer_depth: u8, credit_mask: [bool; PORTS]) -> Self {
-        let mut credits = [[0u8; VCS]; PORTS];
-        for p in 0..PORTS {
-            if credit_mask[p] {
-                credits[p] = [buffer_depth; VCS];
-            }
-        }
-        Self {
-            occ: 0,
-            own: 0,
-            req_cache: [REQ_UNKNOWN; PORTS * VCS],
-            owner: [[None; VCS]; PORTS],
-            credits,
-            rr_grant: [[0; VCS]; PORTS],
-            rr_vc: [0; PORTS],
-            buffered: 0,
-            quiet: false,
-        }
-    }
-}
-
-/// Per-node injection queue (unbounded source queue behind the NI).
-#[derive(Debug, Clone, Default)]
-struct SourceQueue {
-    queue: VecDeque<PacketId>,
-    /// Flits of the front packet already pushed into the local port.
-    sent: u16,
-}
-
-/// The network fabric: routers, links, credits and NI queues.
+/// The network fabric: routers, links, credits and NI queues, partitioned
+/// into one or more shards.
 #[derive(Debug, Clone)]
 pub struct Network {
     mesh: Mesh3d,
@@ -161,53 +92,55 @@ pub struct Network {
     /// without reaching into the policy.
     failed_elevators: ElevatorMask,
     buffer_depth: u8,
-    coords: Vec<Coord>,
     /// Canonical directed-link enumeration: the single source of truth for
     /// which links exist (the fabric below is derived from it) and the key
     /// space of the per-link energy telemetry.
     links: LinkMap,
-    /// `neighbours[node][port]` — the router reached through that port.
-    neighbours: Vec<[Option<NodeId>; PORTS]>,
-    routers: Vec<RouterState>,
-    /// All input FIFOs, one ring per `(router, port, vc)` lane.
-    fifos: FlitArena,
-    sources: Vec<SourceQueue>,
-    /// NI credits towards the local input port, per VC.
-    ni_credits: Vec<[u8; VCS]>,
-    /// Telemetry lane of each `(node, port)` input, cached flat from the
-    /// link map so hot-path pushes index one dense array.
-    in_lane: Vec<u32>,
-    /// Telemetry link of each `(node, port)` output, cached likewise.
-    out_link: Vec<u32>,
-    /// Flits buffered across all routers (incremental, so the watchdog's
-    /// per-cycle query is O(1)).
-    buffered_total: u64,
-    /// Packets waiting in source queues (incremental, same reason).
-    queued_total: u64,
-    /// Worklist bitmap of routers to visit next cycle (bit = node id).
-    /// A bitmap instead of a list: setting is idempotent, iteration is
-    /// ascending node order by construction (so downstream effect order
-    /// matches the dense full-scan loops exactly), and a fully idle mesh
-    /// costs one zero-word read per 64 routers.
-    active_bits: Vec<u64>,
-    /// Previous cycle's worklist, swapped in as this cycle's visit set.
-    work_bits: Vec<u64>,
-    // Staging buffers, reused each cycle.
-    staged_arrivals: Vec<(NodeId, u8, u8, Flit)>,
-    staged_credits: Vec<(NodeId, u8, u8)>,
-    staged_ni_credits: Vec<(NodeId, u8)>,
+    /// Shared immutable lookup tables (coords, neighbours, telemetry
+    /// lanes, shard map) — one copy for all shards and pool workers.
+    topo: Arc<Topo>,
+    /// The router partition, ascending contiguous node ranges. Boxed so
+    /// ownership can shuttle to pool workers without moving the (large)
+    /// state itself.
+    #[allow(clippy::vec_box)]
+    shards: Vec<Box<ShardState>>,
 }
 
 impl Network {
-    /// Builds an idle network.
+    /// Builds an idle single-shard network (the sequential data path).
     ///
     /// # Panics
     ///
     /// Panics if `buffer_depth` is zero.
     #[must_use]
     pub fn new(mesh: Mesh3d, elevators: ElevatorSet, buffer_depth: u8) -> Self {
+        Self::new_sharded(mesh, elevators, buffer_depth, 1)
+    }
+
+    /// Builds an idle network partitioned into `shards` ranges (`0` asks
+    /// for one shard per available worker, see [`crate::worker_threads`]).
+    /// The request is clamped to the router count (and the shard-map
+    /// width, 255). Shard layout never affects results — only how the
+    /// stepping work can be spread over threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buffer_depth` is zero.
+    #[must_use]
+    pub fn new_sharded(
+        mesh: Mesh3d,
+        elevators: ElevatorSet,
+        buffer_depth: u8,
+        shards: usize,
+    ) -> Self {
         assert!(buffer_depth >= 1, "buffers need at least one slot");
         let n = mesh.node_count();
+        let requested = if shards == 0 {
+            crate::threads::worker_threads()
+        } else {
+            shards
+        };
+        let k = requested.clamp(1, n.min(255));
         let coords: Vec<Coord> = mesh.coords().collect();
         // The link map decides which links exist (vertical links only on
         // elevator pillars); the router fabric mirrors it port for port so
@@ -222,13 +155,31 @@ impl Network {
                 row
             })
             .collect();
-        let routers: Vec<RouterState> = (0..n)
-            .map(|i| {
-                let mut credit_mask = [false; PORTS];
-                for p in 0..PORTS {
-                    credit_mask[p] = neighbours[i][p].is_some();
-                }
-                RouterState::new(buffer_depth, credit_mask)
+        let bounds = shard_bounds(n, mesh.nodes_per_layer(), mesh.layers(), k);
+        let mut shard_of = vec![0u8; n];
+        for s in 0..k {
+            for node in shard_of.iter_mut().take(bounds[s + 1]).skip(bounds[s]) {
+                *node = s as u8;
+            }
+        }
+        let topo = Arc::new(Topo {
+            coords,
+            neighbours,
+            in_lane: links.in_lane_table().to_vec(),
+            out_link: links.out_link_table().to_vec(),
+            shard_of,
+            buffer_depth,
+        });
+        let shards = (0..k)
+            .map(|s| {
+                Box::new(ShardState::new(
+                    s,
+                    bounds[s],
+                    bounds[s + 1],
+                    k,
+                    &topo,
+                    &links,
+                ))
             })
             .collect();
         Self {
@@ -236,22 +187,9 @@ impl Network {
             elevators,
             failed_elevators: ElevatorMask::EMPTY,
             buffer_depth,
-            coords,
-            neighbours,
-            routers,
-            fifos: FlitArena::new(n * PORTS * VCS, buffer_depth),
-            sources: vec![SourceQueue::default(); n],
-            ni_credits: vec![[buffer_depth; VCS]; n],
-            in_lane: links.in_lane_table().to_vec(),
-            out_link: links.out_link_table().to_vec(),
             links,
-            buffered_total: 0,
-            queued_total: 0,
-            active_bits: vec![0; n.div_ceil(64)],
-            work_bits: vec![0; n.div_ceil(64)],
-            staged_arrivals: Vec::new(),
-            staged_credits: Vec::new(),
-            staged_ni_credits: Vec::new(),
+            topo,
+            shards,
         }
     }
 
@@ -272,6 +210,17 @@ impl Network {
     #[must_use]
     pub fn link_map(&self) -> &LinkMap {
         &self.links
+    }
+
+    /// How many shards the fabric is partitioned into.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shared topology tables (for the pool workers).
+    pub(crate) fn topo_handle(&self) -> Arc<Topo> {
+        Arc::clone(&self.topo)
     }
 
     /// Marks elevator `id` failed (`failed == true`) or repaired.
@@ -298,41 +247,30 @@ impl Network {
 
     /// Queues a freshly created packet at its source NI.
     pub fn enqueue_packet(&mut self, src: NodeId, id: PacketId) {
-        let s = src.index();
-        self.sources[s].queue.push_back(id);
-        self.queued_total += 1;
-        self.active_bits[s / 64] |= 1 << (s % 64);
+        let s = self.topo.shard_of[src.index()] as usize;
+        let rel = src.index() - self.shards[s].lo;
+        self.shards[s].enqueue(rel, id);
     }
 
     /// Flits currently buffered in router FIFOs.
     #[must_use]
     pub fn buffered_flits(&self) -> u64 {
-        self.buffered_total
+        self.shards.iter().map(|s| s.buffered_total).sum()
     }
 
     /// Packets still waiting (fully or partially) in source queues.
     #[must_use]
     pub fn queued_packets(&self) -> u64 {
-        self.queued_total
+        self.shards.iter().map(|s| s.queued_total).sum()
     }
 
     /// Heap capacity (in elements) reserved by the fabric's cycle state:
-    /// the flit arena plus every reusable staging/worklist/source buffer.
+    /// the flit arenas plus every reusable staging/worklist/source buffer.
     /// Sized at construction or during warm-up and constant afterwards —
     /// the zero-allocation contract [`Network::step`] is tested against.
     #[must_use]
     pub fn heap_footprint(&self) -> usize {
-        self.fifos.capacity_flits()
-            + self.staged_arrivals.capacity()
-            + self.staged_credits.capacity()
-            + self.staged_ni_credits.capacity()
-            + self.active_bits.capacity()
-            + self.work_bits.capacity()
-            + self
-                .sources
-                .iter()
-                .map(|s| s.queue.capacity())
-                .sum::<usize>()
+        self.shards.iter().map(|s| s.heap_footprint()).sum()
     }
 
     /// Advances the network by one cycle.
@@ -342,9 +280,68 @@ impl Network {
     /// `feedbacks` for the simulator to forward to the selector. Energy
     /// events are double-booked into the aggregate `ledger` and the
     /// per-link `telemetry` store (the roll-up invariant tests assert the
-    /// two agree counter-for-counter).
-    #[allow(clippy::too_many_arguments)] // the per-cycle sinks of one step
+    /// two agree counter-for-counter); both are drained from the shard
+    /// partitions by [`Network::drain_partials`], which the simulator
+    /// calls before any reader needs them.
     pub fn step(
+        &mut self,
+        packets: &mut PacketTable,
+        cycle: Cycle,
+        stats: &mut StatsCollector,
+        ledger: &mut EnergyLedger,
+        telemetry: &mut LinkLedger,
+        feedbacks: &mut Vec<SourceFeedback>,
+    ) -> bool {
+        self.step_compute(packets, cycle, stats.armed());
+        self.finish_cycle(packets, cycle, stats, ledger, telemetry, feedbacks)
+    }
+
+    /// The parallelisable part of a cycle, run inline: phase 1 on every
+    /// shard, then the boundary-channel exchange and commit. Only reads
+    /// the packet table.
+    pub(crate) fn step_compute(&mut self, packets: &PacketTable, cycle: Cycle, armed: bool) {
+        let topo = Arc::clone(&self.topo);
+        for shard in &mut self.shards {
+            shard.phase1(&topo, packets, cycle, armed);
+        }
+        // Exchange & commit the boundary channels (src == dst included:
+        // a shard's intra-shard traffic uses the same staging). Commit
+        // order is irrelevant — see the `shard` module docs — this loop
+        // just picks one.
+        let k = self.shards.len();
+        for dst in 0..k {
+            for src in 0..k {
+                let mut batch = std::mem::take(&mut self.shards[src].outboxes[dst]);
+                self.shards[dst].commit_batch(&topo, &mut batch, armed);
+                self.shards[src].outboxes[dst] = batch;
+            }
+        }
+        for shard in &mut self.shards {
+            shard.finish_commit(&topo);
+        }
+    }
+
+    /// The same parallelisable part, run on the worker pool: shard
+    /// ownership (and a read-only view of the packet table) moves to the
+    /// workers and back.
+    pub(crate) fn step_compute_pooled(
+        &mut self,
+        pool: &mut ShardPool,
+        packets: &mut PacketTable,
+        cycle: Cycle,
+        armed: bool,
+    ) {
+        let table = std::mem::take(packets);
+        let shared = Arc::new(table);
+        pool.run_cycle(&mut self.shards, &shared, cycle, armed);
+        // Workers dropped their handles before reporting done.
+        *packets = Arc::try_unwrap(shared).expect("pool workers released the packet table");
+    }
+
+    /// The serial tail of a cycle: replays the shards' deferred
+    /// packet-table effects in global router order, forwards feedback,
+    /// and closes per-cycle statistics. Returns the progress flag.
+    pub(crate) fn finish_cycle(
         &mut self,
         packets: &mut PacketTable,
         cycle: Cycle,
@@ -355,413 +352,157 @@ impl Network {
     ) -> bool {
         let armed = stats.armed();
         let mut progress = false;
-
-        // Take this cycle's worklist bitmap; `active_bits` (zeroed at the
-        // end of the previous step) accumulates next cycle's.
-        std::mem::swap(&mut self.active_bits, &mut self.work_bits);
-
-        // ---- Phase 1a: route & send, per active router. ----
-        for w in 0..self.work_bits.len() {
-            let mut bits = self.work_bits[w];
-            while bits != 0 {
-                let r = w * 64 + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let router = &self.routers[r];
-                if router.buffered == 0 {
-                    continue; // only queued at its source NI
-                }
-                if router.quiet {
-                    continue; // provably stuck since its last arbitration
-                }
-                let moved = self.process_router(
-                    r, packets, cycle, armed, stats, ledger, telemetry, feedbacks,
-                );
-                progress |= moved;
-                // A fruitless arbitration stays fruitless until an arrival
-                // or credit changes the router's inputs.
-                self.routers[r].quiet = !moved;
-            }
-        }
-
-        // ---- Phase 1b: NI injection at active sources. ----
-        for w in 0..self.work_bits.len() {
-            let mut bits = self.work_bits[w];
-            while bits != 0 {
-                let node = w * 64 + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                let Some(&pid) = self.sources[node].queue.front() else {
-                    continue;
-                };
-                let pkt = packets.get(pid);
-                let vc = pkt.vnet.index();
-                if self.ni_credits[node][vc] == 0 {
-                    continue;
-                }
-                let sent = self.sources[node].sent;
-                let kind = FlitKind::for_position(sent, pkt.flits);
-                let pkt_flits = pkt.flits;
-                self.ni_credits[node][vc] -= 1;
-                self.staged_arrivals.push((
-                    NodeId(node as u16),
-                    LOCAL as u8,
-                    vc as u8,
-                    Flit { packet: pid, kind },
-                ));
-                if armed {
-                    ledger.ni_events += 1;
-                    telemetry.on_ni_event(node);
-                }
-                let sq = &mut self.sources[node];
-                sq.sent += 1;
-                if sq.sent == pkt_flits {
-                    sq.queue.pop_front();
-                    sq.sent = 0;
-                    self.queued_total -= 1;
-                }
-                progress = true;
-            }
-        }
-
-        // ---- Phase 2: commit. ----
-        for (node, port, vc, flit) in self.staged_arrivals.drain(..) {
-            let n = node.index();
-            let fifo = lane(n, port as usize, vc as usize);
-            debug_assert!(
-                self.fifos.len(fifo) < self.buffer_depth as usize,
-                "credit protocol violated: FIFO overflow at {node}"
-            );
-            self.fifos.push_back(fifo, flit);
-            let arrival_bit = local_lane(port as usize, vc as usize);
-            let router = &mut self.routers[n];
-            if router.occ & (1 << arrival_bit) == 0 {
-                // The lane was empty: this flit is its new front.
-                router.occ |= 1 << arrival_bit;
-                router.req_cache[arrival_bit] = REQ_UNKNOWN;
-            }
-            router.buffered += 1;
-            router.quiet = false;
-            self.buffered_total += 1;
-            stats.on_router_flit(node);
-            if armed {
-                ledger.buffer_writes += 1;
-                // The lane is the upstream link feeding this input port,
-                // or the router's NI lane for local-port injections.
-                telemetry.on_buffer_write(self.in_lane[n * PORTS + port as usize], vc as usize);
-            }
-            // An arrival is next cycle's work wherever it lands.
-            self.active_bits[n / 64] |= 1 << (n % 64);
-        }
-        for (node, oport, vc) in self.staged_credits.drain(..) {
-            let router = &mut self.routers[node.index()];
-            let c = &mut router.credits[oport as usize][vc as usize];
-            *c += 1;
-            router.quiet = false;
-            debug_assert!(*c <= self.buffer_depth, "credit overflow at {node}");
-        }
-        for (node, vc) in self.staged_ni_credits.drain(..) {
-            let c = &mut self.ni_credits[node.index()][vc as usize];
-            *c += 1;
-            debug_assert!(*c <= self.buffer_depth, "NI credit overflow at {node}");
-        }
-
-        // Re-arm visited routers that still hold buffered flits or queued
-        // packets; everything else goes idle and costs nothing until a
-        // flit or injection reaches it again.
-        for w in 0..self.work_bits.len() {
-            let mut bits = self.work_bits[w];
-            while bits != 0 {
-                let r = w * 64 + bits.trailing_zeros() as usize;
-                bits &= bits - 1;
-                if self.routers[r].buffered > 0 || !self.sources[r].queue.is_empty() {
-                    self.active_bits[w] |= 1 << (r % 64);
+        // Shards are ascending contiguous ranges and each shard records
+        // its effects in ascending router order, so shard-ascending
+        // replay is exactly the sequential engine's global order —
+        // delivery statistics and slot-retirement order are bit-equal.
+        for shard in &mut self.shards {
+            progress |= shard.progress;
+            for effect in shard.effects.drain(..) {
+                match effect {
+                    Effect::Eject { packet, tail } => {
+                        stats.on_flit_delivered();
+                        let pkt = packets.get_mut(packet);
+                        pkt.flits_delivered += 1;
+                        if tail {
+                            pkt.delivered = Some(cycle);
+                            stats.on_packet_delivered(pkt, cycle);
+                            // The tail was the packet's last flit anywhere
+                            // in the fabric: recycle its slot.
+                            packets.retire(packet);
+                        }
+                    }
+                    Effect::SrcDeparture { packet, head, tail } => {
+                        let pkt = packets.get_mut(packet);
+                        if head {
+                            pkt.head_out_src = Some(cycle);
+                        }
+                        if tail {
+                            pkt.tail_out_src = Some(cycle);
+                        }
+                    }
                 }
             }
-            self.work_bits[w] = 0;
+            feedbacks.append(&mut shard.feedbacks);
         }
-
         if armed {
-            ledger.router_cycles += self.routers.len() as u64;
+            ledger.router_cycles += self.topo.node_count() as u64;
             telemetry.on_cycle();
         }
         stats.on_cycle();
         progress
     }
 
-    /// Routes & sends for one active router: computes, once, which output
-    /// each buffered head flit requests (the old per-output arbitration
-    /// re-ran `route_step` for a blocked head up to once per output port
-    /// per cycle) and then arbitrates only the output ports that have a
-    /// requesting head or a live wormhole with buffered flits — skipped
-    /// ports are exactly the ports the per-output pass would have found
-    /// no candidate for, so the outcome is unchanged.
-    #[allow(clippy::too_many_arguments)]
-    fn process_router(
+    /// Folds the shards' telemetry partitions into the aggregate sinks
+    /// (adds and zeroes, so draining is idempotent and incremental).
+    /// Partitions are disjoint by construction — a shard only ever books
+    /// events on its own routers' lanes — so addition *is* the merge.
+    pub(crate) fn drain_partials(
         &mut self,
-        r: usize,
-        packets: &mut PacketTable,
-        cycle: Cycle,
-        armed: bool,
         stats: &mut StatsCollector,
         ledger: &mut EnergyLedger,
         telemetry: &mut LinkLedger,
-        feedbacks: &mut Vec<SourceFeedback>,
-    ) -> bool {
-        // Output ports worth arbitrating: wormhole owners with flits
-        // ready. Only channels with their `own` bit set can have an
-        // owner, so iterate the mask instead of scanning the table.
-        let mut out_mask: u8 = 0;
-        // VCs per output that can possibly field a candidate (live owner
-        // or requesting head); process_output skips the rest unseen.
-        let mut vc_mask = [0u8; PORTS];
-        let mut own_bits = self.routers[r].own;
-        while own_bits != 0 {
-            let b = own_bits.trailing_zeros() as usize;
-            own_bits &= own_bits - 1;
-            let (o, v) = (b / VCS, b % VCS);
-            let (ip, iv) = self.routers[r].owner[o][v].expect("own bit implies an owner");
-            if self.routers[r].occ & (1 << local_lane(ip as usize, iv as usize)) != 0 {
-                out_mask |= 1 << o;
-                vc_mask[o] |= 1 << v;
+    ) {
+        for shard in &mut self.shards {
+            for (i, c) in shard.part_router_flits.iter_mut().enumerate() {
+                if *c != 0 {
+                    stats.router_flits[shard.lo + i] += *c;
+                    *c = 0;
+                }
             }
+            ledger.merge(&shard.part_ledger);
+            shard.part_ledger = EnergyLedger::default();
+            telemetry.merge_from(&mut shard.part_telemetry);
         }
-        // …and the requested output of every head flit at a FIFO front
-        // (owned lanes never front a head: the owner is cleared the moment
-        // the previous tail is sent). Only non-empty lanes — the set bits
-        // of `occ` — can front anything, and the route of a given front
-        // is constant, so blocked heads reuse the cached request.
-        let mut head_request = [[NO_REQUEST; VCS]; PORTS];
-        let mut occ_bits = self.routers[r].occ;
-        while occ_bits != 0 {
-            let b = occ_bits.trailing_zeros() as usize;
-            occ_bits &= occ_bits - 1;
-            let (p, v) = (b / VCS, b % VCS);
-            let mut request = self.routers[r].req_cache[b];
-            if request == REQ_UNKNOWN {
-                let head = self
-                    .fifos
-                    .front(lane(r, p, v))
-                    .expect("occ bit implies a flit");
-                request = if head.kind.is_head() {
-                    let pkt = packets.get(head.packet);
-                    if pkt.vnet.index() == v {
-                        route::route_step(
-                            self.coords[r],
-                            self.coords[pkt.dst.index()],
-                            pkt.elevator,
-                        )
-                        .index() as u8
-                    } else {
-                        REQ_NONE
-                    }
-                } else {
-                    REQ_NONE
-                };
-                self.routers[r].req_cache[b] = request;
-            }
-            if request < PORTS as u8 {
-                head_request[p][v] = request;
-                out_mask |= 1 << request;
-                vc_mask[request as usize] |= 1 << v;
-            }
-        }
-
-        let mut progress = false;
-        let mut input_used = [[false; VCS]; PORTS];
-        while out_mask != 0 {
-            let o = out_mask.trailing_zeros() as usize;
-            out_mask &= out_mask - 1;
-            progress |= self.process_output(
-                r,
-                o,
-                vc_mask[o],
-                &head_request,
-                &mut input_used,
-                packets,
-                cycle,
-                armed,
-                stats,
-                ledger,
-                telemetry,
-                feedbacks,
-            );
-        }
-        progress
     }
 
-    /// Processes one output port of one router: picks (at most) one flit to
-    /// send this cycle and stages its movement. Returns `true` on a send.
-    #[allow(clippy::too_many_arguments)]
-    fn process_output(
-        &mut self,
-        r: usize,
-        o: usize,
-        vc_mask: u8,
-        head_request: &[[u8; VCS]; PORTS],
-        input_used: &mut [[bool; VCS]; PORTS],
-        packets: &mut PacketTable,
-        cycle: Cycle,
-        armed: bool,
-        stats: &mut StatsCollector,
-        ledger: &mut EnergyLedger,
-        telemetry: &mut LinkLedger,
-        feedbacks: &mut Vec<SourceFeedback>,
-    ) -> bool {
-        let o_dir = Direction::from_index(o).expect("valid port");
-        // Gather, per VC, the input (port, vc) able to send on (o, vc).
-        let mut candidates: [Option<(u8, u8, bool)>; VCS] = [None; VCS]; // (ip, iv, is_new_grant)
-        let mut vcs = vc_mask;
-        while vcs != 0 {
-            let v = vcs.trailing_zeros() as usize;
-            vcs &= vcs - 1;
-            let has_credit = o == LOCAL || self.routers[r].credits[o][v] > 0;
-            if !has_credit {
-                continue;
-            }
-            if let Some((ip, iv)) = self.routers[r].owner[o][v] {
-                let (ipu, ivu) = (ip as usize, iv as usize);
-                if input_used[ipu][ivu] {
+    /// An FNV-1a digest of the complete committed fabric state (router
+    /// switching state, FIFO contents, source queues, NI credits,
+    /// worklists) in global node order. Digests of equal-`(config, seed)`
+    /// runs are comparable **across shard counts** — the byte stream
+    /// never depends on the shard layout — which is what the lockstep
+    /// equivalence suite asserts per cycle.
+    #[must_use]
+    pub fn state_digest(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for shard in &self.shards {
+            shard.hash_state(&mut h);
+        }
+        h
+    }
+
+    /// Verifies flit/credit conservation on every channel of the fabric
+    /// at a cycle boundary: for each directed link, the upstream credit
+    /// count plus the downstream FIFO occupancy equals the buffer depth
+    /// (no flit or credit is ever lost or duplicated, including across
+    /// shard boundaries), and likewise for every NI channel.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated channel, described.
+    pub fn check_flow_conservation(&self) -> Result<(), String> {
+        let depth = u32::from(self.buffer_depth);
+        let n = self.topo.node_count();
+        for g in 0..n {
+            let shard = &self.shards[self.topo.shard_of[g] as usize];
+            let rel = g - shard.lo;
+            for p in 0..PORTS {
+                if p == LOCAL {
                     continue;
                 }
-                if !self.fifos.is_empty(lane(r, ipu, ivu)) {
-                    candidates[v] = Some((ip, iv, false));
-                }
-            } else {
-                // New grant: round-robin over input ports whose head flit
-                // requests this output. Inputs popped earlier this cycle
-                // are flagged used, so a stale request is never granted.
-                let start = self.routers[r].rr_grant[o][v] as usize;
-                for t in 0..PORTS {
-                    let p = (start + t) % PORTS;
-                    if input_used[p][v] || head_request[p][v] != o as u8 {
-                        continue;
-                    }
-                    candidates[v] = Some((p as u8, v as u8, true));
-                    break;
-                }
-            }
-        }
-
-        // Port-level VC arbitration: one flit per output port per cycle.
-        let start_vc = self.routers[r].rr_vc[o] as usize;
-        let Some(v) = (0..VCS)
-            .map(|t| (start_vc + t) % VCS)
-            .find(|&v| candidates[v].is_some())
-        else {
-            return false;
-        };
-        let (ip, iv, is_new) = candidates[v].expect("just found");
-        let (ipu, ivu) = (ip as usize, iv as usize);
-
-        // Dequeue and update switching state.
-        let flit = self.fifos.pop_front(lane(r, ipu, ivu));
-        self.routers[r].buffered -= 1;
-        self.buffered_total -= 1;
-        input_used[ipu][ivu] = true;
-        // The lane's front changed: drop its cached route and, if it
-        // emptied, its occupancy bit.
-        let in_lane_bit = local_lane(ipu, ivu);
-        self.routers[r].req_cache[in_lane_bit] = REQ_UNKNOWN;
-        if self.fifos.is_empty(lane(r, ipu, ivu)) {
-            self.routers[r].occ &= !(1 << in_lane_bit);
-        }
-        let out_lane_bit = local_lane(o, v);
-        if is_new {
-            self.routers[r].owner[o][v] = Some((ip, iv));
-            self.routers[r].own |= 1 << out_lane_bit;
-            self.routers[r].rr_grant[o][v] = (ip + 1) % PORTS as u8;
-        }
-        if flit.kind.is_tail() {
-            self.routers[r].owner[o][v] = None;
-            self.routers[r].own &= !(1 << out_lane_bit);
-        }
-        self.routers[r].rr_vc[o] = ((v + 1) % VCS) as u8;
-        if o != LOCAL {
-            self.routers[r].credits[o][v] -= 1;
-        }
-
-        // Credit return to the upstream of the freed input slot.
-        if ipu == LOCAL {
-            self.staged_ni_credits.push((NodeId(r as u16), iv));
-        } else {
-            let upstream = self.neighbours[r][ipu].expect("input port implies neighbour");
-            let up_out = Direction::from_index(ipu)
-                .expect("valid")
-                .opposite()
-                .index() as u8;
-            self.staged_credits.push((upstream, up_out, iv));
-        }
-
-        if armed {
-            ledger.buffer_reads += 1;
-            ledger.crossbar_traversals += 1;
-            // Read + crossbar happen in the FIFO of the lane that delivered
-            // the flit to this router.
-            telemetry.on_buffer_read(self.in_lane[r * PORTS + ipu], ivu);
-        }
-
-        let node_id = NodeId(r as u16);
-        if o == LOCAL {
-            // Ejection into the NI sink.
-            if armed {
-                ledger.ni_events += 1;
-                telemetry.on_ni_event(r);
-            }
-            stats.on_flit_delivered();
-            let pkt = packets.get_mut(flit.packet);
-            pkt.flits_delivered += 1;
-            if flit.kind.is_tail() {
-                pkt.delivered = Some(cycle);
-                stats.on_packet_delivered(pkt, cycle);
-                // The tail was the packet's last flit anywhere in the
-                // fabric: recycle its slot.
-                packets.retire(flit.packet);
-            }
-        } else {
-            if armed {
-                if o_dir.is_vertical() {
-                    ledger.vertical_hops += 1;
-                } else {
-                    ledger.horizontal_hops += 1;
-                }
-                telemetry.on_link_flit(self.out_link[r * PORTS + o], v);
-            }
-            let downstream = self.neighbours[r][o].expect("credit implies neighbour");
-            let down_in = o_dir.opposite().index() as u8;
-            self.staged_arrivals
-                .push((downstream, down_in, v as u8, flit));
-
-            // Source-router departure feedback (Eq. 6 inputs). A flit is
-            // leaving its source exactly when it exits through a LOCAL
-            // input lane (flits only ever enter LOCAL lanes at their
-            // injection NI, and XY-then-vertical routing never revisits
-            // the source), so transit flits skip the packet-table read.
-            if ipu == LOCAL {
-                let pkt = packets.get_mut(flit.packet);
-                debug_assert_eq!(pkt.src, node_id, "LOCAL input lane implies source router");
-                if flit.kind.is_head() {
-                    pkt.head_out_src = Some(cycle);
-                }
-                if flit.kind.is_tail() {
-                    pkt.tail_out_src = Some(cycle);
-                    if let Some(elevator) = pkt.elevator {
-                        feedbacks.push(SourceFeedback {
-                            src: pkt.src,
-                            elevator: elevator.id,
-                            head_departure: pkt.head_out_src.unwrap_or(cycle),
-                            tail_departure: cycle,
-                            packet_flits: pkt.flits,
-                        });
+                let Some(d) = self.topo.neighbours[g][p] else {
+                    continue;
+                };
+                let opp = Direction::from_index(p).expect("valid").opposite().index();
+                let down = &self.shards[self.topo.shard_of[d.index()] as usize];
+                let drel = d.index() - down.lo;
+                for v in 0..VCS {
+                    let credits = u32::from(shard.routers[rel].credits[p][v]);
+                    let occupancy = down.fifos.len(((drel * PORTS) + opp) * VCS + v) as u32;
+                    if credits + occupancy != depth {
+                        return Err(format!(
+                            "link {g}->{} port {p} vc {v}: credits {credits} + occupancy \
+                             {occupancy} != depth {depth}",
+                            d.index()
+                        ));
                     }
                 }
             }
+            for v in 0..VCS {
+                let credits = u32::from(shard.ni_credits[rel][v]);
+                let occupancy = shard.fifos.len(((rel * PORTS) + LOCAL) * VCS + v) as u32;
+                if credits + occupancy != depth {
+                    return Err(format!(
+                        "NI channel at {g} vc {v}: credits {credits} + occupancy {occupancy} \
+                         != depth {depth}"
+                    ));
+                }
+            }
         }
-        true
+        // The incremental totals must agree with the ground truth.
+        let truth: u64 = self
+            .shards
+            .iter()
+            .map(|s| {
+                (0..s.routers.len())
+                    .map(|rel| u64::from(s.routers[rel].buffered))
+                    .sum::<u64>()
+            })
+            .sum();
+        if truth != self.buffered_flits() {
+            return Err(format!(
+                "incremental buffered_flits {} != summed router occupancy {truth}",
+                self.buffered_flits()
+            ));
+        }
+        Ok(())
     }
 }
 
 impl NetworkProbe for Network {
     fn buffer_occupancy(&self, node: NodeId) -> u32 {
-        self.routers[node.index()].buffered
+        let shard = &self.shards[self.topo.shard_of[node.index()] as usize];
+        shard.routers[node.index() - shard.lo].buffered
     }
 
     fn buffer_capacity_per_router(&self) -> u32 {
@@ -776,9 +517,31 @@ impl NetworkProbe for Network {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::flit::Packet;
-    use noc_topology::route::ElevatorCoord;
+    use crate::flit::{Flit, Packet};
+    use noc_topology::route::{ElevatorCoord, VirtualNet};
     use noc_topology::ElevatorId;
+
+    impl Network {
+        fn router(&self, r: usize) -> &crate::shard::RouterState {
+            let shard = &self.shards[self.topo.shard_of[r] as usize];
+            &shard.routers[r - shard.lo]
+        }
+
+        fn lane_flits(&self, r: usize, port: usize, vc: usize) -> Vec<Flit> {
+            let shard = &self.shards[self.topo.shard_of[r] as usize];
+            let rel = r - shard.lo;
+            shard
+                .fifos
+                .iter_lane(((rel * PORTS) + port) * VCS + vc)
+                .collect()
+        }
+
+        fn is_idle(&self) -> bool {
+            self.shards
+                .iter()
+                .all(|s| s.active_bits.iter().all(|&w| w == 0))
+        }
+    }
 
     fn fixture() -> (Mesh3d, ElevatorSet) {
         let mesh = Mesh3d::new(3, 3, 2).unwrap();
@@ -822,7 +585,8 @@ mod tests {
         LinkLedger::new(net.link_map(), VCS)
     }
 
-    /// Drives the network until every packet retires or `max` cycles pass.
+    /// Drives the network until every packet retires or `max` cycles pass,
+    /// then drains the telemetry partitions into `stats`.
     fn drain(
         net: &mut Network,
         table: &mut PacketTable,
@@ -844,6 +608,7 @@ mod tests {
             // Delivered packets retire on the spot, so "all delivered"
             // is exactly "no live slots".
             if table.live() == 0 {
+                net.drain_partials(stats, &mut ledger, &mut telemetry);
                 return cycle + 1;
             }
         }
@@ -1009,12 +774,15 @@ mod tests {
     /// Wormhole correctness: within any input FIFO, the flits of a packet
     /// are contiguous and well-formed (Head, Body*, Tail) — no two packets
     /// ever interleave on a virtual channel. Checked every cycle of a
-    /// heavily congested run.
+    /// heavily congested run, across every shard of a 3-shard partition
+    /// (so pillar traffic crosses two shard boundaries), together with
+    /// per-channel flit/credit conservation.
     #[test]
     fn wormhole_flits_never_interleave() {
         let mesh = Mesh3d::new(3, 3, 3).unwrap();
         let elevators = ElevatorSet::new(&mesh, [(1, 1)]).unwrap();
-        let mut net = Network::new(mesh, elevators.clone(), 4);
+        let mut net = Network::new_sharded(mesh, elevators.clone(), 4, 3);
+        assert_eq!(net.shard_count(), 3);
         let mut stats = StatsCollector::new(27, 1);
         let mut ledger = EnergyLedger::default();
         let mut telemetry = telemetry_for(&net);
@@ -1043,12 +811,13 @@ mod tests {
                 &mut telemetry,
                 &mut feedbacks,
             );
+            net.check_flow_conservation().unwrap();
             // Invariant check over every FIFO lane.
-            for r in 0..net.routers.len() {
+            for r in 0..mesh.node_count() {
                 for port in 0..PORTS {
                     for vc in 0..VCS {
                         let mut current: Option<PacketId> = None;
-                        for (i, flit) in net.fifos.iter_lane(lane(r, port, vc)).enumerate() {
+                        for (i, flit) in net.lane_flits(r, port, vc).into_iter().enumerate() {
                             match current {
                                 None => {
                                     // A fresh packet must start with a head,
@@ -1077,7 +846,7 @@ mod tests {
                             }
                         }
                         // Credits never exceed buffer depth.
-                        assert!(net.routers[r].credits[port][vc] <= 4);
+                        assert!(net.router(r).credits[port][vc] <= 4);
                     }
                 }
             }
@@ -1094,10 +863,10 @@ mod tests {
         let net = Network::new(mesh, elevators, 4);
         let corner = mesh.node_id(Coord::new(0, 0, 0)).unwrap();
         let pillar = mesh.node_id(Coord::new(1, 1, 0)).unwrap();
-        assert!(net.neighbours[corner.index()][Direction::Up.index()].is_none());
-        assert!(net.neighbours[pillar.index()][Direction::Up.index()].is_some());
+        assert!(net.topo.neighbours[corner.index()][Direction::Up.index()].is_none());
+        assert!(net.topo.neighbours[pillar.index()][Direction::Up.index()].is_some());
         // Layer 0 has no Down anywhere.
-        assert!(net.neighbours[pillar.index()][Direction::Down.index()].is_none());
+        assert!(net.topo.neighbours[pillar.index()][Direction::Down.index()].is_none());
     }
 
     /// The worklist's reason to exist: after a run drains, the network
@@ -1121,10 +890,7 @@ mod tests {
             ),
         );
         drain(&mut net, &mut table, &mut stats, 200);
-        assert!(
-            net.active_bits.iter().all(|&w| w == 0),
-            "drained network has no active routers"
-        );
+        assert!(net.is_idle(), "drained network has no active routers");
         let footprint = net.heap_footprint();
         let mut ledger = EnergyLedger::default();
         let mut telemetry = telemetry_for(&net);
@@ -1141,5 +907,77 @@ mod tests {
             assert!(!progress);
         }
         assert_eq!(net.heap_footprint(), footprint);
+    }
+
+    /// Inline lockstep smoke check (the root proptest suite does this at
+    /// scale): a congested inter-layer run stepped at k ∈ {2, 3} tracks
+    /// the k = 1 engine digest-for-digest every cycle, and ends with the
+    /// same statistics and telemetry.
+    #[test]
+    fn sharded_step_matches_sequential_cycle_for_cycle() {
+        let mesh = Mesh3d::new(3, 3, 3).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(1, 1)]).unwrap();
+        for k in [2usize, 3] {
+            let mut seq = Network::new(mesh, elevators.clone(), 4);
+            let mut shd = Network::new_sharded(mesh, elevators.clone(), 4, k);
+            let mut seq_stats = StatsCollector::new(27, 1);
+            let mut shd_stats = StatsCollector::new(27, 1);
+            seq_stats.set_armed(true);
+            shd_stats.set_armed(true);
+            let (mut seq_led, mut shd_led) = (EnergyLedger::default(), EnergyLedger::default());
+            let mut seq_tel = telemetry_for(&seq);
+            let mut shd_tel = telemetry_for(&shd);
+            let (mut seq_fb, mut shd_fb) = (Vec::new(), Vec::new());
+            let (mut seq_tab, mut shd_tab) = (PacketTable::new(), PacketTable::new());
+            let dst = Coord::new(2, 2, 2);
+            for src in mesh.coords() {
+                if src == dst {
+                    continue;
+                }
+                let pkt = make_packet(&mesh, &elevators, src, dst, 8, 0);
+                launch(&mut seq, &mut seq_tab, pkt.clone());
+                launch(&mut shd, &mut shd_tab, pkt);
+            }
+            for cycle in 0..2000 {
+                let a = seq.step(
+                    &mut seq_tab,
+                    cycle,
+                    &mut seq_stats,
+                    &mut seq_led,
+                    &mut seq_tel,
+                    &mut seq_fb,
+                );
+                let b = shd.step(
+                    &mut shd_tab,
+                    cycle,
+                    &mut shd_stats,
+                    &mut shd_led,
+                    &mut shd_tel,
+                    &mut shd_fb,
+                );
+                assert_eq!(a, b, "progress diverged at cycle {cycle} (k = {k})");
+                assert_eq!(
+                    seq.state_digest(),
+                    shd.state_digest(),
+                    "state diverged at cycle {cycle} (k = {k})"
+                );
+                assert_eq!(seq_fb, shd_fb, "feedback diverged at cycle {cycle}");
+                if seq_tab.live() == 0 && shd_tab.live() == 0 {
+                    break;
+                }
+            }
+            assert_eq!(seq_tab.live(), 0, "sequential run must drain");
+            seq.drain_partials(&mut seq_stats, &mut seq_led, &mut seq_tel);
+            shd.drain_partials(&mut shd_stats, &mut shd_led, &mut shd_tel);
+            assert_eq!(seq_led, shd_led, "energy ledgers diverged (k = {k})");
+            assert_eq!(seq_tel, shd_tel, "telemetry diverged (k = {k})");
+            assert_eq!(seq_stats.delivered_flits, shd_stats.delivered_flits);
+            assert_eq!(seq_stats.router_flits, shd_stats.router_flits);
+            assert_eq!(
+                seq_tab.capacity(),
+                shd_tab.capacity(),
+                "slot recycling diverged"
+            );
+        }
     }
 }

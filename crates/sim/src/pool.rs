@@ -1,0 +1,305 @@
+//! A persistent worker pool for the sharded stepping engine.
+//!
+//! One pool drives one [`crate::Network`]'s shards: each worker owns a
+//! fixed contiguous range of shards for the pool's lifetime and, per
+//! cycle, receives those shards (ownership transferred — no shared
+//! mutable state, no `unsafe`), runs phase 1, exchanges boundary batches
+//! with its peers over channels, commits, and ships the shards back.
+//!
+//! # Determinism
+//!
+//! Workers only race on *when* boundary batches are committed, and batch
+//! commits are order-independent by construction (see the `shard` module
+//! docs: every committed effect of a cycle touches a disjoint lane,
+//! channel or commutative counter). Everything order-*sensitive* is
+//! deferred as `Effect`s and replayed by the simulation thread in global
+//! router order. A pooled cycle is therefore bit-identical to the inline
+//! sharded cycle — thread count and scheduling never leak into results.
+//!
+//! # No deadlock, no cross-cycle mixing
+//!
+//! Per cycle every worker sends all of its peer messages *before*
+//! receiving any (channels are unbounded, so sends never block), then
+//! receives exactly `workers - 1` messages. The simulation thread
+//! dispatches cycle `t + 1` only after collecting every `Done(t)`, and a
+//! worker only reports `Done` after consuming all of its cycle-`t` peer
+//! messages — so messages of different cycles can never interleave.
+//!
+//! # Steady-state allocation
+//!
+//! Batches and message vectors cycle through per-worker free pools (one
+//! recycled per received, one taken per sent — balanced), and the shard
+//! carriers shuttling ownership between threads are reused, so a warmed
+//! pool steps without heap allocation, preserving the engine's
+//! zero-allocation contract.
+
+// Shards stay boxed on their channel trips: handing over an 8-byte
+// pointer every cycle beats memcpying each shard's multi-hundred-byte
+// header on every ownership transfer, and keeps shard addresses stable.
+#![allow(clippy::vec_box)]
+
+use crate::shard::{BoundaryBatch, ShardState, Topo};
+use crate::table::PacketTable;
+use adele::online::Cycle;
+use std::sync::mpsc::{Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// One cycle of work for one worker: its shards (ownership moves with the
+/// message), a read-only view of the packet table, and the cycle context.
+struct Job {
+    shards: Vec<Box<ShardState>>,
+    packets: Arc<PacketTable>,
+    cycle: Cycle,
+    armed: bool,
+}
+
+/// Boundary batches bound for one peer worker: `(destination shard,
+/// batch)` pairs.
+type PeerMsg = Vec<(usize, BoundaryBatch)>;
+
+/// A worker returning its shards after a cycle.
+struct Done {
+    worker: usize,
+    shards: Vec<Box<ShardState>>,
+}
+
+/// First shard owned by worker `w` of `workers` over `shards` shards.
+fn range_start(shards: usize, workers: usize, w: usize) -> usize {
+    w * shards / workers
+}
+
+/// The persistent pool. Dropping it shuts the workers down.
+pub(crate) struct ShardPool {
+    workers: usize,
+    shard_count: usize,
+    job_txs: Vec<Sender<Job>>,
+    done_rx: Receiver<Done>,
+    handles: Vec<JoinHandle<()>>,
+    /// Reused shard carriers, one per worker (capacity survives cycles).
+    carriers: Vec<Vec<Box<ShardState>>>,
+    /// Per-worker return slots for reassembling shard order.
+    returns: Vec<Option<Vec<Box<ShardState>>>>,
+}
+
+impl std::fmt::Debug for ShardPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardPool")
+            .field("workers", &self.workers)
+            .field("shard_count", &self.shard_count)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ShardPool {
+    /// Spawns `workers` threads (`2 ..= shard_count`) over `shard_count`
+    /// shards of the network described by `topo`.
+    pub(crate) fn new(topo: &Arc<Topo>, shard_count: usize, workers: usize) -> Self {
+        assert!(
+            (2..=shard_count).contains(&workers),
+            "a pool needs 2..=shards workers"
+        );
+        let (done_tx, done_rx) = std::sync::mpsc::channel::<Done>();
+        let mut job_txs = Vec::with_capacity(workers);
+        let mut job_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel::<Job>();
+            job_txs.push(tx);
+            job_rxs.push(rx);
+        }
+        // workers × workers peer mesh; peer_rxs[j] receives for worker j.
+        let mut peer_txs_all: Vec<Vec<Sender<PeerMsg>>> =
+            (0..workers).map(|_| Vec::new()).collect();
+        let mut peer_rxs = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (tx, rx) = std::sync::mpsc::channel::<PeerMsg>();
+            for txs in &mut peer_txs_all {
+                txs.push(tx.clone());
+            }
+            peer_rxs.push(rx);
+        }
+        let mut handles = Vec::with_capacity(workers);
+        for (me, (job_rx, peer_rx)) in job_rxs.into_iter().zip(peer_rxs).enumerate() {
+            let peer_txs = peer_txs_all[me].clone();
+            let topo = Arc::clone(topo);
+            let done_tx = done_tx.clone();
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("noc-shard-{me}"))
+                    .spawn(move || {
+                        worker_loop(
+                            me,
+                            &topo,
+                            &job_rx,
+                            &peer_txs,
+                            &peer_rx,
+                            &done_tx,
+                            shard_count,
+                            workers,
+                        );
+                    })
+                    .expect("spawn shard worker"),
+            );
+        }
+        Self {
+            workers,
+            shard_count,
+            job_txs,
+            done_rx,
+            handles,
+            carriers: (0..workers).map(|_| Vec::new()).collect(),
+            returns: (0..workers).map(|_| None).collect(),
+        }
+    }
+
+    /// Runs one network cycle across the pool: distributes `shards` (in
+    /// ascending shard order) to their owning workers, waits for every
+    /// worker to finish, and reassembles `shards` in the same order.
+    pub(crate) fn run_cycle(
+        &mut self,
+        shards: &mut Vec<Box<ShardState>>,
+        packets: &Arc<PacketTable>,
+        cycle: Cycle,
+        armed: bool,
+    ) {
+        debug_assert_eq!(shards.len(), self.shard_count);
+        let mut drained = shards.drain(..);
+        for w in 0..self.workers {
+            let take = range_start(self.shard_count, self.workers, w + 1)
+                - range_start(self.shard_count, self.workers, w);
+            let mut carrier = std::mem::take(&mut self.carriers[w]);
+            carrier.extend(drained.by_ref().take(take));
+            self.job_txs[w]
+                .send(Job {
+                    shards: carrier,
+                    packets: Arc::clone(packets),
+                    cycle,
+                    armed,
+                })
+                .expect("shard worker alive");
+        }
+        drop(drained);
+        for _ in 0..self.workers {
+            let done = self.done_rx.recv().expect("shard worker died");
+            self.returns[done.worker] = Some(done.shards);
+        }
+        for w in 0..self.workers {
+            let mut carrier = self.returns[w].take().expect("every worker reported");
+            shards.append(&mut carrier);
+            self.carriers[w] = carrier;
+        }
+    }
+}
+
+impl Drop for ShardPool {
+    fn drop(&mut self) {
+        // Closing the job channels ends every worker loop; join so no
+        // thread outlives the simulator that owns the pool.
+        self.job_txs.clear();
+        for handle in self.handles.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // the worker's fixed wiring
+fn worker_loop(
+    me: usize,
+    topo: &Topo,
+    job_rx: &Receiver<Job>,
+    peer_txs: &[Sender<PeerMsg>],
+    peer_rx: &Receiver<PeerMsg>,
+    done_tx: &Sender<Done>,
+    shard_count: usize,
+    workers: usize,
+) {
+    let own_lo = range_start(shard_count, workers, me);
+    let own_hi = range_start(shard_count, workers, me + 1);
+    // Free pools keeping the steady state allocation-free.
+    let mut batch_pool: Vec<BoundaryBatch> = Vec::new();
+    let mut msg_pool: Vec<PeerMsg> = Vec::new();
+    while let Ok(Job {
+        mut shards,
+        packets,
+        cycle,
+        armed,
+    }) = job_rx.recv()
+    {
+        debug_assert_eq!(shards.len(), own_hi - own_lo);
+        for shard in &mut shards {
+            shard.phase1(topo, &packets, cycle, armed);
+        }
+        // Ship outbound boundary batches, peer by peer, before receiving
+        // anything (unbounded channels: sends cannot block).
+        for (peer, tx) in peer_txs.iter().enumerate() {
+            if peer == me {
+                continue;
+            }
+            let mut msg = msg_pool.pop().unwrap_or_default();
+            let peer_lo = range_start(shard_count, workers, peer);
+            let peer_hi = range_start(shard_count, workers, peer + 1);
+            for shard in &mut shards {
+                for dst in peer_lo..peer_hi {
+                    let batch = std::mem::replace(
+                        &mut shard.outboxes[dst],
+                        batch_pool.pop().unwrap_or_default(),
+                    );
+                    if batch.is_empty() {
+                        batch_pool.push(batch);
+                    } else {
+                        msg.push((dst, batch));
+                    }
+                }
+            }
+            tx.send(msg).expect("peer worker alive");
+        }
+        // Commit intra-owned traffic (including each shard's own staging).
+        for src_rel in 0..shards.len() {
+            for dst in own_lo..own_hi {
+                let mut batch = std::mem::take(&mut shards[src_rel].outboxes[dst]);
+                shards[dst - own_lo].commit_batch(topo, &mut batch, armed);
+                shards[src_rel].outboxes[dst] = batch;
+            }
+        }
+        // Commit inbound traffic from every peer. Commit order across
+        // peers is irrelevant (disjoint-effect argument), so first-come
+        // order — which varies run to run — cannot affect the result.
+        for _ in 0..workers - 1 {
+            let mut msg = peer_rx.recv().expect("peer worker died");
+            for (dst, mut batch) in msg.drain(..) {
+                shards[dst - own_lo].commit_batch(topo, &mut batch, armed);
+                batch_pool.push(batch);
+            }
+            msg_pool.push(msg);
+        }
+        for shard in &mut shards {
+            shard.finish_commit(topo);
+        }
+        // Release the packet-table view before reporting done so the
+        // simulation thread can reclaim unique ownership.
+        drop(packets);
+        done_tx
+            .send(Done { worker: me, shards })
+            .expect("simulation thread alive");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn worker_ranges_partition_the_shards() {
+        for (shards, workers) in [(8, 2), (8, 3), (5, 2), (4, 4), (7, 3)] {
+            let mut covered = 0;
+            for w in 0..workers {
+                let lo = range_start(shards, workers, w);
+                let hi = range_start(shards, workers, w + 1);
+                assert_eq!(lo, covered, "ranges must be contiguous");
+                assert!(hi > lo, "worker {w} owns no shard");
+                covered = hi;
+            }
+            assert_eq!(covered, shards);
+        }
+    }
+}

@@ -1,0 +1,890 @@
+//! The sharded stepping core: one [`ShardState`] owns a contiguous range
+//! of routers (its arena slice, worklist, sources and telemetry
+//! partition) and steps them independently; shards exchange flits and
+//! credits through [`BoundaryBatch`] channel buffers that are part of the
+//! committed cycle state.
+//!
+//! # Why the result is independent of shard count *and* commit order
+//!
+//! The two-phase cycle already guarantees that phase 1 (route & send)
+//! only *reads* committed state and only *stages* effects. Sharding keeps
+//! that split and adds one observation: every staged effect commutes with
+//! every other staged effect of the same cycle —
+//!
+//! * at most one flit arrives per `(router, port, vc)` lane per cycle
+//!   (each upstream output port sends at most one flit, and exactly one
+//!   upstream channel feeds each lane), so arrival commits from different
+//!   source shards never touch the same FIFO,
+//! * at most one credit returns per channel per cycle (`input_used`
+//!   guarantees one pop per input lane), so credit commits are disjoint
+//!   too,
+//! * worklist bits are idempotent and counters commute.
+//!
+//! Boundary batches therefore need no sorting and no fixed merge order: a
+//! k-shard run commits the *same set* of disjoint effects as the
+//! sequential engine, in any order, and lands in the same state — which
+//! is what `tests/shard_equivalence.rs` proves per cycle.
+//!
+//! The only order-sensitive work of a cycle is what touches the shared
+//! [`PacketTable`] and statistics (delivery bookkeeping, slot retirement,
+//! departure feedback). Shards *defer* those as [`Effect`]s, recorded in
+//! emission order; the owner of the cycle replays them shard-ascending —
+//! which, because shards are ascending contiguous router ranges and each
+//! shard emits in ascending router order, is exactly the sequential
+//! engine's global router order. Slot retirement order (and with it every
+//! future [`PacketId`] assignment) is preserved bit-exactly.
+
+use crate::arena::FlitArena;
+use crate::flit::{Flit, FlitKind, PacketId};
+use crate::table::PacketTable;
+use adele::online::{Cycle, SourceFeedback};
+use noc_energy::{EnergyLedger, LinkLedger, LinkMap};
+use noc_topology::route::{self, VirtualNet};
+use noc_topology::{Coord, Direction, NodeId};
+use std::collections::VecDeque;
+
+pub(crate) const PORTS: usize = Direction::COUNT;
+pub(crate) const VCS: usize = VirtualNet::COUNT;
+pub(crate) const LOCAL: usize = 0; // Direction::Local.index()
+
+/// "This input lane fronts no routed head" marker in the per-cycle
+/// request table (port indices are < [`PORTS`]).
+const NO_REQUEST: u8 = u8::MAX;
+
+/// Route-request cache sentinel: the lane's front changed since the last
+/// route computation (or the lane is empty).
+const REQ_UNKNOWN: u8 = u8::MAX;
+/// Route-request cache sentinel: the current front is not a routable head
+/// (a body/tail flit mid-wormhole). Distinct from [`REQ_UNKNOWN`] so
+/// blocked non-head fronts are not re-inspected every cycle.
+const REQ_NONE: u8 = u8::MAX - 1;
+
+/// Lane index of `(port, vc)` within one router's `PORTS × VCS` block
+/// (the bit position used by the occupancy/owner masks).
+#[inline]
+pub(crate) fn local_lane(port: usize, vc: usize) -> usize {
+    port * VCS + vc
+}
+
+/// Per-router switching state (flit storage lives in the shard's arena).
+#[derive(Debug, Clone)]
+pub(crate) struct RouterState {
+    /// Non-empty input lanes, bit [`local_lane`]`(port, vc)`. A pure
+    /// cache of the arena's occupancy, maintained at every push/pop, so
+    /// the per-cycle route-and-send pass iterates set bits instead of
+    /// probing all `PORTS × VCS` FIFO fronts.
+    pub(crate) occ: u32,
+    /// Output channels with a live wormhole owner, bit
+    /// [`local_lane`]`(port, vc)` — the same skip-the-scan trick for the
+    /// owner table.
+    pub(crate) own: u32,
+    /// Cached routing decision for each input lane's front flit: an
+    /// output-port index, [`REQ_NONE`] (front is not a routable head) or
+    /// [`REQ_UNKNOWN`] (front changed since last computed). Routes are
+    /// pure functions of the packet, so a blocked head no longer pays a
+    /// packet-table read plus `route_step` every cycle it waits.
+    pub(crate) req_cache: [u8; PORTS * VCS],
+    /// Owner of each output channel `(port, vc)`: the input `(port, vc)`
+    /// whose packet currently holds the wormhole.
+    pub(crate) owner: [[Option<(u8, u8)>; VCS]; PORTS],
+    /// Credits towards the downstream FIFO of each output channel.
+    pub(crate) credits: [[u8; VCS]; PORTS],
+    /// Round-robin pointer over input ports for new grants, per channel.
+    pub(crate) rr_grant: [[u8; VCS]; PORTS],
+    /// Round-robin pointer over VCs, per output port.
+    pub(crate) rr_vc: [u8; PORTS],
+    /// Total buffered flits (for probe queries and worklist re-arming).
+    pub(crate) buffered: u32,
+    /// `true` while the router is provably stuck: its last arbitration
+    /// moved nothing, and no arrival or credit has touched it since.
+    /// Arbitration is a pure function of the router's own FIFOs, owners
+    /// and credits (packet routes are immutable), so until one of those
+    /// changes the outcome cannot either — the route-and-send pass skips
+    /// the router for the cost of one flag read. Cleared by every arrival
+    /// and credit commit.
+    pub(crate) quiet: bool,
+}
+
+impl RouterState {
+    fn new(buffer_depth: u8, credit_mask: [bool; PORTS]) -> Self {
+        let mut credits = [[0u8; VCS]; PORTS];
+        for p in 0..PORTS {
+            if credit_mask[p] {
+                credits[p] = [buffer_depth; VCS];
+            }
+        }
+        Self {
+            occ: 0,
+            own: 0,
+            req_cache: [REQ_UNKNOWN; PORTS * VCS],
+            owner: [[None; VCS]; PORTS],
+            credits,
+            rr_grant: [[0; VCS]; PORTS],
+            rr_vc: [0; PORTS],
+            buffered: 0,
+            quiet: false,
+        }
+    }
+}
+
+/// Per-node injection queue (unbounded source queue behind the NI).
+#[derive(Debug, Clone, Default)]
+pub(crate) struct SourceQueue {
+    pub(crate) queue: VecDeque<PacketId>,
+    /// Flits of the front packet already pushed into the local port.
+    pub(crate) sent: u16,
+}
+
+/// Immutable per-run lookup tables shared by every shard (and, under the
+/// thread pool, by every worker via `Arc`).
+#[derive(Debug)]
+pub(crate) struct Topo {
+    pub(crate) coords: Vec<Coord>,
+    /// `neighbours[node][port]` — the router reached through that port.
+    pub(crate) neighbours: Vec<[Option<NodeId>; PORTS]>,
+    /// Telemetry lane of each `(node, port)` input, cached flat from the
+    /// link map so hot-path pushes index one dense array.
+    pub(crate) in_lane: Vec<u32>,
+    /// Telemetry link of each `(node, port)` output, cached likewise.
+    pub(crate) out_link: Vec<u32>,
+    /// Owning shard of every router.
+    pub(crate) shard_of: Vec<u8>,
+    pub(crate) buffer_depth: u8,
+}
+
+impl Topo {
+    pub(crate) fn node_count(&self) -> usize {
+        self.coords.len()
+    }
+}
+
+/// Partitions `nodes` routers into `shards` ascending contiguous ranges:
+/// whole layers when there are at least as many layers as shards (z-major
+/// node ids make layers contiguous), XY row-bands otherwise. Returns
+/// `shards + 1` monotone bounds with `bounds[0] == 0` and
+/// `bounds[shards] == nodes`; every shard is non-empty for
+/// `shards <= min(nodes, layers.max(1) * per_layer)`.
+pub(crate) fn shard_bounds(
+    nodes: usize,
+    per_layer: usize,
+    layers: usize,
+    shards: usize,
+) -> Vec<usize> {
+    debug_assert!(shards >= 1 && shards <= nodes);
+    let mut bounds = Vec::with_capacity(shards + 1);
+    for i in 0..=shards {
+        let b = if layers >= shards {
+            (i * layers / shards) * per_layer
+        } else {
+            i * nodes / shards
+        };
+        bounds.push(b);
+    }
+    debug_assert_eq!(bounds[shards], nodes);
+    bounds
+}
+
+/// One cycle's staged cross-shard traffic on a directed shard-to-shard
+/// channel: flit arrivals into the destination shard's FIFOs and credit
+/// returns to its routers. Drained (committed) every cycle — the channel
+/// has a fixed latency of exactly the one commit boundary the sequential
+/// engine's staging buffers already had.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct BoundaryBatch {
+    /// `(router, input port, vc, flit)` arrivals.
+    pub(crate) arrivals: Vec<(NodeId, u8, u8, Flit)>,
+    /// `(router, output port, vc)` credit returns.
+    pub(crate) credits: Vec<(NodeId, u8, u8)>,
+}
+
+impl BoundaryBatch {
+    pub(crate) fn is_empty(&self) -> bool {
+        self.arrivals.is_empty() && self.credits.is_empty()
+    }
+}
+
+/// A packet-table/statistics side effect deferred out of the parallel
+/// phase, replayed by the cycle owner in global router order.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Effect {
+    /// A flit ejected into its destination NI (`tail` ends the packet).
+    Eject {
+        /// The ejected flit's packet.
+        packet: PacketId,
+        /// `true` if the flit was the packet's tail.
+        tail: bool,
+    },
+    /// A head and/or tail flit left its source router (single-flit
+    /// packets depart as both at once).
+    SrcDeparture {
+        /// The departing flit's packet.
+        packet: PacketId,
+        /// The head left the source this cycle.
+        head: bool,
+        /// The tail left the source this cycle.
+        tail: bool,
+    },
+}
+
+/// One shard of the network: a contiguous router range with its own arena
+/// slice, worklist, source queues and telemetry partition.
+#[derive(Debug, Clone)]
+pub(crate) struct ShardState {
+    /// This shard's index within the network's shard vector.
+    pub(crate) index: usize,
+    /// First owned router (global node id); the shard owns
+    /// `lo .. lo + routers.len()`.
+    pub(crate) lo: usize,
+    pub(crate) routers: Vec<RouterState>,
+    /// The shard's input FIFOs, one ring per local `(router, port, vc)`.
+    pub(crate) fifos: FlitArena,
+    pub(crate) sources: Vec<SourceQueue>,
+    /// NI credits towards the local input port, per VC.
+    pub(crate) ni_credits: Vec<[u8; VCS]>,
+    /// Flits buffered across the shard's routers (incremental).
+    pub(crate) buffered_total: u64,
+    /// Packets waiting in the shard's source queues (incremental).
+    pub(crate) queued_total: u64,
+    /// Worklist bitmap of routers to visit next cycle (bit = local id).
+    pub(crate) active_bits: Vec<u64>,
+    /// Previous cycle's worklist, swapped in as this cycle's visit set.
+    pub(crate) work_bits: Vec<u64>,
+    /// Staged outbound traffic, one channel per destination shard
+    /// (`outboxes[index]` is the shard's own intra-shard staging).
+    pub(crate) outboxes: Vec<BoundaryBatch>,
+    /// Staged NI credit returns (always intra-shard).
+    staged_ni_credits: Vec<(usize, u8)>,
+    /// Deferred packet-table/statistics effects, in emission order.
+    pub(crate) effects: Vec<Effect>,
+    /// Deferred source-departure feedback, in emission order.
+    pub(crate) feedbacks: Vec<SourceFeedback>,
+    /// Shard partition of the aggregate energy ledger, drained on demand.
+    pub(crate) part_ledger: EnergyLedger,
+    /// Shard partition of the per-link telemetry (full key space; a
+    /// shard only ever touches its own routers' lanes, so partitions are
+    /// disjoint and merge by plain addition), drained on demand.
+    pub(crate) part_telemetry: LinkLedger,
+    /// Shard partition of `StatsCollector::router_flits` (local index),
+    /// drained on demand.
+    pub(crate) part_router_flits: Vec<u64>,
+    /// `true` if this shard moved or injected a flit this cycle.
+    pub(crate) progress: bool,
+}
+
+impl ShardState {
+    pub(crate) fn new(
+        index: usize,
+        lo: usize,
+        hi: usize,
+        shard_count: usize,
+        topo: &Topo,
+        links: &LinkMap,
+    ) -> Self {
+        let n = hi - lo;
+        let depth = topo.buffer_depth;
+        let routers = (lo..hi)
+            .map(|r| {
+                let credit_mask: [bool; PORTS] =
+                    std::array::from_fn(|p| topo.neighbours[r][p].is_some());
+                RouterState::new(depth, credit_mask)
+            })
+            .collect();
+        // Every staging buffer is drained each cycle, so reserving its
+        // per-cycle worst case up front makes steady-state stepping
+        // allocation-free from cycle 0. Each directed link carries at most
+        // one flit per cycle (one send per output port) and returns at
+        // most `VCS` credits per cycle (each input lane pops at most
+        // once), so per-outbox bounds follow from the link counts into
+        // each destination shard.
+        let mut links_to = vec![0usize; shard_count];
+        for r in lo..hi {
+            for nb in topo.neighbours[r].iter().flatten() {
+                links_to[topo.shard_of[nb.index()] as usize] += 1;
+            }
+        }
+        let outboxes = links_to
+            .iter()
+            .enumerate()
+            .map(|(dst, &links)| BoundaryBatch {
+                // Mesh links are bidirectional, so `links` also counts the
+                // reverse links whose credits this shard stages for `dst`.
+                // The own outbox additionally takes one NI injection per
+                // source per cycle.
+                arrivals: Vec::with_capacity(links + if dst == index { n } else { 0 }),
+                credits: Vec::with_capacity(VCS * links),
+            })
+            .collect();
+        Self {
+            index,
+            lo,
+            routers,
+            fifos: FlitArena::new(n * PORTS * VCS, depth),
+            sources: vec![SourceQueue::default(); n],
+            ni_credits: vec![[depth; VCS]; n],
+            buffered_total: 0,
+            queued_total: 0,
+            active_bits: vec![0; n.div_ceil(64)],
+            work_bits: vec![0; n.div_ceil(64)],
+            outboxes,
+            // Per cycle: at most `VCS` NI credit returns per router (the
+            // LOCAL input lanes), one ejection plus `VCS` source
+            // departures per router, one feedback per departure.
+            staged_ni_credits: Vec::with_capacity(VCS * n),
+            effects: Vec::with_capacity((1 + VCS) * n),
+            feedbacks: Vec::with_capacity(VCS * n),
+            part_ledger: EnergyLedger::default(),
+            part_telemetry: LinkLedger::new(links, VCS),
+            part_router_flits: vec![0; n],
+            progress: false,
+        }
+    }
+
+    /// FIFO lane of local router `rel`, `(port, vc)` in the shard arena.
+    #[inline]
+    fn lane(&self, rel: usize, port: usize, vc: usize) -> usize {
+        (rel * PORTS + port) * VCS + vc
+    }
+
+    /// Queues a freshly created packet at its source NI (`rel` local).
+    pub(crate) fn enqueue(&mut self, rel: usize, id: PacketId) {
+        self.sources[rel].queue.push_back(id);
+        self.queued_total += 1;
+        self.active_bits[rel / 64] |= 1 << (rel % 64);
+    }
+
+    /// Phase 1 of the cycle for this shard: route & send over the active
+    /// routers, then NI injection at active sources. Only reads the
+    /// packet table; every effect is staged (outboxes, NI credits,
+    /// deferred [`Effect`]s).
+    pub(crate) fn phase1(&mut self, topo: &Topo, packets: &PacketTable, cycle: Cycle, armed: bool) {
+        self.progress = false;
+
+        // Take this cycle's worklist bitmap; `active_bits` (zeroed at the
+        // end of the previous cycle) accumulates next cycle's.
+        std::mem::swap(&mut self.active_bits, &mut self.work_bits);
+
+        // ---- Phase 1a: route & send, per active router. ----
+        for w in 0..self.work_bits.len() {
+            let mut bits = self.work_bits[w];
+            while bits != 0 {
+                let rel = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let router = &self.routers[rel];
+                if router.buffered == 0 {
+                    continue; // only queued at its source NI
+                }
+                if router.quiet {
+                    continue; // provably stuck since its last arbitration
+                }
+                let moved = self.process_router(rel, topo, packets, cycle, armed);
+                self.progress |= moved;
+                // A fruitless arbitration stays fruitless until an arrival
+                // or credit changes the router's inputs.
+                self.routers[rel].quiet = !moved;
+            }
+        }
+
+        // ---- Phase 1b: NI injection at active sources. ----
+        for w in 0..self.work_bits.len() {
+            let mut bits = self.work_bits[w];
+            while bits != 0 {
+                let rel = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let Some(&pid) = self.sources[rel].queue.front() else {
+                    continue;
+                };
+                let pkt = packets.get(pid);
+                let vc = pkt.vnet.index();
+                if self.ni_credits[rel][vc] == 0 {
+                    continue;
+                }
+                let sent = self.sources[rel].sent;
+                let kind = FlitKind::for_position(sent, pkt.flits);
+                let pkt_flits = pkt.flits;
+                let node = self.lo + rel;
+                self.ni_credits[rel][vc] -= 1;
+                let own = self.index;
+                self.outboxes[own].arrivals.push((
+                    NodeId(node as u16),
+                    LOCAL as u8,
+                    vc as u8,
+                    Flit { packet: pid, kind },
+                ));
+                if armed {
+                    self.part_ledger.ni_events += 1;
+                    self.part_telemetry.on_ni_event(node);
+                }
+                let sq = &mut self.sources[rel];
+                sq.sent += 1;
+                if sq.sent == pkt_flits {
+                    sq.queue.pop_front();
+                    sq.sent = 0;
+                    self.queued_total -= 1;
+                }
+                self.progress = true;
+            }
+        }
+    }
+
+    /// Commits one inbound boundary batch (flit arrivals + credit
+    /// returns), draining it in place. Batches from different source
+    /// shards touch disjoint lanes/channels (see the module docs), so the
+    /// caller may commit them in any order.
+    pub(crate) fn commit_batch(&mut self, topo: &Topo, batch: &mut BoundaryBatch, armed: bool) {
+        for (node, port, vc, flit) in batch.arrivals.drain(..) {
+            let n = node.index();
+            debug_assert_eq!(topo.shard_of[n] as usize, self.index, "misrouted batch");
+            let rel = n - self.lo;
+            let fifo = self.lane(rel, port as usize, vc as usize);
+            debug_assert!(
+                self.fifos.len(fifo) < topo.buffer_depth as usize,
+                "credit protocol violated: FIFO overflow at {node}"
+            );
+            self.fifos.push_back(fifo, flit);
+            let arrival_bit = local_lane(port as usize, vc as usize);
+            let router = &mut self.routers[rel];
+            if router.occ & (1 << arrival_bit) == 0 {
+                // The lane was empty: this flit is its new front.
+                router.occ |= 1 << arrival_bit;
+                router.req_cache[arrival_bit] = REQ_UNKNOWN;
+            }
+            router.buffered += 1;
+            router.quiet = false;
+            self.buffered_total += 1;
+            if armed {
+                self.part_router_flits[rel] += 1;
+                self.part_ledger.buffer_writes += 1;
+                // The lane is the upstream link feeding this input port,
+                // or the router's NI lane for local-port injections.
+                self.part_telemetry
+                    .on_buffer_write(topo.in_lane[n * PORTS + port as usize], vc as usize);
+            }
+            // An arrival is next cycle's work wherever it lands.
+            self.active_bits[rel / 64] |= 1 << (rel % 64);
+        }
+        for (node, oport, vc) in batch.credits.drain(..) {
+            let n = node.index();
+            debug_assert_eq!(topo.shard_of[n] as usize, self.index, "misrouted batch");
+            let router = &mut self.routers[n - self.lo];
+            let c = &mut router.credits[oport as usize][vc as usize];
+            *c += 1;
+            router.quiet = false;
+            debug_assert!(*c <= topo.buffer_depth, "credit overflow at {node}");
+        }
+    }
+
+    /// Completes the shard's commit after every inbound batch has been
+    /// applied: NI credit returns and worklist re-arming.
+    pub(crate) fn finish_commit(&mut self, topo: &Topo) {
+        for (rel, vc) in self.staged_ni_credits.drain(..) {
+            let c = &mut self.ni_credits[rel][vc as usize];
+            *c += 1;
+            debug_assert!(*c <= topo.buffer_depth, "NI credit overflow");
+        }
+
+        // Re-arm visited routers that still hold buffered flits or queued
+        // packets; everything else goes idle and costs nothing until a
+        // flit or injection reaches it again.
+        for w in 0..self.work_bits.len() {
+            let mut bits = self.work_bits[w];
+            while bits != 0 {
+                let rel = w * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if self.routers[rel].buffered > 0 || !self.sources[rel].queue.is_empty() {
+                    self.active_bits[w] |= 1 << (rel % 64);
+                }
+            }
+            self.work_bits[w] = 0;
+        }
+    }
+
+    /// Routes & sends for one active router: computes, once, which output
+    /// each buffered head flit requests and then arbitrates only the
+    /// output ports that have a requesting head or a live wormhole with
+    /// buffered flits.
+    fn process_router(
+        &mut self,
+        rel: usize,
+        topo: &Topo,
+        packets: &PacketTable,
+        cycle: Cycle,
+        armed: bool,
+    ) -> bool {
+        let g = self.lo + rel;
+        // Output ports worth arbitrating: wormhole owners with flits
+        // ready. Only channels with their `own` bit set can have an
+        // owner, so iterate the mask instead of scanning the table.
+        let mut out_mask: u8 = 0;
+        // VCs per output that can possibly field a candidate (live owner
+        // or requesting head); process_output skips the rest unseen.
+        let mut vc_mask = [0u8; PORTS];
+        let mut own_bits = self.routers[rel].own;
+        while own_bits != 0 {
+            let b = own_bits.trailing_zeros() as usize;
+            own_bits &= own_bits - 1;
+            let (o, v) = (b / VCS, b % VCS);
+            let (ip, iv) = self.routers[rel].owner[o][v].expect("own bit implies an owner");
+            if self.routers[rel].occ & (1 << local_lane(ip as usize, iv as usize)) != 0 {
+                out_mask |= 1 << o;
+                vc_mask[o] |= 1 << v;
+            }
+        }
+        // …and the requested output of every head flit at a FIFO front
+        // (owned lanes never front a head: the owner is cleared the moment
+        // the previous tail is sent). Only non-empty lanes — the set bits
+        // of `occ` — can front anything, and the route of a given front
+        // is constant, so blocked heads reuse the cached request.
+        let mut head_request = [[NO_REQUEST; VCS]; PORTS];
+        let mut occ_bits = self.routers[rel].occ;
+        while occ_bits != 0 {
+            let b = occ_bits.trailing_zeros() as usize;
+            occ_bits &= occ_bits - 1;
+            let (p, v) = (b / VCS, b % VCS);
+            let mut request = self.routers[rel].req_cache[b];
+            if request == REQ_UNKNOWN {
+                let head = self
+                    .fifos
+                    .front(self.lane(rel, p, v))
+                    .expect("occ bit implies a flit");
+                request = if head.kind.is_head() {
+                    let pkt = packets.get(head.packet);
+                    if pkt.vnet.index() == v {
+                        route::route_step(
+                            topo.coords[g],
+                            topo.coords[pkt.dst.index()],
+                            pkt.elevator,
+                        )
+                        .index() as u8
+                    } else {
+                        REQ_NONE
+                    }
+                } else {
+                    REQ_NONE
+                };
+                self.routers[rel].req_cache[b] = request;
+            }
+            if request < PORTS as u8 {
+                head_request[p][v] = request;
+                out_mask |= 1 << request;
+                vc_mask[request as usize] |= 1 << v;
+            }
+        }
+
+        let mut progress = false;
+        let mut input_used = [[false; VCS]; PORTS];
+        while out_mask != 0 {
+            let o = out_mask.trailing_zeros() as usize;
+            out_mask &= out_mask - 1;
+            progress |= self.process_output(
+                rel,
+                o,
+                vc_mask[o],
+                &head_request,
+                &mut input_used,
+                topo,
+                packets,
+                cycle,
+                armed,
+            );
+        }
+        progress
+    }
+
+    /// Processes one output port of one router: picks (at most) one flit
+    /// to send this cycle and stages its movement. Returns `true` on a
+    /// send.
+    #[allow(clippy::too_many_arguments)] // the per-cycle context of one port
+    fn process_output(
+        &mut self,
+        rel: usize,
+        o: usize,
+        vc_mask: u8,
+        head_request: &[[u8; VCS]; PORTS],
+        input_used: &mut [[bool; VCS]; PORTS],
+        topo: &Topo,
+        packets: &PacketTable,
+        cycle: Cycle,
+        armed: bool,
+    ) -> bool {
+        let g = self.lo + rel;
+        let o_dir = Direction::from_index(o).expect("valid port");
+        // Gather, per VC, the input (port, vc) able to send on (o, vc).
+        let mut candidates: [Option<(u8, u8, bool)>; VCS] = [None; VCS]; // (ip, iv, is_new_grant)
+        let mut vcs = vc_mask;
+        while vcs != 0 {
+            let v = vcs.trailing_zeros() as usize;
+            vcs &= vcs - 1;
+            let has_credit = o == LOCAL || self.routers[rel].credits[o][v] > 0;
+            if !has_credit {
+                continue;
+            }
+            if let Some((ip, iv)) = self.routers[rel].owner[o][v] {
+                let (ipu, ivu) = (ip as usize, iv as usize);
+                if input_used[ipu][ivu] {
+                    continue;
+                }
+                if !self.fifos.is_empty(self.lane(rel, ipu, ivu)) {
+                    candidates[v] = Some((ip, iv, false));
+                }
+            } else {
+                // New grant: round-robin over input ports whose head flit
+                // requests this output. Inputs popped earlier this cycle
+                // are flagged used, so a stale request is never granted.
+                let start = self.routers[rel].rr_grant[o][v] as usize;
+                for t in 0..PORTS {
+                    let p = (start + t) % PORTS;
+                    if input_used[p][v] || head_request[p][v] != o as u8 {
+                        continue;
+                    }
+                    candidates[v] = Some((p as u8, v as u8, true));
+                    break;
+                }
+            }
+        }
+
+        // Port-level VC arbitration: one flit per output port per cycle.
+        let start_vc = self.routers[rel].rr_vc[o] as usize;
+        let Some(v) = (0..VCS)
+            .map(|t| (start_vc + t) % VCS)
+            .find(|&v| candidates[v].is_some())
+        else {
+            return false;
+        };
+        let (ip, iv, is_new) = candidates[v].expect("just found");
+        let (ipu, ivu) = (ip as usize, iv as usize);
+
+        // Dequeue and update switching state.
+        let flit = self.fifos.pop_front(self.lane(rel, ipu, ivu));
+        self.routers[rel].buffered -= 1;
+        self.buffered_total -= 1;
+        input_used[ipu][ivu] = true;
+        // The lane's front changed: drop its cached route and, if it
+        // emptied, its occupancy bit.
+        let in_lane_bit = local_lane(ipu, ivu);
+        self.routers[rel].req_cache[in_lane_bit] = REQ_UNKNOWN;
+        if self.fifos.is_empty(self.lane(rel, ipu, ivu)) {
+            self.routers[rel].occ &= !(1 << in_lane_bit);
+        }
+        let out_lane_bit = local_lane(o, v);
+        if is_new {
+            self.routers[rel].owner[o][v] = Some((ip, iv));
+            self.routers[rel].own |= 1 << out_lane_bit;
+            self.routers[rel].rr_grant[o][v] = (ip + 1) % PORTS as u8;
+        }
+        if flit.kind.is_tail() {
+            self.routers[rel].owner[o][v] = None;
+            self.routers[rel].own &= !(1 << out_lane_bit);
+        }
+        self.routers[rel].rr_vc[o] = ((v + 1) % VCS) as u8;
+        if o != LOCAL {
+            self.routers[rel].credits[o][v] -= 1;
+        }
+
+        // Credit return to the upstream of the freed input slot.
+        if ipu == LOCAL {
+            self.staged_ni_credits.push((rel, iv));
+        } else {
+            let upstream = topo.neighbours[g][ipu].expect("input port implies neighbour");
+            let up_out = Direction::from_index(ipu)
+                .expect("valid")
+                .opposite()
+                .index() as u8;
+            let up_shard = topo.shard_of[upstream.index()] as usize;
+            self.outboxes[up_shard].credits.push((upstream, up_out, iv));
+        }
+
+        if armed {
+            self.part_ledger.buffer_reads += 1;
+            self.part_ledger.crossbar_traversals += 1;
+            // Read + crossbar happen in the FIFO of the lane that delivered
+            // the flit to this router.
+            self.part_telemetry
+                .on_buffer_read(topo.in_lane[g * PORTS + ipu], ivu);
+        }
+
+        if o == LOCAL {
+            // Ejection into the NI sink. Packet bookkeeping (delivery
+            // statistics, slot retirement) is deferred to the cycle owner.
+            if armed {
+                self.part_ledger.ni_events += 1;
+                self.part_telemetry.on_ni_event(g);
+            }
+            self.effects.push(Effect::Eject {
+                packet: flit.packet,
+                tail: flit.kind.is_tail(),
+            });
+        } else {
+            if armed {
+                if o_dir.is_vertical() {
+                    self.part_ledger.vertical_hops += 1;
+                } else {
+                    self.part_ledger.horizontal_hops += 1;
+                }
+                self.part_telemetry
+                    .on_link_flit(topo.out_link[g * PORTS + o], v);
+            }
+            let downstream = topo.neighbours[g][o].expect("credit implies neighbour");
+            let down_in = o_dir.opposite().index() as u8;
+            let down_shard = topo.shard_of[downstream.index()] as usize;
+            self.outboxes[down_shard]
+                .arrivals
+                .push((downstream, down_in, v as u8, flit));
+
+            // Source-router departure feedback (Eq. 6 inputs). A flit is
+            // leaving its source exactly when it exits through a LOCAL
+            // input lane (flits only ever enter LOCAL lanes at their
+            // injection NI, and XY-then-vertical routing never revisits
+            // the source), so transit flits skip the packet-table read.
+            // The head/tail timestamps are deferred; the feedback itself
+            // only needs reads that are stable within the cycle (the head
+            // of a multi-flit packet departed in an *earlier* cycle, and
+            // a single-flit packet's head departs right now).
+            if ipu == LOCAL && (flit.kind.is_head() || flit.kind.is_tail()) {
+                self.effects.push(Effect::SrcDeparture {
+                    packet: flit.packet,
+                    head: flit.kind.is_head(),
+                    tail: flit.kind.is_tail(),
+                });
+                if flit.kind.is_tail() {
+                    let pkt = packets.get(flit.packet);
+                    debug_assert_eq!(
+                        pkt.src,
+                        NodeId(g as u16),
+                        "LOCAL input lane implies source router"
+                    );
+                    if let Some(elevator) = pkt.elevator {
+                        let head_departure = if flit.kind.is_head() {
+                            cycle // single-flit packet: head departs now
+                        } else {
+                            pkt.head_out_src.unwrap_or(cycle)
+                        };
+                        self.feedbacks.push(SourceFeedback {
+                            src: pkt.src,
+                            elevator: elevator.id,
+                            head_departure,
+                            tail_departure: cycle,
+                            packet_flits: pkt.flits,
+                        });
+                    }
+                }
+            }
+        }
+        true
+    }
+
+    /// Heap capacity (in elements) reserved by the shard's cycle state —
+    /// the zero-allocation contract's summand for this shard.
+    pub(crate) fn heap_footprint(&self) -> usize {
+        self.fifos.capacity_flits()
+            + self
+                .outboxes
+                .iter()
+                .map(|b| b.arrivals.capacity() + b.credits.capacity())
+                .sum::<usize>()
+            + self.staged_ni_credits.capacity()
+            + self.active_bits.capacity()
+            + self.work_bits.capacity()
+            + self.effects.capacity()
+            + self.feedbacks.capacity()
+            + self.part_router_flits.len()
+            + self
+                .sources
+                .iter()
+                .map(|s| s.queue.capacity())
+                .sum::<usize>()
+    }
+
+    /// Folds the shard's committed state into `h` (FNV-1a) in ascending
+    /// local router order with a fixed per-router field order. The stream
+    /// only depends on global node order and per-node state — never on
+    /// the shard layout — so digests are comparable across shard counts.
+    pub(crate) fn hash_state(&self, h: &mut u64) {
+        #[inline]
+        fn mix(h: &mut u64, v: u64) {
+            *h ^= v;
+            *h = h.wrapping_mul(0x0100_0000_01b3);
+        }
+        for rel in 0..self.routers.len() {
+            let r = &self.routers[rel];
+            mix(h, u64::from(r.occ));
+            mix(h, u64::from(r.own));
+            for &b in &r.req_cache {
+                mix(h, u64::from(b));
+            }
+            for p in 0..PORTS {
+                for v in 0..VCS {
+                    mix(
+                        h,
+                        match r.owner[p][v] {
+                            None => u64::MAX,
+                            Some((ip, iv)) => (u64::from(ip) << 8) | u64::from(iv),
+                        },
+                    );
+                    mix(h, u64::from(r.credits[p][v]));
+                    mix(h, u64::from(r.rr_grant[p][v]));
+                    let fifo = self.lane(rel, p, v);
+                    mix(h, self.fifos.len(fifo) as u64);
+                    if let Some(front) = self.fifos.front(fifo) {
+                        mix(h, u64::from(front.packet.slot()));
+                        mix(h, u64::from(front.packet.generation()));
+                    }
+                }
+                mix(h, u64::from(r.rr_vc[p]));
+            }
+            mix(h, u64::from(r.buffered));
+            mix(h, u64::from(r.quiet));
+            // The worklist membership is part of committed state: it
+            // decides which routers next cycle visits.
+            mix(h, (self.active_bits[rel / 64] >> (rel % 64)) & 1);
+            for v in 0..VCS {
+                mix(h, u64::from(self.ni_credits[rel][v]));
+            }
+            let sq = &self.sources[rel];
+            mix(h, sq.queue.len() as u64);
+            for &pid in &sq.queue {
+                mix(h, u64::from(pid.slot()));
+                mix(h, u64::from(pid.generation()));
+            }
+            mix(h, u64::from(sq.sent));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn layer_major_bounds_split_whole_layers() {
+        // 8 layers of 12 nodes over 4 shards: 2 layers each.
+        let b = shard_bounds(96, 12, 8, 4);
+        assert_eq!(b, vec![0, 24, 48, 72, 96]);
+        // 3 layers over 2 shards: 1 + 2 layers.
+        let b = shard_bounds(36, 12, 3, 2);
+        assert_eq!(b, vec![0, 12, 36]);
+    }
+
+    #[test]
+    fn row_band_bounds_cover_single_layer_meshes() {
+        // 1 layer of 64 nodes over 4 shards: 16-node bands.
+        let b = shard_bounds(64, 64, 1, 4);
+        assert_eq!(b, vec![0, 16, 32, 48, 64]);
+        // shards == nodes degenerates to one router per shard.
+        let b = shard_bounds(4, 4, 1, 4);
+        assert_eq!(b, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn bounds_are_monotone_and_nonempty() {
+        for (nodes, per_layer, layers) in [(18, 9, 2), (128, 16, 8), (27, 9, 3), (50, 25, 2)] {
+            for shards in 1..=nodes.min(8) {
+                let b = shard_bounds(nodes, per_layer, layers, shards);
+                assert_eq!(b[0], 0);
+                assert_eq!(b[shards], nodes);
+                for i in 0..shards {
+                    assert!(b[i] < b[i + 1], "empty shard {i} in {b:?}");
+                }
+            }
+        }
+    }
+}

@@ -4,6 +4,7 @@ use crate::config::SimConfig;
 use crate::flit::Packet;
 use crate::hooks::{EventSchedule, SimCommand};
 use crate::network::Network;
+use crate::pool::ShardPool;
 use crate::scheduler::InjectionScheduler;
 use crate::stats::{RunSummary, StatsCollector};
 use crate::table::PacketTable;
@@ -98,6 +99,11 @@ pub struct Simulator {
     schedule: EventSchedule,
     /// This cycle's staged injections, reused across cycles.
     pending: Vec<(NodeId, InjectionRequest)>,
+    /// The worker pool driving multi-shard networks — present only when
+    /// both the shard count and the worker budget exceed one. Purely a
+    /// wall-clock accelerator: pooled and inline stepping are
+    /// bit-identical (the sharded-engine determinism contract).
+    pool: Option<ShardPool>,
     cycle: u64,
     last_progress: u64,
 }
@@ -156,7 +162,18 @@ impl Simulator {
         selector: Box<dyn ElevatorSelector>,
     ) -> Self {
         config.validate();
-        let net = Network::new(config.mesh, config.elevators.clone(), config.buffer_depth);
+        let net = Network::new_sharded(
+            config.mesh,
+            config.elevators.clone(),
+            config.buffer_depth,
+            config.shards,
+        );
+        let pool = if net.shard_count() > 1 {
+            let workers = crate::threads::worker_threads().min(net.shard_count());
+            (workers > 1).then(|| ShardPool::new(&net.topo_handle(), net.shard_count(), workers))
+        } else {
+            None
+        };
         let stats = StatsCollector::new(config.mesh.node_count(), config.elevators.len());
         let telemetry = LinkLedger::new(net.link_map(), VirtualNet::COUNT);
         let traffic = match traffic {
@@ -175,6 +192,7 @@ impl Simulator {
             feedbacks: Vec::new(),
             schedule: EventSchedule::new(),
             pending: Vec::new(),
+            pool,
             cycle: 0,
             last_progress: 0,
         }
@@ -317,18 +335,47 @@ impl Simulator {
     /// progress for `config.watchdog` cycles) — Elevator-First routing is
     /// deadlock-free, so this indicates a simulator or routing bug.
     pub fn step(&mut self) {
+        self.pre_step();
+        let progress = match &mut self.pool {
+            Some(pool) => {
+                self.net.step_compute_pooled(
+                    pool,
+                    &mut self.packets,
+                    self.cycle,
+                    self.stats.armed(),
+                );
+                self.net.finish_cycle(
+                    &mut self.packets,
+                    self.cycle,
+                    &mut self.stats,
+                    &mut self.ledger,
+                    &mut self.telemetry,
+                    &mut self.feedbacks,
+                )
+            }
+            None => self.net.step(
+                &mut self.packets,
+                self.cycle,
+                &mut self.stats,
+                &mut self.ledger,
+                &mut self.telemetry,
+                &mut self.feedbacks,
+            ),
+        };
+        self.post_step(progress);
+    }
+
+    /// The pre-network part of a cycle: due commands, then injection.
+    fn pre_step(&mut self) {
         while let Some(command) = self.schedule.next_due(self.cycle) {
             self.apply_command(&command);
         }
         self.generate_traffic();
-        let progress = self.net.step(
-            &mut self.packets,
-            self.cycle,
-            &mut self.stats,
-            &mut self.ledger,
-            &mut self.telemetry,
-            &mut self.feedbacks,
-        );
+    }
+
+    /// The post-network tail of a cycle: feedback forwarding, the
+    /// periodic energy push, the deadlock watchdog, and the cycle count.
+    fn post_step(&mut self, progress: bool) {
         for i in 0..self.feedbacks.len() {
             let fb = self.feedbacks[i];
             self.selector.on_source_departure(&fb);
@@ -341,6 +388,10 @@ impl Simulator {
         // explicitly enabled.
         let period = self.config.energy_feedback_period;
         if period > 0 && self.stats.armed() && self.cycle.is_multiple_of(period) {
+            // The signal reads the telemetry store: fold the shard
+            // partitions in first so the push sees the complete window.
+            self.net
+                .drain_partials(&mut self.stats, &mut self.ledger, &mut self.telemetry);
             let signal = self
                 .telemetry
                 .pillar_energy_per_tsv_flit(self.net.link_map(), &self.config.energy);
@@ -358,6 +409,42 @@ impl Simulator {
             );
         }
         self.cycle += 1;
+    }
+
+    /// Advances `cycles` cycles, timing the parallelisable network phase
+    /// separately from the whole step — the probe behind the `scale`
+    /// binary's serial/parallel (Amdahl) split measurement. Semantically
+    /// identical to [`Self::advance`].
+    #[doc(hidden)]
+    pub fn advance_split_timed(
+        &mut self,
+        cycles: u64,
+    ) -> (std::time::Duration, std::time::Duration) {
+        let start = std::time::Instant::now();
+        let mut compute = std::time::Duration::ZERO;
+        for _ in 0..cycles {
+            self.pre_step();
+            let armed = self.stats.armed();
+            let t0 = std::time::Instant::now();
+            match &mut self.pool {
+                Some(pool) => {
+                    self.net
+                        .step_compute_pooled(pool, &mut self.packets, self.cycle, armed);
+                }
+                None => self.net.step_compute(&self.packets, self.cycle, armed),
+            }
+            compute += t0.elapsed();
+            let progress = self.net.finish_cycle(
+                &mut self.packets,
+                self.cycle,
+                &mut self.stats,
+                &mut self.ledger,
+                &mut self.telemetry,
+                &mut self.feedbacks,
+            );
+            self.post_step(progress);
+        }
+        (compute, start.elapsed())
     }
 
     /// Number of measured packets not yet fully delivered — an O(1)
@@ -390,6 +477,10 @@ impl Simulator {
         // Orphan unfinished packets from earlier windows so their eventual
         // delivery does not leak into this window's figures.
         self.packets.orphan_unfinished();
+        // Flush any shard partials left by an earlier window into the old
+        // sinks before those are replaced, so nothing stale leaks in.
+        self.net
+            .drain_partials(&mut self.stats, &mut self.ledger, &mut self.telemetry);
         self.stats =
             StatsCollector::new(self.config.mesh.node_count(), self.config.elevators.len());
         self.ledger = EnergyLedger::default();
@@ -399,6 +490,11 @@ impl Simulator {
             self.step();
         }
         self.stats.set_armed(false);
+        // Fold the shard partitions into the window's sinks: after this,
+        // `energy_ledger`/`link_ledger` accessors and the summary see the
+        // complete window, counter-for-counter.
+        self.net
+            .drain_partials(&mut self.stats, &mut self.ledger, &mut self.telemetry);
         let completed = self.measured_outstanding() == 0;
         RunSummary::from_parts(
             self.selector.name(),
@@ -441,6 +537,8 @@ impl Simulator {
             completed = self.measured_outstanding() == 0;
         }
 
+        self.net
+            .drain_partials(&mut self.stats, &mut self.ledger, &mut self.telemetry);
         RunSummary::from_parts(
             self.selector.name(),
             self.traffic.name(),

@@ -2,7 +2,7 @@
 
 use crate::flit::Packet;
 use noc_energy::{EnergyLedger, EnergyModel, LinkLedger, LinkMap};
-use noc_topology::{ElevatorId, NodeId};
+use noc_topology::ElevatorId;
 use serde::Serialize;
 
 /// Collects statistics during a run. Only events inside the measurement
@@ -57,12 +57,6 @@ impl StatsCollector {
     pub(crate) fn on_cycle(&mut self) {
         if self.armed {
             self.measured_cycles += 1;
-        }
-    }
-
-    pub(crate) fn on_router_flit(&mut self, node: NodeId) {
-        if self.armed {
-            self.router_flits[node.index()] += 1;
         }
     }
 
@@ -210,24 +204,21 @@ impl RunSummary {
 mod tests {
     use super::*;
     use noc_topology::route::VirtualNet;
+    use noc_topology::NodeId;
 
     #[test]
     fn collector_ignores_events_while_disarmed() {
         let mut c = StatsCollector::new(4, 2);
-        c.on_router_flit(NodeId(0));
         c.on_packet_created(10, Some(ElevatorId(0)));
         c.on_flit_delivered();
         c.on_cycle();
-        assert_eq!(c.router_flits[0], 0);
         assert_eq!(c.injected_packets, 0);
         assert_eq!(c.delivered_flits, 0);
         assert_eq!(c.measured_cycles, 0);
 
         c.set_armed(true);
-        c.on_router_flit(NodeId(0));
         c.on_packet_created(10, Some(ElevatorId(0)));
         c.on_cycle();
-        assert_eq!(c.router_flits[0], 1);
         assert_eq!(c.injected_packets, 1);
         assert_eq!(c.elevator_packets[0], 1);
         assert_eq!(c.measured_cycles, 1);

@@ -1,0 +1,49 @@
+//! The workspace-wide worker-count policy.
+//!
+//! Every component that sizes a thread pool — the sharded stepping
+//! engine here and `noc_exp`'s batch runner — resolves its worker count
+//! through [`worker_threads`], so CI (and any reproduction script) can
+//! pin parallelism deterministically with one environment variable
+//! instead of chasing per-crate knobs.
+
+/// The worker count to use for intra-process parallelism.
+///
+/// Resolution order:
+/// 1. `NOC_THREADS` (a positive integer) — the deterministic override
+///    CI uses to pin pool sizes regardless of the host's core count;
+/// 2. the host's available parallelism;
+/// 3. `1` when neither is known.
+///
+/// Read fresh on every call (no caching), so tests may set the variable
+/// around individual simulator constructions.
+#[must_use]
+pub fn worker_threads() -> usize {
+    if let Ok(raw) = std::env::var("NOC_THREADS") {
+        if let Ok(n) = raw.trim().parse::<usize>() {
+            if n >= 1 {
+                return n;
+            }
+        }
+    }
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn env_override_wins_and_garbage_falls_through() {
+        // Serialised within this test: set, read, restore.
+        std::env::set_var("NOC_THREADS", "3");
+        assert_eq!(worker_threads(), 3);
+        std::env::set_var("NOC_THREADS", "0");
+        assert!(worker_threads() >= 1, "zero falls back to the host count");
+        std::env::set_var("NOC_THREADS", "not-a-number");
+        assert!(worker_threads() >= 1);
+        std::env::remove_var("NOC_THREADS");
+        assert!(worker_threads() >= 1);
+    }
+}

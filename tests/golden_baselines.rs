@@ -1,0 +1,103 @@
+//! Frozen full-summary baselines: three representative scenarios whose
+//! complete `RunSummary` JSON is checked into `tests/golden/`. Any
+//! engine change that perturbs a single counter, latency sum or
+//! telemetry roll-up of these runs fails here with a field-level diff —
+//! the operational definition of "the default path stays bit-identical".
+//!
+//! Regenerate (after an intentional behaviour change) with:
+//! `GOLDEN_REGEN=1 cargo test --test golden_baselines`
+
+use noc_exp::{Event, Scenario, SelectorSpec, StreamVersion, WorkloadKind};
+use noc_topology::placement::Placement;
+use noc_topology::{Coord, ElevatorId};
+use std::path::PathBuf;
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Runs `scenario` and compares its pretty-printed result JSON against
+/// the checked-in golden file (or rewrites it under `GOLDEN_REGEN=1`).
+fn check(scenario: &Scenario) {
+    let result = scenario.run();
+    let json = serde_json::to_string_pretty(&result).expect("result serialises");
+    let path = golden_dir().join(format!("{}.json", scenario.name));
+    if std::env::var_os("GOLDEN_REGEN").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("golden dir");
+        std::fs::write(&path, json + "\n").expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden {}: {e} (run with GOLDEN_REGEN=1)",
+            scenario.name
+        )
+    });
+    assert_eq!(
+        json.trim(),
+        expected.trim(),
+        "run of `{}` diverged from its golden baseline",
+        scenario.name
+    );
+}
+
+fn ps1() -> (noc_topology::Mesh3d, noc_topology::ElevatorSet) {
+    Placement::Ps1.instantiate()
+}
+
+/// Elevator-First over the bit-stable polled `v1` stream.
+#[test]
+fn golden_elevfirst_v1() {
+    let (mesh, elevators) = ps1();
+    let scenario = Scenario::new("golden_elevfirst_v1", mesh, elevators)
+        .with_workload(WorkloadKind::Uniform { rate: 0.004 })
+        .with_selector(SelectorSpec::ElevatorFirst)
+        .with_phases(300, 1_200, 8_000)
+        .with_seed(17);
+    check(&scenario);
+}
+
+/// AdEle over the batched `v2` stream with a mid-run pillar failure and
+/// recovery (exercises selection feedback, events and the scheduler).
+#[test]
+fn golden_adele_v2_fail_recover() {
+    let (mesh, elevators) = ps1();
+    let scenario = Scenario::new("golden_adele_v2_fail_recover", mesh, elevators)
+        .with_workload(WorkloadKind::Uniform { rate: 0.004 })
+        .with_stream(StreamVersion::V2)
+        .with_selector(SelectorSpec::adele())
+        .with_phases(300, 1_200, 8_000)
+        .with_seed(29)
+        .with_event(Event::ElevatorFail {
+            cycle: 500,
+            elevator: ElevatorId(0),
+        })
+        .with_event(Event::ElevatorRecover {
+            cycle: 900,
+            elevator: ElevatorId(0),
+        });
+    check(&scenario);
+}
+
+/// CDA under a transpose-flavoured hotspot shift (exercises traffic
+/// directives and the congestion probe).
+#[test]
+fn golden_cda_hotspot() {
+    let (mesh, elevators) = ps1();
+    let scenario = Scenario::new("golden_cda_hotspot", mesh, elevators)
+        .with_workload(WorkloadKind::Hotspot {
+            rate: 0.004,
+            hotspots: vec![Coord::new(3, 3, 1)],
+            fraction: 0.5,
+        })
+        .with_selector(SelectorSpec::Cda)
+        .with_phases(300, 1_200, 8_000)
+        .with_seed(41)
+        .with_event(Event::InjectionBurst {
+            cycle: 700,
+            factor: 1.5,
+        });
+    check(&scenario);
+}

@@ -202,6 +202,40 @@ fn cross_field_inconsistencies_fail_at_parse_time() {
     assert!(wrong.validate().is_err());
 }
 
+/// The `shards` field grew after the spec format shipped: pre-existing
+/// spec files (no `shards` key) must keep parsing — as sequential — while
+/// a malformed value still errors, the field round-trips, and a sharded
+/// scenario runs bit-identically to its sequential twin through the
+/// scenario layer.
+#[test]
+fn shards_field_defaults_round_trips_and_never_changes_results() {
+    let original = kitchen_sink();
+    let json = serde_json::to_string(&original).unwrap();
+    assert!(json.contains("\"shards\":1"), "{json}");
+
+    // A pre-shards document: strip the field entirely.
+    let legacy = json.replace(",\"shards\":1", "");
+    assert_ne!(legacy, json, "replacement must hit");
+    let parsed: Scenario = serde_json::from_str(&legacy).unwrap();
+    assert_eq!(parsed.shards, 1, "absent field means sequential");
+    assert_eq!(parsed, original);
+
+    // Present but malformed is an error, not a silent default.
+    let bad = json.replace("\"shards\":1", "\"shards\":\"many\"");
+    let err = serde_json::from_str::<Scenario>(&bad).unwrap_err();
+    assert!(err.to_string().contains("shards"), "{err}");
+
+    // A non-default count round-trips and cannot perturb results.
+    let sharded = original.clone().with_shards(4);
+    let round: Scenario = serde_json::from_str(&serde_json::to_string(&sharded).unwrap()).unwrap();
+    assert_eq!(round, sharded);
+    assert_eq!(
+        sharded.run().summary,
+        original.run().summary,
+        "shard count is a wall-clock knob, never a results knob"
+    );
+}
+
 #[test]
 fn measured_energy_selector_enables_the_feedback_period() {
     let (mesh, elevators) = topology();

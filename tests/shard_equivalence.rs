@@ -1,0 +1,268 @@
+//! Lockstep equivalence for the sharded stepping engine.
+//!
+//! The contract under test: a `k`-shard run is a *bit-identical* function
+//! of `(config, seed)` alone — the shard count (and the worker count the
+//! pool happens to use) never leaks into results. The suite pins this the
+//! strongest way available: two simulators built from the same config but
+//! different shard counts are stepped in lockstep and their committed
+//! network state is compared digest-for-digest **every cycle**, across
+//! random meshes and loads × {ElevFirst, CDA, AdEle} × random mid-run
+//! elevator fail/recover × {v1, v2} workload streams. Whole-run
+//! [`RunSummary`] equality then covers the statistics/energy paths on top
+//! of the raw network state.
+
+use adele::offline::{OfflineOptimizer, SelectionStrategy};
+use adele_bench::{make_selector, Policy};
+use amosa::AmosaParams;
+use noc_sim::{RunSummary, SimCommand, SimConfig, Simulator, TrafficInput};
+use noc_topology::{ElevatorId, ElevatorSet, Mesh3d};
+use noc_traffic::{BatchedSynthetic, SyntheticTraffic};
+use proptest::prelude::*;
+
+/// Builds a random but valid PC-3DNoC: mesh 2..=4 per dimension, 1..=4
+/// distinct elevator columns (the same generator as the network
+/// invariants suite).
+fn arb_topology() -> impl Strategy<Value = (Mesh3d, Vec<(u8, u8)>)> {
+    (2usize..=4, 2usize..=4, 2usize..=3).prop_flat_map(|(x, y, z)| {
+        let columns = prop::collection::hash_set((0..x as u8, 0..y as u8), 1..=4)
+            .prop_map(|set| set.into_iter().collect::<Vec<_>>());
+        (Just(Mesh3d::new(x, y, z).unwrap()), columns)
+    })
+}
+
+const POLICIES: [Policy; 3] = [Policy::ElevFirst, Policy::Cda, Policy::Adele];
+
+/// Everything that parameterises one equivalence scenario. One instance
+/// builds *many* simulators (one per shard count, plus repeats) that must
+/// all agree bit for bit.
+struct Case {
+    mesh: Mesh3d,
+    elevators: ElevatorSet,
+    policy: Policy,
+    v2: bool,
+    rate: f64,
+    seed: u64,
+    fail_at: u64,
+    recover_after: u64,
+}
+
+impl Case {
+    /// Builds the simulator for `shards`, with the case's fail/recover
+    /// pair already scheduled. AdEle runs from a deterministic offline
+    /// assignment (same seed for every shard count, so the selector
+    /// stream is identical by construction).
+    fn build(&self, shards: usize) -> Simulator {
+        let config = SimConfig::new(self.mesh, self.elevators.clone())
+            .with_phases(100, 500, 20_000)
+            .with_seed(self.seed)
+            .with_shards(shards);
+        let input = if self.v2 {
+            TrafficInput::Scheduled(Box::new(BatchedSynthetic::uniform(
+                &self.mesh, self.rate, self.seed,
+            )))
+        } else {
+            TrafficInput::Polled(Box::new(SyntheticTraffic::uniform(
+                &self.mesh, self.rate, self.seed,
+            )))
+        };
+        let assignment = (self.policy == Policy::Adele).then(|| {
+            OfflineOptimizer::new(self.mesh, self.elevators.clone())
+                .with_params(AmosaParams::fast(self.seed))
+                .optimize()
+                .select(SelectionStrategy::LatencyLeaning)
+                .assignment
+                .clone()
+        });
+        let selector = make_selector(
+            self.policy,
+            &self.mesh,
+            &self.elevators,
+            assignment.as_ref(),
+            self.seed,
+        );
+        let mut sim = Simulator::from_input(config, input, selector);
+        let victim = ElevatorId((self.seed % self.elevators.len() as u64) as u8);
+        sim.schedule_command(self.fail_at, SimCommand::FailElevator(victim));
+        sim.schedule_command(
+            self.fail_at + self.recover_after,
+            SimCommand::RecoverElevator(victim),
+        );
+        sim
+    }
+
+    /// Steps a `k`-shard simulator against the sequential engine for
+    /// `cycles`, requiring digest equality at **every** cycle boundary
+    /// (and flow conservation on both, sampled).
+    fn assert_lockstep(&self, k: usize, cycles: u64) -> Result<(), TestCaseError> {
+        let mut seq = self.build(1);
+        let mut sharded = self.build(k);
+        for cycle in 0..cycles {
+            seq.step();
+            sharded.step();
+            prop_assert_eq!(
+                sharded.network().state_digest(),
+                seq.network().state_digest(),
+                "cycle {}: k={} diverged from the sequential engine \
+                 ({:?}, v2={}, seed={})",
+                cycle,
+                k,
+                self.policy,
+                self.v2,
+                self.seed
+            );
+            if cycle % 97 == 0 {
+                for (label, sim) in [("k=1", &seq), ("sharded", &sharded)] {
+                    if let Err(e) = sim.network().check_flow_conservation() {
+                        return Err(TestCaseError::fail(format!(
+                            "cycle {cycle}: {label} (k={k}) broke conservation: {e}"
+                        )));
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Full `run()` at `shards`, exercising warm-up, the measurement
+    /// window, the drain phase and the summary assembly.
+    fn run(&self, shards: usize) -> RunSummary {
+        self.build(shards).run()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 8, ..ProptestConfig::default()
+    })]
+
+    /// The tentpole claim, cycle by cycle: for k ∈ {2, 4, 8} the sharded
+    /// engine's committed state digest tracks the k = 1 engine at every
+    /// cycle boundary, through the warm-up, a mid-run elevator failure
+    /// and its recovery, on both workload streams and all three policies.
+    #[test]
+    fn sharded_state_tracks_sequential_every_cycle(
+        (mesh, columns) in arb_topology(),
+        rate in 0.0005f64..0.004,
+        seed in 0u64..1000,
+        policy_idx in 0usize..3,
+        v2 in 0usize..2,
+        fail_at in 0u64..600,
+        recover_after in 1u64..400,
+    ) {
+        let case = Case {
+            mesh,
+            elevators: ElevatorSet::new(&mesh, columns).unwrap(),
+            policy: POLICIES[policy_idx],
+            v2: v2 == 1,
+            rate,
+            seed,
+            fail_at,
+            recover_after,
+        };
+        for k in [2usize, 4, 8] {
+            case.assert_lockstep(k, 1_000)?;
+        }
+    }
+
+    /// Whole-run equality: the same scenarios driven through `run()`
+    /// (warm-up + window + drain + watchdog + summary assembly) produce a
+    /// `RunSummary` that is equal field-for-field at every shard count —
+    /// latencies, throughput, per-router loads, per-pillar energy, all of
+    /// it.
+    #[test]
+    fn run_summaries_are_identical_at_every_shard_count(
+        (mesh, columns) in arb_topology(),
+        rate in 0.0005f64..0.004,
+        seed in 0u64..1000,
+        policy_idx in 0usize..3,
+        v2 in 0usize..2,
+        fail_at in 0u64..600,
+        recover_after in 1u64..400,
+    ) {
+        let case = Case {
+            mesh,
+            elevators: ElevatorSet::new(&mesh, columns).unwrap(),
+            policy: POLICIES[policy_idx],
+            v2: v2 == 1,
+            rate,
+            seed,
+            fail_at,
+            recover_after,
+        };
+        let sequential = case.run(1);
+        for k in [2usize, 4, 8] {
+            let sharded = case.run(k);
+            prop_assert_eq!(
+                &sharded, &sequential,
+                "k={} summary diverged ({:?}, v2={}, seed={})",
+                k, case.policy, case.v2, case.seed
+            );
+        }
+    }
+}
+
+/// The thread-pool execution path. On this suite's default environment
+/// the pool may never be built (`worker_threads()` can resolve to 1), so
+/// this test forces a multi-worker pool via `NOC_THREADS` and pins the
+/// pooled path against the sequential engine, digest-for-digest and
+/// summary-for-summary. The override only selects the execution path —
+/// results are shard- and worker-count-independent by construction, so
+/// leaking the variable to concurrently running tests cannot change any
+/// outcome (that independence is exactly what this suite proves).
+#[test]
+fn pooled_execution_is_bit_identical_to_sequential() {
+    let mesh = Mesh3d::new(4, 4, 3).unwrap();
+    let case = Case {
+        mesh,
+        elevators: ElevatorSet::new(&mesh, [(0, 0), (3, 3), (1, 2)]).unwrap(),
+        policy: Policy::ElevFirst,
+        v2: true,
+        rate: 0.003,
+        seed: 42,
+        fail_at: 250,
+        recover_after: 200,
+    };
+    std::env::set_var("NOC_THREADS", "3");
+    let mut seq = case.build(1);
+    let mut pooled = case.build(6); // 6 shards on 3 workers: 2 each
+    for cycle in 0..1_500u64 {
+        seq.step();
+        pooled.step();
+        assert_eq!(
+            pooled.network().state_digest(),
+            seq.network().state_digest(),
+            "cycle {cycle}: pooled execution diverged"
+        );
+    }
+    let summary_seq = case.run(1);
+    let summary_pooled = case.run(6);
+    std::env::remove_var("NOC_THREADS");
+    assert_eq!(summary_pooled, summary_seq);
+    assert!(summary_seq.delivered_packets > 0, "sanity: traffic flowed");
+}
+
+/// Shard-count edge cases resolve deterministically: `shards: 0` means
+/// "auto" (worker-count-sized, still bit-identical), and a request beyond
+/// the router count clamps instead of panicking.
+#[test]
+fn degenerate_shard_counts_clamp_and_stay_identical() {
+    let mesh = Mesh3d::new(2, 2, 2).unwrap();
+    let case = Case {
+        mesh,
+        elevators: ElevatorSet::new(&mesh, [(0, 0)]).unwrap(),
+        policy: Policy::Cda,
+        v2: false,
+        rate: 0.004,
+        seed: 9,
+        fail_at: 100,
+        recover_after: 50,
+    };
+    let sequential = case.run(1);
+    for k in [0usize, 7, 8, 64, 10_000] {
+        assert_eq!(
+            case.run(k),
+            sequential,
+            "shards={k} must clamp to the router count and stay identical"
+        );
+    }
+}

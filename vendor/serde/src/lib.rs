@@ -212,6 +212,27 @@ pub fn field<T: Deserialize>(value: &Value, name: &str) -> Result<T, DeError> {
     T::from_value(&entry.1).map_err(|e| DeError(format!("field {name:?}: {e}")))
 }
 
+/// Like [`field`], but a missing field is `Ok(None)` instead of an
+/// error — the building block for fields with defaults, keeping
+/// already-checked-in documents parseable when a format grows.
+///
+/// # Errors
+///
+/// Returns a [`DeError`] if `value` is not an object or the field is
+/// present but fails to deserialise (a *malformed* field never falls
+/// back to the default silently).
+pub fn optional_field<T: Deserialize>(value: &Value, name: &str) -> Result<Option<T>, DeError> {
+    let Value::Object(entries) = value else {
+        return Err(DeError::expected("an object", value));
+    };
+    match entries.iter().find(|(k, _)| k == name) {
+        None => Ok(None),
+        Some((_, v)) => T::from_value(v)
+            .map(Some)
+            .map_err(|e| DeError(format!("field {name:?}: {e}"))),
+    }
+}
+
 macro_rules! deserialize_int {
     ($($t:ty),* $(,)?) => {$(
         impl Deserialize for $t {
