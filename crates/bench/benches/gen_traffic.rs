@@ -12,6 +12,7 @@
 //! workspace root; `cargo test` smoke-runs the bodies once and writes
 //! nothing.
 
+use adele_bench::{bench_meta, BenchMeta};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use noc_topology::Mesh3d;
 use noc_traffic::{BatchedSynthetic, ScheduledSource, SyntheticTraffic, TrafficSource};
@@ -84,6 +85,8 @@ struct GenPoint {
 struct GenReport {
     bench: &'static str,
     mode: &'static str,
+    /// Provenance: which tree and machine shape produced the numbers.
+    meta: BenchMeta,
     points: Vec<GenPoint>,
 }
 
@@ -138,6 +141,8 @@ fn emit_json() {
     let report = GenReport {
         bench: "gen_traffic",
         mode: "bench",
+        // The gen-traffic grid has no shard axis — injection is serial.
+        meta: bench_meta(&["v1", "v2"], &[1]),
         points,
     };
     let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))

@@ -11,7 +11,7 @@
 //! tree with timing noise).
 
 use adele::online::ElevatorFirstSelector;
-use adele_bench::pillar_grid;
+use adele_bench::{bench_meta, pillar_grid, BenchMeta};
 use criterion::{criterion_group, BenchmarkId, Criterion};
 use noc_sim::{SimConfig, Simulator, TrafficInput};
 use noc_topology::{ElevatorSet, Mesh3d};
@@ -115,6 +115,8 @@ struct StepPoint {
 struct StepReport {
     bench: &'static str,
     mode: &'static str,
+    /// Provenance: which tree and machine shape produced the numbers.
+    meta: BenchMeta,
     points: Vec<StepPoint>,
 }
 
@@ -148,6 +150,7 @@ fn emit_json() {
     let report = StepReport {
         bench: "step_hot_path",
         mode: "bench",
+        meta: bench_meta(&["v1", "v2"], &SHARD_COUNTS),
         points,
     };
     let root = std::path::PathBuf::from(env!("CARGO_MANIFEST_DIR"))

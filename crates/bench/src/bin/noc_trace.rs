@@ -1,0 +1,230 @@
+//! The flight-recorder command line: record, verify and self-check
+//! golden scenario traces, and measure the recorder's hot-path overhead.
+//!
+//! * `noc_trace record <spec.json> [-o FILE] [--period N] [--shards N]` —
+//!   run the spec with the tracer attached and write the JSONL journal
+//!   (stdout by default).
+//! * `noc_trace verify <golden.jsonl> [--shards N]` — re-run the spec
+//!   embedded in the golden journal and compare record for record on the
+//!   deterministic fields. `--shards` reruns at a different shard count;
+//!   the deterministic fields must still match bit for bit. Exits 1 with
+//!   `trace record N: ...` on the first divergence.
+//! * `noc_trace selfcheck [DIR] [--shards 1,8]` — for every spec in the
+//!   suite directory (default `specs/`), record a fresh trace at each
+//!   shard count and verify it against itself. `ADELE_QUICK=1` shrinks
+//!   windows exactly like `run_specs`.
+//! * `noc_trace overhead [--cycles N]` — measure traced-vs-untraced
+//!   throughput on the 16×16×8 @ 0.002 scaling point (window period
+//!   1000, journal to a sink), the number the README cites.
+
+use adele::online::ElevatorFirstSelector;
+use adele_bench::{f1, pillar_grid, quick_mode, quick_shrink};
+use noc_exp::{load_dir, load_spec, record_trace, trace_period, verify_trace};
+use noc_sim::{SimConfig, Simulator, TraceWriter, Tracer, TrafficInput};
+use noc_topology::{ElevatorSet, Mesh3d};
+use noc_traffic::SyntheticTraffic;
+use std::path::Path;
+use std::time::Instant;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: noc_trace record <spec.json> [-o FILE] [--period N] [--shards N]\n       \
+         noc_trace verify <golden.jsonl> [--shards N]\n       \
+         noc_trace selfcheck [DIR] [--shards 1,8]\n       \
+         noc_trace overhead [--cycles N]"
+    );
+    std::process::exit(2);
+}
+
+/// The value following `flag`, parsed, or `None` when the flag is absent.
+/// A present flag with a missing/bad value is a usage error.
+fn flag_value<T: std::str::FromStr>(args: &[String], flag: &str) -> Option<T> {
+    let at = args.iter().position(|a| a == flag)?;
+    match args.get(at + 1).and_then(|s| s.parse().ok()) {
+        Some(v) => Some(v),
+        None => {
+            eprintln!("noc_trace: {flag} needs a value");
+            usage();
+        }
+    }
+}
+
+/// First positional (non-flag, non-flag-value) argument.
+fn positional(args: &[String]) -> Option<&str> {
+    let mut skip = false;
+    for arg in args {
+        if skip {
+            skip = false;
+            continue;
+        }
+        if arg.starts_with("--") || arg == "-o" {
+            skip = true;
+            continue;
+        }
+        return Some(arg);
+    }
+    None
+}
+
+fn cmd_record(args: &[String]) {
+    let Some(path) = positional(args) else {
+        eprintln!("noc_trace: record needs a spec file");
+        usage();
+    };
+    let mut scenario = match load_spec(Path::new(path)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("noc_trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    if let Some(shards) = flag_value::<usize>(args, "--shards") {
+        scenario.shards = shards;
+    }
+    let period = flag_value::<u64>(args, "--period").unwrap_or_else(|| trace_period(&scenario));
+    let journal = record_trace(&scenario, period);
+    match flag_value::<String>(args, "-o") {
+        Some(out) => {
+            if let Err(e) = std::fs::write(&out, &journal) {
+                eprintln!("noc_trace: cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "recorded {} ({} records, period {period})",
+                out,
+                journal.lines().count()
+            );
+        }
+        None => print!("{journal}"),
+    }
+}
+
+fn cmd_verify(args: &[String]) {
+    let Some(path) = positional(args) else {
+        eprintln!("noc_trace: verify needs a golden journal");
+        usage();
+    };
+    let golden = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("noc_trace: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let shards = flag_value::<usize>(args, "--shards");
+    match verify_trace(&golden, shards) {
+        Ok(report) => println!(
+            "{path}: OK — {} records match for {:?} (replayed at {} shard{})",
+            report.records,
+            report.name,
+            report.shards,
+            if report.shards == 1 { "" } else { "s" },
+        ),
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Parses `--shards 1,8` into a list (default `[1]`).
+fn shard_list(args: &[String]) -> Vec<usize> {
+    let Some(list) = flag_value::<String>(args, "--shards") else {
+        return vec![1];
+    };
+    list.split(',')
+        .map(|s| match s.trim().parse::<usize>() {
+            Ok(k) => k,
+            Err(_) => {
+                eprintln!("noc_trace: bad shard count {s:?} in --shards {list}");
+                std::process::exit(2);
+            }
+        })
+        .collect()
+}
+
+fn cmd_selfcheck(args: &[String]) {
+    let dir = positional(args).unwrap_or("specs");
+    let shard_counts = shard_list(args);
+    let suite = match load_dir(Path::new(dir)) {
+        Ok(suite) => suite,
+        Err(e) => {
+            eprintln!("noc_trace: {e}");
+            std::process::exit(1);
+        }
+    };
+    let mut failed = false;
+    for (stem, scenario) in suite {
+        let mut scenario = scenario;
+        if quick_mode() {
+            quick_shrink(&mut scenario);
+        }
+        for &shards in &shard_counts {
+            scenario.shards = shards;
+            let journal = record_trace(&scenario, trace_period(&scenario));
+            match verify_trace(&journal, None) {
+                Ok(report) => println!("{stem} k={shards}: OK ({} records)", report.records),
+                Err(e) => {
+                    eprintln!("{stem} k={shards}: FAIL — {e}");
+                    failed = true;
+                }
+            }
+        }
+    }
+    if failed {
+        std::process::exit(1);
+    }
+}
+
+/// A warmed 16×16×8 simulator at the scaling study's moderate-load point.
+fn overhead_sim(warmup: u64) -> Simulator {
+    let mesh = Mesh3d::new(16, 16, 8).expect("dimensions are valid");
+    let elevators = ElevatorSet::new(&mesh, pillar_grid(16, 16)).expect("grid fits");
+    let config = SimConfig::new(mesh, elevators.clone()).with_seed(42);
+    let traffic = TrafficInput::Polled(Box::new(SyntheticTraffic::uniform(&mesh, 0.002, 42)));
+    let selector = ElevatorFirstSelector::new(&mesh, &elevators);
+    let mut sim = Simulator::from_input(config, traffic, Box::new(selector));
+    sim.advance(warmup);
+    sim
+}
+
+fn cmd_overhead(args: &[String]) {
+    let cycles =
+        flag_value::<u64>(args, "--cycles").unwrap_or(if quick_mode() { 4_000 } else { 20_000 });
+    let warmup = cycles / 10;
+    let reps = 3;
+    let best = |traced: bool| {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let mut sim = overhead_sim(warmup);
+            if traced {
+                let writer = TraceWriter::new(Box::new(std::io::sink()));
+                sim.attach_tracer(Tracer::new(writer, 1_000));
+            }
+            let start = Instant::now();
+            sim.advance(cycles);
+            best = best.min(start.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let untraced = best(false);
+    let traced = best(true);
+    let overhead = 100.0 * (traced / untraced - 1.0);
+    println!(
+        "16x16x8 @0.002 v1, {cycles} cycles, window period 1000 (best of {reps}):\n  \
+         untraced  {} kcyc/s\n  traced    {} kcyc/s\n  overhead  {overhead:+.1}%",
+        f1(cycles as f64 / untraced / 1e3),
+        f1(cycles as f64 / traced / 1e3),
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("record") => cmd_record(&args[1..]),
+        Some("verify") => cmd_verify(&args[1..]),
+        Some("selfcheck") => cmd_selfcheck(&args[1..]),
+        Some("overhead") => cmd_overhead(&args[1..]),
+        _ => usage(),
+    }
+}

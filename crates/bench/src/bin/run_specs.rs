@@ -7,26 +7,31 @@
 //!
 //! Usage:
 //!
-//! * `run_specs [DIR] [--shards N]` — run the suite in `DIR` (default
-//!   `specs/`). `--shards N` overrides every scenario's mesh shard count;
-//!   results are bit-identical at any value (the override only trades
-//!   wall-clock for cores, and CI uses it to sweep the sharded engine
-//!   over the whole suite).
+//! * `run_specs [DIR] [--shards N] [--trace FILE]` — run the suite in
+//!   `DIR` (default `specs/`). `--shards N` overrides every scenario's
+//!   mesh shard count; results are bit-identical at any value (the
+//!   override only trades wall-clock for cores, and CI uses it to sweep
+//!   the sharded engine over the whole suite). `--trace FILE` streams
+//!   per-point `progress` records (trace schema) into a JSONL journal
+//!   while the pool runs.
 //! * `run_specs --emit [DIR]` — (re)write the canonical checked-in suite
 //!   (baseline, baseline-v2, elevator-fail, hotspot-shift,
-//!   measured-energy) into `DIR`.
+//!   measured-energy) into `DIR`, plus the golden trace
+//!   `tests/golden/trace_small.jsonl` that `noc_trace verify` replays.
 //!
 //! `ADELE_QUICK=1` shrinks every scenario's windows for smoke runs (event
 //! cycles are left untouched; the canonical suite schedules its events
 //! early enough to land inside the shrunken windows too).
 
-use adele_bench::{f1, f2, print_table, quick_mode};
+use adele_bench::{f1, f2, print_table, quick_mode, quick_shrink};
 use noc_exp::{
-    load_dir, results_to_json, run_batch, Event, Scenario, SelectorSpec, WorkloadKind, WorkloadSpec,
+    load_dir, record_trace, results_to_json, run_batch_with_progress, trace_period, Event,
+    Scenario, SelectorSpec, WorkloadKind, WorkloadSpec,
 };
 use noc_topology::placement::Placement;
 use noc_topology::{Coord, ElevatorId};
 use std::path::Path;
+use std::sync::Mutex;
 
 /// The canonical checked-in suite: one spec per scenario family the
 /// engine supports (steady baseline, the same baseline on the batched
@@ -90,6 +95,28 @@ fn canonical_suite() -> Vec<(&'static str, Scenario)> {
     ]
 }
 
+/// The scenario behind `tests/golden/trace_small.jsonl`: deliberately
+/// small (seconds to replay, a few hundred journal lines) but exercising
+/// the batched `v2` stream, mid-run fail/recover events and a short
+/// window period — so the golden trace covers every record type the
+/// schema defines.
+fn golden_trace_scenario() -> Scenario {
+    Scenario::from_placement("golden_trace_small", Placement::Ps1)
+        .with_phases(300, 1_200, 8_000)
+        .with_workload(WorkloadSpec::v2(WorkloadKind::Uniform { rate: 0.003 }))
+        .with_selector(SelectorSpec::adele())
+        .with_event(Event::ElevatorFail {
+            cycle: 500,
+            elevator: ElevatorId(0),
+        })
+        .with_event(Event::ElevatorRecover {
+            cycle: 1_000,
+            elevator: ElevatorId(0),
+        })
+        .with_trace(200)
+        .with_seed(7)
+}
+
 fn emit(dir: &Path) {
     std::fs::create_dir_all(dir).expect("create spec dir");
     for (name, scenario) in canonical_suite() {
@@ -98,6 +125,19 @@ fn emit(dir: &Path) {
         std::fs::write(&path, json + "\n").expect("write spec");
         println!("wrote {}", path.display());
     }
+    // The checked-in golden trace `noc_trace verify` and CI replay
+    // against. Re-emitting is only needed when the engine's deterministic
+    // behaviour changes intentionally — exactly like the spec files.
+    let scenario = golden_trace_scenario();
+    let journal = record_trace(&scenario, trace_period(&scenario));
+    let golden = adele_bench::results_dir()
+        .parent()
+        .map(|root| root.join("tests/golden"))
+        .expect("results dir has a parent");
+    std::fs::create_dir_all(&golden).expect("create golden dir");
+    let path = golden.join("trace_small.jsonl");
+    std::fs::write(&path, journal).expect("write golden trace");
+    println!("wrote {}", path.display());
 }
 
 fn main() {
@@ -116,12 +156,24 @@ fn main() {
         };
         n
     });
-    // The directory is the first argument that is neither the flag nor
-    // its value.
+    let trace_at = args.iter().position(|a| a == "--trace");
+    let trace_path = trace_at.map(|at| {
+        let Some(path) = args.get(at + 1) else {
+            eprintln!("run_specs: --trace needs an output path");
+            std::process::exit(2);
+        };
+        path.clone()
+    });
+    // The directory is the first argument that is neither a flag nor a
+    // flag's value.
     let dir = args
         .iter()
         .enumerate()
-        .find(|&(i, a)| !a.starts_with("--") && shards_at.is_none_or(|at| i != at + 1))
+        .find(|&(i, a)| {
+            !a.starts_with("--")
+                && shards_at.is_none_or(|at| i != at + 1)
+                && trace_at.is_none_or(|at| i != at + 1)
+        })
         .map_or("specs", |(_, a)| a.as_str());
     let suite = match load_dir(Path::new(dir)) {
         Ok(suite) => suite,
@@ -136,11 +188,7 @@ fn main() {
         .map(|(_, scenario)| {
             let mut scenario = scenario.clone();
             if quick_mode() {
-                // Smoke mode: quarter windows (floored to keep events from
-                // outliving the run), identical topology and events.
-                scenario.warmup = (scenario.warmup / 4).max(500);
-                scenario.measure = (scenario.measure / 4).max(2_000);
-                scenario.drain_max /= 2;
+                quick_shrink(&mut scenario);
             }
             if let Some(shards) = shards_override {
                 scenario.shards = shards;
@@ -148,7 +196,33 @@ fn main() {
             scenario
         })
         .collect();
-    let results = run_batch(&scenarios, noc_exp::default_threads());
+    // With `--trace`, stream per-point progress records (trace schema)
+    // into a journal while the pool runs; without it the closure is a
+    // no-op and the batch behaves exactly as before.
+    let progress =
+        trace_path.as_ref().map(
+            |path| match noc_sim::TraceWriter::to_file(Path::new(path)) {
+                Ok(writer) => Mutex::new(writer),
+                Err(e) => {
+                    eprintln!("run_specs: cannot open {path}: {e}");
+                    std::process::exit(1);
+                }
+            },
+        );
+    let results = run_batch_with_progress(&scenarios, noc_exp::default_threads(), |record| {
+        if let Some(writer) = &progress {
+            let _ = writer.lock().expect("progress journal lock").write(record);
+        }
+    });
+    if let Some(writer) = progress {
+        match writer.into_inner().expect("progress journal lock").finish() {
+            Ok(records) => {
+                let path = trace_path.as_deref().unwrap_or_default();
+                eprintln!("progress journal: {records} records in {path}");
+            }
+            Err(e) => eprintln!("run_specs: progress journal flush failed: {e}"),
+        }
+    }
 
     print_table(
         &[

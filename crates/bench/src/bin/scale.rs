@@ -13,10 +13,11 @@
 //! streams so the batched-injection speedup is recorded next to the
 //! bit-stable baseline). `--shards` takes a comma-separated list of shard
 //! counts — results are bit-identical at every count, so the extra points
-//! only measure wall clock. `--split` additionally times the
-//! parallelisable network phase separately from the whole step, the
-//! serial/parallel (Amdahl) split the sharded-engine README section
-//! cites. Results land in `results/scale.json`.
+//! only measure wall clock. `--split` additionally records the flight
+//! recorder's per-phase wall times (inject / compute / exchange / commit)
+//! per point, from which the serial/parallel (Amdahl) split the
+//! sharded-engine README section cites is derived. Results land in
+//! `results/scale.json`.
 
 use adele::online::ElevatorFirstSelector;
 use adele_bench::{dump_json, f1, pillar_grid, print_table, quick_mode};
@@ -40,9 +41,18 @@ struct ScalePoint {
     cycles_per_second: f64,
     injected_packets: u64,
     peak_rss_kb: Option<u64>,
-    /// Seconds inside the parallelisable network phase (`--split` only).
+    /// Seconds generating/injecting traffic (`--split` only, serial).
+    inject_seconds: Option<f64>,
+    /// Seconds inside the parallelisable per-shard network phase
+    /// (`--split` only).
     compute_seconds: Option<f64>,
-    /// Fraction of the step outside the parallelisable phase — the
+    /// Seconds exchanging and committing cross-shard boundary batches
+    /// (`--split` only; parallel wall time, zero when pooled workers
+    /// exchange internally).
+    exchange_seconds: Option<f64>,
+    /// Seconds in the serial commit/bookkeeping tail (`--split` only).
+    commit_seconds: Option<f64>,
+    /// Fraction of the step outside the parallelisable phases — the
     /// Amdahl serial share (`--split` only).
     serial_fraction: Option<f64>,
 }
@@ -105,17 +115,16 @@ fn measure(
     reset_peak_rss();
     let mut sim = Simulator::from_input(config, traffic, Box::new(selector));
     sim.advance(warmup);
-    let (wall, injected, compute_seconds, serial_fraction) = if split {
-        // The Amdahl probe: time the parallelisable network phase apart
-        // from the whole step (traffic generation, feedback, commit
-        // bookkeeping stay serial).
-        let (compute, total) = sim.advance_split_timed(cycles);
-        let (compute, total) = (compute.as_secs_f64(), total.as_secs_f64());
+    let (wall, injected, phase) = if split {
+        // The Amdahl probe: the flight recorder's phase timers split each
+        // step into inject (serial traffic generation), compute (the
+        // parallelisable per-shard network phase), exchange (boundary
+        // batches) and commit (the serial tail).
+        let (phase, total) = sim.advance_phase_timed(cycles);
         (
-            total,
+            total.as_secs_f64(),
             sim.packet_table().total_created(),
-            Some(compute),
-            Some(1.0 - compute / total),
+            Some(phase),
         )
     } else {
         let start = Instant::now();
@@ -124,9 +133,9 @@ fn measure(
             start.elapsed().as_secs_f64(),
             summary.injected_packets,
             None,
-            None,
         )
     };
+    let secs = |d: std::time::Duration| d.as_secs_f64();
     ScalePoint {
         mesh: format!("{}x{}x{}", mesh.x(), mesh.y(), mesh.layers()),
         nodes: mesh.node_count(),
@@ -139,8 +148,11 @@ fn measure(
         cycles_per_second: cycles as f64 / wall,
         injected_packets: injected,
         peak_rss_kb: peak_rss_kb(),
-        compute_seconds,
-        serial_fraction,
+        inject_seconds: phase.map(|p| secs(p.inject)),
+        compute_seconds: phase.map(|p| secs(p.compute)),
+        exchange_seconds: phase.map(|p| secs(p.exchange)),
+        commit_seconds: phase.map(|p| secs(p.commit)),
+        serial_fraction: phase.map(|p| 1.0 - (secs(p.compute) + secs(p.exchange)) / wall),
     }
 }
 

@@ -14,6 +14,7 @@ use adele::offline::{OfflineOptimizer, OfflineResult, SelectionStrategy, SubsetA
 use adele::online::{AdeleSelector, CdaSelector, ElevatorFirstSelector, ElevatorSelector};
 use adele::AdeleConfig;
 use amosa::AmosaParams;
+use noc_exp::Scenario;
 use noc_sim::SimConfig;
 use noc_topology::placement::Placement;
 use noc_topology::{ElevatorSet, Mesh3d};
@@ -279,6 +280,60 @@ pub fn pillar_grid(x: usize, y: usize) -> Vec<(u8, u8)> {
         .collect()
 }
 
+/// Applies the `ADELE_QUICK=1` window shrink to a scenario in place:
+/// quarter warm-up/measure (floored so the canonical suite's events still
+/// land inside the run) and half the drain budget. Topology, workload,
+/// events and seed are untouched, so a quick run exercises the same
+/// machinery on the same fabric — just for fewer cycles. Shared by
+/// `run_specs` and `noc_trace selfcheck` so both smoke modes shrink
+/// identically.
+pub fn quick_shrink(scenario: &mut Scenario) {
+    scenario.warmup = (scenario.warmup / 4).max(500);
+    scenario.measure = (scenario.measure / 4).max(2_000);
+    scenario.drain_max /= 2;
+}
+
+/// Provenance stamp embedded in recorded benchmark JSON (`BENCH_*.json`):
+/// which tree produced the numbers and on what machine shape — so a
+/// checked-in record can be judged against the host reproducing it.
+#[derive(Debug, Clone, Serialize)]
+pub struct BenchMeta {
+    /// `git describe --always --dirty` of the tree, or `"unknown"`.
+    pub git: String,
+    /// The host's available parallelism.
+    pub host_cores: usize,
+    /// The `NOC_THREADS` pin in effect, if any.
+    pub noc_threads: Option<String>,
+    /// Workload streams the grid covers.
+    pub streams: Vec<String>,
+    /// Mesh shard counts the grid covers.
+    pub shard_counts: Vec<usize>,
+}
+
+/// Builds the provenance stamp for a benchmark covering `streams` ×
+/// `shard_counts`. Best effort: a missing `git` binary degrades to
+/// `"unknown"`, never an error.
+#[must_use]
+pub fn bench_meta(streams: &[&str], shard_counts: &[usize]) -> BenchMeta {
+    let git = std::process::Command::new("git")
+        .args(["describe", "--always", "--dirty"])
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .ok()
+        .filter(|out| out.status.success())
+        .and_then(|out| String::from_utf8(out.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string());
+    BenchMeta {
+        git,
+        host_cores: std::thread::available_parallelism().map_or(1, usize::from),
+        noc_threads: std::env::var("NOC_THREADS").ok(),
+        streams: streams.iter().map(ToString::to_string).collect(),
+        shard_counts: shard_counts.to_vec(),
+    }
+}
+
 /// Workspace `results/` directory (created on demand).
 #[must_use]
 pub fn results_dir() -> PathBuf {
@@ -386,6 +441,32 @@ mod tests {
                 assert!(t.mean_rate().unwrap() > 0.0);
             }
         }
+    }
+
+    #[test]
+    fn quick_shrink_quarters_windows_with_floors() {
+        let (mesh, elevators) = Placement::Ps1.instantiate();
+        let mut scenario =
+            Scenario::new("shrink", mesh, elevators).with_phases(1_000, 4_000, 20_000);
+        quick_shrink(&mut scenario);
+        assert_eq!(
+            (scenario.warmup, scenario.measure, scenario.drain_max),
+            (500, 2_000, 10_000)
+        );
+        // Short windows hit the floors instead of collapsing to zero.
+        let mut tiny = Scenario::new("tiny", mesh, Placement::Ps1.instantiate().1)
+            .with_phases(100, 400, 2_000);
+        quick_shrink(&mut tiny);
+        assert_eq!((tiny.warmup, tiny.measure), (500, 2_000));
+    }
+
+    #[test]
+    fn bench_meta_captures_the_grid() {
+        let meta = bench_meta(&["v1", "v2"], &[1, 8]);
+        assert!(!meta.git.is_empty());
+        assert!(meta.host_cores >= 1);
+        assert_eq!(meta.streams, vec!["v1", "v2"]);
+        assert_eq!(meta.shard_counts, vec![1, 8]);
     }
 
     #[test]

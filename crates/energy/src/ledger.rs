@@ -74,6 +74,17 @@ impl LinkLedger {
         self.cycles
     }
 
+    /// `true` if every counter is zero — e.g. a shard partition whose
+    /// events have all been drained into the aggregate sinks.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.cycles == 0
+            && self.link_flits.iter().all(|&c| c == 0)
+            && self.buffer_writes.iter().all(|&c| c == 0)
+            && self.buffer_reads.iter().all(|&c| c == 0)
+            && self.ni_events.iter().all(|&c| c == 0)
+    }
+
     /// Resets every counter to zero (new measurement window).
     pub fn reset(&mut self) {
         self.link_flits.fill(0);

@@ -47,11 +47,15 @@ pub mod event;
 pub mod runner;
 pub mod scenario;
 pub mod specs;
+pub mod trace;
 
 pub use event::Event;
 pub use noc_traffic::StreamVersion;
-pub use runner::{default_threads, par_injection_sweep, par_map, run_batch};
+pub use runner::{
+    default_threads, par_injection_sweep, par_map, run_batch, run_batch_with_progress,
+};
 pub use scenario::{
-    results_to_json, Scenario, ScenarioResult, SelectorSpec, WorkloadKind, WorkloadSpec,
+    results_to_json, Scenario, ScenarioResult, SelectorSpec, TraceSpec, WorkloadKind, WorkloadSpec,
 };
 pub use specs::{load_dir, load_spec};
+pub use trace::{record_trace, trace_period, verify_trace, VerifyReport, DEFAULT_TRACE_PERIOD};

@@ -95,7 +95,59 @@ pub fn par_injection_sweep(
 /// input order, each bit-identical to `scenario.run()`.
 #[must_use]
 pub fn run_batch(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> {
-    par_map(scenarios, threads, |_, scenario| scenario.run())
+    run_batch_with_progress(scenarios, threads, |_| {})
+}
+
+/// [`run_batch`] with per-point progress streaming: `progress` receives a
+/// `started` record when a worker picks a scenario up and a `done` record
+/// when it finishes, both in the trace schema (the format the future
+/// sweep daemon will stream). Records arrive in *completion* order and
+/// may interleave across workers — `progress` must be `Sync` — while the
+/// returned results stay in input order, bit-identical to [`run_batch`].
+///
+/// The `detail` object carries `queued_ns` (batch start → pickup, the
+/// pool queue latency) and, on `done`, `run_ns` and the delivered-packet
+/// count.
+#[must_use]
+pub fn run_batch_with_progress<F>(
+    scenarios: &[Scenario],
+    threads: usize,
+    progress: F,
+) -> Vec<ScenarioResult>
+where
+    F: Fn(&noc_obs::Record) + Sync,
+{
+    let epoch = std::time::Instant::now();
+    let ns = |d: std::time::Duration| {
+        serde::Value::UInt(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+    };
+    par_map(scenarios, threads, |index, scenario| {
+        let queued = epoch.elapsed();
+        progress(&noc_obs::Record::Progress {
+            index,
+            total: scenarios.len(),
+            label: scenario.name.clone(),
+            status: "started".to_string(),
+            detail: serde::Value::Object(vec![("queued_ns".to_string(), ns(queued))]),
+        });
+        let t0 = std::time::Instant::now();
+        let result = scenario.run();
+        progress(&noc_obs::Record::Progress {
+            index,
+            total: scenarios.len(),
+            label: scenario.name.clone(),
+            status: "done".to_string(),
+            detail: serde::Value::Object(vec![
+                ("queued_ns".to_string(), ns(queued)),
+                ("run_ns".to_string(), ns(t0.elapsed())),
+                (
+                    "delivered_packets".to_string(),
+                    serde::Value::UInt(result.summary.delivered_packets),
+                ),
+            ]),
+        });
+        result
+    })
 }
 
 #[cfg(test)]

@@ -437,6 +437,16 @@ impl SelectorSpec {
     }
 }
 
+/// The opt-in flight-recorder half of a scenario: when present,
+/// `noc_trace record` (and any other trace-aware driver) emits a window
+/// record every `period` cycles; when absent, nothing about the run
+/// changes and the spec serialises exactly as before the field existed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TraceSpec {
+    /// Cycles between `window` records (≥ 1).
+    pub period: u64,
+}
+
 /// One declarative experiment: topology + workload + policy + windows +
 /// seed + timed events.
 ///
@@ -447,7 +457,7 @@ impl SelectorSpec {
 /// so a hand-edited spec whose pieces disagree — elevators built for a
 /// different mesh, events naming out-of-range elevators — fails at the
 /// parse site instead of deep inside the run.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Scenario {
     /// Experiment name (carried into results).
     pub name: String,
@@ -474,6 +484,34 @@ pub struct Scenario {
     /// every value; this is purely a wall-clock knob, so older spec
     /// files without the field parse as sequential.
     pub shards: usize,
+    /// Opt-in flight-recorder settings; `None` (the default) leaves the
+    /// spec's serialised form — and the run — exactly as before.
+    pub trace: Option<TraceSpec>,
+}
+
+impl Serialize for Scenario {
+    /// Field order matches the former derive byte for byte; the opt-in
+    /// `trace` field is appended only when set, so every pre-existing
+    /// spec file round-trips unchanged.
+    fn to_value(&self) -> serde::Value {
+        let mut entries = vec![
+            ("name".to_string(), self.name.to_value()),
+            ("mesh".to_string(), self.mesh.to_value()),
+            ("elevators".to_string(), self.elevators.to_value()),
+            ("workload".to_string(), self.workload.to_value()),
+            ("selector".to_string(), self.selector.to_value()),
+            ("warmup".to_string(), self.warmup.to_value()),
+            ("measure".to_string(), self.measure.to_value()),
+            ("drain_max".to_string(), self.drain_max.to_value()),
+            ("seed".to_string(), self.seed.to_value()),
+            ("events".to_string(), self.events.to_value()),
+            ("shards".to_string(), self.shards.to_value()),
+        ];
+        if let Some(trace) = &self.trace {
+            entries.push(("trace".to_string(), trace.to_value()));
+        }
+        serde::Value::Object(entries)
+    }
 }
 
 impl Scenario {
@@ -494,6 +532,7 @@ impl Scenario {
             seed: 1,
             events: Vec::new(),
             shards: 1,
+            trace: None,
         }
     }
 
@@ -557,6 +596,14 @@ impl Scenario {
         self
     }
 
+    /// Opts the scenario into flight recording with a `window` record
+    /// every `period` cycles.
+    #[must_use]
+    pub fn with_trace(mut self, period: u64) -> Self {
+        self.trace = Some(TraceSpec { period });
+        self
+    }
+
     /// Checks that the scenario's pieces agree with each other: the
     /// elevator set matches the mesh geometry, the workload fits the mesh,
     /// an explicit offline assignment matches the topology, and every
@@ -587,6 +634,11 @@ impl Scenario {
         }
         for event in &self.events {
             event.validate(&self.mesh, &self.elevators)?;
+        }
+        if let Some(trace) = &self.trace {
+            if trace.period == 0 {
+                return Err("trace period must be at least 1 cycle".into());
+            }
         }
         Ok(())
     }
@@ -657,6 +709,8 @@ impl Deserialize for Scenario {
             // Grew after the spec format shipped: absent means sequential
             // (a malformed value still errors — see `optional_field`).
             shards: serde::optional_field(value, "shards")?.unwrap_or(1),
+            // Also post-format: absent means no flight recorder.
+            trace: serde::optional_field(value, "trace")?,
         };
         scenario
             .validate()

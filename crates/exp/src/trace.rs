@@ -1,0 +1,164 @@
+//! Recording and replay-verifying scenario traces.
+//!
+//! [`record_trace`] runs a [`Scenario`] with the flight recorder attached
+//! and returns the JSONL journal, headed by a `header` record that embeds
+//! the full spec + seed — every trace is self-describing. [`verify_trace`]
+//! is the golden-trace oracle: it parses a journal, re-runs the embedded
+//! spec and compares fresh against golden record for record on the
+//! deterministic fields (see [`noc_obs::compare_journals`]). Because the
+//! deterministic fields are bit-identical across shard and worker counts,
+//! a golden trace recorded sequentially verifies under any `--shards`
+//! override, and vice versa.
+
+use crate::scenario::Scenario;
+use noc_obs::{parse_journal, Record, SharedBuffer, TraceError, TraceWriter, TRACE_SCHEMA_VERSION};
+use noc_sim::Tracer;
+use serde::{Deserialize, Serialize};
+
+/// The default window period when a scenario does not opt in via its
+/// `trace` field.
+pub const DEFAULT_TRACE_PERIOD: u64 = 1_000;
+
+/// The window period `scenario` asks for, or [`DEFAULT_TRACE_PERIOD`].
+#[must_use]
+pub fn trace_period(scenario: &Scenario) -> u64 {
+    scenario.trace.map_or(DEFAULT_TRACE_PERIOD, |t| t.period)
+}
+
+/// Runs `scenario` with the flight recorder attached and returns the
+/// journal: a `header` record embedding the spec, then the
+/// `phase`/`event`/`window` stream, then the final `summary` record.
+///
+/// # Panics
+///
+/// Panics on scenario authoring errors (the same ones
+/// [`Scenario::build_simulator`] panics on); the in-memory journal sink
+/// itself cannot fail.
+#[must_use]
+pub fn record_trace(scenario: &Scenario, period: u64) -> String {
+    let buffer = SharedBuffer::new();
+    let mut writer = TraceWriter::new(Box::new(buffer.clone()));
+    writer
+        .write(&Record::Header {
+            schema: TRACE_SCHEMA_VERSION,
+            name: scenario.name.clone(),
+            seed: scenario.seed,
+            period,
+            shards: scenario.shards,
+            spec: scenario.to_value(),
+        })
+        .expect("in-memory journal write cannot fail");
+    let mut sim = scenario.build_simulator();
+    sim.attach_tracer(Tracer::new(writer, period));
+    let _summary = sim.run();
+    buffer.contents()
+}
+
+/// The outcome of a successful [`verify_trace`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Scenario name from the golden header.
+    pub name: String,
+    /// Records compared.
+    pub records: usize,
+    /// Shard count the fresh replay ran at.
+    pub shards: usize,
+}
+
+/// Re-runs the spec embedded in a golden journal and compares the fresh
+/// trace record for record. `shards_override` reruns at a different
+/// shard count — deterministic fields must still match bit for bit (the
+/// sharded-engine equivalence contract), so this doubles as an
+/// end-to-end shard-equivalence check.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] naming the offending record: parse failures
+/// (truncation, corruption), a missing or malformed header, an embedded
+/// spec that no longer validates, or the first diverging record.
+pub fn verify_trace(
+    golden: &str,
+    shards_override: Option<usize>,
+) -> Result<VerifyReport, TraceError> {
+    let golden = parse_journal(golden)?;
+    let Some(Record::Header { period, spec, .. }) = golden.first() else {
+        return Err(TraceError::new(
+            0,
+            "journal does not start with a header record",
+        ));
+    };
+    let mut scenario = Scenario::from_value(spec)
+        .map_err(|e| TraceError::new(0, format!("embedded spec: {}", e.0)))?;
+    if let Some(shards) = shards_override {
+        scenario.shards = shards;
+    }
+    let fresh = record_trace(&scenario, *period);
+    let fresh = parse_journal(&fresh)
+        .map_err(|e| TraceError::new(e.record, format!("fresh replay: {}", e.message)))?;
+    let records = noc_obs::compare_journals(&golden, &fresh)?;
+    Ok(VerifyReport {
+        name: scenario.name.clone(),
+        records,
+        shards: scenario.shards,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scenario::WorkloadKind;
+    use noc_topology::{ElevatorSet, Mesh3d};
+
+    fn tiny() -> Scenario {
+        let mesh = Mesh3d::new(4, 4, 2).unwrap();
+        let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
+        Scenario::new("tiny-trace", mesh, elevators)
+            .with_phases(100, 400, 2_000)
+            .with_workload(WorkloadKind::Uniform { rate: 0.004 })
+            .with_seed(7)
+            .with_trace(100)
+    }
+
+    #[test]
+    fn recorded_trace_verifies_against_itself() {
+        let scenario = tiny();
+        let journal = record_trace(&scenario, trace_period(&scenario));
+        let report = verify_trace(&journal, None).expect("self-verification");
+        assert_eq!(report.name, "tiny-trace");
+        assert!(report.records > 3, "header + phases + windows + summary");
+    }
+
+    #[test]
+    fn verification_is_shard_independent() {
+        let scenario = tiny();
+        let journal = record_trace(&scenario, 100);
+        for shards in [2, 4] {
+            let report = verify_trace(&journal, Some(shards)).expect("shard override verifies");
+            assert_eq!(report.shards, shards);
+        }
+    }
+
+    #[test]
+    fn truncated_journal_fails_with_record_index() {
+        let scenario = tiny();
+        let journal = record_trace(&scenario, 100);
+        let lines: Vec<&str> = journal.lines().collect();
+        let truncated = lines[..lines.len() - 1].join("\n");
+        // A clean truncation parses but fails comparison at the cut.
+        let golden = parse_journal(&journal).unwrap();
+        let short = parse_journal(&truncated).unwrap();
+        let err = noc_obs::compare_journals(&golden, &short).unwrap_err();
+        assert_eq!(err.record, golden.len() - 1);
+    }
+
+    #[test]
+    fn headerless_journal_is_rejected() {
+        let err = verify_trace(
+            "{\"type\":\"phase\",\"cycle\":0,\"phase\":\"warmup\"}",
+            None,
+        )
+        .unwrap_err();
+        assert_eq!(err.record, 0);
+        assert!(err.message.contains("header"), "{err}");
+    }
+}

@@ -1,0 +1,31 @@
+//! The flight recorder of the simulation stack.
+//!
+//! Three pieces, deliberately free of any simulator types so every layer
+//! (`noc_sim`, `noc_exp`, the bench binaries) can speak the same format:
+//!
+//! * [`metrics`] — cheap monotonic counters and windowed phase timers
+//!   sampled on the step hot path. A [`MetricsRegistry`] is plain data:
+//!   incrementing it never allocates, and a simulator without a tracer
+//!   attached never touches one at all.
+//! * [`trace`] — the append-only JSONL trace journal: a versioned
+//!   [`Record`] schema (`header`, `phase`, `event`, `window`, `summary`,
+//!   `progress`, `meta`), a [`TraceWriter`]/[`TraceReader`] pair, and
+//!   [`parse_journal`] which fails with a *named record index* instead of
+//!   panicking on truncated or corrupted input.
+//! * [`compare_journals`] — the golden-trace replay oracle: record-for-
+//!   record comparison on the deterministic fields (digests, counts,
+//!   latency sums) while timing and shard-layout fields are checked only
+//!   for presence, so a golden trace recorded at one shard count verifies
+//!   at any other.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod trace;
+
+pub use metrics::{ComputeSample, MetricsRegistry, PhaseTimes, WindowDelta};
+pub use trace::{
+    compare_journals, parse_journal, Record, SharedBuffer, TraceError, TraceReader, TraceWriter,
+    TRACE_SCHEMA_VERSION,
+};

@@ -1,0 +1,296 @@
+//! The hot-path metrics registry: monotonic counters plus windowed phase
+//! timers, all plain data.
+//!
+//! The registry is written by the *traced* step path only; the untraced
+//! step never touches it, which is what keeps the disabled-tracing
+//! overhead at zero. Everything here is cumulative — window records are
+//! produced by [`MetricsRegistry::close_window`], which returns the delta
+//! since the previous close and never resets the running totals (so the
+//! registry is also a whole-run summary).
+
+use serde::Value;
+use std::time::Duration;
+
+/// Wall-clock time spent in each phase of a simulation cycle.
+///
+/// * `inject` — command dispatch + traffic generation + injection
+///   (`pre_step`),
+/// * `compute` — per-shard routing/arbitration (phase 1; on the pooled
+///   path this also covers the exchange, which happens inside workers),
+/// * `exchange` — boundary-batch commits between shards (inline path
+///   only; zero when pooled),
+/// * `commit` — global effect replay + bookkeeping (`finish_cycle` and
+///   `post_step`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PhaseTimes {
+    /// Injection phase (traffic generation + command dispatch).
+    pub inject: Duration,
+    /// Per-shard compute phase.
+    pub compute: Duration,
+    /// Boundary exchange phase (inline sharded path only).
+    pub exchange: Duration,
+    /// Serial commit phase (effect replay + statistics).
+    pub commit: Duration,
+}
+
+impl PhaseTimes {
+    /// Sum of all four phases.
+    #[must_use]
+    pub fn total(&self) -> Duration {
+        self.inject + self.compute + self.exchange + self.commit
+    }
+
+    /// Element-wise `self - earlier` (saturating, for monotonic inputs).
+    #[must_use]
+    pub fn since(&self, earlier: &PhaseTimes) -> PhaseTimes {
+        PhaseTimes {
+            inject: self.inject.saturating_sub(earlier.inject),
+            compute: self.compute.saturating_sub(earlier.compute),
+            exchange: self.exchange.saturating_sub(earlier.exchange),
+            commit: self.commit.saturating_sub(earlier.commit),
+        }
+    }
+
+    /// Adds `other` into `self`.
+    pub fn accumulate(&mut self, other: &PhaseTimes) {
+        self.inject += other.inject;
+        self.compute += other.compute;
+        self.exchange += other.exchange;
+        self.commit += other.commit;
+    }
+
+    /// The `timing` object of a `window` record: nanoseconds per phase.
+    /// Timing is host-dependent, so replay comparison checks these keys
+    /// for *presence only*.
+    #[must_use]
+    pub fn timing_value(&self) -> Value {
+        let ns = |d: Duration| Value::UInt(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+        Value::Object(vec![
+            ("inject_ns".to_string(), ns(self.inject)),
+            ("compute_ns".to_string(), ns(self.compute)),
+            ("exchange_ns".to_string(), ns(self.exchange)),
+            ("commit_ns".to_string(), ns(self.commit)),
+        ])
+    }
+}
+
+/// What one observed compute step saw: phase-1 and exchange wall time,
+/// plus the boundary-batch volumes that crossed shard borders.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ComputeSample {
+    /// Wall time of the per-shard phase-1 pass.
+    pub phase1: Duration,
+    /// Wall time of the boundary exchange + commit pass.
+    pub exchange: Duration,
+    /// Flit arrivals that crossed a shard boundary this cycle.
+    pub boundary_flits: u64,
+    /// Credit returns that crossed a shard boundary this cycle.
+    pub boundary_credits: u64,
+}
+
+/// The windowed delta returned by [`MetricsRegistry::close_window`].
+#[derive(Debug, Clone, Default)]
+pub struct WindowDelta {
+    /// Cycles covered by this window.
+    pub cycles: u64,
+    /// Phase wall times accumulated over the window.
+    pub phase: PhaseTimes,
+    /// Boundary flit arrivals over the window.
+    pub boundary_flits: u64,
+    /// Boundary credit returns over the window.
+    pub boundary_credits: u64,
+    /// Per-shard busy cycles (cycles in which the shard moved a flit).
+    pub shard_busy: Vec<u64>,
+}
+
+impl WindowDelta {
+    /// The `aux` object of a `window` record: shard-layout- and
+    /// host-dependent gauges, compared for key presence only on replay.
+    #[must_use]
+    pub fn aux_value(&self, pooled: bool) -> Value {
+        Value::Object(vec![
+            ("cycles".to_string(), Value::UInt(self.cycles)),
+            (
+                "boundary_flits".to_string(),
+                Value::UInt(self.boundary_flits),
+            ),
+            (
+                "boundary_credits".to_string(),
+                Value::UInt(self.boundary_credits),
+            ),
+            (
+                "shard_busy".to_string(),
+                Value::Array(self.shard_busy.iter().map(|&b| Value::UInt(b)).collect()),
+            ),
+            ("pooled".to_string(), Value::Bool(pooled)),
+        ])
+    }
+}
+
+/// Cumulative hot-path metrics for one traced simulator.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsRegistry {
+    cycles: u64,
+    phase: PhaseTimes,
+    boundary_flits: u64,
+    boundary_credits: u64,
+    shard_busy: Vec<u64>,
+    windows: u64,
+    // Marks at the last window close (cumulative values snapshot).
+    mark_cycles: u64,
+    mark_phase: PhaseTimes,
+    mark_boundary_flits: u64,
+    mark_boundary_credits: u64,
+    mark_shard_busy: Vec<u64>,
+}
+
+impl MetricsRegistry {
+    /// A fresh registry with all counters at zero.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sizes the per-shard busy counters for `shards` shards.
+    pub fn ensure_shards(&mut self, shards: usize) {
+        self.shard_busy.resize(shards, 0);
+        self.mark_shard_busy.resize(shards, 0);
+    }
+
+    /// Books one traced cycle: injection and commit wall times plus the
+    /// compute-phase sample.
+    pub fn on_cycle(&mut self, inject: Duration, sample: &ComputeSample, commit: Duration) {
+        self.cycles += 1;
+        self.phase.inject += inject;
+        self.phase.compute += sample.phase1;
+        self.phase.exchange += sample.exchange;
+        self.phase.commit += commit;
+        self.boundary_flits += sample.boundary_flits;
+        self.boundary_credits += sample.boundary_credits;
+    }
+
+    /// Mutable view of the per-shard busy counters (the simulator adds
+    /// each shard's progress flag after the cycle commits).
+    pub fn shard_busy_mut(&mut self) -> &mut [u64] {
+        &mut self.shard_busy
+    }
+
+    /// Cycles booked so far.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.cycles
+    }
+
+    /// Window records emitted so far.
+    #[must_use]
+    pub fn windows(&self) -> u64 {
+        self.windows
+    }
+
+    /// Cumulative phase wall times.
+    #[must_use]
+    pub fn phase(&self) -> &PhaseTimes {
+        &self.phase
+    }
+
+    /// Cumulative boundary-batch volumes `(flits, credits)`.
+    #[must_use]
+    pub fn boundary_volumes(&self) -> (u64, u64) {
+        (self.boundary_flits, self.boundary_credits)
+    }
+
+    /// Closes the current window: returns the delta since the last close
+    /// and advances the marks. Cumulative totals are untouched.
+    pub fn close_window(&mut self) -> WindowDelta {
+        let delta = WindowDelta {
+            cycles: self.cycles - self.mark_cycles,
+            phase: self.phase.since(&self.mark_phase),
+            boundary_flits: self.boundary_flits - self.mark_boundary_flits,
+            boundary_credits: self.boundary_credits - self.mark_boundary_credits,
+            shard_busy: self
+                .shard_busy
+                .iter()
+                .zip(&self.mark_shard_busy)
+                .map(|(&now, &mark)| now - mark)
+                .collect(),
+        };
+        self.mark_cycles = self.cycles;
+        self.mark_phase = self.phase;
+        self.mark_boundary_flits = self.boundary_flits;
+        self.mark_boundary_credits = self.boundary_credits;
+        self.mark_shard_busy.copy_from_slice(&self.shard_busy);
+        self.windows += 1;
+        delta
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn window_deltas_are_exact_and_totals_survive() {
+        let mut m = MetricsRegistry::new();
+        m.ensure_shards(2);
+        let sample = ComputeSample {
+            phase1: Duration::from_nanos(10),
+            exchange: Duration::from_nanos(5),
+            boundary_flits: 3,
+            boundary_credits: 2,
+        };
+        for _ in 0..4 {
+            m.on_cycle(Duration::from_nanos(1), &sample, Duration::from_nanos(7));
+            m.shard_busy_mut()[0] += 1;
+        }
+        let w1 = m.close_window();
+        assert_eq!(w1.cycles, 4);
+        assert_eq!(w1.boundary_flits, 12);
+        assert_eq!(w1.shard_busy, vec![4, 0]);
+        assert_eq!(w1.phase.compute, Duration::from_nanos(40));
+
+        m.on_cycle(Duration::from_nanos(1), &sample, Duration::from_nanos(7));
+        m.shard_busy_mut()[1] += 1;
+        let w2 = m.close_window();
+        assert_eq!(w2.cycles, 1);
+        assert_eq!(w2.boundary_flits, 3);
+        assert_eq!(w2.shard_busy, vec![0, 1]);
+
+        assert_eq!(m.cycles(), 5);
+        assert_eq!(m.windows(), 2);
+        assert_eq!(m.boundary_volumes(), (15, 10));
+        assert_eq!(m.phase().total(), Duration::from_nanos(5 * 23));
+    }
+
+    #[test]
+    fn timing_and_aux_values_carry_the_schema_keys() {
+        let delta = WindowDelta {
+            cycles: 8,
+            phase: PhaseTimes::default(),
+            boundary_flits: 1,
+            boundary_credits: 2,
+            shard_busy: vec![3, 4],
+        };
+        let Value::Object(aux) = delta.aux_value(false) else {
+            panic!("aux must be an object")
+        };
+        let keys: Vec<&str> = aux.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            [
+                "cycles",
+                "boundary_flits",
+                "boundary_credits",
+                "shard_busy",
+                "pooled"
+            ]
+        );
+        let Value::Object(timing) = PhaseTimes::default().timing_value() else {
+            panic!("timing must be an object")
+        };
+        let keys: Vec<&str> = timing.iter().map(|(k, _)| k.as_str()).collect();
+        assert_eq!(
+            keys,
+            ["inject_ns", "compute_ns", "exchange_ns", "commit_ns"]
+        );
+    }
+}

@@ -1,0 +1,719 @@
+//! The append-only JSONL trace journal: schema v1 records, the
+//! writer/reader pair, and the golden-trace comparison oracle.
+//!
+//! A journal is one compact JSON object per line. Every record carries a
+//! `"type"` discriminant; a well-formed journal starts with a `header`
+//! record embedding the scenario spec + seed that produced it, making the
+//! trace self-describing — `verify` re-runs the embedded spec and
+//! compares fresh against golden record for record.
+//!
+//! Two classes of fields:
+//!
+//! * **deterministic** — digests, packet/flit counts, latency sums,
+//!   worklist occupancy, calendar depth. Bit-identical across shard and
+//!   worker counts (PR 6's equivalence contract), so they are compared
+//!   for equality on replay.
+//! * **environmental** — wall-clock timings and shard-layout gauges
+//!   (`timing` and `aux` objects of `window` records, the `shards` knob
+//!   itself). Compared for key *presence* only.
+
+use serde::{DeError, Deserialize, Serialize, Value};
+use std::io::{self, Write};
+use std::sync::{Arc, Mutex};
+
+/// Version stamped into every `header` record.
+pub const TRACE_SCHEMA_VERSION: u32 = 1;
+
+/// One line of a trace journal.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Record {
+    /// The run header: schema version and the self-describing spec.
+    Header {
+        /// Trace schema version ([`TRACE_SCHEMA_VERSION`]).
+        schema: u32,
+        /// Scenario name.
+        name: String,
+        /// Master seed of the run.
+        seed: u64,
+        /// Window period (cycles between `window` records).
+        period: u64,
+        /// Shard count the trace was recorded at (environmental).
+        shards: usize,
+        /// The full scenario spec, as serialised by `noc_exp`.
+        spec: Value,
+    },
+    /// A run-phase transition (`warmup`, `measure`, `drain`, `done`).
+    Phase {
+        /// Cycle at which the phase begins.
+        cycle: u64,
+        /// Phase name.
+        phase: String,
+    },
+    /// A discrete event: a scheduled command firing.
+    Event {
+        /// Cycle at which the command fired.
+        cycle: u64,
+        /// Command kind (`fail_elevator`, `scale_injection`, ...).
+        kind: String,
+        /// Command parameters.
+        detail: Value,
+    },
+    /// A periodic window sample.
+    Window {
+        /// Cycle count at window close.
+        cycle: u64,
+        /// Deterministic gauges — compared for equality on replay.
+        det: Value,
+        /// Environmental gauges — compared for key presence only.
+        aux: Value,
+        /// Phase wall times — compared for key presence only.
+        timing: Value,
+    },
+    /// The end-of-run summary (`noc_sim::RunSummary`).
+    Summary {
+        /// The serialised summary.
+        summary: Value,
+    },
+    /// A batch-runner progress beat (sweep streaming; not replayed).
+    Progress {
+        /// Index of the scenario within the batch.
+        index: usize,
+        /// Batch size.
+        total: usize,
+        /// Scenario name.
+        label: String,
+        /// `started` or `done`.
+        status: String,
+        /// Queue/run latencies and result digests.
+        detail: Value,
+    },
+    /// Free-form provenance (bench emissions; not replayed).
+    Meta {
+        /// The provenance payload.
+        meta: Value,
+    },
+}
+
+impl Record {
+    /// The `"type"` discriminant of this record.
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Record::Header { .. } => "header",
+            Record::Phase { .. } => "phase",
+            Record::Event { .. } => "event",
+            Record::Window { .. } => "window",
+            Record::Summary { .. } => "summary",
+            Record::Progress { .. } => "progress",
+            Record::Meta { .. } => "meta",
+        }
+    }
+}
+
+impl Serialize for Record {
+    fn to_value(&self) -> Value {
+        let mut entries: Vec<(String, Value)> =
+            vec![("type".to_string(), Value::String(self.kind().to_string()))];
+        let mut push = |name: &str, value: Value| entries.push((name.to_string(), value));
+        match self {
+            Record::Header {
+                schema,
+                name,
+                seed,
+                period,
+                shards,
+                spec,
+            } => {
+                push("schema", schema.to_value());
+                push("name", name.to_value());
+                push("seed", seed.to_value());
+                push("period", period.to_value());
+                push("shards", shards.to_value());
+                push("spec", spec.clone());
+            }
+            Record::Phase { cycle, phase } => {
+                push("cycle", cycle.to_value());
+                push("phase", phase.to_value());
+            }
+            Record::Event {
+                cycle,
+                kind,
+                detail,
+            } => {
+                push("cycle", cycle.to_value());
+                push("kind", kind.to_value());
+                push("detail", detail.clone());
+            }
+            Record::Window {
+                cycle,
+                det,
+                aux,
+                timing,
+            } => {
+                push("cycle", cycle.to_value());
+                push("det", det.clone());
+                push("aux", aux.clone());
+                push("timing", timing.clone());
+            }
+            Record::Summary { summary } => push("summary", summary.clone()),
+            Record::Progress {
+                index,
+                total,
+                label,
+                status,
+                detail,
+            } => {
+                push("index", index.to_value());
+                push("total", total.to_value());
+                push("label", label.to_value());
+                push("status", status.to_value());
+                push("detail", detail.clone());
+            }
+            Record::Meta { meta } => push("meta", meta.clone()),
+        }
+        Value::Object(entries)
+    }
+}
+
+impl Deserialize for Record {
+    fn from_value(value: &Value) -> Result<Self, DeError> {
+        let kind: String = serde::field(value, "type")?;
+        match kind.as_str() {
+            "header" => Ok(Record::Header {
+                schema: serde::field(value, "schema")?,
+                name: serde::field(value, "name")?,
+                seed: serde::field(value, "seed")?,
+                period: serde::field(value, "period")?,
+                shards: serde::field(value, "shards")?,
+                spec: serde::field(value, "spec")?,
+            }),
+            "phase" => Ok(Record::Phase {
+                cycle: serde::field(value, "cycle")?,
+                phase: serde::field(value, "phase")?,
+            }),
+            "event" => Ok(Record::Event {
+                cycle: serde::field(value, "cycle")?,
+                kind: serde::field(value, "kind")?,
+                detail: serde::field(value, "detail")?,
+            }),
+            "window" => Ok(Record::Window {
+                cycle: serde::field(value, "cycle")?,
+                det: serde::field(value, "det")?,
+                aux: serde::field(value, "aux")?,
+                timing: serde::field(value, "timing")?,
+            }),
+            "summary" => Ok(Record::Summary {
+                summary: serde::field(value, "summary")?,
+            }),
+            "progress" => Ok(Record::Progress {
+                index: serde::field(value, "index")?,
+                total: serde::field(value, "total")?,
+                label: serde::field(value, "label")?,
+                status: serde::field(value, "status")?,
+                detail: serde::field(value, "detail")?,
+            }),
+            "meta" => Ok(Record::Meta {
+                meta: serde::field(value, "meta")?,
+            }),
+            other => Err(DeError(format!("unknown trace record type `{other}`"))),
+        }
+    }
+}
+
+/// A journal-level error, always naming the zero-based record index it
+/// was detected at — truncated or corrupted journals report *where*, they
+/// never panic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceError {
+    /// Zero-based index of the offending record (line) in the journal.
+    pub record: usize,
+    /// What went wrong there.
+    pub message: String,
+}
+
+impl TraceError {
+    /// A new error at `record`.
+    #[must_use]
+    pub fn new(record: usize, message: impl Into<String>) -> Self {
+        Self {
+            record,
+            message: message.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for TraceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "trace record {}: {}", self.record, self.message)
+    }
+}
+
+impl std::error::Error for TraceError {}
+
+/// Serialises records to an append-only JSONL stream, one compact object
+/// per line.
+pub struct TraceWriter {
+    out: Box<dyn Write + Send>,
+    records: u64,
+}
+
+impl std::fmt::Debug for TraceWriter {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceWriter")
+            .field("records", &self.records)
+            .finish_non_exhaustive()
+    }
+}
+
+impl TraceWriter {
+    /// Wraps any writer (a file, a [`SharedBuffer`], `io::sink()`, ...).
+    #[must_use]
+    pub fn new(out: Box<dyn Write + Send>) -> Self {
+        Self { out, records: 0 }
+    }
+
+    /// Creates (truncating) `path` and writes the journal there.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the `File::create` failure.
+    pub fn to_file(path: &std::path::Path) -> io::Result<Self> {
+        Ok(Self::new(Box::new(std::fs::File::create(path)?)))
+    }
+
+    /// Appends one record.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the underlying write failure.
+    pub fn write(&mut self, record: &Record) -> io::Result<()> {
+        let mut line = serde_json::to_string(record).map_err(io::Error::other)?;
+        line.push('\n');
+        self.out.write_all(line.as_bytes())?;
+        self.records += 1;
+        Ok(())
+    }
+
+    /// Records written so far.
+    #[must_use]
+    pub fn records(&self) -> u64 {
+        self.records
+    }
+
+    /// Flushes and returns the record count.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the flush failure.
+    pub fn finish(mut self) -> io::Result<u64> {
+        self.out.flush()?;
+        Ok(self.records)
+    }
+}
+
+impl Drop for TraceWriter {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Reads a journal back from disk or memory.
+#[derive(Debug, Clone)]
+pub struct TraceReader {
+    text: String,
+}
+
+impl TraceReader {
+    /// Reads the journal at `path` into memory.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the read failure.
+    pub fn from_path(path: &std::path::Path) -> io::Result<Self> {
+        Ok(Self {
+            text: std::fs::read_to_string(path)?,
+        })
+    }
+
+    /// Wraps an in-memory journal.
+    #[must_use]
+    pub fn from_text(text: impl Into<String>) -> Self {
+        Self { text: text.into() }
+    }
+
+    /// Parses every record.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`TraceError`] naming the first malformed record.
+    pub fn records(&self) -> Result<Vec<Record>, TraceError> {
+        parse_journal(&self.text)
+    }
+}
+
+/// Parses a JSONL journal. Blank lines are skipped; record indices count
+/// non-blank lines from zero.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] naming the first malformed record — corrupted
+/// and truncated journals fail loudly, never panic.
+pub fn parse_journal(text: &str) -> Result<Vec<Record>, TraceError> {
+    let mut records = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let index = records.len();
+        let value = serde_json::from_str(line)
+            .map_err(|e| TraceError::new(index, format!("malformed JSON: {e}")))?;
+        let record = Record::from_value(&value)
+            .map_err(|e| TraceError::new(index, format!("bad record: {}", e.0)))?;
+        records.push(record);
+    }
+    Ok(records)
+}
+
+/// An `Arc<Mutex<Vec<u8>>>` sink: clone one half into a [`TraceWriter`],
+/// keep the other to read the journal back after the run.
+#[derive(Debug, Clone, Default)]
+pub struct SharedBuffer(Arc<Mutex<Vec<u8>>>);
+
+impl SharedBuffer {
+    /// An empty buffer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The journal accumulated so far, as UTF-8 text.
+    #[must_use]
+    pub fn contents(&self) -> String {
+        String::from_utf8_lossy(&self.0.lock().expect("trace buffer lock")).into_owned()
+    }
+}
+
+impl Write for SharedBuffer {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        self.0
+            .lock()
+            .expect("trace buffer lock")
+            .extend_from_slice(buf);
+        Ok(buf.len())
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// `value` without its top-level `key` (no-op on non-objects).
+fn strip_key(value: &Value, key: &str) -> Value {
+    match value {
+        Value::Object(entries) => {
+            Value::Object(entries.iter().filter(|(k, _)| k != key).cloned().collect())
+        }
+        other => other.clone(),
+    }
+}
+
+/// Checks that every key of the golden object is present in the fresh
+/// one (values ignored). Returns the first missing key.
+fn missing_key(golden: &Value, fresh: &Value) -> Option<String> {
+    let (Value::Object(golden), Value::Object(fresh)) = (golden, fresh) else {
+        return None;
+    };
+    golden
+        .iter()
+        .map(|(k, _)| k)
+        .find(|k| !fresh.iter().any(|(fk, _)| fk == *k))
+        .cloned()
+}
+
+/// Compares a fresh replay against a golden journal, record for record.
+///
+/// Deterministic fields must match exactly; environmental fields
+/// (`window.timing`, `window.aux`, the header's `shards` knob and the
+/// `shards` field of its embedded spec) are checked for presence only, so
+/// a golden trace verifies at any shard count. `progress` and `meta`
+/// records are matched on type alone. Returns the number of records
+/// compared.
+///
+/// # Errors
+///
+/// Returns a [`TraceError`] naming the first diverging record.
+pub fn compare_journals(golden: &[Record], fresh: &[Record]) -> Result<usize, TraceError> {
+    for (index, g) in golden.iter().enumerate() {
+        let Some(f) = fresh.get(index) else {
+            return Err(TraceError::new(
+                index,
+                format!(
+                    "fresh trace ended early ({} of {} records)",
+                    index,
+                    golden.len()
+                ),
+            ));
+        };
+        compare_record(index, g, f)?;
+    }
+    if fresh.len() > golden.len() {
+        return Err(TraceError::new(
+            golden.len(),
+            format!(
+                "fresh trace has {} extra record(s)",
+                fresh.len() - golden.len()
+            ),
+        ));
+    }
+    Ok(golden.len())
+}
+
+fn compare_record(index: usize, golden: &Record, fresh: &Record) -> Result<(), TraceError> {
+    let type_err = || {
+        TraceError::new(
+            index,
+            format!(
+                "record type diverged: golden `{}`, fresh `{}`",
+                golden.kind(),
+                fresh.kind()
+            ),
+        )
+    };
+    let field_err = |field: &str| {
+        TraceError::new(
+            index,
+            format!("`{}` record diverged on `{field}`", golden.kind()),
+        )
+    };
+    match (golden, fresh) {
+        (
+            Record::Header {
+                schema: gs,
+                name: gn,
+                seed: gseed,
+                period: gp,
+                shards: _,
+                spec: gspec,
+            },
+            Record::Header {
+                schema: fs,
+                name: fn_,
+                seed: fseed,
+                period: fp,
+                shards: _,
+                spec: fspec,
+            },
+        ) => {
+            if gs != fs {
+                return Err(field_err("schema"));
+            }
+            if gn != fn_ {
+                return Err(field_err("name"));
+            }
+            if gseed != fseed {
+                return Err(field_err("seed"));
+            }
+            if gp != fp {
+                return Err(field_err("period"));
+            }
+            if strip_key(gspec, "shards") != strip_key(fspec, "shards") {
+                return Err(field_err("spec"));
+            }
+        }
+        (
+            Record::Phase {
+                cycle: gc,
+                phase: gp,
+            },
+            Record::Phase {
+                cycle: fc,
+                phase: fp,
+            },
+        ) => {
+            if gc != fc {
+                return Err(field_err("cycle"));
+            }
+            if gp != fp {
+                return Err(field_err("phase"));
+            }
+        }
+        (
+            Record::Event {
+                cycle: gc,
+                kind: gk,
+                detail: gd,
+            },
+            Record::Event {
+                cycle: fc,
+                kind: fk,
+                detail: fd,
+            },
+        ) => {
+            if gc != fc {
+                return Err(field_err("cycle"));
+            }
+            if gk != fk {
+                return Err(field_err("kind"));
+            }
+            if gd != fd {
+                return Err(field_err("detail"));
+            }
+        }
+        (
+            Record::Window {
+                cycle: gc,
+                det: gd,
+                aux: ga,
+                timing: gt,
+            },
+            Record::Window {
+                cycle: fc,
+                det: fd,
+                aux: fa,
+                timing: ft,
+            },
+        ) => {
+            if gc != fc {
+                return Err(field_err("cycle"));
+            }
+            if gd != fd {
+                return Err(field_err("det"));
+            }
+            if let Some(key) = missing_key(ga, fa) {
+                return Err(TraceError::new(
+                    index,
+                    format!("`window` record lost aux key `{key}`"),
+                ));
+            }
+            if let Some(key) = missing_key(gt, ft) {
+                return Err(TraceError::new(
+                    index,
+                    format!("`window` record lost timing key `{key}`"),
+                ));
+            }
+        }
+        (Record::Summary { summary: gs }, Record::Summary { summary: fs }) => {
+            if gs != fs {
+                return Err(field_err("summary"));
+            }
+        }
+        (Record::Progress { .. }, Record::Progress { .. })
+        | (Record::Meta { .. }, Record::Meta { .. }) => {}
+        _ => return Err(type_err()),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_records() -> Vec<Record> {
+        vec![
+            Record::Header {
+                schema: TRACE_SCHEMA_VERSION,
+                name: "t".into(),
+                seed: 7,
+                period: 100,
+                shards: 2,
+                spec: Value::Object(vec![
+                    ("name".into(), Value::String("t".into())),
+                    ("shards".into(), Value::UInt(2)),
+                ]),
+            },
+            Record::Phase {
+                cycle: 0,
+                phase: "warmup".into(),
+            },
+            Record::Event {
+                cycle: 5,
+                kind: "fail_elevator".into(),
+                detail: Value::Object(vec![("elevator".into(), Value::UInt(0))]),
+            },
+            Record::Window {
+                cycle: 100,
+                det: Value::Object(vec![("digest".into(), Value::String("abc".into()))]),
+                aux: Value::Object(vec![("cycles".into(), Value::UInt(100))]),
+                timing: Value::Object(vec![("inject_ns".into(), Value::UInt(42))]),
+            },
+            Record::Summary {
+                summary: Value::Object(vec![("delivered".into(), Value::UInt(9))]),
+            },
+        ]
+    }
+
+    #[test]
+    fn journal_round_trips() {
+        let records = sample_records();
+        let buffer = SharedBuffer::new();
+        let mut writer = TraceWriter::new(Box::new(buffer.clone()));
+        for r in &records {
+            writer.write(r).unwrap();
+        }
+        assert_eq!(writer.finish().unwrap(), records.len() as u64);
+        let parsed = TraceReader::from_text(buffer.contents()).records().unwrap();
+        assert_eq!(parsed, records);
+    }
+
+    #[test]
+    fn corrupted_line_names_its_record_index() {
+        let records = sample_records();
+        let text: String = records
+            .iter()
+            .enumerate()
+            .map(|(i, r)| {
+                let line = serde_json::to_string(r).unwrap();
+                if i == 3 {
+                    line[..line.len() / 2].to_string() + "\n"
+                } else {
+                    line + "\n"
+                }
+            })
+            .collect();
+        let err = parse_journal(&text).unwrap_err();
+        assert_eq!(err.record, 3);
+        assert!(err.to_string().starts_with("trace record 3:"), "{err}");
+    }
+
+    #[test]
+    fn comparison_tolerates_environmental_divergence_only() {
+        let golden = sample_records();
+        let mut fresh = golden.clone();
+        // A different shard count and different timings must pass.
+        if let Record::Header { shards, spec, .. } = &mut fresh[0] {
+            *shards = 8;
+            if let Value::Object(entries) = spec {
+                for (k, v) in entries.iter_mut() {
+                    if k == "shards" {
+                        *v = Value::UInt(8);
+                    }
+                }
+            }
+        }
+        if let Record::Window { timing, .. } = &mut fresh[3] {
+            *timing = Value::Object(vec![("inject_ns".into(), Value::UInt(999))]);
+        }
+        assert_eq!(compare_journals(&golden, &fresh), Ok(golden.len()));
+
+        // A diverging deterministic field must fail at its index.
+        if let Record::Window { det, .. } = &mut fresh[3] {
+            *det = Value::Object(vec![("digest".into(), Value::String("zzz".into()))]);
+        }
+        let err = compare_journals(&golden, &fresh).unwrap_err();
+        assert_eq!(err.record, 3);
+
+        // A truncated fresh trace must fail at the truncation point.
+        let err = compare_journals(&golden, &golden[..2]).unwrap_err();
+        assert_eq!(err.record, 2);
+
+        // A missing presence-only key must fail too.
+        let mut bare = golden.clone();
+        if let Record::Window { timing, .. } = &mut bare[3] {
+            *timing = Value::Object(vec![]);
+        }
+        let err = compare_journals(&golden, &bare).unwrap_err();
+        assert_eq!(err.record, 3);
+        assert!(err.message.contains("inject_ns"), "{err}");
+    }
+}

@@ -39,6 +39,7 @@ mod arena;
 mod config;
 mod flit;
 mod network;
+mod obs;
 mod pool;
 mod scheduler;
 mod shard;
@@ -57,6 +58,10 @@ pub use flit::{Flit, FlitKind, Packet, PacketId};
 pub use hooks::{EventSchedule, SimCommand};
 pub use network::Network;
 pub use noc_energy::{EnergyLedger, EnergyModel, LinkLedger, LinkMap};
+// The flight-recorder layer: the journal schema and writer come from
+// `noc_obs`; `Tracer` couples them to a `Simulator`.
+pub use noc_obs::{MetricsRegistry, PhaseTimes, Record, TraceWriter};
+pub use obs::Tracer;
 pub use sim::{Simulator, TrafficInput};
 pub use stats::{RunSummary, StatsCollector};
 pub use table::PacketTable;

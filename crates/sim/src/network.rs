@@ -75,6 +75,7 @@ use crate::stats::StatsCollector;
 use crate::table::PacketTable;
 use adele::online::{Cycle, NetworkProbe, SourceFeedback};
 use noc_energy::{EnergyLedger, LinkLedger, LinkMap};
+use noc_obs::ComputeSample;
 use noc_topology::{Coord, Direction, ElevatorId, ElevatorMask, ElevatorSet, Mesh3d, NodeId};
 use std::sync::Arc;
 
@@ -321,6 +322,48 @@ impl Network {
         }
     }
 
+    /// [`Network::step_compute`] with the flight recorder watching: the
+    /// same statements in the same order (bit-identity is the contract),
+    /// plus wall-clock timers around the two passes and a count of the
+    /// boundary batches that crossed shard borders. Only the inline path
+    /// is observable — pooled workers drain their outboxes internally.
+    pub(crate) fn step_compute_observed(
+        &mut self,
+        packets: &PacketTable,
+        cycle: Cycle,
+        armed: bool,
+    ) -> ComputeSample {
+        let topo = Arc::clone(&self.topo);
+        let t0 = std::time::Instant::now();
+        for shard in &mut self.shards {
+            shard.phase1(&topo, packets, cycle, armed);
+        }
+        let phase1 = t0.elapsed();
+        let t1 = std::time::Instant::now();
+        let (mut boundary_flits, mut boundary_credits) = (0u64, 0u64);
+        let k = self.shards.len();
+        for dst in 0..k {
+            for src in 0..k {
+                let mut batch = std::mem::take(&mut self.shards[src].outboxes[dst]);
+                if src != dst {
+                    boundary_flits += batch.arrivals.len() as u64;
+                    boundary_credits += batch.credits.len() as u64;
+                }
+                self.shards[dst].commit_batch(&topo, &mut batch, armed);
+                self.shards[src].outboxes[dst] = batch;
+            }
+        }
+        for shard in &mut self.shards {
+            shard.finish_commit(&topo);
+        }
+        ComputeSample {
+            phase1,
+            exchange: t1.elapsed(),
+            boundary_flits,
+            boundary_credits,
+        }
+    }
+
     /// The same parallelisable part, run on the worker pool: shard
     /// ownership (and a read-only view of the packet table) moves to the
     /// workers and back.
@@ -414,6 +457,44 @@ impl Network {
             shard.part_ledger = EnergyLedger::default();
             telemetry.merge_from(&mut shard.part_telemetry);
         }
+    }
+
+    /// Routers on the committed next-cycle worklist — the number of
+    /// routers that will do work next cycle. A deterministic gauge: the
+    /// worklist bitmaps are part of the hashed fabric state, so the count
+    /// is bit-identical across shard and worker counts.
+    #[must_use]
+    pub fn worklist_occupancy(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.active_bits
+                    .iter()
+                    .map(|&w| u64::from(w.count_ones()))
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Adds each shard's progress flag for the cycle just committed into
+    /// `busy` (one slot per shard) — the per-shard busy/idle gauge of the
+    /// flight recorder. Shard-layout dependent, so traces treat it as
+    /// environmental.
+    pub(crate) fn accumulate_shard_busy(&self, busy: &mut [u64]) {
+        for (slot, shard) in busy.iter_mut().zip(&self.shards) {
+            *slot += u64::from(shard.progress);
+        }
+    }
+
+    /// `true` when every shard's telemetry partition (router-flit
+    /// partials, energy partials, link-ledger partials) has been fully
+    /// drained into the aggregate sinks — the invariant readers rely on.
+    pub(crate) fn partials_clear(&self) -> bool {
+        self.shards.iter().all(|shard| {
+            shard.part_router_flits.iter().all(|&c| c == 0)
+                && shard.part_ledger == EnergyLedger::default()
+                && shard.part_telemetry.is_zero()
+        })
     }
 
     /// An FNV-1a digest of the complete committed fabric state (router

@@ -1,0 +1,114 @@
+//! The simulator side of the flight recorder: a [`Tracer`] couples a
+//! `noc_obs` journal writer with the hot-path metrics registry.
+//!
+//! Attaching a tracer reroutes [`crate::Simulator::step`] onto an
+//! *observed* twin of the untraced step — the same statements in the same
+//! order, bracketed by wall-clock timers — so traced and untraced runs
+//! are bit-identical in everything but wall time. With no tracer
+//! attached, the step path never touches any of this (one `Option`
+//! check), which is what keeps the disabled overhead at zero.
+
+use crate::hooks::SimCommand;
+use noc_obs::{MetricsRegistry, Record, TraceWriter};
+use serde::Value;
+use std::io;
+
+/// A journal writer + metrics registry attached to one simulator.
+///
+/// Write errors are sticky: the first failure is kept and reported by
+/// [`Tracer::finish`], later writes become no-ops — the simulation
+/// itself never aborts because a trace sink went away.
+#[derive(Debug)]
+pub struct Tracer {
+    writer: TraceWriter,
+    period: u64,
+    metrics: MetricsRegistry,
+    error: Option<io::Error>,
+}
+
+impl Tracer {
+    /// Couples `writer` with a fresh registry; a `window` record is
+    /// emitted every `period` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `period` is zero.
+    #[must_use]
+    pub fn new(writer: TraceWriter, period: u64) -> Self {
+        assert!(period >= 1, "trace window period must be at least 1");
+        Self {
+            writer,
+            period,
+            metrics: MetricsRegistry::new(),
+            error: None,
+        }
+    }
+
+    /// The window period in cycles.
+    #[must_use]
+    pub fn period(&self) -> u64 {
+        self.period
+    }
+
+    /// The cumulative hot-path metrics.
+    #[must_use]
+    pub fn metrics(&self) -> &MetricsRegistry {
+        &self.metrics
+    }
+
+    pub(crate) fn metrics_mut(&mut self) -> &mut MetricsRegistry {
+        &mut self.metrics
+    }
+
+    /// Appends a record, latching the first write error.
+    pub(crate) fn write(&mut self, record: &Record) {
+        if self.error.is_none() {
+            if let Err(e) = self.writer.write(record) {
+                self.error = Some(e);
+            }
+        }
+    }
+
+    /// Flushes the journal and returns the record count, or the first
+    /// write error if any write failed along the way.
+    ///
+    /// # Errors
+    ///
+    /// Returns the latched first write error, or the flush failure.
+    pub fn finish(self) -> io::Result<u64> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        self.writer.finish()
+    }
+}
+
+/// The `event` record for a scheduled command firing at `cycle`.
+pub(crate) fn command_record(cycle: u64, command: &SimCommand) -> Record {
+    let (kind, detail) = match command {
+        SimCommand::FailElevator(e) => (
+            "fail_elevator",
+            vec![("elevator".to_string(), Value::UInt(u64::from(e.0)))],
+        ),
+        SimCommand::RecoverElevator(e) => (
+            "recover_elevator",
+            vec![("elevator".to_string(), Value::UInt(u64::from(e.0)))],
+        ),
+        SimCommand::ScaleInjection { factor } => (
+            "scale_injection",
+            vec![("factor".to_string(), Value::Float(*factor))],
+        ),
+        SimCommand::ShiftHotspot { hotspots, fraction } => (
+            "shift_hotspot",
+            vec![
+                ("hotspots".to_string(), Value::UInt(hotspots.len() as u64)),
+                ("fraction".to_string(), Value::Float(*fraction)),
+            ],
+        ),
+    };
+    Record::Event {
+        cycle,
+        kind: kind.to_string(),
+        detail: Value::Object(detail),
+    }
+}

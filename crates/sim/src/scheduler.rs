@@ -85,6 +85,14 @@ impl InjectionScheduler {
         self.source.apply(directive, now);
     }
 
+    /// Injections currently sitting in prefetched calendar buckets — a
+    /// deterministic function of the source stream and the current cycle
+    /// (shard and worker counts never touch the calendar), surfaced as a
+    /// trace-window gauge.
+    pub(crate) fn calendar_depth(&self) -> u64 {
+        self.buckets.iter().map(|b| b.len() as u64).sum()
+    }
+
     pub(crate) fn name(&self) -> &'static str {
         self.source.name()
     }

@@ -4,15 +4,18 @@ use crate::config::SimConfig;
 use crate::flit::Packet;
 use crate::hooks::{EventSchedule, SimCommand};
 use crate::network::Network;
+use crate::obs::{command_record, Tracer};
 use crate::pool::ShardPool;
 use crate::scheduler::InjectionScheduler;
 use crate::stats::{RunSummary, StatsCollector};
 use crate::table::PacketTable;
 use adele::online::{Cycle, ElevatorSelector, SelectionContext, SourceFeedback};
 use noc_energy::{EnergyLedger, LinkLedger, LinkMap};
+use noc_obs::{ComputeSample, PhaseTimes, Record};
 use noc_topology::route::{ElevatorCoord, VirtualNet};
 use noc_topology::NodeId;
 use noc_traffic::{InjectionRequest, ScheduledSource, TrafficDirective, TrafficSource};
+use serde::{Serialize, Value};
 
 /// A workload handed to the simulator: either the classic polled
 /// interface (one [`TrafficSource::maybe_inject`] call per node per
@@ -104,6 +107,9 @@ pub struct Simulator {
     /// wall-clock accelerator: pooled and inline stepping are
     /// bit-identical (the sharded-engine determinism contract).
     pool: Option<ShardPool>,
+    /// The attached flight recorder — `None` (the default) keeps the
+    /// step path on its untraced twin, which never touches the registry.
+    tracer: Option<Box<Tracer>>,
     cycle: u64,
     last_progress: u64,
 }
@@ -193,9 +199,32 @@ impl Simulator {
             schedule: EventSchedule::new(),
             pending: Vec::new(),
             pool,
+            tracer: None,
             cycle: 0,
             last_progress: 0,
         }
+    }
+
+    /// Attaches a flight recorder: every subsequent step runs observed
+    /// (bit-identical to the untraced step, plus timers) and the journal
+    /// receives `phase`/`event`/`window`/`summary` records until the
+    /// tracer is detached or the simulator is dropped.
+    pub fn attach_tracer(&mut self, tracer: Tracer) {
+        let mut tracer = Box::new(tracer);
+        tracer.metrics_mut().ensure_shards(self.net.shard_count());
+        self.tracer = Some(tracer);
+    }
+
+    /// Detaches the flight recorder, returning it so the caller can
+    /// [`Tracer::finish`] the journal.
+    pub fn detach_tracer(&mut self) -> Option<Tracer> {
+        self.tracer.take().map(|t| *t)
+    }
+
+    /// The attached flight recorder, if any.
+    #[must_use]
+    pub fn tracer(&self) -> Option<&Tracer> {
+        self.tracer.as_deref()
     }
 
     /// Queues `command` to fire at the start of cycle `at` (before traffic
@@ -335,6 +364,10 @@ impl Simulator {
     /// progress for `config.watchdog` cycles) — Elevator-First routing is
     /// deadlock-free, so this indicates a simulator or routing bug.
     pub fn step(&mut self) {
+        if self.tracer.is_some() {
+            self.step_traced();
+            return;
+        }
         self.pre_step();
         let progress = match &mut self.pool {
             Some(pool) => {
@@ -363,6 +396,139 @@ impl Simulator {
             ),
         };
         self.post_step(progress);
+    }
+
+    /// The observed twin of [`Self::step`]: the same calls in the same
+    /// order, bracketed by phase timers, feeding the attached tracer.
+    /// Simulation state evolves bit-identically to the untraced step.
+    fn step_traced(&mut self) {
+        let mut tracer = self.tracer.take().expect("step_traced requires a tracer");
+        let t0 = std::time::Instant::now();
+        self.pre_step_traced(&mut tracer);
+        let inject = t0.elapsed();
+        let armed = self.stats.armed();
+        let t1 = std::time::Instant::now();
+        let sample = match &mut self.pool {
+            Some(pool) => {
+                // Pooled workers exchange boundary batches internally, so
+                // the split and the volumes are unobservable: the whole
+                // parallel phase books as compute, boundary gauges stay 0.
+                self.net
+                    .step_compute_pooled(pool, &mut self.packets, self.cycle, armed);
+                ComputeSample {
+                    phase1: t1.elapsed(),
+                    ..ComputeSample::default()
+                }
+            }
+            None => self
+                .net
+                .step_compute_observed(&self.packets, self.cycle, armed),
+        };
+        let t2 = std::time::Instant::now();
+        let progress = self.net.finish_cycle(
+            &mut self.packets,
+            self.cycle,
+            &mut self.stats,
+            &mut self.ledger,
+            &mut self.telemetry,
+            &mut self.feedbacks,
+        );
+        self.post_step(progress);
+        let commit = t2.elapsed();
+        tracer.metrics_mut().on_cycle(inject, &sample, commit);
+        self.net
+            .accumulate_shard_busy(tracer.metrics_mut().shard_busy_mut());
+        // `post_step` advanced the cycle, so `self.cycle` now counts
+        // completed cycles: a window closes every `period` of them.
+        if self.cycle.is_multiple_of(tracer.period()) {
+            self.emit_window(&mut tracer);
+        }
+        self.tracer = Some(tracer);
+    }
+
+    /// [`Self::pre_step`] with an `event` record per fired command.
+    fn pre_step_traced(&mut self, tracer: &mut Tracer) {
+        while let Some(command) = self.schedule.next_due(self.cycle) {
+            tracer.write(&command_record(self.cycle, &command));
+            self.apply_command(&command);
+        }
+        self.generate_traffic();
+    }
+
+    /// Closes the metrics window and appends the `window` record: the
+    /// deterministic gauges under `det` (bit-identical across shard and
+    /// worker counts), the layout-dependent ones under `aux`, wall times
+    /// under `timing`.
+    fn emit_window(&mut self, tracer: &mut Tracer) {
+        let delta = tracer.metrics_mut().close_window();
+        let calendar = match &self.traffic {
+            Injector::Polled(_) => 0,
+            Injector::Scheduled(s) => s.calendar_depth(),
+        };
+        let det = Value::Object(vec![
+            (
+                "digest".to_string(),
+                Value::String(format!("{:016x}", self.net.state_digest())),
+            ),
+            (
+                "created_packets".to_string(),
+                Value::UInt(self.packets.total_created()),
+            ),
+            (
+                "live_packets".to_string(),
+                Value::UInt(self.packets.live() as u64),
+            ),
+            (
+                "outstanding".to_string(),
+                Value::UInt(self.measured_outstanding() as u64),
+            ),
+            (
+                "queued_packets".to_string(),
+                Value::UInt(self.net.queued_packets()),
+            ),
+            (
+                "buffered_flits".to_string(),
+                Value::UInt(self.net.buffered_flits()),
+            ),
+            (
+                "worklist".to_string(),
+                Value::UInt(self.net.worklist_occupancy()),
+            ),
+            ("calendar".to_string(), Value::UInt(calendar)),
+            (
+                "injected_packets".to_string(),
+                Value::UInt(self.stats.injected_packets),
+            ),
+            (
+                "delivered_packets".to_string(),
+                Value::UInt(self.stats.delivered_packets),
+            ),
+            (
+                "delivered_flits".to_string(),
+                Value::UInt(self.stats.delivered_flits),
+            ),
+            (
+                "latency_sum".to_string(),
+                Value::UInt(self.stats.total_latency),
+            ),
+            ("armed".to_string(), Value::Bool(self.stats.armed())),
+        ]);
+        tracer.write(&Record::Window {
+            cycle: self.cycle,
+            det,
+            aux: delta.aux_value(self.pool.is_some()),
+            timing: delta.phase.timing_value(),
+        });
+    }
+
+    /// Appends a `phase` record if a tracer is attached.
+    fn trace_phase(&mut self, phase: &str) {
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.write(&Record::Phase {
+                cycle: self.cycle,
+                phase: phase.to_string(),
+            });
+        }
     }
 
     /// The pre-network part of a cycle: due commands, then injection.
@@ -411,29 +577,37 @@ impl Simulator {
         self.cycle += 1;
     }
 
-    /// Advances `cycles` cycles, timing the parallelisable network phase
-    /// separately from the whole step — the probe behind the `scale`
-    /// binary's serial/parallel (Amdahl) split measurement. Semantically
-    /// identical to [`Self::advance`].
+    /// Advances `cycles` cycles, timing each phase of every step — the
+    /// probe behind the `scale` binary's per-phase (Amdahl) split
+    /// measurement. Returns the accumulated phase times and the total
+    /// wall time. Semantically identical to [`Self::advance`]; on the
+    /// pooled path the boundary exchange happens inside the workers, so
+    /// it books as compute and `exchange` stays zero.
     #[doc(hidden)]
-    pub fn advance_split_timed(
-        &mut self,
-        cycles: u64,
-    ) -> (std::time::Duration, std::time::Duration) {
+    pub fn advance_phase_timed(&mut self, cycles: u64) -> (PhaseTimes, std::time::Duration) {
         let start = std::time::Instant::now();
-        let mut compute = std::time::Duration::ZERO;
+        let mut phase = PhaseTimes::default();
         for _ in 0..cycles {
-            self.pre_step();
-            let armed = self.stats.armed();
             let t0 = std::time::Instant::now();
+            self.pre_step();
+            phase.inject += t0.elapsed();
+            let armed = self.stats.armed();
+            let t1 = std::time::Instant::now();
             match &mut self.pool {
                 Some(pool) => {
                     self.net
                         .step_compute_pooled(pool, &mut self.packets, self.cycle, armed);
+                    phase.compute += t1.elapsed();
                 }
-                None => self.net.step_compute(&self.packets, self.cycle, armed),
+                None => {
+                    let sample = self
+                        .net
+                        .step_compute_observed(&self.packets, self.cycle, armed);
+                    phase.compute += sample.phase1;
+                    phase.exchange += sample.exchange;
+                }
             }
-            compute += t0.elapsed();
+            let t2 = std::time::Instant::now();
             let progress = self.net.finish_cycle(
                 &mut self.packets,
                 self.cycle,
@@ -443,8 +617,9 @@ impl Simulator {
                 &mut self.feedbacks,
             );
             self.post_step(progress);
+            phase.commit += t2.elapsed();
         }
-        (compute, start.elapsed())
+        (phase, start.elapsed())
     }
 
     /// Number of measured packets not yet fully delivered — an O(1)
@@ -511,16 +686,23 @@ impl Simulator {
     }
 
     /// Executes warm-up → measurement → drain and summarises.
+    ///
+    /// With a tracer attached, the journal additionally receives a
+    /// `phase` record at each phase boundary and a `summary` record at
+    /// the end.
     #[must_use]
     pub fn run(mut self) -> RunSummary {
+        self.trace_phase("warmup");
         for _ in 0..self.config.warmup {
             self.step();
         }
+        self.trace_phase("measure");
         self.stats.set_armed(true);
         for _ in 0..self.config.measure {
             self.step();
         }
         self.stats.set_armed(false);
+        self.trace_phase("drain");
 
         // Drain with traffic still flowing (background congestion stays
         // realistic); stop once every measured packet has been delivered.
@@ -537,9 +719,10 @@ impl Simulator {
             completed = self.measured_outstanding() == 0;
         }
 
+        self.trace_phase("done");
         self.net
             .drain_partials(&mut self.stats, &mut self.ledger, &mut self.telemetry);
-        RunSummary::from_parts(
+        let summary = RunSummary::from_parts(
             self.selector.name(),
             self.traffic.name(),
             self.traffic.mean_rate(),
@@ -550,7 +733,38 @@ impl Simulator {
             &self.config.energy,
             self.config.mesh.node_count(),
             completed,
-        )
+        );
+        if let Some(tracer) = self.tracer.as_mut() {
+            tracer.write(&Record::Summary {
+                summary: summary.to_value(),
+            });
+        }
+        summary
+    }
+
+    /// Folds the shards' telemetry partitions (per-router flit counts,
+    /// energy, link ledger) into the aggregate sinks right now.
+    ///
+    /// The engine already folds at every point a reader needs the
+    /// aggregates — before [`Self::measure_window`]'s summary, before
+    /// [`Self::run`]'s summary, and before each measured-energy feedback
+    /// push — so [`Self::energy_ledger`]/[`Self::link_ledger`] are
+    /// complete whenever those paths hand control back. Call this first
+    /// when reading the accessors at any *other* moment (mid-window
+    /// probing of a sharded simulator); the fold is add-and-zero, so
+    /// calling it at arbitrary times is idempotent and can never change
+    /// any later summary.
+    pub fn fold_telemetry(&mut self) {
+        self.net
+            .drain_partials(&mut self.stats, &mut self.ledger, &mut self.telemetry);
+    }
+
+    /// `true` when no telemetry remains in any shard partition, i.e. the
+    /// aggregate sinks are complete (test/diagnostic probe).
+    #[doc(hidden)]
+    #[must_use]
+    pub fn telemetry_partials_clear(&self) -> bool {
+        self.net.partials_clear()
     }
 }
 

@@ -1,0 +1,93 @@
+//! The sharded-telemetry merge invariant (the flight-recorder PR's audit
+//! pin).
+//!
+//! In the sharded engine each shard accumulates router-flit, energy and
+//! link-ledger counters into *partial* partitions that are folded into
+//! the aggregate ledgers with an add-and-zero merge. The audited
+//! invariant: every engine path folds the partials before any reader
+//! needs an aggregate, and because the merge is add-and-zero it is
+//! **idempotent at any moment** — a mid-window [`Simulator::fold_telemetry`]
+//! (plus reads of the ledgers it exposes) can never change what a later
+//! window, summary or energy-feedback push observes. These tests pin that
+//! invariant so a future refactor that makes the merge non-idempotent or
+//! leaves partials unfolded fails loudly.
+
+use noc_exp::{Scenario, SelectorSpec, WorkloadKind};
+use noc_topology::placement::Placement;
+
+fn measured_energy_scenario(shards: usize) -> Scenario {
+    Scenario::from_placement("telemetry-partials", Placement::Ps1)
+        .with_phases(300, 1_200, 8_000)
+        .with_workload(WorkloadKind::Uniform { rate: 0.003 })
+        .with_selector(SelectorSpec::adele_measured_energy())
+        .with_seed(17)
+        .with_shards(shards)
+}
+
+/// Interleaving explicit mid-window folds (and ledger reads) into a
+/// sharded run changes nothing: the measurement-window summary and the
+/// committed network state stay bit-identical to an undisturbed run.
+#[test]
+fn mid_window_folds_are_invisible_to_the_summary() {
+    let scenario = measured_energy_scenario(4);
+    let mut disturbed = scenario.build_simulator();
+    let mut reference = scenario.build_simulator();
+
+    // Warm-up with folds and reads sprinkled between every few cycles.
+    let mut tsv_snapshots = Vec::new();
+    for _ in 0..6 {
+        disturbed.advance(50);
+        disturbed.fold_telemetry();
+        assert!(
+            disturbed.telemetry_partials_clear(),
+            "fold_telemetry must leave no partial counters behind"
+        );
+        // Reads of the folded aggregates — the mid-window observation the
+        // audit is about. They must see fully-merged counters (monotone
+        // TSV traversals, never a partially-merged regression).
+        let tsv = disturbed.energy_ledger().vertical_hops;
+        if let Some(&last) = tsv_snapshots.last() {
+            assert!(tsv >= last, "mid-window TSV count went backwards");
+        }
+        tsv_snapshots.push(tsv);
+        let _ = disturbed.link_ledger();
+        // A second, immediate fold is a no-op (add-and-zero idempotence).
+        disturbed.fold_telemetry();
+    }
+    reference.advance(300);
+    assert_eq!(
+        disturbed.network().state_digest(),
+        reference.network().state_digest(),
+        "folds changed committed network state"
+    );
+
+    let summary_disturbed = disturbed.measure_window(1_200);
+    let summary_reference = reference.measure_window(1_200);
+    assert_eq!(
+        summary_disturbed, summary_reference,
+        "mid-window folds leaked into the window summary"
+    );
+    assert!(
+        summary_reference.delivered_packets > 0,
+        "sanity: traffic flowed"
+    );
+    // The window close folded everything; no partials survive it.
+    assert!(disturbed.telemetry_partials_clear());
+    assert!(reference.telemetry_partials_clear());
+}
+
+/// The full scenario path (warm-up + window + drain + summary), on the
+/// telemetry-consuming measured-energy selector, is shard-independent —
+/// so the partials the selector's feedback pushes read are always fully
+/// merged regardless of layout.
+#[test]
+fn measured_energy_results_are_shard_independent() {
+    let sequential = measured_energy_scenario(1).run();
+    for shards in [2usize, 4] {
+        let sharded = measured_energy_scenario(shards).run();
+        assert_eq!(
+            sharded, sequential,
+            "k={shards} measured-energy run diverged from k=1"
+        );
+    }
+}
