@@ -3,19 +3,23 @@
 //! PS1/PS2/PS3/PM. The PM panels additionally include the AdEle-RR
 //! ablation, as in the paper.
 //!
-//! Usage: `fig4 [PS1|PS2|PS3|PM] [Uniform|Shuffle]` (no args = all panels).
-//! `ADELE_QUICK=1` shrinks windows for a fast smoke run.
+//! Usage: `fig4 [PS1|PS2|PS3|PM] [Uniform|Shuffle] [--stream v1|v2]`
+//! (no args = all panels). `--stream v2` drives the batched event-driven
+//! workload stream instead of the classic polled one (the dump records
+//! which stream produced each panel). `ADELE_QUICK=1` shrinks windows
+//! for a fast smoke run.
 //!
 //! Sweep points run on the `noc_exp` parallel runner (one worker per
 //! available core); results are bit-identical to the sequential sweep.
 
 use adele_bench::{
     dump_json, f1, f4, fig4_rates, make_selector, offline_assignment, print_table, sim_config,
-    Policy, Workload,
+    stream_flag, Policy, Workload,
 };
-use noc_exp::runner::{default_threads, par_injection_sweep};
-use noc_sim::harness::{saturation_rate, zero_load_latency};
+use noc_exp::runner::{default_threads, par_injection_sweep_input};
+use noc_sim::harness::{saturation_rate, zero_load_latency_input};
 use noc_topology::placement::Placement;
+use noc_traffic::StreamVersion;
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -30,11 +34,12 @@ struct Series {
 struct Panel {
     placement: String,
     workload: String,
+    stream: String,
     rates: Vec<f64>,
     series: Vec<Series>,
 }
 
-fn panel(placement: Placement, workload: Workload) -> Panel {
+fn panel(placement: Placement, workload: Workload, stream: StreamVersion) -> Panel {
     let (mesh, elevators) = placement.instantiate();
     let rates = fig4_rates(placement, workload);
     let assignment = offline_assignment(placement);
@@ -50,11 +55,12 @@ fn panel(placement: Placement, workload: Workload) -> Panel {
         let traffic = |rate: f64| {
             // Identical traffic stream for every policy at a given rate.
             let seed = 1000 + (rate * 1e6) as u64;
-            workload.build(&mesh, rate, seed)
+            workload.build_input(stream, &mesh, rate, seed)
         };
         let selector = || make_selector(*policy, &mesh, &elevators, Some(&assignment), 77);
-        let zero = zero_load_latency(&config, &traffic, &selector);
-        let points = par_injection_sweep(&config, &rates, &traffic, &selector, default_threads());
+        let zero = zero_load_latency_input(&config, &traffic, &selector);
+        let points =
+            par_injection_sweep_input(&config, &rates, &traffic, &selector, default_threads());
         series.push(Series {
             policy: policy.name().to_string(),
             latency: points.iter().map(|p| p.summary.avg_latency).collect(),
@@ -66,6 +72,7 @@ fn panel(placement: Placement, workload: Workload) -> Panel {
     Panel {
         placement: placement.name().to_string(),
         workload: workload.name().to_string(),
+        stream: stream.to_string(),
         rates,
         series,
     }
@@ -103,7 +110,8 @@ fn print_panel(panel: &Panel) {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stream = stream_flag(&mut args);
     let placement_filter = args.first().map(|s| s.to_uppercase());
     let workload_filter = args.get(1).map(|s| s.to_lowercase());
 
@@ -120,7 +128,7 @@ fn main() {
                     continue;
                 }
             }
-            let p = panel(placement, workload);
+            let p = panel(placement, workload, stream);
             print_panel(&p);
             panels.push(p);
         }

@@ -7,14 +7,16 @@
 //!
 //! The per-policy runs execute on the `noc_exp` parallel pool; under
 //! `ADELE_QUICK=1` the binary re-runs them sequentially and asserts the
-//! pooled results are bit-identical.
+//! pooled results are bit-identical. `--stream v1|v2` selects the
+//! workload stream (default the classic polled `v1`); the dump records
+//! the choice.
 
 use adele_bench::{
     dump_json, f2, f4, make_selector, offline_assignment, print_table, quick_mode, sim_config,
-    Policy, Workload,
+    stream_flag, Policy, Workload,
 };
 use noc_exp::runner::{default_threads, par_map};
-use noc_sim::harness::run_once;
+use noc_sim::harness::run_once_input;
 use noc_sim::RunSummary;
 use noc_topology::placement::Placement;
 use serde::Serialize;
@@ -22,21 +24,26 @@ use serde::Serialize;
 #[derive(Serialize)]
 struct Fig5 {
     rate: f64,
+    /// Workload stream the bars were measured on (`v1` polled, `v2`
+    /// batched).
+    stream: String,
     /// Per policy: normalised load of each elevator pillar (mean over its
     /// four layer-routers), plus the max.
     bars: Vec<(String, Vec<f64>)>,
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stream = stream_flag(&mut args);
     let placement = Placement::Ps1;
     let (mesh, elevators) = placement.instantiate();
     let assignment = offline_assignment(placement);
     let rate = 0.004;
 
     let run_policy = |policy: Policy| -> RunSummary {
-        run_once(
+        run_once_input(
             &sim_config(placement, 41),
-            Workload::Uniform.build(&mesh, rate, 777),
+            Workload::Uniform.build_input(stream, &mesh, rate, 777),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
         )
     };
@@ -94,5 +101,12 @@ fn main() {
     println!("\npaper: AdEle lowers the most-loaded elevator bar relative to ElevFirst;");
     println!("elevator routers carry multiples of the elevator-less average in all schemes.");
 
-    dump_json("fig5", &Fig5 { rate, bars });
+    dump_json(
+        "fig5",
+        &Fig5 {
+            rate,
+            stream: stream.to_string(),
+            bars,
+        },
+    );
 }

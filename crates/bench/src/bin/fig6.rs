@@ -9,7 +9,9 @@
 //!
 //! The (regime × placement × policy) grid runs on the `noc_exp` parallel
 //! pool; under `ADELE_QUICK=1` the binary re-runs the grid sequentially
-//! and asserts the pooled results are bit-identical.
+//! and asserts the pooled results are bit-identical. `--stream v1|v2`
+//! selects the workload stream (default the classic polled `v1`); the
+//! dumps record the choice.
 //!
 //! **Link-granular mode** (`fig6 --links`, or `ADELE_FIG6_LINKS=1`):
 //! instead of the aggregate cells, reproduce the figure at link
@@ -20,19 +22,21 @@
 use adele::offline::SubsetAssignment;
 use adele_bench::{
     dump_json, f2, f4, fig6_rates, make_selector, offline_assignment, phases, print_table,
-    quick_mode, results_dir, sim_config, Policy, Workload,
+    quick_mode, results_dir, sim_config, stream_flag, Policy, Workload,
 };
 use noc_energy::{HeatmapReport, LinkEnergyReport};
 use noc_exp::runner::{default_threads, par_map};
-use noc_sim::harness::run_once;
+use noc_sim::harness::run_once_input;
 use noc_sim::{RunSummary, Simulator};
 use noc_topology::placement::Placement;
+use noc_traffic::StreamVersion;
 use serde::Serialize;
 
 #[derive(Serialize)]
 struct Cell {
     placement: String,
     rate: f64,
+    stream: String,
     policy: String,
     energy_per_flit_nj: f64,
     normalized: f64,
@@ -46,12 +50,12 @@ struct Job {
     rate: f64,
 }
 
-fn run_job(job: &Job, assignments: &[SubsetAssignment]) -> RunSummary {
+fn run_job(job: &Job, assignments: &[SubsetAssignment], stream: StreamVersion) -> RunSummary {
     let (mesh, elevators) = job.placement.instantiate();
     let assignment = &assignments[placement_index(job.placement)];
-    run_once(
+    run_once_input(
         &sim_config(job.placement, 51),
-        Workload::Uniform.build(&mesh, job.rate, 999),
+        Workload::Uniform.build_input(stream, &mesh, job.rate, 999),
         make_selector(job.policy, &mesh, &elevators, Some(assignment), 77),
     )
 }
@@ -63,7 +67,7 @@ fn placement_index(placement: Placement) -> usize {
         .expect("placement is one of the presets")
 }
 
-fn standard_mode() {
+fn standard_mode(stream: StreamVersion) {
     // The offline AMOSA stage caches to disk: run it sequentially, once
     // per placement, before fanning the grid out.
     let assignments: Vec<SubsetAssignment> = Placement::ALL
@@ -87,12 +91,14 @@ fn standard_mode() {
     }
 
     let summaries = par_map(&jobs, default_threads(), |_, job| {
-        run_job(job, &assignments)
+        run_job(job, &assignments, stream)
     });
     if quick_mode() {
         // Smoke runs double as the pool's equivalence check.
-        let sequential: Vec<RunSummary> =
-            jobs.iter().map(|job| run_job(job, &assignments)).collect();
+        let sequential: Vec<RunSummary> = jobs
+            .iter()
+            .map(|job| run_job(job, &assignments, stream))
+            .collect();
         assert_eq!(
             summaries, sequential,
             "pooled fig6 grid must match the sequential grid bit for bit"
@@ -118,6 +124,7 @@ fn standard_mode() {
                 cells.push(Cell {
                     placement: placement.name().to_string(),
                     rate,
+                    stream: stream.to_string(),
                     policy: policy.name().to_string(),
                     energy_per_flit_nj: summary.energy_per_flit_nj,
                     normalized: summary.energy_per_flit_nj / base,
@@ -137,6 +144,7 @@ fn standard_mode() {
 struct LinkCell {
     placement: String,
     rate: f64,
+    stream: String,
     policy: String,
     pillar_tsv_energy_nj: Vec<f64>,
     hottest_links: Vec<String>,
@@ -145,14 +153,18 @@ struct LinkCell {
 /// Runs one link-granularity cell and snapshots its per-link telemetry
 /// (the reports are plain owned data, so pool workers can return them and
 /// the main thread keeps only printing and file writes).
-fn run_link_job(job: &Job, assignments: &[SubsetAssignment]) -> (LinkEnergyReport, HeatmapReport) {
+fn run_link_job(
+    job: &Job,
+    assignments: &[SubsetAssignment],
+    stream: StreamVersion,
+) -> (LinkEnergyReport, HeatmapReport) {
     let (mesh, elevators) = job.placement.instantiate();
     let assignment = &assignments[placement_index(job.placement)];
     let (warmup, measure, _) = phases(job.placement);
     let config = sim_config(job.placement, 51);
-    let mut sim = Simulator::new(
+    let mut sim = Simulator::from_input(
         config.clone(),
-        Workload::Uniform.build(&mesh, job.rate, 999),
+        Workload::Uniform.build_input(stream, &mesh, job.rate, 999),
         make_selector(job.policy, &mesh, &elevators, Some(assignment), 77),
     );
     sim.advance(warmup);
@@ -167,7 +179,7 @@ fn run_link_job(job: &Job, assignments: &[SubsetAssignment]) -> (LinkEnergyRepor
 /// from the same runs as the aggregate cells but driven through the
 /// simulator directly so the per-link ledger stays accessible. The grid
 /// runs on the same pool as the aggregate mode.
-fn links_mode() {
+fn links_mode(stream: StreamVersion) {
     let assignments: Vec<SubsetAssignment> = Placement::ALL
         .iter()
         .map(|&p| offline_assignment(p))
@@ -186,7 +198,7 @@ fn links_mode() {
         }
     }
     let snapshots = par_map(&jobs, default_threads(), |_, job| {
-        run_link_job(job, &assignments)
+        run_link_job(job, &assignments, stream)
     });
 
     let mut cells = Vec::new();
@@ -230,6 +242,7 @@ fn links_mode() {
             cells.push(LinkCell {
                 placement: placement.name().to_string(),
                 rate: job.rate,
+                stream: stream.to_string(),
                 policy: job.policy.name().to_string(),
                 pillar_tsv_energy_nj: heat.pillar_tsv_energy_nj,
                 hottest_links: hottest,
@@ -243,13 +256,15 @@ fn links_mode() {
 }
 
 fn main() {
-    let links = std::env::args().any(|a| a == "--links")
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stream = stream_flag(&mut args);
+    let links = args.iter().any(|a| a == "--links")
         || std::env::var("ADELE_FIG6_LINKS")
             .map(|v| v == "1")
             .unwrap_or(false);
     if links {
-        links_mode();
+        links_mode(stream);
     } else {
-        standard_mode();
+        standard_mode(stream);
     }
 }

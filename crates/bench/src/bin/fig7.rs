@@ -9,13 +9,17 @@
 //!
 //! The app × policy grid of each placement runs on the `noc_exp` parallel
 //! runner; every cell is an independent seeded simulation, so results are
-//! bit-identical to the sequential loop.
+//! bit-identical to the sequential loop. `--stream v1|v2` selects the
+//! workload stream (the app models are polled, so `v2` rides the
+//! injection calendar through the `CyclePolled` adapter); the dump
+//! records the choice.
 
 use adele_bench::{
-    app_traffic, dump_json, f2, make_selector, offline_assignment, print_table, sim_config, Policy,
+    app_traffic_input, dump_json, f2, make_selector, offline_assignment, print_table, sim_config,
+    stream_flag, Policy,
 };
 use noc_exp::runner::{default_threads, par_map};
-use noc_sim::harness::run_once;
+use noc_sim::harness::run_once_input;
 use noc_topology::placement::Placement;
 use noc_traffic::apps::AppKind;
 use serde::Serialize;
@@ -24,6 +28,7 @@ use serde::Serialize;
 struct AppCell {
     placement: String,
     app: String,
+    stream: String,
     policy: String,
     latency: f64,
     normalized_latency: f64,
@@ -31,6 +36,8 @@ struct AppCell {
 }
 
 fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let stream = stream_flag(&mut args);
     let placements = [Placement::Ps1, Placement::Ps2, Placement::Ps3];
     let mut cells: Vec<AppCell> = Vec::new();
 
@@ -47,9 +54,9 @@ fn main() {
             .flat_map(|app| Policy::MAIN.into_iter().map(move |policy| (app, policy)))
             .collect();
         let summaries = par_map(&grid, default_threads(), |_, &(app, policy)| {
-            run_once(
+            run_once_input(
                 &sim_config(placement, 61),
-                app_traffic(app, placement, &mesh, 4321),
+                app_traffic_input(app, placement, &mesh, 4321, stream),
                 make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
             )
         });
@@ -76,6 +83,7 @@ fn main() {
                 cells.push(AppCell {
                     placement: placement.name().to_string(),
                     app: app.name().to_string(),
+                    stream: stream.to_string(),
                     policy: policy.clone(),
                     latency: *lat,
                     normalized_latency: lat / base,

@@ -13,6 +13,12 @@
 //!   suite directory (default `specs/`), record a fresh trace at each
 //!   shard count and verify it against itself. `ADELE_QUICK=1` shrinks
 //!   windows exactly like `run_specs`.
+//! * `noc_trace export <journal.jsonl> --prometheus|--perfetto [-o FILE]`
+//!   — render a recorded journal for an external consumer: the Prometheus
+//!   text exposition format (histograms, summary gauges, run info), or a
+//!   Chrome trace-event JSON that Perfetto / `chrome://tracing` loads
+//!   directly (phase spans per window, counter tracks, event instants).
+//!   Prometheus output is validated line by line before it is written.
 //! * `noc_trace overhead [--cycles N]` — measure traced-vs-untraced
 //!   throughput on the 16×16×8 @ 0.002 scaling point (window period
 //!   1000, journal to a sink), the number the README cites.
@@ -31,6 +37,7 @@ fn usage() -> ! {
         "usage: noc_trace record <spec.json> [-o FILE] [--period N] [--shards N]\n       \
          noc_trace verify <golden.jsonl> [--shards N]\n       \
          noc_trace selfcheck [DIR] [--shards 1,8]\n       \
+         noc_trace export <journal.jsonl> --prometheus|--perfetto [-o FILE]\n       \
          noc_trace overhead [--cycles N]"
     );
     std::process::exit(2);
@@ -124,6 +131,62 @@ fn cmd_verify(args: &[String]) {
             eprintln!("{path}: {e}");
             std::process::exit(1);
         }
+    }
+}
+
+fn cmd_export(args: &[String]) {
+    let Some(path) = positional(args) else {
+        eprintln!("noc_trace: export needs a journal file");
+        usage();
+    };
+    let prometheus = args.iter().any(|a| a == "--prometheus");
+    let perfetto = args.iter().any(|a| a == "--perfetto");
+    if prometheus == perfetto {
+        eprintln!("noc_trace: export needs exactly one of --prometheus / --perfetto");
+        usage();
+    }
+    let journal = match std::fs::read_to_string(path) {
+        Ok(text) => text,
+        Err(e) => {
+            eprintln!("noc_trace: cannot read {path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let records = match noc_obs::parse_journal(&journal) {
+        Ok(records) => records,
+        Err(e) => {
+            eprintln!("{path}: {e}");
+            std::process::exit(1);
+        }
+    };
+    let (rendered, what) = if prometheus {
+        let text = noc_obs::export::prometheus(&records);
+        // The validator is the same one CI runs: every exposition line
+        // must parse as `name{labels} value` with a finite value.
+        if let Err(e) = noc_obs::export::validate_prometheus(&text) {
+            eprintln!("noc_trace: generated Prometheus text is malformed: {e}");
+            std::process::exit(1);
+        }
+        (text, "prometheus text")
+    } else {
+        (
+            noc_obs::export::perfetto(&records),
+            "perfetto trace-event JSON",
+        )
+    };
+    match flag_value::<String>(args, "-o") {
+        Some(out) => {
+            if let Err(e) = std::fs::write(&out, &rendered) {
+                eprintln!("noc_trace: cannot write {out}: {e}");
+                std::process::exit(1);
+            }
+            eprintln!(
+                "exported {out} ({what}, {} lines from {} records)",
+                rendered.lines().count(),
+                records.len()
+            );
+        }
+        None => print!("{rendered}"),
     }
 }
 
@@ -224,6 +287,7 @@ fn main() {
         Some("record") => cmd_record(&args[1..]),
         Some("verify") => cmd_verify(&args[1..]),
         Some("selfcheck") => cmd_selfcheck(&args[1..]),
+        Some("export") => cmd_export(&args[1..]),
         Some("overhead") => cmd_overhead(&args[1..]),
         _ => usage(),
     }

@@ -7,29 +7,36 @@
 //!
 //! Usage:
 //!
-//! * `run_specs [DIR] [--shards N] [--trace FILE]` — run the suite in
-//!   `DIR` (default `specs/`). `--shards N` overrides every scenario's
-//!   mesh shard count; results are bit-identical at any value (the
-//!   override only trades wall-clock for cores, and CI uses it to sweep
-//!   the sharded engine over the whole suite). `--trace FILE` streams
-//!   per-point `progress` records (trace schema) into a JSONL journal
-//!   while the pool runs.
+//! * `run_specs [DIR] [--shards N] [--trace FILE] [--hud [--quiet]]` —
+//!   run the suite in `DIR` (default `specs/`). `--shards N` overrides
+//!   every scenario's mesh shard count; results are bit-identical at any
+//!   value (the override only trades wall-clock for cores, and CI uses it
+//!   to sweep the sharded engine over the whole suite). `--trace FILE`
+//!   streams per-point `progress` records (trace schema) into a JSONL
+//!   journal while the pool runs. `--hud` renders the same progress
+//!   stream as a live terminal panel on stderr (throughput, ETA,
+//!   per-point latency percentiles, worklist occupancy); `--quiet`
+//!   degrades it to one plain line per completed point for CI logs.
 //! * `run_specs --emit [DIR]` — (re)write the canonical checked-in suite
 //!   (baseline, baseline-v2, elevator-fail, hotspot-shift,
-//!   measured-energy) into `DIR`, plus the golden trace
-//!   `tests/golden/trace_small.jsonl` that `noc_trace verify` replays.
+//!   measured-energy) into `DIR`, plus the golden traces
+//!   `tests/golden/trace_small.jsonl` (schema v1) and
+//!   `tests/golden/trace_small_v2.jsonl` (schema v2, histogram records
+//!   and percentile summary) that `noc_trace verify` replays.
 //!
 //! `ADELE_QUICK=1` shrinks every scenario's windows for smoke runs (event
 //! cycles are left untouched; the canonical suite schedules its events
 //! early enough to land inside the shrunken windows too).
 
-use adele_bench::{f1, f2, print_table, quick_mode, quick_shrink};
+use adele_bench::{bench_meta, f1, f2, print_table, quick_mode, quick_shrink};
 use noc_exp::{
-    load_dir, record_trace, results_to_json, run_batch_with_progress, trace_period, Event,
-    Scenario, SelectorSpec, WorkloadKind, WorkloadSpec,
+    load_dir, record_trace_at, results_to_json_with_meta, run_batch_with_progress, trace_period,
+    Event, Scenario, SelectorSpec, WorkloadKind, WorkloadSpec,
 };
+use noc_obs::Hud;
 use noc_topology::placement::Placement;
 use noc_topology::{Coord, ElevatorId};
+use serde::Serialize;
 use std::path::Path;
 use std::sync::Mutex;
 
@@ -125,19 +132,24 @@ fn emit(dir: &Path) {
         std::fs::write(&path, json + "\n").expect("write spec");
         println!("wrote {}", path.display());
     }
-    // The checked-in golden trace `noc_trace verify` and CI replay
-    // against. Re-emitting is only needed when the engine's deterministic
-    // behaviour changes intentionally — exactly like the spec files.
+    // The checked-in golden traces `noc_trace verify` and CI replay
+    // against: the same scenario recorded at schema v1 (exercising the
+    // reader's version negotiation) and at the current v2 (histogram
+    // records, percentile summary). Re-emitting is only needed when the
+    // engine's deterministic behaviour changes intentionally — exactly
+    // like the spec files.
     let scenario = golden_trace_scenario();
-    let journal = record_trace(&scenario, trace_period(&scenario));
     let golden = adele_bench::results_dir()
         .parent()
         .map(|root| root.join("tests/golden"))
         .expect("results dir has a parent");
     std::fs::create_dir_all(&golden).expect("create golden dir");
-    let path = golden.join("trace_small.jsonl");
-    std::fs::write(&path, journal).expect("write golden trace");
-    println!("wrote {}", path.display());
+    for (file, schema) in [("trace_small.jsonl", 1), ("trace_small_v2.jsonl", 2)] {
+        let journal = record_trace_at(&scenario, trace_period(&scenario), schema);
+        let path = golden.join(file);
+        std::fs::write(&path, journal).expect("write golden trace");
+        println!("wrote {}", path.display());
+    }
 }
 
 fn main() {
@@ -156,6 +168,8 @@ fn main() {
         };
         n
     });
+    let hud_on = args.iter().any(|a| a == "--hud");
+    let quiet = args.iter().any(|a| a == "--quiet");
     let trace_at = args.iter().position(|a| a == "--trace");
     let trace_path = trace_at.map(|at| {
         let Some(path) = args.get(at + 1) else {
@@ -209,9 +223,18 @@ fn main() {
                 }
             },
         );
+    // The HUD eats the same progress stream the journal gets; it owns no
+    // I/O, so the closure prints whatever redraw block (or quiet line) it
+    // returns. stderr keeps the results table on stdout machine-clean.
+    let hud = hud_on.then(|| Mutex::new(Hud::new(scenarios.len(), quiet)));
     let results = run_batch_with_progress(&scenarios, noc_exp::default_threads(), |record| {
         if let Some(writer) = &progress {
             let _ = writer.lock().expect("progress journal lock").write(record);
+        }
+        if let Some(hud) = &hud {
+            if let Some(text) = hud.lock().expect("hud lock").on_record(record) {
+                eprintln!("{text}");
+            }
         }
     });
     if let Some(writer) = progress {
@@ -244,9 +267,30 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
+    // Stamp the dump with the provenance block: which tree produced the
+    // numbers, on what machine shape, over which stream/shard grid.
+    let streams: Vec<&str> = {
+        let mut s: Vec<&str> = scenarios
+            .iter()
+            .map(|sc| match sc.workload.stream {
+                noc_exp::StreamVersion::V1 => "v1",
+                noc_exp::StreamVersion::V2 => "v2",
+            })
+            .collect();
+        s.sort_unstable();
+        s.dedup();
+        s
+    };
+    let mut shard_counts: Vec<usize> = scenarios.iter().map(|sc| sc.shards).collect();
+    shard_counts.sort_unstable();
+    shard_counts.dedup();
+    let meta = bench_meta(&streams, &shard_counts).to_value();
     let dir = adele_bench::results_dir();
     if std::fs::create_dir_all(&dir).is_ok() {
-        let _ = std::fs::write(dir.join("specs.json"), results_to_json(&results));
+        let _ = std::fs::write(
+            dir.join("specs.json"),
+            results_to_json_with_meta(&results, Some(meta)),
+        );
     }
 
     if results.iter().any(|r| r.summary.delivered_packets == 0) {

@@ -9,18 +9,23 @@
 //! cycles/second and the process peak RSS are reported per point.
 //!
 //! Usage: `scale [--quick] [--stream v1|v2|both] [--shards 1,2,8]
-//! [--split]` (`ADELE_QUICK=1` works too; the default measures **both**
-//! streams so the batched-injection speedup is recorded next to the
-//! bit-stable baseline). `--shards` takes a comma-separated list of shard
-//! counts — results are bit-identical at every count, so the extra points
-//! only measure wall clock. `--split` additionally records the flight
-//! recorder's per-phase wall times (inject / compute / exchange / commit)
-//! per point, from which the serial/parallel (Amdahl) split the
-//! sharded-engine README section cites is derived. Results land in
-//! `results/scale.json`.
+//! [--split] [--hud [--quiet]]` (`ADELE_QUICK=1` works too; the default
+//! measures **both** streams so the batched-injection speedup is recorded
+//! next to the bit-stable baseline). `--shards` takes a comma-separated
+//! list of shard counts — results are bit-identical at every count, so
+//! the extra points only measure wall clock. `--split` additionally
+//! records the flight recorder's per-phase wall times (inject / compute /
+//! exchange / commit) per point, from which the serial/parallel (Amdahl)
+//! split the sharded-engine README section cites is derived. `--hud`
+//! renders a live progress panel on stderr between points (throughput,
+//! ETA, the last point's latency percentiles); `--quiet` degrades it to
+//! one line per point. Results land in `results/scale.json` under a
+//! `points` key, stamped with the `meta` provenance block (git tree, host
+//! shape, stream × shard grid).
 
 use adele::online::ElevatorFirstSelector;
-use adele_bench::{dump_json, f1, pillar_grid, print_table, quick_mode};
+use adele_bench::{bench_meta, dump_json, f1, pillar_grid, print_table, quick_mode};
+use noc_obs::{Hud, Record};
 use noc_sim::{SimConfig, Simulator, TrafficInput};
 use noc_topology::{ElevatorSet, Mesh3d};
 use noc_traffic::{BatchedSynthetic, StreamVersion, SyntheticTraffic};
@@ -55,6 +60,13 @@ struct ScalePoint {
     /// Fraction of the step outside the parallelisable phases — the
     /// Amdahl serial share (`--split` only).
     serial_fraction: Option<f64>,
+    /// Mean end-to-end packet latency over the measured window (absent
+    /// under `--split`, which runs the phase-timed path instead).
+    avg_latency: Option<f64>,
+    /// Median end-to-end latency, bucket-resolved (see `RunSummary`).
+    latency_p50: Option<u64>,
+    /// 99th-percentile end-to-end latency, bucket-resolved.
+    latency_p99: Option<u64>,
 }
 
 /// The meshes of the study: the paper's PM scale and two steps beyond.
@@ -115,7 +127,7 @@ fn measure(
     reset_peak_rss();
     let mut sim = Simulator::from_input(config, traffic, Box::new(selector));
     sim.advance(warmup);
-    let (wall, injected, phase) = if split {
+    let (wall, injected, phase, latency) = if split {
         // The Amdahl probe: the flight recorder's phase timers split each
         // step into inject (serial traffic generation), compute (the
         // parallelisable per-shard network phase), exchange (boundary
@@ -125,6 +137,7 @@ fn measure(
             total.as_secs_f64(),
             sim.packet_table().total_created(),
             Some(phase),
+            None,
         )
     } else {
         let start = Instant::now();
@@ -133,6 +146,11 @@ fn measure(
             start.elapsed().as_secs_f64(),
             summary.injected_packets,
             None,
+            Some((
+                summary.avg_latency,
+                summary.latency_p50,
+                summary.latency_p99,
+            )),
         )
     };
     let secs = |d: std::time::Duration| d.as_secs_f64();
@@ -153,6 +171,9 @@ fn measure(
         exchange_seconds: phase.map(|p| secs(p.exchange)),
         commit_seconds: phase.map(|p| secs(p.commit)),
         serial_fraction: phase.map(|p| 1.0 - (secs(p.compute) + secs(p.exchange)) / wall),
+        avg_latency: latency.map(|(avg, _, _)| avg),
+        latency_p50: latency.map(|(_, p50, _)| p50),
+        latency_p99: latency.map(|(_, _, p99)| p99),
     }
 }
 
@@ -213,12 +234,61 @@ fn main() {
         eprintln!("note: peak-RSS reset unsupported; rss columns are process-lifetime peaks");
     }
 
+    // The study is a sequential sweep, so the HUD is fed synthesized
+    // `progress` beats (the same wire format `run_specs` streams from its
+    // worker pool) — one `started`/`done` pair per point.
+    let hud_on = args.iter().any(|a| a == "--hud");
+    let quiet = args.iter().any(|a| a == "--quiet");
+    let grid = meshes().len() * rates.len() * streams.len() * shard_counts.len();
+    let mut hud = hud_on.then(|| Hud::new(grid, quiet));
+    let beat = |hud: &mut Option<Hud>, index: usize, label: &str, status: &str, detail| {
+        let record = Record::Progress {
+            index,
+            total: grid,
+            label: label.to_string(),
+            status: status.to_string(),
+            detail,
+        };
+        if let Some(text) = hud.as_mut().and_then(|h| h.on_record(&record)) {
+            eprintln!("{text}");
+        }
+    };
+
     let mut points = Vec::new();
+    let mut index = 0;
     for (mesh, elevators) in meshes() {
         for rate in rates {
             for &stream in &streams {
                 for &shards in &shard_counts {
+                    let label = format!(
+                        "{}x{}x{} r{rate:.4} {stream} k={shards}",
+                        mesh.x(),
+                        mesh.y(),
+                        mesh.layers(),
+                    );
+                    beat(&mut hud, index, &label, "started", serde::Value::Null);
                     let point = measure(mesh, &elevators, rate, stream, shards, cycles, split);
+                    let mut detail = vec![(
+                        "run_ns".to_string(),
+                        serde::Value::UInt((point.wall_seconds * 1e9) as u64),
+                    )];
+                    if let Some(avg) = point.avg_latency {
+                        detail.push(("avg_latency".to_string(), serde::Value::Float(avg)));
+                    }
+                    if let Some(p50) = point.latency_p50 {
+                        detail.push(("latency_p50".to_string(), serde::Value::UInt(p50)));
+                    }
+                    if let Some(p99) = point.latency_p99 {
+                        detail.push(("latency_p99".to_string(), serde::Value::UInt(p99)));
+                    }
+                    beat(
+                        &mut hud,
+                        index,
+                        &label,
+                        "done",
+                        serde::Value::Object(detail),
+                    );
+                    index += 1;
                     println!(
                         "{:>9}  rate {:.4}  {}  k={:<3}  {:>12.0} cycles/s{}  peak RSS {}",
                         point.mesh,
@@ -265,5 +335,16 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
-    dump_json("scale", &points);
+    // Stamp the dump with the provenance block next to the points — which
+    // tree produced the numbers, on what machine shape, over which grid.
+    let stream_names: Vec<String> = streams.iter().map(ToString::to_string).collect();
+    let stream_refs: Vec<&str> = stream_names.iter().map(String::as_str).collect();
+    let doc = serde::Value::Object(vec![
+        (
+            "meta".to_string(),
+            bench_meta(&stream_refs, &shard_counts).to_value(),
+        ),
+        ("points".to_string(), points.to_value()),
+    ]);
+    dump_json("scale", &doc);
 }

@@ -15,11 +15,11 @@ use adele::online::{AdeleSelector, CdaSelector, ElevatorFirstSelector, ElevatorS
 use adele::AdeleConfig;
 use amosa::AmosaParams;
 use noc_exp::Scenario;
-use noc_sim::SimConfig;
+use noc_sim::{SimConfig, TrafficInput};
 use noc_topology::placement::Placement;
 use noc_topology::{ElevatorSet, Mesh3d};
 use noc_traffic::apps::{AppKind, AppTraffic};
-use noc_traffic::{SyntheticTraffic, TrafficSource};
+use noc_traffic::{BatchedSynthetic, CyclePolled, StreamVersion, SyntheticTraffic, TrafficSource};
 use serde::Serialize;
 use std::path::PathBuf;
 
@@ -204,6 +204,52 @@ impl Workload {
             Workload::Shuffle => Box::new(SyntheticTraffic::shuffle(mesh, rate, seed)),
         }
     }
+
+    /// Builds the workload on the chosen stream: `v1` is the classic
+    /// polled source (the figures' historical bit-stable stream), `v2`
+    /// the batched event-driven one. The two streams draw different
+    /// packet sequences by design, so figure dumps record which one
+    /// produced them.
+    #[must_use]
+    pub fn build_input(
+        self,
+        stream: StreamVersion,
+        mesh: &Mesh3d,
+        rate: f64,
+        seed: u64,
+    ) -> TrafficInput {
+        match (stream, self) {
+            (StreamVersion::V1, _) => TrafficInput::Polled(self.build(mesh, rate, seed)),
+            (StreamVersion::V2, Workload::Uniform) => {
+                TrafficInput::Scheduled(Box::new(BatchedSynthetic::uniform(mesh, rate, seed)))
+            }
+            (StreamVersion::V2, Workload::Shuffle) => {
+                TrafficInput::Scheduled(Box::new(BatchedSynthetic::shuffle(mesh, rate, seed)))
+            }
+        }
+    }
+}
+
+/// Parses and strips `--stream v1|v2` from `args` (default `v1`, the
+/// figures' historical stream), so positional-argument parsing in the
+/// fig binaries keeps working unchanged after the flag.
+pub fn stream_flag(args: &mut Vec<String>) -> StreamVersion {
+    let Some(at) = args.iter().position(|a| a == "--stream") else {
+        return StreamVersion::V1;
+    };
+    let stream = match args.get(at + 1).map(|s| s.parse::<StreamVersion>()) {
+        Some(Ok(stream)) => stream,
+        Some(Err(e)) => {
+            eprintln!("--stream: {e}");
+            std::process::exit(2);
+        }
+        None => {
+            eprintln!("--stream needs a value (v1 or v2)");
+            std::process::exit(2);
+        }
+    };
+    args.drain(at..=at + 1);
+    stream
 }
 
 /// Builds the synthetic application workload for Fig. 7 on `placement`,
@@ -218,6 +264,27 @@ pub fn app_traffic(
     seed: u64,
 ) -> Box<dyn TrafficSource> {
     Box::new(AppTraffic::new(kind, mesh, fig7_base_rate(placement), seed))
+}
+
+/// [`app_traffic`] on the chosen stream: the app models are inherently
+/// polled, so `v2` rides the injection calendar through the
+/// [`CyclePolled`] adapter — same per-cycle draw sequence, delivered as
+/// scheduled batches.
+#[must_use]
+pub fn app_traffic_input(
+    kind: AppKind,
+    placement: Placement,
+    mesh: &Mesh3d,
+    seed: u64,
+    stream: StreamVersion,
+) -> TrafficInput {
+    let source = app_traffic(kind, placement, mesh, seed);
+    match stream {
+        StreamVersion::V1 => TrafficInput::Polled(source),
+        StreamVersion::V2 => {
+            TrafficInput::Scheduled(Box::new(CyclePolled::new(source, mesh.node_count())))
+        }
+    }
 }
 
 /// Injection-rate grid for one Fig. 4 panel, matching the paper's x-axes.

@@ -52,10 +52,14 @@ pub mod trace;
 pub use event::Event;
 pub use noc_traffic::StreamVersion;
 pub use runner::{
-    default_threads, par_injection_sweep, par_map, run_batch, run_batch_with_progress,
+    default_threads, par_injection_sweep, par_injection_sweep_input, par_map, run_batch,
+    run_batch_with_progress,
 };
 pub use scenario::{
-    results_to_json, Scenario, ScenarioResult, SelectorSpec, TraceSpec, WorkloadKind, WorkloadSpec,
+    results_to_json, results_to_json_with_meta, Scenario, ScenarioResult, SelectorSpec, TraceSpec,
+    WorkloadKind, WorkloadSpec,
 };
 pub use specs::{load_dir, load_spec};
-pub use trace::{record_trace, trace_period, verify_trace, VerifyReport, DEFAULT_TRACE_PERIOD};
+pub use trace::{
+    record_trace, record_trace_at, trace_period, verify_trace, VerifyReport, DEFAULT_TRACE_PERIOD,
+};

@@ -11,14 +11,17 @@
 
 use crate::scenario::{Scenario, ScenarioResult};
 use adele::online::ElevatorSelector;
-use noc_sim::harness::{run_once, SweepPoint};
-use noc_sim::SimConfig;
+use noc_sim::harness::{run_once, run_once_input, SweepPoint};
+use noc_sim::{SimConfig, TrafficInput};
 use noc_traffic::TrafficSource;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 /// A traffic factory shareable across worker threads.
 pub type SyncTrafficFactory<'a> = dyn Fn(f64) -> Box<dyn TrafficSource> + Sync + 'a;
+/// A [`TrafficInput`] factory shareable across worker threads — the
+/// stream-agnostic generalisation of [`SyncTrafficFactory`].
+pub type SyncInputFactory<'a> = dyn Fn(f64) -> TrafficInput + Sync + 'a;
 /// A selector factory shareable across worker threads.
 pub type SyncSelectorFactory<'a> = dyn Fn() -> Box<dyn ElevatorSelector> + Sync + 'a;
 
@@ -91,6 +94,23 @@ pub fn par_injection_sweep(
     })
 }
 
+/// [`par_injection_sweep`] over either workload stream: the factory
+/// hands back a [`TrafficInput`], so `v2` scheduled workloads sweep on
+/// the same pool with the same in-order, bit-identical guarantee.
+#[must_use]
+pub fn par_injection_sweep_input(
+    config: &SimConfig,
+    rates: &[f64],
+    make_input: &SyncInputFactory<'_>,
+    make_selector: &SyncSelectorFactory<'_>,
+    threads: usize,
+) -> Vec<SweepPoint> {
+    par_map(rates, threads, |_, &rate| SweepPoint {
+        rate,
+        summary: run_once_input(config, make_input(rate), make_selector()),
+    })
+}
+
 /// Runs a batch of scenarios on `threads` workers; results come back in
 /// input order, each bit-identical to `scenario.run()`.
 #[must_use]
@@ -106,8 +126,9 @@ pub fn run_batch(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> 
 /// returned results stay in input order, bit-identical to [`run_batch`].
 ///
 /// The `detail` object carries `queued_ns` (batch start → pickup, the
-/// pool queue latency) and, on `done`, `run_ns` and the delivered-packet
-/// count.
+/// pool queue latency) and, on `done`, `run_ns`, the delivered-packet
+/// count and the summary's latency figures (`avg_latency`,
+/// `latency_p50`, `latency_p99`) — the fields the live HUD renders.
 #[must_use]
 pub fn run_batch_with_progress<F>(
     scenarios: &[Scenario],
@@ -143,6 +164,18 @@ where
                 (
                     "delivered_packets".to_string(),
                     serde::Value::UInt(result.summary.delivered_packets),
+                ),
+                (
+                    "avg_latency".to_string(),
+                    serde::Value::Float(result.summary.avg_latency),
+                ),
+                (
+                    "latency_p50".to_string(),
+                    serde::Value::UInt(result.summary.latency_p50),
+                ),
+                (
+                    "latency_p99".to_string(),
+                    serde::Value::UInt(result.summary.latency_p99),
                 ),
             ]),
         });

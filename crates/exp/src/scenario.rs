@@ -739,6 +739,26 @@ pub fn results_to_json(results: &[ScenarioResult]) -> String {
     serde_json::to_string_pretty(results).expect("JSON encoding is infallible")
 }
 
+/// [`results_to_json`] wrapped in a provenance envelope: an object with a
+/// `meta` block (whatever the harness passes — typically its
+/// `bench_meta()` value) and the `results` array. With `meta == None`
+/// this falls back to the bare array format for byte-compatibility.
+///
+/// # Panics
+///
+/// Never panics: the vendored JSON writer is infallible for value trees.
+#[must_use]
+pub fn results_to_json_with_meta(results: &[ScenarioResult], meta: Option<serde::Value>) -> String {
+    let Some(meta) = meta else {
+        return results_to_json(results);
+    };
+    let envelope = serde::Value::Object(vec![
+        ("meta".to_string(), meta),
+        ("results".to_string(), results.to_value()),
+    ]);
+    serde_json::to_string_pretty(&envelope).expect("JSON encoding is infallible")
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

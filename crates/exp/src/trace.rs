@@ -36,11 +36,25 @@ pub fn trace_period(scenario: &Scenario) -> u64 {
 /// itself cannot fail.
 #[must_use]
 pub fn record_trace(scenario: &Scenario, period: u64) -> String {
+    record_trace_at(scenario, period, TRACE_SCHEMA_VERSION)
+}
+
+/// [`record_trace`] pinned to an explicit schema version — the writer
+/// side of version negotiation. Recording at `1` reproduces a v1 journal
+/// (no `hist` records, percentile-free summary), which is how a v2 reader
+/// replays v1 goldens record for record.
+///
+/// # Panics
+///
+/// Panics on scenario authoring errors, or if `schema` is 0 or newer
+/// than [`TRACE_SCHEMA_VERSION`].
+#[must_use]
+pub fn record_trace_at(scenario: &Scenario, period: u64, schema: u32) -> String {
     let buffer = SharedBuffer::new();
     let mut writer = TraceWriter::new(Box::new(buffer.clone()));
     writer
         .write(&Record::Header {
-            schema: TRACE_SCHEMA_VERSION,
+            schema,
             name: scenario.name.clone(),
             seed: scenario.seed,
             period,
@@ -49,7 +63,7 @@ pub fn record_trace(scenario: &Scenario, period: u64) -> String {
         })
         .expect("in-memory journal write cannot fail");
     let mut sim = scenario.build_simulator();
-    sim.attach_tracer(Tracer::new(writer, period));
+    sim.attach_tracer(Tracer::new(writer, period).with_schema(schema));
     let _summary = sim.run();
     buffer.contents()
 }
@@ -63,6 +77,9 @@ pub struct VerifyReport {
     pub records: usize,
     /// Shard count the fresh replay ran at.
     pub shards: usize,
+    /// Schema version the golden journal was recorded at (the replay
+    /// re-records at the same version, whatever the reader supports).
+    pub schema: u32,
 }
 
 /// Re-runs the spec embedded in a golden journal and compares the fresh
@@ -81,18 +98,35 @@ pub fn verify_trace(
     shards_override: Option<usize>,
 ) -> Result<VerifyReport, TraceError> {
     let golden = parse_journal(golden)?;
-    let Some(Record::Header { period, spec, .. }) = golden.first() else {
+    let Some(Record::Header {
+        schema,
+        period,
+        spec,
+        ..
+    }) = golden.first()
+    else {
         return Err(TraceError::new(
             0,
             "journal does not start with a header record",
         ));
     };
+    // Version negotiation: replay at the *golden* journal's schema, so a
+    // v2 reader verifies v1 goldens record for record (and refuses
+    // journals from the future instead of mis-comparing them).
+    if *schema == 0 || *schema > TRACE_SCHEMA_VERSION {
+        return Err(TraceError::new(
+            0,
+            format!(
+                "unsupported trace schema {schema} (this reader speaks 1..={TRACE_SCHEMA_VERSION})"
+            ),
+        ));
+    }
     let mut scenario = Scenario::from_value(spec)
         .map_err(|e| TraceError::new(0, format!("embedded spec: {}", e.0)))?;
     if let Some(shards) = shards_override {
         scenario.shards = shards;
     }
-    let fresh = record_trace(&scenario, *period);
+    let fresh = record_trace_at(&scenario, *period, *schema);
     let fresh = parse_journal(&fresh)
         .map_err(|e| TraceError::new(e.record, format!("fresh replay: {}", e.message)))?;
     let records = noc_obs::compare_journals(&golden, &fresh)?;
@@ -100,6 +134,7 @@ pub fn verify_trace(
         name: scenario.name.clone(),
         records,
         shards: scenario.shards,
+        schema: *schema,
     })
 }
 
@@ -149,6 +184,36 @@ mod tests {
         let short = parse_journal(&truncated).unwrap();
         let err = noc_obs::compare_journals(&golden, &short).unwrap_err();
         assert_eq!(err.record, golden.len() - 1);
+    }
+
+    #[test]
+    fn v1_journals_negotiate_down_and_verify() {
+        let scenario = tiny();
+        let v1 = record_trace_at(&scenario, 100, 1);
+        assert!(
+            !v1.contains("\"type\":\"hist\""),
+            "v1 journals carry no hist records"
+        );
+        assert!(
+            !v1.contains("latency_p99"),
+            "v1 summaries carry no percentile keys"
+        );
+        let report = verify_trace(&v1, None).expect("v2 reader verifies v1 journals");
+        assert_eq!(report.schema, 1);
+        let v2 = record_trace(&scenario, 100);
+        assert!(v2.contains("\"type\":\"hist\""));
+        assert!(v2.contains("latency_p99"));
+        assert_eq!(verify_trace(&v2, None).unwrap().schema, 2);
+    }
+
+    #[test]
+    fn future_schema_is_refused_not_miscompared() {
+        let scenario = tiny();
+        let journal = record_trace(&scenario, 100);
+        let bumped = journal.replacen("\"schema\":2", "\"schema\":99", 1);
+        let err = verify_trace(&bumped, None).unwrap_err();
+        assert_eq!(err.record, 0);
+        assert!(err.message.contains("unsupported trace schema 99"), "{err}");
     }
 
     #[test]

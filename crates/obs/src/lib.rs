@@ -7,25 +7,39 @@
 //!   sampled on the step hot path. A [`MetricsRegistry`] is plain data:
 //!   incrementing it never allocates, and a simulator without a tracer
 //!   attached never touches one at all.
+//! * [`hist`] — mergeable fixed-bucket log2 histograms ([`Hist`]): plain
+//!   counter arrays recorded per shard partition and folded add-and-zero,
+//!   so latency/congestion distributions (and the percentiles derived
+//!   from them) are bit-identical at any shard or worker count.
 //! * [`trace`] — the append-only JSONL trace journal: a versioned
-//!   [`Record`] schema (`header`, `phase`, `event`, `window`, `summary`,
-//!   `progress`, `meta`), a [`TraceWriter`]/[`TraceReader`] pair, and
-//!   [`parse_journal`] which fails with a *named record index* instead of
-//!   panicking on truncated or corrupted input.
+//!   [`Record`] schema (`header`, `phase`, `event`, `window`, `hist`,
+//!   `summary`, `progress`, `meta`), a [`TraceWriter`]/[`TraceReader`]
+//!   pair, and [`parse_journal`] which fails with a *named record index*
+//!   instead of panicking on truncated or corrupted input.
 //! * [`compare_journals`] — the golden-trace replay oracle: record-for-
 //!   record comparison on the deterministic fields (digests, counts,
-//!   latency sums) while timing and shard-layout fields are checked only
-//!   for presence, so a golden trace recorded at one shard count verifies
-//!   at any other.
+//!   latency sums, histograms) while timing and shard-layout fields are
+//!   checked only for presence, so a golden trace recorded at one shard
+//!   count verifies at any other.
+//! * [`export`] — journal exit ramps: Prometheus text format and Chrome
+//!   trace-event / Perfetto JSON, both pure functions of a parsed record
+//!   list.
+//! * [`hud`] — the live terminal sweep HUD fed by `progress` records
+//!   (with a `--quiet` plain-line fallback for CI logs).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod export;
+pub mod hist;
+pub mod hud;
 pub mod metrics;
 pub mod trace;
 
+pub use hist::{hist_record_entries, FabricHists, Hist, PacketHists, HIST_BUCKETS};
+pub use hud::Hud;
 pub use metrics::{ComputeSample, MetricsRegistry, PhaseTimes, WindowDelta};
 pub use trace::{
-    compare_journals, parse_journal, Record, SharedBuffer, TraceError, TraceReader, TraceWriter,
-    TRACE_SCHEMA_VERSION,
+    compare_journals, parse_journal, strip_v2_summary, Record, SharedBuffer, TraceError,
+    TraceReader, TraceWriter, TRACE_SCHEMA_VERSION, V2_SUMMARY_KEYS,
 };

@@ -1,4 +1,4 @@
-//! The append-only JSONL trace journal: schema v1 records, the
+//! The append-only JSONL trace journal: the versioned record schema, the
 //! writer/reader pair, and the golden-trace comparison oracle.
 //!
 //! A journal is one compact JSON object per line. Every record carries a
@@ -16,13 +16,31 @@
 //! * **environmental** — wall-clock timings and shard-layout gauges
 //!   (`timing` and `aux` objects of `window` records, the `shards` knob
 //!   itself). Compared for key *presence* only.
+//!
+//! # Schema history
+//!
+//! * **v1** — `header`, `phase`, `event`, `window`, `summary`,
+//!   `progress`, `meta` records; the summary carries the original
+//!   `RunSummary` fields.
+//! * **v2** — adds the `hist` record (one per window, carrying the six
+//!   log2 histogram snapshots in fixed order) and the four percentile
+//!   fields (`latency_p50/p90/p99/latency_max`) appended to the summary.
+//!   Readers negotiate down: a journal whose header says `schema: 1` is
+//!   replayed with v1 emission (no `hist` records, percentile keys
+//!   stripped from the summary), so v1 golden journals keep verifying
+//!   record for record.
 
+use crate::hist::Hist;
 use serde::{DeError, Deserialize, Serialize, Value};
 use std::io::{self, Write};
 use std::sync::{Arc, Mutex};
 
 /// Version stamped into every `header` record.
-pub const TRACE_SCHEMA_VERSION: u32 = 1;
+pub const TRACE_SCHEMA_VERSION: u32 = 2;
+
+/// Summary keys that exist only from schema v2 on; stripped from the
+/// `summary` record when recording at v1 so v1 goldens stay byte-stable.
+pub const V2_SUMMARY_KEYS: [&str; 4] = ["latency_p50", "latency_p90", "latency_p99", "latency_max"];
 
 /// One line of a trace journal.
 #[derive(Debug, Clone, PartialEq)]
@@ -69,6 +87,16 @@ pub enum Record {
         /// Phase wall times — compared for key presence only.
         timing: Value,
     },
+    /// Periodic histogram snapshots (schema v2+): the six log2 histograms
+    /// in fixed order (`latency`, `network_latency`, `hops`,
+    /// `queue_depth`, `vc_occupancy`, `calendar_depth`). Cumulative and
+    /// deterministic, so compared for equality on replay.
+    Hist {
+        /// Cycle count at the owning window's close.
+        cycle: u64,
+        /// Named histogram snapshots, in schema order.
+        hists: Vec<(String, Hist)>,
+    },
     /// The end-of-run summary (`noc_sim::RunSummary`).
     Summary {
         /// The serialised summary.
@@ -103,6 +131,7 @@ impl Record {
             Record::Phase { .. } => "phase",
             Record::Event { .. } => "event",
             Record::Window { .. } => "window",
+            Record::Hist { .. } => "hist",
             Record::Summary { .. } => "summary",
             Record::Progress { .. } => "progress",
             Record::Meta { .. } => "meta",
@@ -155,6 +184,18 @@ impl Serialize for Record {
                 push("aux", aux.clone());
                 push("timing", timing.clone());
             }
+            Record::Hist { cycle, hists } => {
+                push("cycle", cycle.to_value());
+                push(
+                    "hists",
+                    Value::Object(
+                        hists
+                            .iter()
+                            .map(|(name, hist)| (name.clone(), hist.to_value()))
+                            .collect(),
+                    ),
+                );
+            }
             Record::Summary { summary } => push("summary", summary.clone()),
             Record::Progress {
                 index,
@@ -202,6 +243,20 @@ impl Deserialize for Record {
                 aux: serde::field(value, "aux")?,
                 timing: serde::field(value, "timing")?,
             }),
+            "hist" => {
+                let cycle = serde::field(value, "cycle")?;
+                let hists_value: Value = serde::field(value, "hists")?;
+                let Value::Object(entries) = &hists_value else {
+                    return Err(DeError("`hists` must be an object".into()));
+                };
+                let mut hists = Vec::with_capacity(entries.len());
+                for (name, hist_value) in entries {
+                    let hist = Hist::from_value(hist_value)
+                        .map_err(|e| DeError(format!("histogram `{name}` is corrupt: {}", e.0)))?;
+                    hists.push((name.clone(), hist));
+                }
+                Ok(Record::Hist { cycle, hists })
+            }
             "summary" => Ok(Record::Summary {
                 summary: serde::field(value, "summary")?,
             }),
@@ -408,6 +463,22 @@ impl Write for SharedBuffer {
     }
 }
 
+/// A summary value with the schema-v2-only keys removed — what a v1
+/// recording writes, so v1 golden journals compare byte for byte.
+#[must_use]
+pub fn strip_v2_summary(summary: &Value) -> Value {
+    match summary {
+        Value::Object(entries) => Value::Object(
+            entries
+                .iter()
+                .filter(|(k, _)| !V2_SUMMARY_KEYS.contains(&k.as_str()))
+                .cloned()
+                .collect(),
+        ),
+        other => other.clone(),
+    }
+}
+
 /// `value` without its top-level `key` (no-op on non-objects).
 fn strip_key(value: &Value, key: &str) -> Value {
     match value {
@@ -591,6 +662,23 @@ fn compare_record(index: usize, golden: &Record, fresh: &Record) -> Result<(), T
                     index,
                     format!("`window` record lost timing key `{key}`"),
                 ));
+            }
+        }
+        (
+            Record::Hist {
+                cycle: gc,
+                hists: gh,
+            },
+            Record::Hist {
+                cycle: fc,
+                hists: fh,
+            },
+        ) => {
+            if gc != fc {
+                return Err(field_err("cycle"));
+            }
+            if gh != fh {
+                return Err(field_err("hists"));
             }
         }
         (Record::Summary { summary: gs }, Record::Summary { summary: fs }) => {

@@ -32,6 +32,13 @@ pub struct SimConfig {
     /// simulator declares a deadlock and panics. Deadlocks indicate routing
     /// bugs; Elevator-First is provably deadlock-free.
     pub watchdog: u64,
+    /// Record latency/hop histograms on the delivery path (`true` by
+    /// default). The histograms are plain per-shard counter arrays folded
+    /// exactly like the link ledger, so they never affect architectural
+    /// state or any other statistic; disabling them removes the one
+    /// per-delivery `Option` check (and zeroes the summary's percentile
+    /// fields) for harnesses that want the absolute minimum hot path.
+    pub histograms: bool,
     /// Router shards stepped in parallel (layer ranges, or XY row-bands
     /// when the mesh has fewer layers than shards). `1` (the default) is
     /// the sequential engine; `0` asks for one shard per available worker
@@ -61,6 +68,7 @@ impl SimConfig {
             energy: EnergyModel::default_45nm(),
             energy_feedback_period: 0,
             watchdog: 20_000,
+            histograms: true,
             shards: 1,
         }
     }
@@ -102,6 +110,13 @@ impl SimConfig {
         self
     }
 
+    /// Enables or disables the delivery-path latency/hop histograms.
+    #[must_use]
+    pub fn with_histograms(mut self, histograms: bool) -> Self {
+        self.histograms = histograms;
+        self
+    }
+
     /// Sets the shard count (`1` sequential, `0` auto — one shard per
     /// available worker).
     #[must_use]
@@ -133,10 +148,12 @@ mod tests {
             .with_phases(1, 2, 3)
             .with_seed(9)
             .with_buffer_depth(8)
+            .with_histograms(false)
             .with_shards(4);
         assert_eq!((c.warmup, c.measure, c.drain_max), (1, 2, 3));
         assert_eq!(c.seed, 9);
         assert_eq!(c.buffer_depth, 8);
+        assert!(!c.histograms);
         assert_eq!(c.shards, 4);
         c.validate();
     }

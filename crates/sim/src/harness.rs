@@ -2,13 +2,17 @@
 //! saturation detection — the building blocks every figure harness uses.
 
 use crate::config::SimConfig;
-use crate::sim::Simulator;
+use crate::sim::{Simulator, TrafficInput};
 use crate::stats::RunSummary;
 use adele::online::ElevatorSelector;
 use noc_traffic::TrafficSource;
 
 /// A factory producing a fresh workload for a given injection rate.
 pub type TrafficFactory<'a> = dyn Fn(f64) -> Box<dyn TrafficSource> + 'a;
+/// A factory producing a fresh [`TrafficInput`] for a given injection
+/// rate — the stream-agnostic generalisation of [`TrafficFactory`]
+/// (polled `v1` or scheduled `v2` workloads alike).
+pub type InputFactory<'a> = dyn Fn(f64) -> TrafficInput + 'a;
 /// A factory producing a fresh selector for each run.
 pub type SelectorFactory<'a> = dyn Fn() -> Box<dyn ElevatorSelector> + 'a;
 
@@ -32,7 +36,17 @@ pub fn run_once(
     traffic: Box<dyn TrafficSource>,
     selector: Box<dyn ElevatorSelector>,
 ) -> RunSummary {
-    Simulator::new(config.clone(), traffic, selector).run()
+    run_once_input(config, TrafficInput::Polled(traffic), selector)
+}
+
+/// [`run_once`] over either workload stream.
+#[must_use]
+pub fn run_once_input(
+    config: &SimConfig,
+    input: TrafficInput,
+    selector: Box<dyn ElevatorSelector>,
+) -> RunSummary {
+    Simulator::from_input(config.clone(), input, selector).run()
 }
 
 /// Sweeps packet-injection rates, building fresh traffic and selector
@@ -63,6 +77,16 @@ pub fn zero_load_latency(
     make_selector: &SelectorFactory<'_>,
 ) -> f64 {
     run_once(config, make_traffic(1e-4), make_selector()).avg_latency
+}
+
+/// [`zero_load_latency`] over either workload stream.
+#[must_use]
+pub fn zero_load_latency_input(
+    config: &SimConfig,
+    make_input: &InputFactory<'_>,
+    make_selector: &SelectorFactory<'_>,
+) -> f64 {
+    run_once_input(config, make_input(1e-4), make_selector()).avg_latency
 }
 
 /// The paper's saturation criterion: the first swept rate whose latency

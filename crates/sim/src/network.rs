@@ -456,6 +456,39 @@ impl Network {
             ledger.merge(&shard.part_ledger);
             shard.part_ledger = EnergyLedger::default();
             telemetry.merge_from(&mut shard.part_telemetry);
+            if let (Some(sink), Some(part)) = (stats.hists.as_mut(), shard.part_hist.as_mut()) {
+                sink.merge_from(part);
+            }
+        }
+    }
+
+    /// Enables or disables the per-shard delivery histograms. Disabling
+    /// drops the partitions entirely, so the ejection path pays only the
+    /// `Option` check; the fold then leaves the collector's aggregate
+    /// untouched.
+    pub fn set_histograms(&mut self, enabled: bool) {
+        for shard in &mut self.shards {
+            shard.part_hist = enabled.then(|| Box::new(noc_obs::PacketHists::new()));
+        }
+    }
+
+    /// Samples the fabric-occupancy histograms at a window boundary: one
+    /// queue-depth sample per router, one VC-occupancy sample per input
+    /// lane. Pure functions of committed cycle state in global node order,
+    /// so the samples are bit-identical across shard and worker counts.
+    pub(crate) fn sample_fabric(&self, fabric: &mut noc_obs::FabricHists) {
+        use crate::shard::{PORTS, VCS};
+        for shard in &self.shards {
+            for rel in 0..shard.routers.len() {
+                fabric
+                    .queue_depth
+                    .record(u64::from(shard.routers[rel].buffered));
+                for lane in 0..PORTS * VCS {
+                    fabric
+                        .vc_occupancy
+                        .record(shard.fifos.len(rel * PORTS * VCS + lane) as u64);
+                }
+            }
         }
     }
 
@@ -494,6 +527,7 @@ impl Network {
             shard.part_router_flits.iter().all(|&c| c == 0)
                 && shard.part_ledger == EnergyLedger::default()
                 && shard.part_telemetry.is_zero()
+                && shard.part_hist.as_ref().is_none_or(|h| h.is_zero())
         })
     }
 

@@ -9,7 +9,7 @@
 //! check), which is what keeps the disabled overhead at zero.
 
 use crate::hooks::SimCommand;
-use noc_obs::{MetricsRegistry, Record, TraceWriter};
+use noc_obs::{FabricHists, MetricsRegistry, Record, TraceWriter, TRACE_SCHEMA_VERSION};
 use serde::Value;
 use std::io;
 
@@ -22,7 +22,11 @@ use std::io;
 pub struct Tracer {
     writer: TraceWriter,
     period: u64,
+    schema: u32,
     metrics: MetricsRegistry,
+    /// Cumulative fabric-occupancy histograms, sampled serially at each
+    /// window boundary (schema v2 journals carry their snapshots).
+    fabric: FabricHists,
     error: Option<io::Error>,
 }
 
@@ -39,15 +43,50 @@ impl Tracer {
         Self {
             writer,
             period,
+            schema: TRACE_SCHEMA_VERSION,
             metrics: MetricsRegistry::new(),
+            fabric: FabricHists::new(),
             error: None,
         }
+    }
+
+    /// Records the journal at an older schema version: `1` suppresses the
+    /// `hist` records and the summary's percentile keys, reproducing a v1
+    /// journal byte for byte (the reader side of v1→v2 negotiation).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `schema` is 0 or newer than [`TRACE_SCHEMA_VERSION`].
+    #[must_use]
+    pub fn with_schema(mut self, schema: u32) -> Self {
+        assert!(
+            (1..=TRACE_SCHEMA_VERSION).contains(&schema),
+            "unsupported trace schema {schema}"
+        );
+        self.schema = schema;
+        self
+    }
+
+    /// The schema version this tracer records at.
+    #[must_use]
+    pub fn schema(&self) -> u32 {
+        self.schema
     }
 
     /// The window period in cycles.
     #[must_use]
     pub fn period(&self) -> u64 {
         self.period
+    }
+
+    /// The cumulative fabric-occupancy histograms.
+    #[must_use]
+    pub fn fabric_hists(&self) -> &FabricHists {
+        &self.fabric
+    }
+
+    pub(crate) fn fabric_mut(&mut self) -> &mut FabricHists {
+        &mut self.fabric
     }
 
     /// The cumulative hot-path metrics.

@@ -39,6 +39,7 @@ use crate::flit::{Flit, FlitKind, PacketId};
 use crate::table::PacketTable;
 use adele::online::{Cycle, SourceFeedback};
 use noc_energy::{EnergyLedger, LinkLedger, LinkMap};
+use noc_obs::PacketHists;
 use noc_topology::route::{self, VirtualNet};
 use noc_topology::{Coord, Direction, NodeId};
 use std::collections::VecDeque;
@@ -158,6 +159,20 @@ impl Topo {
     }
 }
 
+/// Hop count of a packet's deterministic route (XY → elevator → XY):
+/// derived from the coordinates and the selected elevator instead of a
+/// per-flit counter, so the hot path carries no extra packet state.
+pub(crate) fn route_hops(topo: &Topo, pkt: &crate::flit::Packet) -> u64 {
+    let s = topo.coords[pkt.src.index()];
+    let d = topo.coords[pkt.dst.index()];
+    let xy =
+        |ax: u8, ay: u8, bx: u8, by: u8| u64::from(ax.abs_diff(bx)) + u64::from(ay.abs_diff(by));
+    match pkt.elevator {
+        None => xy(s.x, s.y, d.x, d.y),
+        Some(e) => xy(s.x, s.y, e.x, e.y) + u64::from(s.z.abs_diff(d.z)) + xy(e.x, e.y, d.x, d.y),
+    }
+}
+
 /// Partitions `nodes` routers into `shards` ascending contiguous ranges:
 /// whole layers when there are at least as many layers as shards (z-major
 /// node ids make layers contiguous), XY row-bands otherwise. Returns
@@ -267,6 +282,11 @@ pub(crate) struct ShardState {
     /// Shard partition of `StatsCollector::router_flits` (local index),
     /// drained on demand.
     pub(crate) part_router_flits: Vec<u64>,
+    /// Shard partition of the delivery histograms: each measured packet
+    /// ejects in exactly one shard, so partitions are disjoint and merge
+    /// by plain counter addition. `None` when histograms are disabled
+    /// (the one `Option` check per tail ejection is the whole cost).
+    pub(crate) part_hist: Option<Box<PacketHists>>,
     /// `true` if this shard moved or injected a flit this cycle.
     pub(crate) progress: bool,
 }
@@ -335,6 +355,7 @@ impl ShardState {
             part_ledger: EnergyLedger::default(),
             part_telemetry: LinkLedger::new(links, VCS),
             part_router_flits: vec![0; n],
+            part_hist: Some(Box::new(PacketHists::new())),
             progress: false,
         }
     }
@@ -708,6 +729,24 @@ impl ShardState {
             if armed {
                 self.part_ledger.ni_events += 1;
                 self.part_telemetry.on_ni_event(g);
+            }
+            if flit.kind.is_tail() {
+                // Delivery histograms: the packet completes here and in no
+                // other shard, so recording into this shard's partition
+                // makes the folded aggregate equal the sequential one.
+                // The reads are stable within the cycle: a packet's head
+                // left its source in a *strictly earlier* cycle (src != dst
+                // is enforced at admission), so `head_out_src` committed
+                // before this phase ran.
+                if let Some(hist) = &mut self.part_hist {
+                    let pkt = packets.get(flit.packet);
+                    if pkt.measured {
+                        hist.latency.record(cycle.saturating_sub(pkt.created));
+                        let net_start = pkt.head_out_src.unwrap_or(pkt.created);
+                        hist.network_latency.record(cycle.saturating_sub(net_start));
+                        hist.hops.record(route_hops(topo, pkt));
+                    }
+                }
             }
             self.effects.push(Effect::Eject {
                 packet: flit.packet,

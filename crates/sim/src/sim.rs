@@ -180,7 +180,15 @@ impl Simulator {
         } else {
             None
         };
-        let stats = StatsCollector::new(config.mesh.node_count(), config.elevators.len());
+        let mut net = net;
+        if !config.histograms {
+            net.set_histograms(false);
+        }
+        let stats = if config.histograms {
+            StatsCollector::new(config.mesh.node_count(), config.elevators.len())
+        } else {
+            StatsCollector::without_histograms(config.mesh.node_count(), config.elevators.len())
+        };
         let telemetry = LinkLedger::new(net.link_map(), VirtualNet::COUNT);
         let traffic = match traffic {
             TrafficInput::Polled(source) => Injector::Polled(source),
@@ -519,6 +527,25 @@ impl Simulator {
             aux: delta.aux_value(self.pool.is_some()),
             timing: delta.phase.timing_value(),
         });
+        // Schema v2: a `hist` record per window, carrying cumulative
+        // snapshots of the delivery and fabric histograms. Folding the
+        // shard partitions here is the same add-and-zero drain every other
+        // reader uses — idempotent, so it can never change a later summary.
+        if tracer.schema() >= 2 && self.stats.hists.is_some() {
+            self.net
+                .drain_partials(&mut self.stats, &mut self.ledger, &mut self.telemetry);
+            let fabric = tracer.fabric_mut();
+            self.net.sample_fabric(fabric);
+            fabric.calendar_depth.record(calendar);
+            let entries = noc_obs::hist_record_entries(
+                self.stats.packet_hists().expect("checked above"),
+                tracer.fabric_hists(),
+            );
+            tracer.write(&Record::Hist {
+                cycle: self.cycle,
+                hists: entries,
+            });
+        }
     }
 
     /// Appends a `phase` record if a tracer is attached.
@@ -656,8 +683,14 @@ impl Simulator {
         // sinks before those are replaced, so nothing stale leaks in.
         self.net
             .drain_partials(&mut self.stats, &mut self.ledger, &mut self.telemetry);
-        self.stats =
-            StatsCollector::new(self.config.mesh.node_count(), self.config.elevators.len());
+        self.stats = if self.config.histograms {
+            StatsCollector::new(self.config.mesh.node_count(), self.config.elevators.len())
+        } else {
+            StatsCollector::without_histograms(
+                self.config.mesh.node_count(),
+                self.config.elevators.len(),
+            )
+        };
         self.ledger = EnergyLedger::default();
         self.telemetry.reset();
         self.stats.set_armed(true);
@@ -735,9 +768,15 @@ impl Simulator {
             completed,
         );
         if let Some(tracer) = self.tracer.as_mut() {
-            tracer.write(&Record::Summary {
-                summary: summary.to_value(),
-            });
+            // A v1 recording writes the summary without the v2-only
+            // percentile keys, so v1 golden journals stay byte-stable.
+            let value = summary.to_value();
+            let value = if tracer.schema() < 2 {
+                noc_obs::strip_v2_summary(&value)
+            } else {
+                value
+            };
+            tracer.write(&Record::Summary { summary: value });
         }
         summary
     }

@@ -2,6 +2,7 @@
 
 use crate::flit::Packet;
 use noc_energy::{EnergyLedger, EnergyModel, LinkLedger, LinkMap};
+use noc_obs::PacketHists;
 use noc_topology::ElevatorId;
 use serde::Serialize;
 
@@ -23,6 +24,11 @@ pub struct StatsCollector {
     /// Network-only latency (source-router head departure → delivery).
     pub(crate) total_network_latency: u64,
     pub(crate) measured_cycles: u64,
+    /// Aggregate delivery histograms, folded in from the shard partitions
+    /// by `Network::drain_partials` (never recorded into directly — the
+    /// ejection path records into its shard's partition so the aggregate
+    /// is bit-identical at any shard count). `None` when disabled.
+    pub(crate) hists: Option<Box<PacketHists>>,
 }
 
 impl StatsCollector {
@@ -40,7 +46,23 @@ impl StatsCollector {
             total_latency: 0,
             total_network_latency: 0,
             measured_cycles: 0,
+            hists: Some(Box::new(PacketHists::new())),
         }
+    }
+
+    /// A collector with the delivery histograms disabled.
+    #[must_use]
+    pub fn without_histograms(nodes: usize, elevators: usize) -> Self {
+        let mut stats = Self::new(nodes, elevators);
+        stats.hists = None;
+        stats
+    }
+
+    /// The aggregate delivery histograms (complete once the shard
+    /// partitions have been drained); `None` when disabled.
+    #[must_use]
+    pub fn packet_hists(&self) -> Option<&PacketHists> {
+        self.hists.as_deref()
     }
 
     /// Starts/stops counting.
@@ -123,6 +145,17 @@ pub struct RunSummary {
     /// `true` if every measured packet drained before the cap; `false`
     /// indicates the network was saturated.
     pub completed: bool,
+    /// Median end-to-end latency (cycles), resolved to its log2 bucket's
+    /// upper bound (see `noc_obs::Hist::percentile`). All-integer and
+    /// derived from the merged shard histograms, so bit-identical at any
+    /// shard/worker count. `0` when histograms are disabled.
+    pub latency_p50: u64,
+    /// 90th-percentile end-to-end latency (cycles, bucket-resolved).
+    pub latency_p90: u64,
+    /// 99th-percentile end-to-end latency (cycles, bucket-resolved).
+    pub latency_p99: u64,
+    /// Exact maximum end-to-end latency over measured packets (cycles).
+    pub latency_max: u64,
 }
 
 impl RunSummary {
@@ -140,6 +173,8 @@ impl RunSummary {
         completed: bool,
     ) -> Self {
         let delivered = stats.delivered_packets.max(1) as f64;
+        let latency = stats.hists.as_deref().map(|h| &h.latency);
+        let pct = |p| latency.map_or(0, |h| h.percentile(p));
         Self {
             policy: policy.to_string(),
             workload: workload.to_string(),
@@ -164,6 +199,10 @@ impl RunSummary {
             pillar_tsv_flits: telemetry.pillar_tsv_flits(link_map),
             measured_cycles: stats.measured_cycles,
             completed,
+            latency_p50: pct(50),
+            latency_p90: pct(90),
+            latency_p99: pct(99),
+            latency_max: latency.map_or(0, noc_obs::Hist::max),
         }
     }
 
@@ -267,6 +306,10 @@ mod tests {
             pillar_tsv_flits: vec![],
             measured_cycles: 0,
             completed: true,
+            latency_p50: 0,
+            latency_p90: 0,
+            latency_p99: 0,
+            latency_max: 0,
         };
         let loads = summary.normalized_elevator_loads(&[true, false, false, true]);
         // Base = (10 + 20) / 2 = 15.

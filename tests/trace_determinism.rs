@@ -9,7 +9,9 @@
 //! [`noc_exp::verify_trace`] with a [`noc_obs::TraceError`] naming the
 //! offending record index, never a panic.
 
-use noc_exp::{record_trace, trace_period, verify_trace, Scenario, WorkloadKind, WorkloadSpec};
+use noc_exp::{
+    record_trace, record_trace_at, trace_period, verify_trace, Scenario, WorkloadKind, WorkloadSpec,
+};
 use noc_obs::{compare_journals, parse_journal, Record};
 use noc_topology::{ElevatorSet, Mesh3d};
 use proptest::prelude::*;
@@ -113,6 +115,68 @@ proptest! {
         let err = verify_trace(&truncated, None).expect_err("truncation must fail verification");
         prop_assert_eq!(err.record, keep, "error names the first missing record");
     }
+
+    /// Version negotiation, fuzzed over the scenario space: a journal
+    /// recorded at schema v1 (no `hist` records, percentile-free
+    /// summary) verifies record for record under the v2 reader, which
+    /// replays it at the golden's own schema.
+    #[test]
+    fn v1_journals_verify_under_the_v2_reader(
+        scenario in arb_scenario(),
+    ) {
+        let v1 = record_trace_at(&scenario, trace_period(&scenario), 1);
+        prop_assert!(!v1.contains("\"type\":\"hist\""), "v1 carries no hist records");
+        prop_assert!(!v1.contains("latency_p99"), "v1 summaries carry no percentiles");
+        let report = verify_trace(&v1, None).expect("v2 reader verifies v1 journals");
+        prop_assert_eq!(report.schema, 1);
+        for shards in [2usize, 8] {
+            let report = verify_trace(&v1, Some(shards))
+                .expect("v1 journals stay shard-independent under the v2 reader");
+            prop_assert_eq!(report.schema, 1);
+        }
+    }
+}
+
+/// A tampered histogram payload (bucket counts no longer summing to the
+/// recorded total) fails parsing — and verification — with exactly the
+/// offending record's index, never a panic.
+#[test]
+fn corrupted_histogram_records_fail_with_the_record_index() {
+    let mesh = Mesh3d::new(4, 4, 2).unwrap();
+    let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).unwrap();
+    let scenario = Scenario::new("hist-corruption", mesh, elevators)
+        .with_phases(100, 400, 2_000)
+        .with_workload(WorkloadKind::Uniform { rate: 0.004 })
+        .with_seed(11)
+        .with_trace(100);
+    let journal = record_trace(&scenario, trace_period(&scenario));
+    let lines: Vec<&str> = journal.lines().collect();
+    let victim = lines
+        .iter()
+        .position(|l| l.contains("\"type\":\"hist\""))
+        .expect("v2 journals carry hist records");
+    let corrupted: String = lines
+        .iter()
+        .enumerate()
+        .map(|(i, line)| {
+            if i == victim {
+                // Inflate the first histogram's total: counts stop
+                // summing to it, which the payload validator rejects.
+                line.replacen("\"total\":", "\"total\":9", 1)
+            } else {
+                (*line).to_string()
+            }
+        })
+        .collect::<Vec<_>>()
+        .join("\n");
+    assert_ne!(corrupted, journal, "tampering must change the journal");
+
+    let err = parse_journal(&corrupted).expect_err("corrupt histogram must not parse");
+    assert_eq!(err.record, victim);
+    assert!(err.message.contains("corrupt"), "unexpected message: {err}");
+
+    let err = verify_trace(&corrupted, None).expect_err("verify must refuse, not panic");
+    assert_eq!(err.record, victim);
 }
 
 /// A journal that does not begin with a header record is rejected at
