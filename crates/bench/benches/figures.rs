@@ -31,6 +31,7 @@ fn mini_run(policy: Policy, workload: Workload, rate: f64) -> noc_sim::RunSummar
         workload.build(&mesh, rate, 5),
         make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
     )
+    .expect("mini run uses the default watchdog")
 }
 
 fn bench_fig2b(c: &mut Criterion) {
@@ -102,7 +103,8 @@ fn bench_fig7(c: &mut Criterion) {
                 &mini_config(9),
                 Box::new(traffic),
                 make_selector(Policy::Adele, &mesh, &elevators, Some(&assignment), 7),
-            );
+            )
+            .expect("mini run uses the default watchdog");
             black_box(summary.avg_latency)
         })
     });

@@ -26,13 +26,13 @@ fn bench_network_step(c: &mut Criterion) {
                         let mut sim = Simulator::new(config, Box::new(traffic), Box::new(selector));
                         // Pre-warm so buffers carry realistic occupancy.
                         for _ in 0..500 {
-                            sim.step();
+                            sim.step().unwrap();
                         }
                         sim
                     },
                     |mut sim| {
                         for _ in 0..1_000 {
-                            sim.step();
+                            sim.step().unwrap();
                         }
                         sim.cycle()
                     },

@@ -65,7 +65,7 @@ fn warmed_sim(
     };
     let selector = ElevatorFirstSelector::new(&mesh, &elevators);
     let mut sim = Simulator::from_input(config, input, Box::new(selector));
-    sim.advance(warmup);
+    sim.advance(warmup).unwrap();
     sim
 }
 
@@ -85,7 +85,7 @@ fn bench_step_hot_path(c: &mut Criterion) {
                         || warmed_sim(extents, rate, stream, 1, 500),
                         |mut sim| {
                             for _ in 0..200 {
-                                sim.step();
+                                sim.step().unwrap();
                             }
                             sim.cycle()
                         },
@@ -132,7 +132,7 @@ fn emit_json() {
                 for _ in 0..reps {
                     let mut sim = warmed_sim(extents, rate, stream, shards, warmup);
                     let start = Instant::now();
-                    sim.advance(cycles);
+                    sim.advance(cycles).unwrap();
                     best = best.min(start.elapsed().as_secs_f64());
                 }
                 points.push(StepPoint {

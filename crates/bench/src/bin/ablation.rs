@@ -13,7 +13,9 @@
 use adele::offline::SubsetAssignment;
 use adele::online::AdeleSelector;
 use adele::AdeleConfig;
-use adele_bench::{dump_json, f1, f2, offline_assignment, print_table, sim_config, Workload};
+use adele_bench::{
+    dump_json, f1, f2, offline_assignment, ok_or_die, print_table, sim_config, Workload,
+};
 use noc_sim::harness::run_once;
 use noc_sim::RunSummary;
 use noc_topology::placement::Placement;
@@ -36,10 +38,13 @@ fn run(
     let (mesh, elevators) = placement.instantiate();
     let selector =
         AdeleSelector::from_assignment(&mesh, &elevators, assignment, config, 77).unwrap();
-    run_once(
-        &sim_config(placement, 11),
-        Workload::Uniform.build(&mesh, rate, 4242),
-        Box::new(selector),
+    ok_or_die(
+        run_once(
+            &sim_config(placement, 11),
+            Workload::Uniform.build(&mesh, rate, 4242),
+            Box::new(selector),
+        ),
+        "ablation run",
     )
 }
 

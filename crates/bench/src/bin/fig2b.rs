@@ -2,7 +2,9 @@
 //! Elevator-First selection policy and uniform traffic, demonstrating the
 //! uneven elevator utilisation that motivates AdEle.
 
-use adele_bench::{dump_json, f2, make_selector, print_table, sim_config, Policy, Workload};
+use adele_bench::{
+    dump_json, f2, make_selector, ok_or_die, print_table, sim_config, Policy, Workload,
+};
 use noc_sim::harness::run_once;
 use noc_topology::placement::Placement;
 use noc_topology::Coord;
@@ -21,10 +23,13 @@ fn main() {
     let placement = Placement::Ps1;
     let (mesh, elevators) = placement.instantiate();
     let rate = 0.003;
-    let summary = run_once(
-        &sim_config(placement, 21),
-        Workload::Uniform.build(&mesh, rate, 1234),
-        make_selector(Policy::ElevFirst, &mesh, &elevators, None, 77),
+    let summary = ok_or_die(
+        run_once(
+            &sim_config(placement, 21),
+            Workload::Uniform.build(&mesh, rate, 1234),
+            make_selector(Policy::ElevFirst, &mesh, &elevators, None, 77),
+        ),
+        "fig2b baseline run",
     );
 
     let layer = (mesh.layers() / 2) as u8;

@@ -5,8 +5,8 @@
 
 use adele::online::AdeleSelector;
 use adele_bench::{
-    dump_json, f1, f2, make_selector, offline_result, print_table, sim_config, table2_rate, Policy,
-    Workload,
+    dump_json, f1, f2, make_selector, offline_result, ok_or_die, print_table, sim_config,
+    table2_rate, Policy, Workload,
 };
 use noc_sim::harness::run_once;
 use noc_topology::placement::Placement;
@@ -73,10 +73,13 @@ fn main() {
     let mut rows = Vec::new();
     let mut json_rows = Vec::new();
 
-    let ef = run_once(
-        &sim_config(placement, 31),
-        Workload::Uniform.build(&mesh, rate, 555),
-        make_selector(Policy::ElevFirst, &mesh, &elevators, None, 77),
+    let ef = ok_or_die(
+        run_once(
+            &sim_config(placement, 31),
+            Workload::Uniform.build(&mesh, rate, 555),
+            make_selector(Policy::ElevFirst, &mesh, &elevators, None, 77),
+        ),
+        "table2 ElevFirst run",
     );
     rows.push(vec![
         "ElevFirst".to_string(),
@@ -96,10 +99,13 @@ fn main() {
 
     for (i, pick) in picks.iter().enumerate() {
         let selector = AdeleSelector::from_solution(&mesh, &elevators, pick, 77);
-        let summary = run_once(
-            &sim_config(placement, 31),
-            Workload::Uniform.build(&mesh, rate, 555),
-            Box::new(selector),
+        let summary = ok_or_die(
+            run_once(
+                &sim_config(placement, 31),
+                Workload::Uniform.build(&mesh, rate, 555),
+                Box::new(selector),
+            ),
+            &format!("table2 S{i} run"),
         );
         rows.push(vec![
             format!("S{i}"),

@@ -13,8 +13,8 @@
 //! available core); results are bit-identical to the sequential sweep.
 
 use adele_bench::{
-    dump_json, f1, f4, fig4_rates, make_selector, offline_assignment, print_table, sim_config,
-    stream_flag, Policy, Workload,
+    dump_json, f1, f4, fig4_rates, make_selector, offline_assignment, ok_or_die, print_table,
+    sim_config, stream_flag, Policy, Workload,
 };
 use noc_exp::runner::{default_threads, par_injection_sweep_input};
 use noc_sim::harness::{saturation_rate, zero_load_latency_input};
@@ -58,9 +58,14 @@ fn panel(placement: Placement, workload: Workload, stream: StreamVersion) -> Pan
             workload.build_input(stream, &mesh, rate, seed)
         };
         let selector = || make_selector(*policy, &mesh, &elevators, Some(&assignment), 77);
-        let zero = zero_load_latency_input(&config, &traffic, &selector);
-        let points =
-            par_injection_sweep_input(&config, &rates, &traffic, &selector, default_threads());
+        let zero = ok_or_die(
+            zero_load_latency_input(&config, &traffic, &selector),
+            &format!("fig4 {} zero-load probe", policy.name()),
+        );
+        let points = ok_or_die(
+            par_injection_sweep_input(&config, &rates, &traffic, &selector, default_threads()),
+            &format!("fig4 {} sweep", policy.name()),
+        );
         series.push(Series {
             policy: policy.name().to_string(),
             latency: points.iter().map(|p| p.summary.avg_latency).collect(),

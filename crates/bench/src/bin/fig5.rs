@@ -12,8 +12,8 @@
 //! the choice.
 
 use adele_bench::{
-    dump_json, f2, f4, make_selector, offline_assignment, print_table, quick_mode, sim_config,
-    stream_flag, Policy, Workload,
+    dump_json, f2, f4, make_selector, offline_assignment, ok_or_die, print_table, quick_mode,
+    sim_config, stream_flag, Policy, Workload,
 };
 use noc_exp::runner::{default_threads, par_map};
 use noc_sim::harness::run_once_input;
@@ -41,10 +41,13 @@ fn main() {
     let rate = 0.004;
 
     let run_policy = |policy: Policy| -> RunSummary {
-        run_once_input(
-            &sim_config(placement, 41),
-            Workload::Uniform.build_input(stream, &mesh, rate, 777),
-            make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
+        ok_or_die(
+            run_once_input(
+                &sim_config(placement, 41),
+                Workload::Uniform.build_input(stream, &mesh, rate, 777),
+                make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
+            ),
+            &format!("fig5 {} run", policy.name()),
         )
     };
     let summaries = par_map(&Policy::MAIN, default_threads(), |_, &policy| {

@@ -21,8 +21,8 @@
 
 use adele::offline::SubsetAssignment;
 use adele_bench::{
-    dump_json, f2, f4, fig6_rates, make_selector, offline_assignment, phases, print_table,
-    quick_mode, results_dir, sim_config, stream_flag, Policy, Workload,
+    dump_json, f2, f4, fig6_rates, make_selector, offline_assignment, ok_or_die, phases,
+    print_table, quick_mode, results_dir, sim_config, stream_flag, Policy, Workload,
 };
 use noc_energy::{HeatmapReport, LinkEnergyReport};
 use noc_exp::runner::{default_threads, par_map};
@@ -53,10 +53,13 @@ struct Job {
 fn run_job(job: &Job, assignments: &[SubsetAssignment], stream: StreamVersion) -> RunSummary {
     let (mesh, elevators) = job.placement.instantiate();
     let assignment = &assignments[placement_index(job.placement)];
-    run_once_input(
-        &sim_config(job.placement, 51),
-        Workload::Uniform.build_input(stream, &mesh, job.rate, 999),
-        make_selector(job.policy, &mesh, &elevators, Some(assignment), 77),
+    ok_or_die(
+        run_once_input(
+            &sim_config(job.placement, 51),
+            Workload::Uniform.build_input(stream, &mesh, job.rate, 999),
+            make_selector(job.policy, &mesh, &elevators, Some(assignment), 77),
+        ),
+        &format!("fig6 {} {} cell", job.placement.name(), job.policy.name()),
     )
 }
 
@@ -167,8 +170,8 @@ fn run_link_job(
         Workload::Uniform.build_input(stream, &mesh, job.rate, 999),
         make_selector(job.policy, &mesh, &elevators, Some(assignment), 77),
     );
-    sim.advance(warmup);
-    let _ = sim.measure_window(measure);
+    ok_or_die(sim.advance(warmup), "fig6 links warm-up");
+    ok_or_die(sim.measure_window(measure), "fig6 links measure window");
     (
         LinkEnergyReport::from_ledger(sim.link_map(), sim.link_ledger(), &config.energy),
         HeatmapReport::from_ledger(sim.link_map(), sim.link_ledger(), &config.energy),

@@ -15,8 +15,8 @@
 //! records the choice.
 
 use adele_bench::{
-    app_traffic_input, dump_json, f2, make_selector, offline_assignment, print_table, sim_config,
-    stream_flag, Policy,
+    app_traffic_input, dump_json, f2, make_selector, offline_assignment, ok_or_die, print_table,
+    sim_config, stream_flag, Policy,
 };
 use noc_exp::runner::{default_threads, par_map};
 use noc_sim::harness::run_once_input;
@@ -54,10 +54,13 @@ fn main() {
             .flat_map(|app| Policy::MAIN.into_iter().map(move |policy| (app, policy)))
             .collect();
         let summaries = par_map(&grid, default_threads(), |_, &(app, policy)| {
-            run_once_input(
-                &sim_config(placement, 61),
-                app_traffic_input(app, placement, &mesh, 4321, stream),
-                make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
+            ok_or_die(
+                run_once_input(
+                    &sim_config(placement, 61),
+                    app_traffic_input(app, placement, &mesh, 4321, stream),
+                    make_selector(policy, &mesh, &elevators, Some(&assignment), 77),
+                ),
+                &format!("fig7 {}/{} cell", app.name(), policy.name()),
             )
         });
 

@@ -24,8 +24,8 @@
 //!   1000, journal to a sink), the number the README cites.
 
 use adele::online::ElevatorFirstSelector;
-use adele_bench::{f1, pillar_grid, quick_mode, quick_shrink};
-use noc_exp::{load_dir, load_spec, record_trace, trace_period, verify_trace};
+use adele_bench::{f1, ok_or_die, pillar_grid, quick_mode, quick_shrink};
+use noc_exp::{atomic_write, load_dir, load_spec, record_trace, trace_period, verify_trace};
 use noc_sim::{SimConfig, Simulator, TraceWriter, Tracer, TrafficInput};
 use noc_topology::{ElevatorSet, Mesh3d};
 use noc_traffic::SyntheticTraffic;
@@ -92,7 +92,7 @@ fn cmd_record(args: &[String]) {
     let journal = record_trace(&scenario, period);
     match flag_value::<String>(args, "-o") {
         Some(out) => {
-            if let Err(e) = std::fs::write(&out, &journal) {
+            if let Err(e) = atomic_write(Path::new(&out), &journal) {
                 eprintln!("noc_trace: cannot write {out}: {e}");
                 std::process::exit(1);
             }
@@ -176,7 +176,7 @@ fn cmd_export(args: &[String]) {
     };
     match flag_value::<String>(args, "-o") {
         Some(out) => {
-            if let Err(e) = std::fs::write(&out, &rendered) {
+            if let Err(e) = atomic_write(Path::new(&out), &rendered) {
                 eprintln!("noc_trace: cannot write {out}: {e}");
                 std::process::exit(1);
             }
@@ -247,7 +247,7 @@ fn overhead_sim(warmup: u64) -> Simulator {
     let traffic = TrafficInput::Polled(Box::new(SyntheticTraffic::uniform(&mesh, 0.002, 42)));
     let selector = ElevatorFirstSelector::new(&mesh, &elevators);
     let mut sim = Simulator::from_input(config, traffic, Box::new(selector));
-    sim.advance(warmup);
+    ok_or_die(sim.advance(warmup), "overhead warm-up");
     sim
 }
 
@@ -265,7 +265,7 @@ fn cmd_overhead(args: &[String]) {
                 sim.attach_tracer(Tracer::new(writer, 1_000));
             }
             let start = Instant::now();
-            sim.advance(cycles);
+            ok_or_die(sim.advance(cycles), "overhead measurement");
             best = best.min(start.elapsed().as_secs_f64());
         }
         best

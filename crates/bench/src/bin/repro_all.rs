@@ -43,7 +43,12 @@ struct HarnessRun {
 /// Runs the whole suite on `jobs` workers; results in suite order.
 fn run_suite(bin_dir: &Path, jobs: usize) -> Vec<HarnessRun> {
     par_map(&EXPERIMENTS, jobs, |_, &name| {
-        let output = Command::new(bin_dir.join(name)).output();
+        // Chaos injection is a property of the supervised sweeps, not of
+        // the figure harnesses: a NOC_CHAOS set for the parent must not
+        // leak into children and corrupt the paper reproductions.
+        let output = Command::new(bin_dir.join(name))
+            .env_remove("NOC_CHAOS")
+            .output();
         let run = match output {
             Ok(out) => HarnessRun {
                 name,

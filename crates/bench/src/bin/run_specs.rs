@@ -7,7 +7,8 @@
 //!
 //! Usage:
 //!
-//! * `run_specs [DIR] [--shards N] [--trace FILE] [--hud [--quiet]]` —
+//! * `run_specs [DIR] [--shards N] [--trace FILE] [--hud [--quiet]]
+//!   [--resume] [--retries N] [--deadline-ms N]` —
 //!   run the suite in `DIR` (default `specs/`). `--shards N` overrides
 //!   every scenario's mesh shard count; results are bit-identical at any
 //!   value (the override only trades wall-clock for cores, and CI uses it
@@ -17,6 +18,20 @@
 //!   stream as a live terminal panel on stderr (throughput, ETA,
 //!   per-point latency percentiles, worklist occupancy); `--quiet`
 //!   degrades it to one plain line per completed point for CI logs.
+//!
+//!   The suite runs on the **supervised** pool: every point is isolated
+//!   (a panic or a structured `SimError` fails that point, never the
+//!   batch), `--retries N` grants extra attempts for environmental
+//!   faults, and `--deadline-ms N` bounds each attempt's wall clock.
+//!   Completed points are appended (one flushed line each) to
+//!   `results/specs.ledger.jsonl`; `--resume` restores ledger-complete
+//!   points instead of re-running them, so a `kill -9` mid-sweep costs
+//!   only the in-flight points — and the merged `results/specs.json` is
+//!   byte-identical to an uninterrupted run. Without `--resume` the
+//!   ledger starts fresh. Fault injection for chaos runs comes from the
+//!   `NOC_CHAOS` environment grammar (see `noc_exp::chaos`). Any failed
+//!   point makes the exit code nonzero, after every other point has
+//!   completed.
 //! * `run_specs --emit [DIR]` — (re)write the canonical checked-in suite
 //!   (baseline, baseline-v2, elevator-fail, hotspot-shift,
 //!   measured-energy) into `DIR`, plus the golden traces
@@ -30,8 +45,9 @@
 
 use adele_bench::{bench_meta, f1, f2, print_table, quick_mode, quick_shrink};
 use noc_exp::{
-    load_dir, record_trace_at, results_to_json_with_meta, run_batch_with_progress, trace_period,
-    Event, Scenario, SelectorSpec, WorkloadKind, WorkloadSpec,
+    atomic_write, load_dir, progress_record, record_trace_at, results_to_json_with_meta,
+    run_batch_supervised, spec_hash, trace_period, BatchEvent, ChaosSpec, Event, Ledger, Scenario,
+    SelectorSpec, Supervision, WorkloadKind, WorkloadSpec,
 };
 use noc_obs::Hud;
 use noc_topology::placement::Placement;
@@ -39,6 +55,7 @@ use noc_topology::{Coord, ElevatorId};
 use serde::Serialize;
 use std::path::Path;
 use std::sync::Mutex;
+use std::time::Duration;
 
 /// The canonical checked-in suite: one spec per scenario family the
 /// engine supports (steady baseline, the same baseline on the batched
@@ -129,7 +146,7 @@ fn emit(dir: &Path) {
     for (name, scenario) in canonical_suite() {
         let path = dir.join(format!("{name}.json"));
         let json = serde_json::to_string_pretty(&scenario).expect("scenarios encode");
-        std::fs::write(&path, json + "\n").expect("write spec");
+        atomic_write(&path, &(json + "\n")).expect("write spec");
         println!("wrote {}", path.display());
     }
     // The checked-in golden traces `noc_trace verify` and CI replay
@@ -147,7 +164,7 @@ fn emit(dir: &Path) {
     for (file, schema) in [("trace_small.jsonl", 1), ("trace_small_v2.jsonl", 2)] {
         let journal = record_trace_at(&scenario, trace_period(&scenario), schema);
         let path = golden.join(file);
-        std::fs::write(&path, journal).expect("write golden trace");
+        atomic_write(&path, &journal).expect("write golden trace");
         println!("wrote {}", path.display());
     }
 }
@@ -160,16 +177,24 @@ fn main() {
         return;
     }
 
-    let shards_at = args.iter().position(|a| a == "--shards");
-    let shards_override = shards_at.map(|at| {
-        let Some(n) = args.get(at + 1).and_then(|s| s.parse::<usize>().ok()) else {
-            eprintln!("run_specs: --shards needs a shard count");
-            std::process::exit(2);
-        };
-        n
-    });
+    let uint_flag = |name: &str| -> (Option<usize>, Option<u64>) {
+        let at = args.iter().position(|a| a == name);
+        let value = at.map(|at| {
+            let Some(n) = args.get(at + 1).and_then(|s| s.parse::<u64>().ok()) else {
+                eprintln!("run_specs: {name} needs a non-negative integer");
+                std::process::exit(2);
+            };
+            n
+        });
+        (at, value)
+    };
+    let (shards_at, shards_override) = uint_flag("--shards");
+    let shards_override = shards_override.map(|n| n as usize);
+    let (retries_at, retries) = uint_flag("--retries");
+    let (deadline_at, deadline_ms) = uint_flag("--deadline-ms");
     let hud_on = args.iter().any(|a| a == "--hud");
     let quiet = args.iter().any(|a| a == "--quiet");
+    let resume = args.iter().any(|a| a == "--resume");
     let trace_at = args.iter().position(|a| a == "--trace");
     let trace_path = trace_at.map(|at| {
         let Some(path) = args.get(at + 1) else {
@@ -186,6 +211,8 @@ fn main() {
         .find(|&(i, a)| {
             !a.starts_with("--")
                 && shards_at.is_none_or(|at| i != at + 1)
+                && retries_at.is_none_or(|at| i != at + 1)
+                && deadline_at.is_none_or(|at| i != at + 1)
                 && trace_at.is_none_or(|at| i != at + 1)
         })
         .map_or("specs", |(_, a)| a.as_str());
@@ -223,20 +250,95 @@ fn main() {
                 }
             },
         );
+    // The supervision policy: isolation always; retries/deadline from
+    // the flags; fault injection from the NOC_CHAOS environment.
+    let mut supervision = Supervision::new();
+    if let Some(retries) = retries {
+        supervision = supervision.with_retries(u32::try_from(retries).unwrap_or(u32::MAX));
+    }
+    if let Some(ms) = deadline_ms {
+        supervision = supervision.with_deadline(Duration::from_millis(ms));
+    }
+    let chaos = ChaosSpec::from_env();
+    if let Some(chaos) = &chaos {
+        eprintln!(
+            "chaos armed: seed={} panic={} deadlock={} delay={}x{}ms torn={}",
+            chaos.seed,
+            chaos.panic_prob,
+            chaos.deadlock_prob,
+            chaos.delay_prob,
+            chaos.delay_ms,
+            chaos.torn_files,
+        );
+        supervision = supervision.with_chaos(chaos.clone());
+    }
+
+    // The completion ledger: every finished point is flushed to it, and
+    // --resume restores completed points instead of re-running them.
+    let ledger_path = adele_bench::results_dir().join("specs.ledger.jsonl");
+    if !resume {
+        let _ = std::fs::remove_file(&ledger_path);
+    }
+    let ledger = match Ledger::open(&ledger_path) {
+        Ok(ledger) => ledger,
+        Err(e) => {
+            eprintln!(
+                "run_specs: cannot open ledger {}: {e}",
+                ledger_path.display()
+            );
+            std::process::exit(1);
+        }
+    };
+    if resume {
+        eprintln!(
+            "resuming: {} completed point(s) in {}{}",
+            ledger.len(),
+            ledger_path.display(),
+            if ledger.torn_lines() > 0 {
+                " (torn tail dropped)"
+            } else {
+                ""
+            },
+        );
+    }
+    let recorder = Mutex::new(Ledger::open(&ledger_path).unwrap_or_else(|e| {
+        eprintln!("run_specs: cannot reopen ledger for appends: {e}");
+        std::process::exit(1);
+    }));
+
     // The HUD eats the same progress stream the journal gets; it owns no
     // I/O, so the closure prints whatever redraw block (or quiet line) it
     // returns. stderr keeps the results table on stdout machine-clean.
     let hud = hud_on.then(|| Mutex::new(Hud::new(scenarios.len(), quiet)));
-    let results = run_batch_with_progress(&scenarios, noc_exp::default_threads(), |record| {
-        if let Some(writer) = &progress {
-            let _ = writer.lock().expect("progress journal lock").write(record);
-        }
-        if let Some(hud) = &hud {
-            if let Some(text) = hud.lock().expect("hud lock").on_record(record) {
-                eprintln!("{text}");
+    let hashes: Vec<u64> = scenarios.iter().map(spec_hash).collect();
+    let outcomes = run_batch_supervised(
+        &scenarios,
+        noc_exp::default_threads(),
+        &supervision,
+        resume.then_some(&ledger),
+        |event| {
+            if let BatchEvent::Finished {
+                index,
+                outcome: noc_exp::PointOutcome::Ok(result),
+                ..
+            } = event
+            {
+                let mut recorder = recorder.lock().expect("ledger lock");
+                if let Err(e) = recorder.record(hashes[*index], result) {
+                    eprintln!("run_specs: ledger append failed: {e}");
+                }
             }
-        }
-    });
+            let record = progress_record(event);
+            if let Some(writer) = &progress {
+                let _ = writer.lock().expect("progress journal lock").write(&record);
+            }
+            if let Some(hud) = &hud {
+                if let Some(text) = hud.lock().expect("hud lock").on_record(&record) {
+                    eprintln!("{text}");
+                }
+            }
+        },
+    );
     if let Some(writer) = progress {
         match writer.into_inner().expect("progress journal lock").finish() {
             Ok(records) => {
@@ -246,7 +348,18 @@ fn main() {
             Err(e) => eprintln!("run_specs: progress journal flush failed: {e}"),
         }
     }
+    // Chaos's torn-file fault: wound the ledger's tail the way a hard
+    // kill mid-append would, proving the next --resume shrugs it off.
+    if chaos.as_ref().is_some_and(|c| c.torn_files) {
+        use std::io::Write;
+        if let Ok(mut file) = std::fs::OpenOptions::new().append(true).open(&ledger_path) {
+            let _ = file.write_all(b"{\"hash\":\"torn-by-chaos\",\"name\":\"cut");
+            eprintln!("chaos: tore the ledger tail");
+        }
+    }
 
+    let results: Vec<&noc_exp::ScenarioResult> =
+        outcomes.iter().filter_map(|o| o.result()).collect();
     print_table(
         &[
             "spec", "policy", "workload", "inj", "dlv", "lat", "nJ/flit", "done",
@@ -267,6 +380,17 @@ fn main() {
             })
             .collect::<Vec<_>>(),
     );
+    let failures: Vec<(usize, &noc_exp::PointFailure)> = outcomes
+        .iter()
+        .enumerate()
+        .filter_map(|(i, o)| o.failure().map(|f| (i, f)))
+        .collect();
+    for (index, failure) in &failures {
+        eprintln!(
+            "run_specs: point {index} ({}) failed after {} attempt(s): {}",
+            scenarios[*index].name, failure.attempts, failure.error,
+        );
+    }
     // Stamp the dump with the provenance block: which tree produced the
     // numbers, on what machine shape, over which stream/shard grid.
     let streams: Vec<&str> = {
@@ -286,11 +410,26 @@ fn main() {
     shard_counts.dedup();
     let meta = bench_meta(&streams, &shard_counts).to_value();
     let dir = adele_bench::results_dir();
-    if std::fs::create_dir_all(&dir).is_ok() {
-        let _ = std::fs::write(
-            dir.join("specs.json"),
-            results_to_json_with_meta(&results, Some(meta)),
+    // Only a fully successful suite owns results/specs.json: a partial
+    // dump would be mistaken for a complete one. The completed points
+    // are all in the ledger either way, so a later --resume finishes the
+    // job and writes the (byte-identical) merged dump.
+    if failures.is_empty() {
+        let owned: Vec<noc_exp::ScenarioResult> = results.iter().map(|&r| r.clone()).collect();
+        if let Err(e) = atomic_write(
+            &dir.join("specs.json"),
+            &results_to_json_with_meta(&owned, Some(meta)),
+        ) {
+            eprintln!("run_specs: cannot write results: {e}");
+            std::process::exit(1);
+        }
+    } else {
+        eprintln!(
+            "run_specs: {} of {} point(s) failed; every other point completed (see ledger)",
+            failures.len(),
+            outcomes.len(),
         );
+        std::process::exit(1);
     }
 
     if results.iter().any(|r| r.summary.delivered_packets == 0) {

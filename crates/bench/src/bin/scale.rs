@@ -9,7 +9,7 @@
 //! cycles/second and the process peak RSS are reported per point.
 //!
 //! Usage: `scale [--quick] [--stream v1|v2|both] [--shards 1,2,8]
-//! [--split] [--hud [--quiet]]` (`ADELE_QUICK=1` works too; the default
+//! [--split] [--hud [--quiet]] [--resume]` (`ADELE_QUICK=1` works too; the default
 //! measures **both** streams so the batched-injection speedup is recorded
 //! next to the bit-stable baseline). `--shards` takes a comma-separated
 //! list of shard counts — results are bit-identical at every count, so
@@ -22,18 +22,24 @@
 //! one line per point. Results land in `results/scale.json` under a
 //! `points` key, stamped with the `meta` provenance block (git tree, host
 //! shape, stream × shard grid).
+//!
+//! Every completed point is appended to `results/scale.ledger.jsonl`
+//! (one flushed line per point, keyed by the point's grid coordinates +
+//! cycle budget). `--resume` restores ledger-complete points instead of
+//! re-measuring them, so a killed study finishes from where it died;
+//! without `--resume` the ledger is started fresh.
 
 use adele::online::ElevatorFirstSelector;
-use adele_bench::{bench_meta, dump_json, f1, pillar_grid, print_table, quick_mode};
+use adele_bench::{bench_meta, dump_json, f1, ok_or_die, pillar_grid, print_table, quick_mode};
 use noc_obs::{Hud, Record};
 use noc_sim::{SimConfig, Simulator, TrafficInput};
 use noc_topology::{ElevatorSet, Mesh3d};
 use noc_traffic::{BatchedSynthetic, StreamVersion, SyntheticTraffic};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::time::Instant;
 
 /// One measured point of the study.
-#[derive(Serialize)]
+#[derive(Serialize, serde::Deserialize)]
 struct ScalePoint {
     mesh: String,
     nodes: usize,
@@ -67,6 +73,100 @@ struct ScalePoint {
     latency_p50: Option<u64>,
     /// 99th-percentile end-to-end latency, bucket-resolved.
     latency_p99: Option<u64>,
+}
+
+/// The study's point-level completion ledger: one flushed JSONL line per
+/// measured point, keyed by the FNV-1a hash of the point's grid
+/// coordinates and cycle budget. Same crash-safety contract as the
+/// `run_specs` spec ledger — single-`write` appends, torn tails
+/// tolerated on load.
+struct PointLedger {
+    file: std::fs::File,
+    complete: std::collections::HashMap<u64, ScalePoint>,
+}
+
+/// The content key of one grid point (timings are results, not content).
+fn point_key(
+    mesh: &Mesh3d,
+    rate: f64,
+    stream: StreamVersion,
+    shards: usize,
+    cycles: u64,
+    split: bool,
+) -> u64 {
+    noc_exp::fnv1a(
+        format!(
+            "scale|{}x{}x{}|{rate}|{stream}|{shards}|{cycles}|{split}",
+            mesh.x(),
+            mesh.y(),
+            mesh.layers(),
+        )
+        .as_bytes(),
+    )
+}
+
+impl PointLedger {
+    fn open(path: &std::path::Path, resume: bool) -> std::io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            std::fs::create_dir_all(dir)?;
+        }
+        let mut complete = std::collections::HashMap::new();
+        if resume {
+            if let Ok(text) = std::fs::read_to_string(path) {
+                for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                    let parsed = serde_json::from_str::<serde::Value>(line)
+                        .ok()
+                        .and_then(|v| {
+                            let hex: String = serde::field(&v, "hash").ok()?;
+                            let hash = u64::from_str_radix(&hex, 16).ok()?;
+                            let point =
+                                ScalePoint::from_value(&serde::field(&v, "point").ok()?).ok()?;
+                            Some((hash, point))
+                        });
+                    if let Some((hash, point)) = parsed {
+                        complete.insert(hash, point);
+                    }
+                }
+            }
+        }
+        let mut options = std::fs::OpenOptions::new();
+        if resume {
+            options.create(true).append(true);
+        } else {
+            // A fresh study owns the ledger: start it over.
+            options.create(true).write(true).truncate(true);
+        }
+        let mut file = options.open(path)?;
+        if resume {
+            // Seal a torn tail so the next append starts a clean line.
+            let text = std::fs::read_to_string(path).unwrap_or_default();
+            if !text.is_empty() && !text.ends_with('\n') {
+                use std::io::Write;
+                file.write_all(b"\n")?;
+            }
+        }
+        Ok(Self { file, complete })
+    }
+
+    fn lookup(&mut self, hash: u64) -> Option<ScalePoint> {
+        self.complete.remove(&hash)
+    }
+
+    fn record(&mut self, hash: u64, point: &ScalePoint) {
+        use std::io::Write;
+        let value = serde::Value::Object(vec![
+            (
+                "hash".to_string(),
+                serde::Value::String(format!("{hash:016x}")),
+            ),
+            ("point".to_string(), point.to_value()),
+        ]);
+        if let Ok(mut line) = serde_json::to_string(&value) {
+            line.push('\n');
+            let _ = self.file.write_all(line.as_bytes());
+            let _ = self.file.flush();
+        }
+    }
 }
 
 /// The meshes of the study: the paper's PM scale and two steps beyond.
@@ -126,13 +226,13 @@ fn measure(
     let selector = ElevatorFirstSelector::new(&mesh, elevators);
     reset_peak_rss();
     let mut sim = Simulator::from_input(config, traffic, Box::new(selector));
-    sim.advance(warmup);
+    ok_or_die(sim.advance(warmup), "scale warm-up");
     let (wall, injected, phase, latency) = if split {
         // The Amdahl probe: the flight recorder's phase timers split each
         // step into inject (serial traffic generation), compute (the
         // parallelisable per-shard network phase), exchange (boundary
         // batches) and commit (the serial tail).
-        let (phase, total) = sim.advance_phase_timed(cycles);
+        let (phase, total) = ok_or_die(sim.advance_phase_timed(cycles), "scale split window");
         (
             total.as_secs_f64(),
             sim.packet_table().total_created(),
@@ -141,7 +241,7 @@ fn measure(
         )
     } else {
         let start = Instant::now();
-        let summary = sim.measure_window(cycles);
+        let summary = ok_or_die(sim.measure_window(cycles), "scale measure window");
         (
             start.elapsed().as_secs_f64(),
             summary.injected_packets,
@@ -222,6 +322,7 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let quick = quick_mode() || args.iter().any(|a| a == "--quick");
     let split = args.iter().any(|a| a == "--split");
+    let resume = args.iter().any(|a| a == "--resume");
     let streams = stream_selection(&args);
     let shard_counts = shard_selection(&args);
     let cycles: u64 = if quick { 2_000 } else { 20_000 };
@@ -254,6 +355,22 @@ fn main() {
         }
     };
 
+    let ledger_path = adele_bench::results_dir().join("scale.ledger.jsonl");
+    let mut ledger = match PointLedger::open(&ledger_path, resume) {
+        Ok(ledger) => Some(ledger),
+        Err(e) => {
+            eprintln!("note: point ledger unavailable ({e}); study will not be resumable");
+            None
+        }
+    };
+    let restored = ledger.as_ref().map_or(0, |l| l.complete.len());
+    if resume && restored > 0 {
+        eprintln!(
+            "resuming: {restored} point(s) restored from {}",
+            ledger_path.display()
+        );
+    }
+
     let mut points = Vec::new();
     let mut index = 0;
     for (mesh, elevators) in meshes() {
@@ -266,8 +383,18 @@ fn main() {
                         mesh.y(),
                         mesh.layers(),
                     );
+                    let key = point_key(&mesh, rate, stream, shards, cycles, split);
+                    if let Some(point) = ledger.as_mut().and_then(|l| l.lookup(key)) {
+                        beat(&mut hud, index, &label, "cached", serde::Value::Null);
+                        index += 1;
+                        points.push(point);
+                        continue;
+                    }
                     beat(&mut hud, index, &label, "started", serde::Value::Null);
                     let point = measure(mesh, &elevators, rate, stream, shards, cycles, split);
+                    if let Some(ledger) = ledger.as_mut() {
+                        ledger.record(key, &point);
+                    }
                     let mut detail = vec![(
                         "run_ns".to_string(),
                         serde::Value::UInt((point.wall_seconds * 1e9) as u64),

@@ -413,14 +413,24 @@ pub fn results_dir() -> PathBuf {
 }
 
 /// Dumps a serialisable result to `results/<name>.json` (best effort).
+/// The write is atomic ([`noc_exp::atomic_write`]): a crash mid-dump
+/// leaves the previous file intact, never a torn one.
 pub fn dump_json<T: Serialize>(name: &str, value: &T) {
     let dir = results_dir();
-    if std::fs::create_dir_all(&dir).is_err() {
-        return;
-    }
     if let Ok(json) = serde_json::to_string_pretty(value) {
-        let _ = std::fs::write(dir.join(format!("{name}.json")), json);
+        let _ = noc_exp::atomic_write(&dir.join(format!("{name}.json")), &json);
     }
+}
+
+/// Unwraps a simulation result in a trusted figure binary, or exits with
+/// code 3 after printing the structured error — the figure suites treat
+/// an engine failure (a deadlock on a vetted spec) as a fatal authoring
+/// bug, but report it as a value instead of a panic backtrace.
+pub fn ok_or_die<T>(result: Result<T, noc_sim::SimError>, context: &str) -> T {
+    result.unwrap_or_else(|e| {
+        eprintln!("error: {context}: {e}");
+        std::process::exit(3);
+    })
 }
 
 /// Prints a fixed-width table: header row then rows of cells.

@@ -85,6 +85,18 @@ pub enum Event {
         /// Probability that a packet targets a hotspot.
         fraction: f64,
     },
+    /// The fabric wedges solid for `cycles` cycles from `cycle` on: no
+    /// flit moves, traffic queues at the NIs, the watchdog keeps
+    /// counting. The chaos-harness stressor — a freeze outlasting the
+    /// scenario's watchdog produces a deterministic
+    /// [`noc_sim::SimError::Deadlock`]; a shorter one is a recoverable
+    /// stall that only shows up in latency.
+    FabricFreeze {
+        /// Firing cycle.
+        cycle: Cycle,
+        /// Length of the freeze in cycles.
+        cycles: u64,
+    },
 }
 
 impl Event {
@@ -127,6 +139,13 @@ impl Event {
             Event::HotspotShift {
                 hotspots, fraction, ..
             } => validate_hotspots(mesh, hotspots, *fraction),
+            Event::FabricFreeze { cycles, .. } => {
+                if *cycles >= 1 {
+                    Ok(())
+                } else {
+                    Err("fabric freeze must last at least 1 cycle".into())
+                }
+            }
         }
     }
 
@@ -137,7 +156,8 @@ impl Event {
             Event::ElevatorFail { cycle, .. }
             | Event::ElevatorRecover { cycle, .. }
             | Event::InjectionBurst { cycle, .. }
-            | Event::HotspotShift { cycle, .. } => *cycle,
+            | Event::HotspotShift { cycle, .. }
+            | Event::FabricFreeze { cycle, .. } => *cycle,
         }
     }
 
@@ -171,6 +191,9 @@ impl Event {
                     fraction: *fraction,
                 },
             ),
+            Event::FabricFreeze { cycle, cycles } => {
+                (*cycle, SimCommand::FreezeFabric { cycles: *cycles })
+            }
         }
     }
 }

@@ -21,6 +21,17 @@
 //! * [`specs`] — suite loading: a directory of scenario JSON files
 //!   becomes a validated, filename-ordered batch ready for the pool (the
 //!   checked-in `specs/` suite and the `run_specs` binary build on this).
+//! * [`supervise`] — the supervised pool for long or hostile sweeps:
+//!   per-point `catch_unwind` isolation, wall-clock deadlines, bounded
+//!   retries for environmental faults, every point ending as a
+//!   structured [`PointOutcome`] — one dead point never takes the batch.
+//! * [`ledger`] — crash-safe bookkeeping: atomic results writes
+//!   ([`atomic_write`]) and an append-only completion [`Ledger`] keyed
+//!   by canonical-spec hash, making killed sweeps resumable with
+//!   byte-identical merged output.
+//! * [`chaos`] — deterministic fault injection ([`ChaosSpec`], the
+//!   `NOC_CHAOS` env grammar): seeded worker panics, rigged deadlocks,
+//!   delays and torn files for proving all of the above under fire.
 //!
 //! # Example
 //!
@@ -36,20 +47,25 @@
 //!     .with_phases(500, 2_000, 10_000)
 //!     .with_event(Event::ElevatorFail { cycle: 1_500, elevator: ElevatorId(1) })
 //!     .with_seed(42);
-//! let result = scenario.run();
+//! let result = scenario.run().expect("vetted spec, sane watchdog");
 //! assert!(result.summary.delivered_packets > 0);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chaos;
 pub mod event;
+pub mod ledger;
 pub mod runner;
 pub mod scenario;
 pub mod specs;
+pub mod supervise;
 pub mod trace;
 
+pub use chaos::ChaosSpec;
 pub use event::Event;
+pub use ledger::{atomic_write, canonical_spec_json, fnv1a, spec_hash, Ledger};
 pub use noc_traffic::StreamVersion;
 pub use runner::{
     default_threads, par_injection_sweep, par_injection_sweep_input, par_map, run_batch,
@@ -60,6 +76,10 @@ pub use scenario::{
     WorkloadKind, WorkloadSpec,
 };
 pub use specs::{load_dir, load_spec};
+pub use supervise::{
+    progress_record, run_batch_supervised, BatchEvent, PointError, PointFailure, PointOutcome,
+    Supervision,
+};
 pub use trace::{
     record_trace, record_trace_at, trace_period, verify_trace, VerifyReport, DEFAULT_TRACE_PERIOD,
 };

@@ -12,7 +12,7 @@
 use crate::scenario::{Scenario, ScenarioResult};
 use adele::online::ElevatorSelector;
 use noc_sim::harness::{run_once, run_once_input, SweepPoint};
-use noc_sim::{SimConfig, TrafficInput};
+use noc_sim::{SimConfig, SimError, TrafficInput};
 use noc_traffic::TrafficSource;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
@@ -80,39 +80,64 @@ where
 /// workers. The output is exactly [`noc_sim::harness::injection_sweep`]'s
 /// — same points, same order, bit-identical summaries — because every
 /// point builds fresh traffic/selector state from the factories.
-#[must_use]
+///
+/// # Errors
+///
+/// Returns the first (in input order) [`SimError`] any point surfaced;
+/// like the sequential sweep this fails the grid as a unit. Per-point
+/// isolation with retries lives in [`crate::supervise`].
 pub fn par_injection_sweep(
     config: &SimConfig,
     rates: &[f64],
     make_traffic: &SyncTrafficFactory<'_>,
     make_selector: &SyncSelectorFactory<'_>,
     threads: usize,
-) -> Vec<SweepPoint> {
-    par_map(rates, threads, |_, &rate| SweepPoint {
-        rate,
-        summary: run_once(config, make_traffic(rate), make_selector()),
+) -> Result<Vec<SweepPoint>, SimError> {
+    par_map(rates, threads, |_, &rate| {
+        Ok(SweepPoint {
+            rate,
+            summary: run_once(config, make_traffic(rate), make_selector())?,
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// [`par_injection_sweep`] over either workload stream: the factory
 /// hands back a [`TrafficInput`], so `v2` scheduled workloads sweep on
 /// the same pool with the same in-order, bit-identical guarantee.
-#[must_use]
+///
+/// # Errors
+///
+/// Returns the first (in input order) [`SimError`] any point surfaced.
 pub fn par_injection_sweep_input(
     config: &SimConfig,
     rates: &[f64],
     make_input: &SyncInputFactory<'_>,
     make_selector: &SyncSelectorFactory<'_>,
     threads: usize,
-) -> Vec<SweepPoint> {
-    par_map(rates, threads, |_, &rate| SweepPoint {
-        rate,
-        summary: run_once_input(config, make_input(rate), make_selector()),
+) -> Result<Vec<SweepPoint>, SimError> {
+    par_map(rates, threads, |_, &rate| {
+        Ok(SweepPoint {
+            rate,
+            summary: run_once_input(config, make_input(rate), make_selector())?,
+        })
     })
+    .into_iter()
+    .collect()
 }
 
 /// Runs a batch of scenarios on `threads` workers; results come back in
 /// input order, each bit-identical to `scenario.run()`.
+///
+/// This is the *trusted* fast path for vetted figure suites: a
+/// [`SimError`] from any scenario panics the batch with the scenario's
+/// name. Sweeps that must survive per-point failure go through
+/// [`crate::supervise::run_batch_supervised`] instead.
+///
+/// # Panics
+///
+/// Panics if any scenario's run fails with a [`SimError`].
 #[must_use]
 pub fn run_batch(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> {
     run_batch_with_progress(scenarios, threads, |_| {})
@@ -129,6 +154,11 @@ pub fn run_batch(scenarios: &[Scenario], threads: usize) -> Vec<ScenarioResult> 
 /// pool queue latency) and, on `done`, `run_ns`, the delivered-packet
 /// count and the summary's latency figures (`avg_latency`,
 /// `latency_p50`, `latency_p99`) — the fields the live HUD renders.
+///
+/// # Panics
+///
+/// Panics if any scenario's run fails with a [`SimError`] (see
+/// [`run_batch`]).
 #[must_use]
 pub fn run_batch_with_progress<F>(
     scenarios: &[Scenario],
@@ -152,7 +182,9 @@ where
             detail: serde::Value::Object(vec![("queued_ns".to_string(), ns(queued))]),
         });
         let t0 = std::time::Instant::now();
-        let result = scenario.run();
+        let result = scenario
+            .run()
+            .unwrap_or_else(|e| panic!("scenario {:?} failed: {e}", scenario.name));
         progress(&noc_obs::Record::Progress {
             index,
             total: scenarios.len(),
@@ -221,7 +253,7 @@ mod tests {
                     .with_seed(40 + u64::from(i))
             })
             .collect();
-        let sequential: Vec<_> = scenarios.iter().map(Scenario::run).collect();
+        let sequential: Vec<_> = scenarios.iter().map(|s| s.run().unwrap()).collect();
         let parallel = run_batch(&scenarios, 4);
         assert_eq!(parallel, sequential);
     }

@@ -12,7 +12,7 @@ use adele::offline::SubsetAssignment;
 use adele::online::ElevatorSelector;
 use adele::online::{AdeleSelector, CdaSelector, ElevatorFirstSelector};
 use adele::AdeleConfig;
-use noc_sim::{RunSummary, SimConfig, Simulator, TrafficInput};
+use noc_sim::{RunSummary, SimConfig, SimError, Simulator, TrafficInput};
 use noc_topology::placement::Placement;
 use noc_topology::{Coord, ElevatorSet, Mesh3d};
 use noc_traffic::injection::{OnOffParams, PacketSizeRange};
@@ -487,6 +487,12 @@ pub struct Scenario {
     /// Opt-in flight-recorder settings; `None` (the default) leaves the
     /// spec's serialised form — and the run — exactly as before.
     pub trace: Option<TraceSpec>,
+    /// Deadlock-watchdog override in cycles; `None` (the default) keeps
+    /// [`SimConfig`]'s threshold and leaves the serialised spec exactly
+    /// as before the field existed. The chaos harness sets adversarially
+    /// tiny values here (0 is legal) to turn induced stalls into
+    /// deterministic structured failures.
+    pub watchdog: Option<u64>,
 }
 
 impl Serialize for Scenario {
@@ -509,6 +515,9 @@ impl Serialize for Scenario {
         ];
         if let Some(trace) = &self.trace {
             entries.push(("trace".to_string(), trace.to_value()));
+        }
+        if let Some(watchdog) = self.watchdog {
+            entries.push(("watchdog".to_string(), watchdog.to_value()));
         }
         serde::Value::Object(entries)
     }
@@ -533,6 +542,7 @@ impl Scenario {
             events: Vec::new(),
             shards: 1,
             trace: None,
+            watchdog: None,
         }
     }
 
@@ -604,6 +614,15 @@ impl Scenario {
         self
     }
 
+    /// Overrides the deadlock-watchdog threshold (cycles without progress
+    /// while flits are in flight before the run fails with
+    /// [`SimError::Deadlock`]). `0` is legal and adversarial.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: u64) -> Self {
+        self.watchdog = Some(watchdog);
+        self
+    }
+
     /// Checks that the scenario's pieces agree with each other: the
     /// elevator set matches the mesh geometry, the workload fits the mesh,
     /// an explicit offline assignment matches the topology, and every
@@ -646,10 +665,13 @@ impl Scenario {
     /// The simulator configuration this scenario describes.
     #[must_use]
     pub fn sim_config(&self) -> SimConfig {
-        let config = SimConfig::new(self.mesh, self.elevators.clone())
+        let mut config = SimConfig::new(self.mesh, self.elevators.clone())
             .with_phases(self.warmup, self.measure, self.drain_max)
             .with_seed(self.seed)
             .with_shards(self.shards);
+        if let Some(watchdog) = self.watchdog {
+            config = config.with_watchdog(watchdog);
+        }
         // Telemetry pushes cost a roll-up each period: enable them only
         // for the selector that consumes the signal.
         if matches!(
@@ -682,12 +704,17 @@ impl Scenario {
     }
 
     /// Runs the scenario to completion.
-    #[must_use]
-    pub fn run(&self) -> ScenarioResult {
-        ScenarioResult {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError`] (deadlock watchdog) from the run as a
+    /// structured value — supervised pools record it per point; trusted
+    /// fast paths `expect` it with the scenario's name for context.
+    pub fn run(&self) -> Result<ScenarioResult, SimError> {
+        Ok(ScenarioResult {
             name: self.name.clone(),
-            summary: self.build_simulator().run(),
-        }
+            summary: self.build_simulator().run()?,
+        })
     }
 }
 
@@ -711,6 +738,8 @@ impl Deserialize for Scenario {
             shards: serde::optional_field(value, "shards")?.unwrap_or(1),
             // Also post-format: absent means no flight recorder.
             trace: serde::optional_field(value, "trace")?,
+            // Absent means the simulator's default threshold.
+            watchdog: serde::optional_field(value, "watchdog")?,
         };
         scenario
             .validate()
@@ -720,7 +749,11 @@ impl Deserialize for Scenario {
 }
 
 /// The outcome of one scenario run.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// Round-trips through JSON (the completion ledger restores results from
+/// disk on `--resume`, byte-identically — the vendored JSON float
+/// representation is exact for round-trips).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct ScenarioResult {
     /// The scenario's name.
     pub name: String,
@@ -776,8 +809,8 @@ mod tests {
     #[test]
     fn scenario_runs_and_is_deterministic() {
         let scenario = tiny();
-        let a = scenario.run();
-        let b = scenario.run();
+        let a = scenario.run().unwrap();
+        let b = scenario.run().unwrap();
         assert_eq!(a, b);
         assert_eq!(a.name, "tiny");
         assert!(a.summary.delivered_packets > 0);
@@ -822,7 +855,7 @@ mod tests {
             },
         ];
         for spec in specs {
-            let result = tiny().with_workload(spec.clone()).run();
+            let result = tiny().with_workload(spec.clone()).run().unwrap();
             assert!(
                 result.summary.delivered_packets > 0,
                 "{spec:?} must deliver packets"
@@ -846,20 +879,21 @@ mod tests {
             ),
         ] {
             let scenario = tiny().with_selector(spec);
-            let result = scenario.run();
+            let result = scenario.run().unwrap();
             assert_eq!(result.summary.policy, name);
         }
     }
 
     #[test]
     fn injection_burst_event_raises_offered_load() {
-        let base = tiny().run();
+        let base = tiny().run().unwrap();
         let burst = tiny()
             .with_event(Event::InjectionBurst {
                 cycle: 0,
                 factor: 3.0,
             })
-            .run();
+            .run()
+            .unwrap();
         assert!(
             burst.summary.injected_packets > base.summary.injected_packets * 2,
             "3× burst must roughly triple injections ({} vs {})",
@@ -878,8 +912,9 @@ mod tests {
                 hotspots: vec![hot],
                 fraction: 0.9,
             })
-            .run();
-        let base = tiny().run();
+            .run()
+            .unwrap();
+        let base = tiny().run().unwrap();
         let hot_id = mesh.node_id(hot).unwrap();
         assert!(
             shifted.summary.router_flits[hot_id.index()]
@@ -896,7 +931,8 @@ mod tests {
                 cycle: 0,
                 elevator: ElevatorId(0),
             })
-            .run();
+            .run()
+            .unwrap();
         assert_eq!(failed.summary.elevator_packets[0], 0);
         assert!(failed.summary.elevator_packets[1] > 0);
     }

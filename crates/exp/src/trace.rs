@@ -46,8 +46,10 @@ pub fn record_trace(scenario: &Scenario, period: u64) -> String {
 ///
 /// # Panics
 ///
-/// Panics on scenario authoring errors, or if `schema` is 0 or newer
-/// than [`TRACE_SCHEMA_VERSION`].
+/// Panics on scenario authoring errors, if `schema` is 0 or newer than
+/// [`TRACE_SCHEMA_VERSION`], or if the run itself fails with a
+/// [`noc_sim::SimError`] — golden traces are recorded from vetted specs,
+/// so a deadlock here is an authoring error too.
 #[must_use]
 pub fn record_trace_at(scenario: &Scenario, period: u64, schema: u32) -> String {
     let buffer = SharedBuffer::new();
@@ -64,7 +66,9 @@ pub fn record_trace_at(scenario: &Scenario, period: u64, schema: u32) -> String 
         .expect("in-memory journal write cannot fail");
     let mut sim = scenario.build_simulator();
     sim.attach_tracer(Tracer::new(writer, period).with_schema(schema));
-    let _summary = sim.run();
+    let _summary = sim
+        .run()
+        .unwrap_or_else(|e| panic!("trace recording for {:?} failed: {e}", scenario.name));
     buffer.contents()
 }
 

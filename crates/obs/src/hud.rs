@@ -3,8 +3,9 @@
 //! work-queue occupancy.
 //!
 //! The HUD consumes the same wire format the batch runner already streams
-//! (`Record::Progress` beats with `started`/`done` status), so anything
-//! that can tail a journal can drive it. It owns no I/O: [`Hud::on_record`]
+//! (`Record::Progress` beats with `started`/`done` status, plus the
+//! supervised pool's `failed` and `cached`), so anything that can tail a
+//! journal can drive it. It owns no I/O: [`Hud::on_record`]
 //! returns the text to print — a redraw block with ANSI cursor motion in
 //! live mode, or one plain line per completed point in `--quiet` mode
 //! (the CI-friendly fallback).
@@ -30,6 +31,7 @@ pub struct Hud {
     quiet: bool,
     started: usize,
     done: usize,
+    failed: usize,
     begun: Instant,
     last: Option<PointStats>,
     prev_lines: usize,
@@ -45,16 +47,24 @@ impl Hud {
             quiet,
             started: 0,
             done: 0,
+            failed: 0,
             begun: Instant::now(),
             last: None,
             prev_lines: 0,
         }
     }
 
-    /// Points completed so far.
+    /// Points completed so far (including failed and ledger-cached ones —
+    /// a structured failure still retires its point from the worklist).
     #[must_use]
     pub fn done(&self) -> usize {
         self.done
+    }
+
+    /// Points that completed as structured failures.
+    #[must_use]
+    pub fn failed(&self) -> usize {
+        self.failed
     }
 
     /// Points started but not yet completed (the in-flight worklist).
@@ -100,10 +110,23 @@ impl Hud {
                     run_secs: detail_u64(detail, "run_ns").map(|ns| ns as f64 / 1e9),
                 });
             }
+            // A structured failure still retires its point — a sweep with
+            // dead points must show 100%, not hang short of the bar's end.
+            "failed" => {
+                self.done += 1;
+                self.failed += 1;
+                self.started = self.started.max(self.done);
+            }
+            // Ledger hits skip the `started` beat entirely.
+            "cached" => {
+                self.done += 1;
+                self.started += 1;
+                self.started = self.started.max(self.done);
+            }
             _ => return None,
         }
         if self.quiet {
-            if status == "done" {
+            if matches!(status.as_str(), "done" | "failed" | "cached") {
                 return Some(self.quiet_line());
             }
             return None;
@@ -168,6 +191,9 @@ impl Hud {
             self.in_flight(),
             self.queued(),
         );
+        if self.failed > 0 {
+            out.push_str(&format!(" · failed {}", self.failed));
+        }
         if let Some(last) = &self.last {
             out.push_str(&format!("\nlast {}", last.label));
             if let (Some(p50), Some(p99)) = (last.p50, last.p99) {
@@ -308,5 +334,32 @@ mod tests {
         assert!(frame.contains("sweep 3/3"), "{frame}");
         assert!(frame.contains("ETA done"), "{frame}");
         assert!(frame.contains("100.0%"), "{frame}");
+    }
+
+    #[test]
+    fn failed_and_cached_points_retire_from_the_worklist() {
+        let mut hud = Hud::new(3, false);
+        hud.on_record(&progress(0, "cached", Value::Object(vec![])));
+        hud.on_record(&progress(1, "started", Value::Object(vec![])));
+        hud.on_record(&progress(1, "failed", Value::Object(vec![])));
+        hud.on_record(&progress(2, "started", Value::Object(vec![])));
+        hud.on_record(&progress(2, "done", done_detail()));
+        assert_eq!(hud.done(), 3);
+        assert_eq!(hud.failed(), 1);
+        assert_eq!(hud.in_flight(), 0);
+        assert_eq!(hud.queued(), 0);
+        let frame = hud.render_at(1.0);
+        assert!(frame.contains("sweep 3/3"), "{frame}");
+        assert!(frame.contains("· failed 1"), "{frame}");
+    }
+
+    #[test]
+    fn quiet_mode_reports_failures_too() {
+        let mut hud = Hud::new(3, true);
+        hud.on_record(&progress(0, "started", Value::Object(vec![])));
+        let line = hud
+            .on_record(&progress(0, "failed", Value::Object(vec![])))
+            .expect("failed emits a line");
+        assert!(line.starts_with("[1/3]"), "{line}");
     }
 }

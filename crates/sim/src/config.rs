@@ -29,8 +29,13 @@ pub struct SimConfig {
     /// enabling it leaves default-policy runs bit-identical regardless.
     pub energy_feedback_period: u64,
     /// Cycles without progress (while flits are in flight) before the
-    /// simulator declares a deadlock and panics. Deadlocks indicate routing
-    /// bugs; Elevator-First is provably deadlock-free.
+    /// simulator declares a deadlock and the run fails with
+    /// [`crate::SimError::Deadlock`] — a structured value carrying
+    /// exact-cycle diagnostics, not a panic. With the default threshold a
+    /// deadlock indicates a routing bug (Elevator-First is provably
+    /// deadlock-free); adversarially tiny values (`0` is legal) turn
+    /// ordinary credit bubbles into deterministic induced failures, which
+    /// is what the chaos harness uses to test supervisors.
     pub watchdog: u64,
     /// Record latency/hop histograms on the delivery path (`true` by
     /// default). The histograms are plain per-shard counter arrays folded
@@ -110,6 +115,16 @@ impl SimConfig {
         self
     }
 
+    /// Sets the deadlock-watchdog threshold (cycles without progress
+    /// while flits are in flight before the run fails with
+    /// [`crate::SimError::Deadlock`]). `0` is legal and adversarial: the
+    /// first stalled cycle fails the run.
+    #[must_use]
+    pub fn with_watchdog(mut self, watchdog: u64) -> Self {
+        self.watchdog = watchdog;
+        self
+    }
+
     /// Enables or disables the delivery-path latency/hop histograms.
     #[must_use]
     pub fn with_histograms(mut self, histograms: bool) -> Self {
@@ -148,11 +163,13 @@ mod tests {
             .with_phases(1, 2, 3)
             .with_seed(9)
             .with_buffer_depth(8)
+            .with_watchdog(7)
             .with_histograms(false)
             .with_shards(4);
         assert_eq!((c.warmup, c.measure, c.drain_max), (1, 2, 3));
         assert_eq!(c.seed, 9);
         assert_eq!(c.buffer_depth, 8);
+        assert_eq!(c.watchdog, 7);
         assert!(!c.histograms);
         assert_eq!(c.shards, 4);
         c.validate();

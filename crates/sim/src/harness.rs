@@ -1,7 +1,13 @@
 //! Experiment helpers: injection-rate sweeps, zero-load latency and
 //! saturation detection — the building blocks every figure harness uses.
+//!
+//! Every entry point propagates [`SimError`]: a deadlocked run surfaces
+//! as a structured value the caller can record (sweep supervisors) or
+//! print-and-exit on (figure binaries) — never a panic that takes a
+//! worker pool down.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::sim::{Simulator, TrafficInput};
 use crate::stats::RunSummary;
 use adele::online::ElevatorSelector;
@@ -30,39 +36,52 @@ pub struct SweepPoint {
 /// Takes the configuration by reference — like every other harness entry
 /// point — and clones it internally; one `SimConfig` can drive a whole
 /// family of runs.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the run (deadlock watchdog).
 pub fn run_once(
     config: &SimConfig,
     traffic: Box<dyn TrafficSource>,
     selector: Box<dyn ElevatorSelector>,
-) -> RunSummary {
+) -> Result<RunSummary, SimError> {
     run_once_input(config, TrafficInput::Polled(traffic), selector)
 }
 
 /// [`run_once`] over either workload stream.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the run (deadlock watchdog).
 pub fn run_once_input(
     config: &SimConfig,
     input: TrafficInput,
     selector: Box<dyn ElevatorSelector>,
-) -> RunSummary {
+) -> Result<RunSummary, SimError> {
     Simulator::from_input(config.clone(), input, selector).run()
 }
 
 /// Sweeps packet-injection rates, building fresh traffic and selector
 /// state per point (state must not leak between offered loads).
-#[must_use]
+///
+/// # Errors
+///
+/// Fails fast on the first deadlocked point: rates are independent runs,
+/// so callers that want per-point isolation should supervise each rate
+/// themselves (the `noc_exp` pool does).
 pub fn injection_sweep(
     config: &SimConfig,
     rates: &[f64],
     make_traffic: &TrafficFactory<'_>,
     make_selector: &SelectorFactory<'_>,
-) -> Vec<SweepPoint> {
+) -> Result<Vec<SweepPoint>, SimError> {
     rates
         .iter()
-        .map(|&rate| SweepPoint {
-            rate,
-            summary: run_once(config, make_traffic(rate), make_selector()),
+        .map(|&rate| {
+            Ok(SweepPoint {
+                rate,
+                summary: run_once(config, make_traffic(rate), make_selector())?,
+            })
         })
         .collect()
 }
@@ -70,28 +89,38 @@ pub fn injection_sweep(
 /// Measures the zero-load latency: the average latency at a token
 /// injection rate (1e-4), the baseline of the paper's saturation
 /// definition.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the run (deadlock watchdog).
 pub fn zero_load_latency(
     config: &SimConfig,
     make_traffic: &TrafficFactory<'_>,
     make_selector: &SelectorFactory<'_>,
-) -> f64 {
-    run_once(config, make_traffic(1e-4), make_selector()).avg_latency
+) -> Result<f64, SimError> {
+    Ok(run_once(config, make_traffic(1e-4), make_selector())?.avg_latency)
 }
 
 /// [`zero_load_latency`] over either workload stream.
-#[must_use]
+///
+/// # Errors
+///
+/// Propagates [`SimError`] from the run (deadlock watchdog).
 pub fn zero_load_latency_input(
     config: &SimConfig,
     make_input: &InputFactory<'_>,
     make_selector: &SelectorFactory<'_>,
-) -> f64 {
-    run_once_input(config, make_input(1e-4), make_selector()).avg_latency
+) -> Result<f64, SimError> {
+    Ok(run_once_input(config, make_input(1e-4), make_selector())?.avg_latency)
 }
 
 /// The paper's saturation criterion: the first swept rate whose latency
 /// exceeds `10 × zero_load` (or whose run failed to drain). `None` if the
 /// sweep never saturates.
+///
+/// Note the asymmetry with [`SimError`]: a rate that *saturates* (the
+/// drain cap expires with packets still in flight) is a legitimate sweep
+/// outcome reported through `completed = false`, not an error.
 #[must_use]
 pub fn saturation_rate(points: &[SweepPoint], zero_load: f64) -> Option<f64> {
     points
@@ -123,7 +152,8 @@ mod tests {
             &[0.0005, 0.004],
             &|rate| Box::new(SyntheticTraffic::uniform(&mesh, rate, 3)),
             &|| Box::new(ElevatorFirstSelector::new(&mesh, &elevators)),
-        );
+        )
+        .unwrap();
         assert_eq!(points.len(), 2);
         assert!(points[1].summary.avg_latency >= points[0].summary.avg_latency * 0.8);
     }
@@ -139,10 +169,10 @@ mod tests {
         let selector = || -> Box<dyn adele::online::ElevatorSelector> {
             Box::new(ElevatorFirstSelector::new(&mesh, &elevators))
         };
-        let zero = zero_load_latency(&config, &traffic, &selector);
+        let zero = zero_load_latency(&config, &traffic, &selector).unwrap();
         assert!(zero > 0.0);
         // One elevator for 32 nodes saturates quickly under uniform load.
-        let points = injection_sweep(&config, &[0.0005, 0.05], &traffic, &selector);
+        let points = injection_sweep(&config, &[0.0005, 0.05], &traffic, &selector).unwrap();
         let sat = saturation_rate(&points, zero);
         assert_eq!(sat, Some(0.05));
     }

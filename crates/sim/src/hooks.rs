@@ -37,6 +37,17 @@ pub enum SimCommand {
         /// Probability that a packet targets a hotspot.
         fraction: f64,
     },
+    /// Freezes the fabric for `cycles` cycles: no flit moves, no NI
+    /// injects (traffic keeps queueing at the NIs), the cycle counter
+    /// keeps advancing. This is the chaos harness's wedge rig — a frozen
+    /// span longer than the watchdog produces a deterministic
+    /// [`crate::SimError::Deadlock`] at an exact cycle; a shorter one is
+    /// a recoverable stall (modelling a transient hang: a glitched clock
+    /// domain, a firmware pause). Overlapping freezes extend each other.
+    FreezeFabric {
+        /// Length of the freeze in cycles.
+        cycles: u64,
+    },
 }
 
 /// A cycle-stamped queue of [`SimCommand`]s, kept sorted by firing cycle.

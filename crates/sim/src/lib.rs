@@ -27,16 +27,24 @@
 //!     .with_seed(7);
 //! let traffic = SyntheticTraffic::uniform(&mesh, 0.002, 7);
 //! let selector = ElevatorFirstSelector::new(&mesh, &elevators);
-//! let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run();
+//! let summary = Simulator::new(config, Box::new(traffic), Box::new(selector))
+//!     .run()
+//!     .expect("sane watchdog, deadlock-free routing");
 //! assert!(summary.delivered_packets > 0);
 //! assert!(summary.avg_latency > 0.0);
 //! ```
+//!
+//! Simulation failure is a structured value, not a panic: a fired
+//! deadlock watchdog or a stalled explicit drain surfaces as a
+//! [`SimError`] carrying exact-cycle diagnostics, so sweep supervisors
+//! can record a dead point and keep the rest of the batch running.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 mod arena;
 mod config;
+mod error;
 mod flit;
 mod network;
 mod obs;
@@ -52,6 +60,7 @@ pub mod harness;
 pub mod hooks;
 
 pub use config::SimConfig;
+pub use error::SimError;
 // Energy modelling lives in `noc_energy`; re-exported for compatibility
 // (the model/ledger types predate the telemetry crate).
 pub use flit::{Flit, FlitKind, Packet, PacketId};

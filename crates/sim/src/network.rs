@@ -701,13 +701,16 @@ mod tests {
     }
 
     /// Drives the network until every packet retires or `max` cycles pass,
-    /// then drains the telemetry partitions into `stats`.
+    /// then drains the telemetry partitions into `stats`. A stall comes
+    /// back as the same structured [`crate::SimError::DrainStalled`] the
+    /// simulator's strict drain reports, so failing tests print the full
+    /// diagnostics (outstanding packets, buffered flits, state digest).
     fn drain(
         net: &mut Network,
         table: &mut PacketTable,
         stats: &mut StatsCollector,
         max: u64,
-    ) -> u64 {
+    ) -> Result<u64, crate::SimError> {
         let mut ledger = EnergyLedger::default();
         let mut telemetry = telemetry_for(net);
         let mut feedbacks = Vec::new();
@@ -724,13 +727,17 @@ mod tests {
             // is exactly "no live slots".
             if table.live() == 0 {
                 net.drain_partials(stats, &mut ledger, &mut telemetry);
-                return cycle + 1;
+                return Ok(cycle + 1);
             }
         }
-        panic!(
-            "packets not drained after {max} cycles: {} undelivered",
-            table.live()
-        );
+        Err(crate::SimError::DrainStalled {
+            cycle: max,
+            cap: max,
+            outstanding: table.live() as u64,
+            buffered: net.buffered_flits(),
+            calendar_depth: 0,
+            state_digest: net.state_digest(),
+        })
     }
 
     #[test]
@@ -752,7 +759,7 @@ mod tests {
                 0,
             ),
         );
-        let cycles = drain(&mut net, &mut table, &mut stats, 200);
+        let cycles = drain(&mut net, &mut table, &mut stats, 200).unwrap();
         // 3 hops + ejection + serialisation of 5 flits: latency well under 30.
         assert!(cycles < 30, "took {cycles} cycles");
         assert_eq!(stats.delivered_flits, 5);
@@ -781,7 +788,7 @@ mod tests {
                 0,
             ),
         );
-        drain(&mut net, &mut table, &mut stats, 300);
+        drain(&mut net, &mut table, &mut stats, 300).unwrap();
         // The pillar router on each layer must have seen the packet's flits.
         let pillar0 = mesh.node_id(Coord::new(1, 1, 0)).unwrap();
         let pillar1 = mesh.node_id(Coord::new(1, 1, 1)).unwrap();
@@ -849,7 +856,7 @@ mod tests {
                 make_packet(&mesh, &elevators, src, dst, 6, 0),
             );
         }
-        drain(&mut net, &mut table, &mut stats, 5000);
+        drain(&mut net, &mut table, &mut stats, 5000).unwrap();
         assert_eq!(stats.delivered_flits, total_flits);
         assert_eq!(net.buffered_flits(), 0);
         assert_eq!(net.queued_packets(), 0);
@@ -969,7 +976,19 @@ mod tests {
                 return;
             }
         }
-        panic!("hotspot run did not drain in 2000 cycles");
+        // Fail with the structured drain diagnostics rather than a bare
+        // message — the same value the production strict drain returns.
+        panic!(
+            "hotspot run: {}",
+            crate::SimError::DrainStalled {
+                cycle: 2000,
+                cap: 2000,
+                outstanding: table.live() as u64,
+                buffered: net.buffered_flits(),
+                calendar_depth: 0,
+                state_digest: net.state_digest(),
+            }
+        );
     }
 
     #[test]
@@ -1004,7 +1023,7 @@ mod tests {
                 0,
             ),
         );
-        drain(&mut net, &mut table, &mut stats, 200);
+        drain(&mut net, &mut table, &mut stats, 200).unwrap();
         assert!(net.is_idle(), "drained network has no active routers");
         let footprint = net.heap_footprint();
         let mut ledger = EnergyLedger::default();

@@ -144,6 +144,10 @@ pub(crate) fn command_record(cycle: u64, command: &SimCommand) -> Record {
                 ("fraction".to_string(), Value::Float(*fraction)),
             ],
         ),
+        SimCommand::FreezeFabric { cycles } => (
+            "freeze_fabric",
+            vec![("cycles".to_string(), Value::UInt(*cycles))],
+        ),
     };
     Record::Event {
         cycle,

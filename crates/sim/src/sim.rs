@@ -1,6 +1,7 @@
 //! The simulation driver: traffic → selection → network → statistics.
 
 use crate::config::SimConfig;
+use crate::error::SimError;
 use crate::flit::Packet;
 use crate::hooks::{EventSchedule, SimCommand};
 use crate::network::Network;
@@ -112,6 +113,10 @@ pub struct Simulator {
     tracer: Option<Box<Tracer>>,
     cycle: u64,
     last_progress: u64,
+    /// First cycle at which a [`SimCommand::FreezeFabric`] wedge thaws;
+    /// `0` (the default) means not frozen — the hot path pays one
+    /// always-false comparison.
+    frozen_until: u64,
 }
 
 impl std::fmt::Debug for Simulator {
@@ -210,6 +215,7 @@ impl Simulator {
             tracer: None,
             cycle: 0,
             last_progress: 0,
+            frozen_until: 0,
         }
     }
 
@@ -266,6 +272,9 @@ impl Simulator {
                     },
                     self.cycle,
                 );
+            }
+            SimCommand::FreezeFabric { cycles } => {
+                self.frozen_until = self.frozen_until.max(self.cycle.saturating_add(*cycles));
             }
         }
     }
@@ -366,15 +375,21 @@ impl Simulator {
 
     /// Advances one cycle.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the deadlock watchdog fires (flits in flight but no
-    /// progress for `config.watchdog` cycles) — Elevator-First routing is
-    /// deadlock-free, so this indicates a simulator or routing bug.
-    pub fn step(&mut self) {
+    /// Returns [`SimError::Deadlock`] if the watchdog fires (flits in
+    /// flight but no progress for more than `config.watchdog` cycles) —
+    /// with the default threshold this indicates a simulator or routing
+    /// bug (Elevator-First routing is deadlock-free). The error carries
+    /// exact-cycle diagnostics and the state digest of the wedged fabric;
+    /// the simulator itself stays inspectable (the cycle counter is not
+    /// advanced past the failure).
+    pub fn step(&mut self) -> Result<(), SimError> {
+        if self.cycle < self.frozen_until {
+            return self.step_frozen();
+        }
         if self.tracer.is_some() {
-            self.step_traced();
-            return;
+            return self.step_traced();
         }
         self.pre_step();
         let progress = match &mut self.pool {
@@ -403,13 +418,31 @@ impl Simulator {
                 &mut self.feedbacks,
             ),
         };
-        self.post_step(progress);
+        self.post_step(progress)
+    }
+
+    /// One cycle of a [`SimCommand::FreezeFabric`] wedge: commands fire
+    /// and traffic queues at the NIs, but the network is not stepped —
+    /// no flit moves, no NI injects, and the cycle books as zero
+    /// progress, so a freeze outlasting the watchdog (while flits are
+    /// buffered) deterministically surfaces [`SimError::Deadlock`].
+    /// Traced runs record command events normally; window emission
+    /// resumes when the fabric thaws.
+    fn step_frozen(&mut self) -> Result<(), SimError> {
+        if let Some(mut tracer) = self.tracer.take() {
+            self.pre_step_traced(&mut tracer);
+            let outcome = self.post_step(false);
+            self.tracer = Some(tracer);
+            return outcome;
+        }
+        self.pre_step();
+        self.post_step(false)
     }
 
     /// The observed twin of [`Self::step`]: the same calls in the same
     /// order, bracketed by phase timers, feeding the attached tracer.
     /// Simulation state evolves bit-identically to the untraced step.
-    fn step_traced(&mut self) {
+    fn step_traced(&mut self) -> Result<(), SimError> {
         let mut tracer = self.tracer.take().expect("step_traced requires a tracer");
         let t0 = std::time::Instant::now();
         self.pre_step_traced(&mut tracer);
@@ -441,17 +474,20 @@ impl Simulator {
             &mut self.telemetry,
             &mut self.feedbacks,
         );
-        self.post_step(progress);
+        let outcome = self.post_step(progress);
         let commit = t2.elapsed();
         tracer.metrics_mut().on_cycle(inject, &sample, commit);
         self.net
             .accumulate_shard_busy(tracer.metrics_mut().shard_busy_mut());
-        // `post_step` advanced the cycle, so `self.cycle` now counts
-        // completed cycles: a window closes every `period` of them.
-        if self.cycle.is_multiple_of(tracer.period()) {
+        // `post_step` advanced the cycle on success, so `self.cycle` now
+        // counts completed cycles: a window closes every `period` of them.
+        // A failed step reattaches the tracer without closing a window, so
+        // the journal keeps everything recorded up to the failure.
+        if outcome.is_ok() && self.cycle.is_multiple_of(tracer.period()) {
             self.emit_window(&mut tracer);
         }
         self.tracer = Some(tracer);
+        outcome
     }
 
     /// [`Self::pre_step`] with an `event` record per fired command.
@@ -566,9 +602,33 @@ impl Simulator {
         self.generate_traffic();
     }
 
+    /// Pending injections in the calendar (`0` on the polled stream,
+    /// which has no calendar).
+    fn calendar_depth(&self) -> u64 {
+        match &self.traffic {
+            Injector::Polled(_) => 0,
+            Injector::Scheduled(s) => s.calendar_depth(),
+        }
+    }
+
+    /// Snapshots the wedged fabric into a [`SimError::Deadlock`] — the
+    /// cold path of the watchdog, reached at most once per run.
+    #[cold]
+    fn deadlock_error(&self) -> SimError {
+        SimError::Deadlock {
+            cycle: self.cycle,
+            last_progress: self.last_progress,
+            watchdog: self.config.watchdog,
+            in_flight: self.packets.live() as u64,
+            buffered: self.net.buffered_flits(),
+            calendar_depth: self.calendar_depth(),
+            state_digest: self.net.state_digest(),
+        }
+    }
+
     /// The post-network tail of a cycle: feedback forwarding, the
     /// periodic energy push, the deadlock watchdog, and the cycle count.
-    fn post_step(&mut self, progress: bool) {
+    fn post_step(&mut self, progress: bool) -> Result<(), SimError> {
         for i in 0..self.feedbacks.len() {
             let fb = self.feedbacks[i];
             self.selector.on_source_departure(&fb);
@@ -593,15 +653,16 @@ impl Simulator {
 
         if progress || self.net.buffered_flits() == 0 {
             self.last_progress = self.cycle;
-        } else {
-            assert!(
-                self.cycle - self.last_progress <= self.config.watchdog,
-                "deadlock: no progress for {} cycles with {} flits in flight",
-                self.config.watchdog,
-                self.net.buffered_flits()
-            );
+        } else if self.cycle - self.last_progress > self.config.watchdog {
+            // Failure is a value, not a panic: the error is built only on
+            // this cold path, so the non-failing hot loop still pays
+            // nothing beyond the comparison the watchdog always made. The
+            // cycle counter stays at the failed cycle so callers can
+            // correlate the diagnostics with traces.
+            return Err(self.deadlock_error());
         }
         self.cycle += 1;
+        Ok(())
     }
 
     /// Advances `cycles` cycles, timing each phase of every step — the
@@ -610,11 +671,25 @@ impl Simulator {
     /// wall time. Semantically identical to [`Self::advance`]; on the
     /// pooled path the boundary exchange happens inside the workers, so
     /// it books as compute and `exchange` stays zero.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Deadlock`] from the watchdog; the phase
+    /// times accumulated up to the failed cycle are discarded.
     #[doc(hidden)]
-    pub fn advance_phase_timed(&mut self, cycles: u64) -> (PhaseTimes, std::time::Duration) {
+    pub fn advance_phase_timed(
+        &mut self,
+        cycles: u64,
+    ) -> Result<(PhaseTimes, std::time::Duration), SimError> {
         let start = std::time::Instant::now();
         let mut phase = PhaseTimes::default();
         for _ in 0..cycles {
+            if self.cycle < self.frozen_until {
+                let t0 = std::time::Instant::now();
+                self.step_frozen()?;
+                phase.inject += t0.elapsed();
+                continue;
+            }
             let t0 = std::time::Instant::now();
             self.pre_step();
             phase.inject += t0.elapsed();
@@ -643,10 +718,10 @@ impl Simulator {
                 &mut self.telemetry,
                 &mut self.feedbacks,
             );
-            self.post_step(progress);
+            self.post_step(progress)?;
             phase.commit += t2.elapsed();
         }
-        (phase, start.elapsed())
+        Ok((phase, start.elapsed()))
     }
 
     /// Number of measured packets not yet fully delivered — an O(1)
@@ -659,9 +734,58 @@ impl Simulator {
 
     /// Advances `cycles` cycles without touching measurement state
     /// (warm-up, inter-window gaps in phased experiments).
-    pub fn advance(&mut self, cycles: u64) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Deadlock`] from the watchdog at the cycle
+    /// it fires; earlier cycles have fully committed.
+    pub fn advance(&mut self, cycles: u64) -> Result<(), SimError> {
         for _ in 0..cycles {
-            self.step();
+            self.step()?;
+        }
+        Ok(())
+    }
+
+    /// Steps until the fabric is completely empty — no live packets, no
+    /// buffered flits, no pending calendar injections — or `max` cycles
+    /// have been spent, whichever comes first. Returns the cycles spent.
+    ///
+    /// This is the *strict* drain for callers that require an empty
+    /// fabric (checkpointing, reconfiguration, end-of-trace barriers).
+    /// It is meaningful once the workload has gone quiet (a zero-rate
+    /// source, a `ScaleInjection { factor: 0 }` command, or an exhausted
+    /// scheduled source); under live traffic it reports the offered load
+    /// as a stall. [`Self::run`]'s built-in drain is deliberately weaker:
+    /// its cap expiring merely sets `completed = false` in the summary,
+    /// because a saturated-but-live fabric is a legitimate measurement
+    /// outcome, not an error.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::DrainStalled`] with exact-cycle diagnostics if
+    /// the cap is hit first, or propagates [`SimError::Deadlock`] if the
+    /// watchdog fires mid-drain.
+    pub fn drain_to_empty(&mut self, max: u64) -> Result<u64, SimError> {
+        let mut spent = 0;
+        loop {
+            let empty = self.packets.live() == 0
+                && self.net.buffered_flits() == 0
+                && self.calendar_depth() == 0;
+            if empty {
+                return Ok(spent);
+            }
+            if spent >= max {
+                return Err(SimError::DrainStalled {
+                    cycle: self.cycle,
+                    cap: max,
+                    outstanding: self.packets.live() as u64,
+                    buffered: self.net.buffered_flits(),
+                    calendar_depth: self.calendar_depth(),
+                    state_digest: self.net.state_digest(),
+                });
+            }
+            self.step()?;
+            spent += 1;
         }
     }
 
@@ -675,7 +799,13 @@ impl Simulator {
     /// and after an elevator failure within a single run. `completed` in
     /// the returned summary is `true` if every packet created in this
     /// window was also delivered within it.
-    pub fn measure_window(&mut self, cycles: u64) -> RunSummary {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Deadlock`] from the watchdog. The window's
+    /// partial statistics are discarded (the simulator stays inspectable
+    /// for diagnostics, but a wedged window has no meaningful summary).
+    pub fn measure_window(&mut self, cycles: u64) -> Result<RunSummary, SimError> {
         // Orphan unfinished packets from earlier windows so their eventual
         // delivery does not leak into this window's figures.
         self.packets.orphan_unfinished();
@@ -694,17 +824,16 @@ impl Simulator {
         self.ledger = EnergyLedger::default();
         self.telemetry.reset();
         self.stats.set_armed(true);
-        for _ in 0..cycles {
-            self.step();
-        }
+        let window = self.advance(cycles);
         self.stats.set_armed(false);
+        window?;
         // Fold the shard partitions into the window's sinks: after this,
         // `energy_ledger`/`link_ledger` accessors and the summary see the
         // complete window, counter-for-counter.
         self.net
             .drain_partials(&mut self.stats, &mut self.ledger, &mut self.telemetry);
         let completed = self.measured_outstanding() == 0;
-        RunSummary::from_parts(
+        Ok(RunSummary::from_parts(
             self.selector.name(),
             self.traffic.name(),
             self.traffic.mean_rate(),
@@ -715,26 +844,31 @@ impl Simulator {
             &self.config.energy,
             self.config.mesh.node_count(),
             completed,
-        )
+        ))
     }
 
     /// Executes warm-up → measurement → drain and summarises.
     ///
     /// With a tracer attached, the journal additionally receives a
     /// `phase` record at each phase boundary and a `summary` record at
-    /// the end.
-    #[must_use]
-    pub fn run(mut self) -> RunSummary {
+    /// the end (the journal of a failed run keeps everything recorded up
+    /// to the failed cycle, with no summary).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`SimError::Deadlock`] from the watchdog in any phase.
+    /// Note that drain-cap exhaustion is *not* an error: a saturated
+    /// fabric that cannot drain in `drain_max` cycles is a legitimate
+    /// measurement outcome, reported as `completed = false` in the
+    /// summary (saturation sweeps depend on this signal).
+    pub fn run(mut self) -> Result<RunSummary, SimError> {
         self.trace_phase("warmup");
-        for _ in 0..self.config.warmup {
-            self.step();
-        }
+        self.advance(self.config.warmup)?;
         self.trace_phase("measure");
         self.stats.set_armed(true);
-        for _ in 0..self.config.measure {
-            self.step();
-        }
+        let measured = self.advance(self.config.measure);
         self.stats.set_armed(false);
+        measured?;
         self.trace_phase("drain");
 
         // Drain with traffic still flowing (background congestion stays
@@ -747,7 +881,7 @@ impl Simulator {
         let mut drained = 0;
         let mut completed = self.measured_outstanding() == 0;
         while !completed && drained < cap {
-            self.step();
+            self.step()?;
             drained += 1;
             completed = self.measured_outstanding() == 0;
         }
@@ -778,7 +912,7 @@ impl Simulator {
             };
             tracer.write(&Record::Summary { summary: value });
         }
-        summary
+        Ok(summary)
     }
 
     /// Folds the shards' telemetry partitions (per-router flit counts,
@@ -879,7 +1013,9 @@ mod tests {
         let config = quick_config().with_seed(seed);
         let traffic = SyntheticTraffic::uniform(&config.mesh, rate, seed);
         let selector = ElevatorFirstSelector::new(&config.mesh, &config.elevators);
-        Simulator::new(config, Box::new(traffic), Box::new(selector)).run()
+        Simulator::new(config, Box::new(traffic), Box::new(selector))
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -932,7 +1068,7 @@ mod tests {
         use crate::hooks::SimCommand;
         use noc_topology::ElevatorId;
 
-        let healthy = quick_simulator(7).run();
+        let healthy = quick_simulator(7).run().unwrap();
         assert!(
             healthy.elevator_packets.iter().all(|&n| n > 0),
             "sanity: both pillars used when healthy ({:?})",
@@ -942,7 +1078,7 @@ mod tests {
         let mut sim = quick_simulator(7);
         sim.schedule_command(0, SimCommand::FailElevator(ElevatorId(0)));
         assert!(!sim.network().elevator_failed(ElevatorId(0)));
-        let failed = sim.run();
+        let failed = sim.run().unwrap();
         assert_eq!(
             failed.elevator_packets[0], 0,
             "no packet may pick the pillar that died before measurement"
@@ -959,9 +1095,9 @@ mod tests {
         let mut sim = quick_simulator(9);
         sim.schedule_command(0, SimCommand::FailElevator(ElevatorId(1)));
         sim.schedule_command(5, SimCommand::RecoverElevator(ElevatorId(1)));
-        sim.advance(10);
+        sim.advance(10).unwrap();
         assert!(!sim.network().elevator_failed(ElevatorId(1)));
-        let summary = sim.run();
+        let summary = sim.run().unwrap();
         assert!(
             summary.elevator_packets[1] > 0,
             "repaired pillar re-enters selection"
@@ -974,7 +1110,7 @@ mod tests {
 
         let mut sim = quick_simulator(3);
         sim.schedule_command(0, SimCommand::ScaleInjection { factor: 0.0 });
-        let summary = sim.run();
+        let summary = sim.run().unwrap();
         assert_eq!(
             summary.injected_packets, 0,
             "a zero-factor burst silences the workload"
@@ -984,9 +1120,9 @@ mod tests {
     #[test]
     fn measure_window_isolates_phases() {
         let mut sim = quick_simulator(5);
-        sim.advance(200);
-        let w1 = sim.measure_window(800);
-        let w2 = sim.measure_window(800);
+        sim.advance(200).unwrap();
+        let w1 = sim.measure_window(800).unwrap();
+        let w2 = sim.measure_window(800).unwrap();
         for w in [&w1, &w2] {
             assert!(w.delivered_packets > 0);
             assert!(w.avg_latency > 0.0);
@@ -996,5 +1132,108 @@ mod tests {
         // same ballpark (same offered load), not cumulative.
         let ratio = w1.injected_packets as f64 / w2.injected_packets.max(1) as f64;
         assert!((0.5..2.0).contains(&ratio), "windows must not accumulate");
+    }
+
+    /// A simulator rigged to deadlock: a mid-run fabric freeze longer
+    /// than the (deliberately tiny) watchdog, scheduled while traffic is
+    /// flowing so flits are in flight when the fabric wedges.
+    fn rigged_simulator(watchdog: u64) -> Simulator {
+        use crate::hooks::SimCommand;
+
+        let config = quick_config().with_seed(13).with_watchdog(watchdog);
+        let traffic = SyntheticTraffic::uniform(&config.mesh, 0.01, 13);
+        let selector = ElevatorFirstSelector::new(&config.mesh, &config.elevators);
+        let mut sim = Simulator::new(config, Box::new(traffic), Box::new(selector));
+        sim.schedule_command(300, SimCommand::FreezeFabric { cycles: 400 });
+        sim
+    }
+
+    #[test]
+    fn frozen_fabric_surfaces_deadlock_as_a_value() {
+        let err = rigged_simulator(25)
+            .run()
+            .expect_err("a 400-cycle freeze must outlast a 25-cycle watchdog");
+        match err {
+            crate::SimError::Deadlock {
+                cycle,
+                last_progress,
+                watchdog,
+                buffered,
+                in_flight,
+                ..
+            } => {
+                assert_eq!(watchdog, 25);
+                assert!(
+                    cycle - last_progress > 25,
+                    "the no-progress span must exceed the watchdog"
+                );
+                assert!(buffered > 0, "the watchdog only arms with flits in flight");
+                assert!(in_flight > 0);
+            }
+            other => panic!("expected Deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn induced_deadlock_is_deterministic() {
+        let run = || {
+            rigged_simulator(25)
+                .run()
+                .expect_err("deterministic deadlock")
+        };
+        assert_eq!(run(), run(), "same (config, seed) → same diagnostics");
+    }
+
+    #[test]
+    fn short_freeze_is_a_recoverable_stall() {
+        use crate::hooks::SimCommand;
+
+        // A freeze shorter than the watchdog is a transient hang: the
+        // fabric thaws, the run completes, only latency shows the scar.
+        let config = quick_config().with_seed(13);
+        let traffic = SyntheticTraffic::uniform(&config.mesh, 0.004, 13);
+        let selector = ElevatorFirstSelector::new(&config.mesh, &config.elevators);
+        let mut sim = Simulator::new(config, Box::new(traffic), Box::new(selector));
+        sim.schedule_command(300, SimCommand::FreezeFabric { cycles: 50 });
+        let frozen = sim.run().expect("sub-watchdog freeze must recover");
+        let clean = run_uniform(0.004, 13);
+        assert!(frozen.completed, "the thawed fabric must drain");
+        assert!(
+            frozen.avg_latency > clean.avg_latency,
+            "a 50-cycle stall must show up in latency ({} vs {})",
+            frozen.avg_latency,
+            clean.avg_latency
+        );
+    }
+
+    #[test]
+    fn drain_to_empty_succeeds_once_traffic_stops() {
+        use crate::hooks::SimCommand;
+
+        let mut sim = quick_simulator(5);
+        sim.advance(300).unwrap();
+        sim.apply_command(&SimCommand::ScaleInjection { factor: 0.0 });
+        let spent = sim.drain_to_empty(10_000).expect("quiet fabric drains");
+        assert!(spent > 0, "there was in-flight state to drain");
+        assert_eq!(sim.network().buffered_flits(), 0);
+        assert_eq!(sim.packet_table().live(), 0);
+    }
+
+    #[test]
+    fn drain_to_empty_reports_stall_under_live_traffic() {
+        let mut sim = quick_simulator(5);
+        sim.advance(300).unwrap();
+        let err = sim
+            .drain_to_empty(50)
+            .expect_err("live traffic cannot drain to empty in 50 cycles");
+        match err {
+            crate::SimError::DrainStalled {
+                cap, outstanding, ..
+            } => {
+                assert_eq!(cap, 50);
+                assert!(outstanding > 0);
+            }
+            other => panic!("expected DrainStalled, got {other}"),
+        }
     }
 }

@@ -4,7 +4,7 @@ use crate::flit::Packet;
 use noc_energy::{EnergyLedger, EnergyModel, LinkLedger, LinkMap};
 use noc_obs::PacketHists;
 use noc_topology::ElevatorId;
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 
 /// Collects statistics during a run. Only events inside the measurement
 /// window count (the collector is armed/disarmed by the simulator).
@@ -110,7 +110,12 @@ impl StatsCollector {
 }
 
 /// Final summary of one simulation run.
-#[derive(Debug, Clone, PartialEq, Serialize)]
+///
+/// Round-trips through JSON: the experiment layer's completion ledger
+/// restores summaries from disk on resume, and the vendored JSON float
+/// encoding is exact for round-trips, so a restored summary is
+/// bit-identical to the one that was recorded.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct RunSummary {
     /// Policy name ("ElevFirst", "CDA", "AdEle", "AdEle-RR").
     pub policy: String,

@@ -14,20 +14,38 @@
 /// 2. the host's available parallelism;
 /// 3. `1` when neither is known.
 ///
+/// A set-but-unusable `NOC_THREADS` (garbage text, or `0`, which has no
+/// meaning here — use `1` for sequential) is rejected with a one-time
+/// stderr warning naming the offending value, then falls back to the
+/// host count. Silent fallback used to mask typos like
+/// `NOC_THREADS=O2`, which quietly unpinned CI runs.
+///
 /// Read fresh on every call (no caching), so tests may set the variable
 /// around individual simulator constructions.
 #[must_use]
 pub fn worker_threads() -> usize {
     if let Ok(raw) = std::env::var("NOC_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
+        match raw.trim().parse::<usize>() {
+            Ok(n) if n >= 1 => return n,
+            Ok(_) => warn_rejected(&raw, "0 is not a worker count (use 1 for sequential)"),
+            Err(_) => warn_rejected(&raw, "not a positive integer"),
         }
     }
     std::thread::available_parallelism()
         .map(std::num::NonZeroUsize::get)
         .unwrap_or(1)
+}
+
+/// Warns (once per process) that `NOC_THREADS` was set but unusable.
+/// One-time so per-construction resolution in sweep loops cannot flood
+/// stderr with the same typo thousands of times.
+fn warn_rejected(raw: &str, why: &str) {
+    static WARNED: std::sync::Once = std::sync::Once::new();
+    WARNED.call_once(|| {
+        eprintln!(
+            "warning: ignoring NOC_THREADS={raw:?} ({why}); falling back to host parallelism"
+        );
+    });
 }
 
 #[cfg(test)]

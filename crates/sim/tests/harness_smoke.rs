@@ -30,7 +30,7 @@ fn zero_load_latency_is_finite_and_saturation_detection_terminates() {
     let selector =
         || -> Box<dyn ElevatorSelector> { Box::new(ElevatorFirstSelector::new(&mesh, &elevators)) };
 
-    let zero = zero_load_latency(&config, &traffic, &selector);
+    let zero = zero_load_latency(&config, &traffic, &selector).unwrap();
     assert!(
         zero.is_finite(),
         "zero-load latency must be finite, got {zero}"
@@ -42,7 +42,7 @@ fn zero_load_latency_is_finite_and_saturation_detection_terminates() {
 
     // The second rate (0.5 packets/node/cycle) is far past saturation for
     // two elevator columns; the drain cap guarantees the sweep returns.
-    let points = injection_sweep(&config, &[0.001, 0.5], &traffic, &selector);
+    let points = injection_sweep(&config, &[0.001, 0.5], &traffic, &selector).unwrap();
     assert_eq!(points.len(), 2);
     assert!(
         points[0].summary.completed,
@@ -72,6 +72,7 @@ fn sweep_is_deterministic_for_fixed_seeds() {
             &|rate| Box::new(SyntheticTraffic::uniform(&mesh, rate, 5)),
             &|| Box::new(ElevatorFirstSelector::new(&mesh, &elevators)),
         )
+        .unwrap()
     };
     assert_eq!(sweep(), sweep());
 }

@@ -16,7 +16,9 @@ fn simulate(mesh: Mesh3d, elevators: ElevatorSet, label: &str) {
     let config = SimConfig::new(mesh, elevators)
         .with_phases(2_000, 8_000, 30_000)
         .with_seed(3);
-    let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run();
+    let summary = Simulator::new(config, Box::new(traffic), Box::new(selector))
+        .run()
+        .unwrap();
     println!(
         "{label:<22} latency={:>7.1}cy  energy={:>6.1}nJ/flit  drained={}",
         summary.avg_latency, summary.energy_per_flit_nj, summary.completed

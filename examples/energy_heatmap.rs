@@ -64,14 +64,14 @@ fn main() {
         .with_seed(42);
     let mut sim = scenario.build_simulator();
 
-    sim.advance(warmup);
-    let _healthy = sim.measure_window(window);
+    sim.advance(warmup).unwrap();
+    let _healthy = sim.measure_window(window).unwrap();
     let (_, heat_before) = snapshot(&sim, "healthy window");
 
     // Kill the pillar, let in-flight wormholes drain, measure again.
     sim.schedule_command(sim.cycle(), SimCommand::FailElevator(victim));
-    sim.advance(gap);
-    let _failed = sim.measure_window(window);
+    sim.advance(gap).unwrap();
+    let _failed = sim.measure_window(window).unwrap();
     let (report_after, heat_after) = snapshot(&sim, format!("elevator {victim} failed").as_str());
 
     assert!(

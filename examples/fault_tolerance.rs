@@ -43,10 +43,10 @@ fn main() {
         });
 
     let mut sim = scenario.build_simulator();
-    sim.advance(warmup);
-    let healthy = sim.measure_window(window);
-    let failed = sim.measure_window(window);
-    let recovered = sim.measure_window(window);
+    sim.advance(warmup).unwrap();
+    let healthy = sim.measure_window(window).unwrap();
+    let failed = sim.measure_window(window).unwrap();
+    let recovered = sim.measure_window(window).unwrap();
 
     println!(
         "PS3, AdEle, uniform 0.005 — elevator {victim} fails at cycle {} and recovers at {}\n",

@@ -44,11 +44,13 @@ fn main() {
     );
 
     let t = Instant::now();
-    let sequential = injection_sweep(&config, &rates, &traffic, &selector);
+    let sequential = injection_sweep(&config, &rates, &traffic, &selector)
+        .expect("healthy sweep: default watchdog");
     let t_seq = t.elapsed();
 
     let t = Instant::now();
-    let parallel = par_injection_sweep(&config, &rates, &traffic, &selector, threads);
+    let parallel = par_injection_sweep(&config, &rates, &traffic, &selector, threads)
+        .expect("healthy sweep: default watchdog");
     let t_par = t.elapsed();
 
     assert_eq!(

@@ -29,7 +29,8 @@ fn main() {
             &sim_config(placement, 5),
             Workload::Uniform.build(&mesh, rate, 99),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
-        );
+        )
+        .unwrap();
         println!(
             "{:<10} {:>10.1}cy {:>10.1}cy {:>11.1}nJ {:>10}",
             summary.policy,

@@ -43,7 +43,9 @@ fn main() {
     let config = SimConfig::new(mesh, elevators)
         .with_phases(2_000, 10_000, 30_000)
         .with_seed(7);
-    let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run();
+    let summary = Simulator::new(config, Box::new(traffic), Box::new(selector))
+        .run()
+        .unwrap();
 
     println!(
         "simulated: {} packets delivered, avg latency {:.1} cycles, {:.1} nJ/flit, throughput {:.4} flits/node/cycle",

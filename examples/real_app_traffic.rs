@@ -27,6 +27,7 @@ fn main() {
                 app_traffic(app, placement, &mesh, 2024),
                 make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
             )
+            .unwrap()
         };
         let baseline = run(Policy::ElevFirst);
         let adele = run(Policy::Adele);

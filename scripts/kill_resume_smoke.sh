@@ -1,0 +1,76 @@
+#!/usr/bin/env bash
+# Kill-and-resume smoke: SIGKILL `run_specs` mid-sweep, then `--resume`,
+# and assert that (a) only the ledger-incomplete points re-ran and
+# (b) the merged results/specs.json is byte-identical to an
+# uninterrupted run. This is the crash-safety contract end to end, at
+# the process level — the in-process variant lives in tests/chaos.rs.
+#
+# Environment:
+#   BIN   — run_specs binary (default target/release/run_specs;
+#           built on demand when absent)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=${BIN:-target/release/run_specs}
+export ADELE_QUICK=1
+TOTAL=5 # points in the checked-in specs/ suite
+LEDGER=results/specs.ledger.jsonl
+TRACE=$(mktemp /tmp/resume_trace.XXXXXX.jsonl)
+REF=$(mktemp /tmp/specs_reference.XXXXXX.json)
+trap 'rm -f "$TRACE" "$REF"' EXIT
+
+if [ ! -x "$BIN" ]; then
+    cargo build --release -p adele_bench --bin run_specs
+fi
+
+echo "== reference pass (uninterrupted) =="
+env -u NOC_CHAOS "$BIN" specs >/dev/null
+cp results/specs.json "$REF"
+
+echo "== victim pass (sequential, chaos-delayed, killed mid-sweep) =="
+rm -f "$LEDGER" results/specs.json
+# One worker and a per-point delay stretch the sweep so the kill window
+# is easy to hit; the delay only burns wall clock, never changes numbers.
+NOC_THREADS=1 NOC_CHAOS="seed=1,delay=1.0,delay_ms=400" "$BIN" specs >/dev/null 2>&1 &
+victim=$!
+for _ in $(seq 1 100); do
+    done_lines=$(grep -c '"hash"' "$LEDGER" 2>/dev/null || true)
+    if [ "${done_lines:-0}" -ge 2 ]; then
+        break
+    fi
+    sleep 0.1
+done
+kill -9 "$victim" 2>/dev/null || {
+    echo "FAIL: sweep finished before the kill landed (machine too fast?)" >&2
+    exit 1
+}
+wait "$victim" 2>/dev/null || true
+echo "killed run_specs (pid $victim) with $(grep -c '"hash"' "$LEDGER") point(s) sealed"
+
+echo "== resume pass =="
+resume_err=$(mktemp /tmp/resume_err.XXXXXX)
+env -u NOC_CHAOS "$BIN" specs --resume --trace "$TRACE" 2>"$resume_err" >/dev/null
+sealed=$(sed -n 's/^resuming: \([0-9]*\) completed point(s).*/\1/p' "$resume_err")
+rm -f "$resume_err"
+if [ -z "$sealed" ] || [ "$sealed" -lt 1 ] || [ "$sealed" -ge "$TOTAL" ]; then
+    echo "FAIL: expected a partially-complete ledger, found ${sealed:-0}/$TOTAL sealed" >&2
+    exit 1
+fi
+
+cached=$(grep -c '"status":"cached"' "$TRACE" || true)
+started=$(grep -c '"status":"started"' "$TRACE" || true)
+if [ "$cached" -ne "$sealed" ]; then
+    echo "FAIL: $sealed sealed point(s) but $cached restored from the ledger" >&2
+    exit 1
+fi
+if [ "$started" -ne $((TOTAL - sealed)) ]; then
+    echo "FAIL: expected $((TOTAL - sealed)) novel point(s) to run, saw $started" >&2
+    exit 1
+fi
+echo "resume re-ran $started novel point(s), restored $cached from the ledger"
+
+if ! cmp -s "$REF" results/specs.json; then
+    echo "FAIL: merged results/specs.json differs from the uninterrupted run" >&2
+    exit 1
+fi
+echo "OK: merged results byte-identical to the uninterrupted run"

@@ -42,6 +42,7 @@ fn adaptive_policies_beat_elevator_first_under_congestion() {
             Workload::Uniform.build(&mesh, rate, 31),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
         )
+        .unwrap()
     };
     let ef = run(Policy::ElevFirst);
     let cda = run(Policy::Cda);
@@ -77,7 +78,8 @@ fn adele_balances_elevator_load_better_than_elevator_first() {
             &config(19),
             Workload::Uniform.build(&mesh, rate, 37),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
-        );
+        )
+        .unwrap();
         let total: u64 = summary.elevator_packets.iter().sum();
         let max = *summary.elevator_packets.iter().max().unwrap();
         max as f64 / total.max(1) as f64
@@ -103,6 +105,7 @@ fn low_load_energy_ranking_favours_adele() {
             Workload::Uniform.build(&mesh, rate, 41),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
         )
+        .unwrap()
         .energy_per_flit_nj
     };
     let ef = energy(Policy::ElevFirst);
@@ -125,6 +128,7 @@ fn adele_rr_is_a_valid_midpoint() {
             Workload::Uniform.build(&mesh, rate, 43),
             make_selector(policy, &mesh, &elevators, Some(&assignment), 7),
         )
+        .unwrap()
     };
     let ef = run(Policy::ElevFirst);
     let rr = run(Policy::AdeleRr);

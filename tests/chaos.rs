@@ -1,0 +1,226 @@
+//! Chaos-injection integration suite — the PR's acceptance criterion in
+//! test form: a supervised batch seeded with worker panics and an
+//! induced deadlock still completes every other point, in input order,
+//! bit-identical to an undisturbed run; and a sweep killed mid-write
+//! (torn ledger tail) resumes to byte-identical merged results,
+//! re-running only the points the ledger never sealed.
+
+use noc_exp::{
+    run_batch_supervised, spec_hash, BatchEvent, ChaosSpec, Ledger, PointOutcome, Scenario,
+    Supervision, WorkloadKind,
+};
+use noc_topology::{ElevatorSet, Mesh3d};
+use std::sync::Mutex;
+
+fn healthy(name: &str, seed: u64) -> Scenario {
+    let mesh = Mesh3d::new(4, 4, 2).expect("dimensions are valid");
+    let elevators = ElevatorSet::new(&mesh, [(0, 0), (3, 3)]).expect("pillars fit");
+    Scenario::new(name, mesh, elevators)
+        .with_phases(100, 500, 2_500)
+        .with_workload(WorkloadKind::Uniform { rate: 0.004 })
+        .with_seed(seed)
+}
+
+/// A batch of six healthy points, index 2 rigged to deadlock via the
+/// chaos harness's own rig (the acceptance batch: one induced deadlock,
+/// chaos panics layered on top by the supervisor).
+fn acceptance_batch() -> Vec<Scenario> {
+    (0..6u64)
+        .map(|i| {
+            let scenario = healthy(&format!("point-{i}"), 90 + i);
+            if i == 2 {
+                ChaosSpec::new(0).rig_deadlock(&scenario)
+            } else {
+                scenario
+            }
+        })
+        .collect()
+}
+
+/// The PR's acceptance criterion: one chaos-injected panic plus one
+/// induced deadlock, and every other point completes in input order,
+/// bit-identical to an undisturbed run.
+#[test]
+fn panics_and_deadlocks_never_take_the_batch() {
+    let scenarios = acceptance_batch();
+    // Chaos panics are probabilistic but seeded, so the test derives the
+    // strike list from the spec itself instead of hard-coding indices.
+    let chaos = ChaosSpec::new(11).with_panics(0.4);
+    let panicked: Vec<bool> = (0..scenarios.len()).map(|i| chaos.panics(i, 1)).collect();
+    assert!(
+        panicked.iter().any(|&p| p),
+        "seed must curse at least one point"
+    );
+    assert!(
+        panicked.iter().enumerate().any(|(i, &p)| !p && i != 2),
+        "seed must leave at least one healthy survivor"
+    );
+
+    let outcomes = run_batch_supervised(
+        &scenarios,
+        3,
+        &Supervision::new().with_chaos(chaos),
+        None,
+        |_| {},
+    );
+
+    assert_eq!(outcomes.len(), scenarios.len(), "the pool never aborts");
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if panicked[i] {
+            // The panic fires before the run, so it wins even on the
+            // rigged point.
+            let failure = outcome.failure().expect("cursed point");
+            assert_eq!(failure.error.kind(), "panic");
+        } else if i == 2 {
+            let failure = outcome.failure().expect("rigged point");
+            assert_eq!(failure.error.kind(), "deadlock");
+        } else {
+            // Survivors come back in input order, bit-identical to an
+            // undisturbed standalone run.
+            let result = outcome.result().expect("healthy survivor");
+            assert_eq!(result.name, scenarios[i].name, "input order preserved");
+            assert_eq!(
+                result,
+                &scenarios[i].run().unwrap(),
+                "survivor {i} must be bit-identical"
+            );
+        }
+    }
+}
+
+/// With retries armed, transient chaos panics recover (the strike window
+/// closes after attempt 1) and the recovered results are bit-identical —
+/// while the induced deadlock, being deterministic, still fails on one
+/// strike.
+#[test]
+fn retries_recover_transient_panics_but_not_deadlocks() {
+    let scenarios = acceptance_batch();
+    let chaos = ChaosSpec::new(5).with_panics(1.0); // every point panics on attempt 1
+    let outcomes = run_batch_supervised(
+        &scenarios,
+        2,
+        &Supervision::new().with_retries(1).with_chaos(chaos),
+        None,
+        |_| {},
+    );
+    for (i, outcome) in outcomes.iter().enumerate() {
+        if i == 2 {
+            let failure = outcome.failure().expect("deadlocks are not retried");
+            assert_eq!(failure.error.kind(), "deadlock");
+            assert_eq!(failure.attempts, 2, "attempt 1 panicked, attempt 2 wedged");
+        } else {
+            assert_eq!(
+                outcome.result(),
+                Some(&scenarios[i].run().unwrap()),
+                "retried point {i} recovers bit-identically"
+            );
+        }
+    }
+}
+
+/// Crash-safety end to end, in process: run a supervised sweep that
+/// records completions into the ledger (exactly as `run_specs` wires
+/// it), tear the ledger's tail mid-record as a SIGKILL would, then
+/// resume — only the unsealed points re-run, and the merged outcomes are
+/// bit-identical to the uninterrupted pass.
+#[test]
+fn torn_ledger_resume_is_bit_identical() {
+    let dir = std::env::temp_dir().join(format!("noc_chaos_resume_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("ledger.jsonl");
+    let scenarios: Vec<Scenario> = (0..5u64)
+        .map(|i| healthy(&format!("p{i}"), 70 + i))
+        .collect();
+
+    // Uninterrupted pass, recording every completion like run_specs does.
+    let full = {
+        let recorder = Mutex::new(Ledger::open(&path).unwrap());
+        run_batch_supervised(&scenarios, 2, &Supervision::new(), None, |event| {
+            if let BatchEvent::Finished {
+                index,
+                outcome: PointOutcome::Ok(result),
+                ..
+            } = event
+            {
+                let mut ledger = recorder.lock().unwrap();
+                ledger
+                    .record(spec_hash(&scenarios[*index]), result)
+                    .unwrap();
+            }
+        })
+    };
+    assert!(full.iter().all(PointOutcome::is_ok), "healthy batch");
+
+    // Simulate the kill: keep two sealed records and half of a third —
+    // a torn tail with no terminating newline.
+    let text = std::fs::read_to_string(&path).unwrap();
+    let lines: Vec<&str> = text.lines().collect();
+    assert_eq!(lines.len(), 5);
+    let torn = format!(
+        "{}\n{}\n{}",
+        lines[0],
+        lines[1],
+        &lines[2][..lines[2].len() / 2]
+    );
+    std::fs::write(&path, torn).unwrap();
+
+    // Resume: the torn line is tolerated (and counted), the two sealed
+    // points restore from the ledger, the other three re-run.
+    let ledger = Ledger::open(&path).unwrap();
+    assert_eq!(ledger.torn_lines(), 1, "the torn tail is quarantined");
+    assert_eq!(ledger.len(), 2, "two sealed records survive");
+    let started = Mutex::new(Vec::new());
+    let cached = Mutex::new(Vec::new());
+    let resumed = run_batch_supervised(
+        &scenarios,
+        2,
+        &Supervision::new(),
+        Some(&ledger),
+        |event| match event {
+            BatchEvent::Started { index, .. } => started.lock().unwrap().push(*index),
+            BatchEvent::Cached { index, .. } => cached.lock().unwrap().push(*index),
+            BatchEvent::Finished { .. } => {}
+        },
+    );
+
+    let mut sealed: Vec<usize> = lines[..2]
+        .iter()
+        .map(|line| {
+            scenarios
+                .iter()
+                .position(|s| line.contains(&format!("{:016x}", spec_hash(s))))
+                .expect("sealed record names a batch point")
+        })
+        .collect();
+    sealed.sort_unstable();
+    let mut started = started.into_inner().unwrap();
+    started.sort_unstable();
+    let mut expected: Vec<usize> = (0..scenarios.len())
+        .filter(|i| !sealed.contains(i))
+        .collect();
+    expected.sort_unstable();
+    assert_eq!(started, expected, "only unsealed points re-ran");
+    let mut cached = cached.into_inner().unwrap();
+    cached.sort_unstable();
+    assert_eq!(cached, sealed, "sealed points restored without running");
+    assert_eq!(resumed, full, "merged outcomes bit-identical to one pass");
+
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+/// `NOC_CHAOS` grammar round-trip at the integration seam: the exact
+/// string CI's chaos leg exports produces the spec the supervisor arms.
+#[test]
+fn ci_chaos_grammar_arms_the_expected_spec() {
+    let spec = ChaosSpec::parse("seed=7,panic=0.3,deadlock=0.2,delay=0.5,delay_ms=3,torn=1");
+    assert_eq!(spec.seed, 7);
+    assert!(spec.torn_files);
+    assert!((spec.panic_prob - 0.3).abs() < 1e-12);
+    assert!((spec.deadlock_prob - 0.2).abs() < 1e-12);
+    // The schedule is a pure function of the seed: the same spec rolls
+    // the same faults in a re-run (what makes chaos runs debuggable).
+    for index in 0..32 {
+        assert_eq!(spec.panics(index, 1), spec.panics(index, 1));
+        assert_eq!(spec.deadlocks(index), spec.deadlocks(index));
+    }
+}

@@ -23,6 +23,7 @@ fn run_full_stack(sim_seed: u64, traffic_seed: u64, amosa_seed: u64) -> noc_sim:
         Workload::Uniform.build(&mesh, 0.003, traffic_seed),
         make_selector(Policy::Adele, &mesh, &elevators, Some(assignment), sim_seed),
     )
+    .unwrap()
 }
 
 #[test]
@@ -53,6 +54,7 @@ fn every_shard_count_reproduces_the_sequential_summary() {
             Workload::Uniform.build(&mesh, 0.003, 2),
             make_selector(Policy::Adele, &mesh, &elevators, Some(assignment), 1),
         )
+        .unwrap()
     };
     let sequential = run(1);
     assert_ne!(sequential.delivered_packets, 0, "sanity: packets flowed");
@@ -126,12 +128,14 @@ fn baseline_policies_are_seed_independent() {
             &config(),
             Workload::Uniform.build(&mesh, 0.003, 8),
             make_selector(policy, &mesh, &elevators, None, 111),
-        );
+        )
+        .unwrap();
         let b = run_once(
             &config(),
             Workload::Uniform.build(&mesh, 0.003, 8),
             make_selector(policy, &mesh, &elevators, None, 222),
-        );
+        )
+        .unwrap();
         assert_eq!(
             a,
             b,

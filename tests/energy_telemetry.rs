@@ -50,8 +50,8 @@ proptest! {
         let traffic = SyntheticTraffic::uniform(&mesh, rate, seed);
         let selector = ElevatorFirstSelector::new(&mesh, &elevators);
         let mut sim = Simulator::new(config, Box::new(traffic), Box::new(selector));
-        sim.advance(50);
-        let summary = sim.measure_window(400);
+        sim.advance(50).unwrap();
+        let summary = sim.measure_window(400).unwrap();
 
         let map = sim.link_map();
         let telemetry = sim.link_ledger();
@@ -87,8 +87,8 @@ fn failed_pillar_tsv_links_report_zero_energy() {
             elevator: victim,
         });
     let mut sim = scenario.build_simulator();
-    sim.advance(200);
-    let summary = sim.measure_window(800);
+    sim.advance(200).unwrap();
+    let summary = sim.measure_window(800).unwrap();
 
     assert_eq!(
         summary.pillar_tsv_flits[victim.index()],
@@ -130,7 +130,9 @@ fn telemetry_push_is_inert_for_default_policies() {
             .with_energy_feedback_period(period);
         let traffic = SyntheticTraffic::uniform(&mesh, 0.004, 7);
         let selector = SelectorSpec::adele().build(&mesh, &elevators, 7);
-        Simulator::new(config, Box::new(traffic), selector).run()
+        Simulator::new(config, Box::new(traffic), selector)
+            .run()
+            .unwrap()
     };
     let baseline = run(0);
     for period in [32, 256, 1024] {
@@ -155,8 +157,8 @@ fn measured_energy_mode_runs_deterministically() {
         .with_selector(SelectorSpec::adele_measured_energy())
         .with_phases(200, 800, 4_000)
         .with_seed(21);
-    let a = scenario.run();
-    let b = scenario.run();
+    let a = scenario.run().unwrap();
+    let b = scenario.run().unwrap();
     assert_eq!(a, b, "measured mode must stay deterministic");
     assert!(a.summary.delivered_packets > 0);
     assert!(a.summary.completed);
@@ -173,13 +175,18 @@ fn measured_flag_off_matches_paper_policy_bitwise() {
         .with_workload(WorkloadKind::Uniform { rate: 0.004 })
         .with_phases(200, 800, 4_000)
         .with_seed(31);
-    let paper = base.clone().with_selector(SelectorSpec::adele()).run();
+    let paper = base
+        .clone()
+        .with_selector(SelectorSpec::adele())
+        .run()
+        .unwrap();
     let flag_off = base
         .with_selector(SelectorSpec::Adele {
             rr_only: false,
             measured_energy: false,
             assignment: None,
         })
-        .run();
+        .run()
+        .unwrap();
     assert_eq!(paper.summary, flag_off.summary);
 }

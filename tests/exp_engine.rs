@@ -77,7 +77,7 @@ fn elevator_fail_event_changes_adele_selection_mid_run() {
         .with_phases(200, 1_000, 6_000)
         .with_seed(11);
 
-    let healthy = base.clone().run();
+    let healthy = base.clone().run().unwrap();
     assert!(
         healthy.summary.elevator_packets[victim.index()] > 0,
         "sanity: the victim carries load while healthy"
@@ -92,7 +92,8 @@ fn elevator_fail_event_changes_adele_selection_mid_run() {
             cycle: fail_at,
             elevator: victim,
         })
-        .run();
+        .run()
+        .unwrap();
     assert_ne!(
         healthy.summary, failed.summary,
         "the failure must perturb the run"
@@ -116,7 +117,8 @@ fn elevator_fail_event_changes_adele_selection_mid_run() {
             cycle: 0,
             elevator: victim,
         })
-        .run();
+        .run()
+        .unwrap();
     assert_eq!(
         failed_from_start.summary.elevator_packets[victim.index()],
         0,

@@ -21,7 +21,7 @@ fn golden_dir() -> PathBuf {
 /// Runs `scenario` and compares its pretty-printed result JSON against
 /// the checked-in golden file (or rewrites it under `GOLDEN_REGEN=1`).
 fn check(scenario: &Scenario) {
-    let result = scenario.run();
+    let result = scenario.run().unwrap();
     let json = serde_json::to_string_pretty(&result).expect("result serialises");
     let path = golden_dir().join(format!("{}.json", scenario.name));
     if std::env::var_os("GOLDEN_REGEN").is_some() {

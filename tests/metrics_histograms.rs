@@ -64,7 +64,7 @@ proptest! {
     ) {
         let mut base = scenario.clone();
         base.shards = 1;
-        let sequential = base.run();
+        let sequential = base.run().unwrap();
         prop_assert!(
             sequential.summary.delivered_packets == 0
                 || sequential.summary.latency_max > 0,
@@ -73,7 +73,7 @@ proptest! {
         for shards in [2usize, 8] {
             let mut sharded = scenario.clone();
             sharded.shards = shards;
-            let result = sharded.run();
+            let result = sharded.run().unwrap();
             prop_assert_eq!(&result.summary, &sequential.summary);
         }
     }

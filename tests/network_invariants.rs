@@ -39,7 +39,7 @@ proptest! {
         let config = SimConfig::new(mesh, elevators)
             .with_phases(100, 500, 20_000)
             .with_seed(seed);
-        let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run();
+        let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run().unwrap();
 
         prop_assert!(summary.completed, "network failed to drain");
         prop_assert_eq!(summary.delivered_packets, summary.injected_packets);
@@ -58,7 +58,7 @@ proptest! {
         let config = SimConfig::new(mesh, elevators)
             .with_phases(100, 500, 20_000)
             .with_seed(seed);
-        let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run();
+        let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run().unwrap();
         if summary.delivered_packets > 0 {
             // Min packet is 10 flits; head needs ≥1 hop (no self traffic).
             prop_assert!(summary.avg_latency >= 11.0, "latency {} is impossible", summary.avg_latency);
@@ -92,15 +92,15 @@ proptest! {
         let mut sim = Simulator::new(config, Box::new(traffic), Box::new(selector));
         sim.schedule_command(fail_at, SimCommand::FailElevator(victim));
         sim.schedule_command(fail_at + recover_after, SimCommand::RecoverElevator(victim));
-        sim.advance(100);
-        let window = sim.measure_window(800);
+        sim.advance(100).unwrap();
+        let window = sim.measure_window(800).unwrap();
 
         // Drain with traffic still flowing: every measured packet must
         // still reach its destination despite the mid-run fault (only
         // possible if recycled slots never corrupted in-flight state).
         let mut drained = 0u64;
         while sim.packet_table().measured_outstanding() > 0 {
-            sim.step();
+            sim.step().unwrap();
             drained += 1;
             prop_assert!(drained < 20_000, "network failed to drain across the fault");
         }
@@ -148,7 +148,7 @@ proptest! {
                 sim.schedule_command(fail_at + dur, SimCommand::RecoverElevator(victim));
             }
             for cycle in 0..1_000u64 {
-                sim.step();
+                sim.step().unwrap();
                 if let Err(e) = sim.network().check_flow_conservation() {
                     return Err(TestCaseError::fail(format!(
                         "cycle {cycle}, shards={shards}: {e}"
@@ -159,7 +159,7 @@ proptest! {
             // drains every measured packet after the storm.
             let mut drained = 0u64;
             while sim.packet_table().measured_outstanding() > 0 {
-                sim.step();
+                sim.step().unwrap();
                 drained += 1;
                 prop_assert!(
                     drained < 20_000,
@@ -183,7 +183,7 @@ proptest! {
         let config = SimConfig::new(mesh, elevators.clone())
             .with_phases(200, 1500, 20_000)
             .with_seed(seed);
-        let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run();
+        let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run().unwrap();
 
         let flags: Vec<bool> = mesh.coords().map(|c| elevators.is_elevator_router(c)).collect();
         let loads = summary.normalized_elevator_loads(&flags);
@@ -216,6 +216,8 @@ fn saturating_hotspot_does_not_deadlock() {
         .with_phases(200, 2_000, 500)
         .with_seed(123);
     // `run` panics on deadlock; saturation (completed == false) is fine.
-    let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run();
+    let summary = Simulator::new(config, Box::new(traffic), Box::new(selector))
+        .run()
+        .unwrap();
     assert!(summary.injected_packets > 0);
 }

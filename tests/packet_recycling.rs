@@ -95,7 +95,7 @@ fn quick_sim(rate: f64, seed: u64) -> Simulator {
 #[test]
 fn packet_memory_is_bounded_by_in_flight() {
     let mut sim = quick_sim(0.004, 9);
-    sim.advance(30_000);
+    sim.advance(30_000).unwrap();
     let table = sim.packet_table();
     assert!(
         table.total_created() > 3_000,
@@ -121,10 +121,10 @@ fn packet_memory_is_bounded_by_in_flight() {
 fn steady_state_stepping_allocates_nothing() {
     let mut sim = quick_sim(0.003, 17);
     // Warm-up: staging buffers and source queues reach their high water.
-    sim.advance(4_000);
+    sim.advance(4_000).unwrap();
     let footprint = sim.network().heap_footprint();
     let slots = sim.packet_table().capacity();
-    sim.advance(10_000);
+    sim.advance(10_000).unwrap();
     assert_eq!(
         sim.network().heap_footprint(),
         footprint,

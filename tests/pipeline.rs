@@ -32,7 +32,9 @@ fn offline_to_online_pipeline_delivers_packets() {
     let selector = AdeleSelector::from_solution(&mesh, &elevators, solution, 9);
     let traffic = SyntheticTraffic::uniform(&mesh, 0.002, 9);
     let config = quick_phases(SimConfig::new(mesh, elevators)).with_seed(9);
-    let summary = Simulator::new(config, Box::new(traffic), Box::new(selector)).run();
+    let summary = Simulator::new(config, Box::new(traffic), Box::new(selector))
+        .run()
+        .unwrap();
 
     assert!(summary.completed, "light load must fully drain");
     assert!(summary.delivered_packets > 50, "expected real traffic");
@@ -69,7 +71,9 @@ fn cached_assignment_text_round_trips_through_simulation() {
         .unwrap();
         let traffic = SyntheticTraffic::uniform(&mesh, 0.003, 4);
         let config = quick_phases(SimConfig::new(mesh, elevators.clone())).with_seed(4);
-        Simulator::new(config, Box::new(traffic), Box::new(selector)).run()
+        Simulator::new(config, Box::new(traffic), Box::new(selector))
+            .run()
+            .unwrap()
     };
     assert_eq!(run(original), run(&restored));
 }

@@ -93,7 +93,7 @@ fn parsed_scenario_runs_bit_identically() {
     let original = kitchen_sink();
     let json = serde_json::to_string(&original).unwrap();
     let parsed: Scenario = serde_json::from_str(&json).unwrap();
-    assert_eq!(parsed.run(), original.run());
+    assert_eq!(parsed.run().unwrap(), original.run().unwrap());
 }
 
 #[test]
@@ -230,8 +230,8 @@ fn shards_field_defaults_round_trips_and_never_changes_results() {
     let round: Scenario = serde_json::from_str(&serde_json::to_string(&sharded).unwrap()).unwrap();
     assert_eq!(round, sharded);
     assert_eq!(
-        sharded.run().summary,
-        original.run().summary,
+        sharded.run().unwrap().summary,
+        original.run().unwrap().summary,
         "shard count is a wall-clock knob, never a results knob"
     );
 }
@@ -275,7 +275,7 @@ fn results_dump_carries_pillar_telemetry() {
         .with_phases(100, 400, 2_000)
         .with_workload(WorkloadKind::Uniform { rate: 0.004 })
         .with_seed(5);
-    let results = vec![scenario.run()];
+    let results = vec![scenario.run().unwrap()];
     let json = results_to_json(&results);
     assert!(json.contains("\"name\": \"dump\""));
     assert!(json.contains("\"pillar_energy_nj\""));

@@ -97,8 +97,8 @@ impl Case {
         let mut seq = self.build(1);
         let mut sharded = self.build(k);
         for cycle in 0..cycles {
-            seq.step();
-            sharded.step();
+            seq.step().unwrap();
+            sharded.step().unwrap();
             prop_assert_eq!(
                 sharded.network().state_digest(),
                 seq.network().state_digest(),
@@ -126,7 +126,7 @@ impl Case {
     /// Full `run()` at `shards`, exercising warm-up, the measurement
     /// window, the drain phase and the summary assembly.
     fn run(&self, shards: usize) -> RunSummary {
-        self.build(shards).run()
+        self.build(shards).run().unwrap()
     }
 }
 
@@ -226,8 +226,8 @@ fn pooled_execution_is_bit_identical_to_sequential() {
     let mut seq = case.build(1);
     let mut pooled = case.build(6); // 6 shards on 3 workers: 2 each
     for cycle in 0..1_500u64 {
-        seq.step();
-        pooled.step();
+        seq.step().unwrap();
+        pooled.step().unwrap();
         assert_eq!(
             pooled.network().state_digest(),
             seq.network().state_digest(),

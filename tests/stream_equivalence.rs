@@ -264,8 +264,8 @@ fn v2_scenario(seed: u64) -> Scenario {
 
 #[test]
 fn v2_runs_are_bit_identical_across_repeats_and_worker_counts() {
-    let a = v2_scenario(7).run();
-    let b = v2_scenario(7).run();
+    let a = v2_scenario(7).run().unwrap();
+    let b = v2_scenario(7).run().unwrap();
     assert_eq!(a, b, "same seed, same v2 stream, same summary");
     assert!(a.summary.delivered_packets > 0);
     assert!(a.summary.completed);
@@ -298,8 +298,8 @@ fn v2_windows_are_bit_identical_at_every_shard_count() {
         let input = TrafficInput::Scheduled(Box::new(BatchedSynthetic::uniform(&mesh, 0.004, 11)));
         let selector = adele::online::ElevatorFirstSelector::new(&mesh, &elevators);
         let mut sim = Simulator::from_input(config, input, Box::new(selector));
-        sim.advance(200);
-        sim.measure_window(800)
+        sim.advance(200).unwrap();
+        sim.measure_window(800).unwrap()
     };
     let sequential = run(1);
     assert!(sequential.delivered_packets > 0, "sanity: traffic flowed");
@@ -324,9 +324,10 @@ fn v2_offered_load_matches_v1_in_a_full_simulation() {
         .clone()
         .with_stream(StreamVersion::V1)
         .run()
+        .unwrap()
         .summary
         .injected_packets as f64;
-    let v2 = base.run().summary.injected_packets as f64;
+    let v2 = base.run().unwrap().summary.injected_packets as f64;
     // 1000 injection cycles × 32 nodes × rate 0.004 ≈ 128 packets; 6σ of
     // the two-stream difference is √(2·n·p(1-p))·6 ≈ 96. Allow exactly
     // that.
@@ -370,12 +371,16 @@ fn every_workload_kind_delivers_on_v2() {
     ];
     for kind in kinds {
         let scenario = v2_scenario(3).with_workload(WorkloadSpec::v2(kind.clone()));
-        let a = scenario.run();
+        let a = scenario.run().unwrap();
         assert!(
             a.summary.delivered_packets > 0,
             "{kind:?} must deliver on v2"
         );
-        assert_eq!(a, scenario.run(), "{kind:?} must stay deterministic");
+        assert_eq!(
+            a,
+            scenario.run().unwrap(),
+            "{kind:?} must stay deterministic"
+        );
     }
 }
 
@@ -407,10 +412,10 @@ proptest! {
         let window = 1_500u64;
         let run = || {
             let mut sim = v2_simulator(rate, seed);
-            sim.advance(100);
-            let before = sim.measure_window(window);
+            sim.advance(100).unwrap();
+            let before = sim.measure_window(window).unwrap();
             sim.apply_command(&SimCommand::ScaleInjection { factor });
-            let after = sim.measure_window(window);
+            let after = sim.measure_window(window).unwrap();
             (before, after)
         };
         let (before, after) = run();
@@ -444,13 +449,13 @@ proptest! {
         let hot_id = mesh.node_id(hot).unwrap();
         let run = || {
             let mut sim = v2_simulator(0.006, seed);
-            sim.advance(100);
-            let before = sim.measure_window(1_200);
+            sim.advance(100).unwrap();
+            let before = sim.measure_window(1_200).unwrap();
             sim.apply_command(&SimCommand::ShiftHotspot {
                 hotspots: vec![hot_id],
                 fraction: 0.9,
             });
-            let after = sim.measure_window(1_200);
+            let after = sim.measure_window(1_200).unwrap();
             (before, after)
         };
         let (before, after) = run();
@@ -482,9 +487,9 @@ proptest! {
         let burst = base
             .clone()
             .with_event(Event::InjectionBurst { cycle, factor: 3.0 });
-        let a = burst.run();
-        prop_assert_eq!(&a, &burst.run(), "event runs must reproduce");
-        let plain = base.run();
+        let a = burst.run().unwrap();
+        prop_assert_eq!(&a, &burst.run().unwrap(), "event runs must reproduce");
+        let plain = base.run().unwrap();
         prop_assert!(
             a.summary.injected_packets > plain.summary.injected_packets,
             "a 3x burst must raise injections ({} vs {})",
@@ -502,9 +507,9 @@ proptest! {
 fn directive_silences_prefetched_cycles() {
     use noc_sim::SimCommand;
     let mut sim = v2_simulator(0.05, 3);
-    sim.advance(10); // calendar has prefetched well past cycle 10
+    sim.advance(10).unwrap(); // calendar has prefetched well past cycle 10
     sim.apply_command(&SimCommand::ScaleInjection { factor: 0.0 });
-    let window = sim.measure_window(500);
+    let window = sim.measure_window(500).unwrap();
     assert_eq!(
         window.injected_packets, 0,
         "a zero-factor directive must silence prefetched injections too"
@@ -531,8 +536,12 @@ fn polled_adapter_keeps_composites_working_under_v2() {
     };
     let v1 = v2_scenario(9)
         .with_workload(WorkloadSpec::v1(kind.clone()))
-        .run();
-    let v2 = v2_scenario(9).with_workload(WorkloadSpec::v2(kind)).run();
+        .run()
+        .unwrap();
+    let v2 = v2_scenario(9)
+        .with_workload(WorkloadSpec::v2(kind))
+        .run()
+        .unwrap();
     assert_eq!(
         v1.summary, v2.summary,
         "the polled adapter replays the v1 stream verbatim"

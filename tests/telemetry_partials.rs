@@ -36,7 +36,7 @@ fn mid_window_folds_are_invisible_to_the_summary() {
     // Warm-up with folds and reads sprinkled between every few cycles.
     let mut tsv_snapshots = Vec::new();
     for _ in 0..6 {
-        disturbed.advance(50);
+        disturbed.advance(50).unwrap();
         disturbed.fold_telemetry();
         assert!(
             disturbed.telemetry_partials_clear(),
@@ -54,15 +54,15 @@ fn mid_window_folds_are_invisible_to_the_summary() {
         // A second, immediate fold is a no-op (add-and-zero idempotence).
         disturbed.fold_telemetry();
     }
-    reference.advance(300);
+    reference.advance(300).unwrap();
     assert_eq!(
         disturbed.network().state_digest(),
         reference.network().state_digest(),
         "folds changed committed network state"
     );
 
-    let summary_disturbed = disturbed.measure_window(1_200);
-    let summary_reference = reference.measure_window(1_200);
+    let summary_disturbed = disturbed.measure_window(1_200).unwrap();
+    let summary_reference = reference.measure_window(1_200).unwrap();
     assert_eq!(
         summary_disturbed, summary_reference,
         "mid-window folds leaked into the window summary"
@@ -82,9 +82,9 @@ fn mid_window_folds_are_invisible_to_the_summary() {
 /// merged regardless of layout.
 #[test]
 fn measured_energy_results_are_shard_independent() {
-    let sequential = measured_energy_scenario(1).run();
+    let sequential = measured_energy_scenario(1).run().unwrap();
     for shards in [2usize, 4] {
-        let sharded = measured_energy_scenario(shards).run();
+        let sharded = measured_energy_scenario(shards).run().unwrap();
         assert_eq!(
             sharded, sequential,
             "k={shards} measured-energy run diverged from k=1"
